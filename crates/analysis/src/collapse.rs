@@ -1,0 +1,227 @@
+//! Lock collapsing: rewriting nested critical sections into single
+//! group-lock sections, as §5.1 suggests for analyzing nested gcs's
+//! ("a lock which provides access to both objects can be introduced").
+
+use mpcp_model::{Body, ResourceId, Segment, System, TaskDef};
+use std::collections::HashMap;
+
+/// A group lock introduced by [`collapse_nested_globals`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockGroup {
+    /// The new resource standing for the whole group.
+    pub group: ResourceId,
+    /// The original resources subsumed by the group.
+    pub members: Vec<ResourceId>,
+}
+
+/// Rewrites `system` so that resources ever locked together in a nesting
+/// chain are replaced by a single group lock; the returned system has no
+/// nested critical sections involving those resources and is accepted by
+/// the blocking analysis. Blocking becomes coarser (the group serializes
+/// more), exactly the trade-off the paper describes.
+///
+/// Returns the rewritten system plus the groups introduced. Systems
+/// without nesting are returned unchanged (no groups).
+pub fn collapse_nested_globals(system: &System) -> (System, Vec<LockGroup>) {
+    let n = system.resources().len();
+    // Union-find over resources; union everything that appears in one
+    // nesting chain.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    let mut any_nesting = false;
+    for task in system.tasks() {
+        for cs in task.body().critical_sections() {
+            for inner in &cs.nested {
+                any_nesting = true;
+                let a = find(&mut parent, cs.resource.index());
+                let b = find(&mut parent, inner.index());
+                parent[a] = b;
+            }
+        }
+    }
+    if !any_nesting {
+        return (system.clone(), Vec::new());
+    }
+
+    // Components with more than one member get a group resource.
+    let mut members: HashMap<usize, Vec<ResourceId>> = HashMap::new();
+    for r in 0..n {
+        let root = find(&mut parent, r);
+        members
+            .entry(root)
+            .or_default()
+            .push(ResourceId::from_index(r as u32));
+    }
+
+    let mut b = System::builder();
+    for p in system.processors() {
+        b.add_processor(p.name());
+    }
+    for r in system.resources() {
+        b.add_resource(r.name());
+    }
+    let mut group_of: HashMap<ResourceId, ResourceId> = HashMap::new();
+    let mut groups = Vec::new();
+    let mut roots: Vec<usize> = members.keys().copied().collect();
+    roots.sort_unstable();
+    for root in roots {
+        let ms = &members[&root];
+        if ms.len() < 2 {
+            continue;
+        }
+        let names: Vec<&str> = ms
+            .iter()
+            .map(|r| system.resource(*r).name())
+            .collect();
+        let group = b.add_resource(format!("G({})", names.join("+")));
+        for &m in ms {
+            group_of.insert(m, group);
+        }
+        groups.push(LockGroup {
+            group,
+            members: ms.clone(),
+        });
+    }
+
+    fn rewrite(
+        segs: &[Segment],
+        group_of: &HashMap<ResourceId, ResourceId>,
+        inside: Option<ResourceId>,
+        out: &mut Vec<Segment>,
+    ) {
+        for seg in segs {
+            match seg {
+                Segment::Compute(_) | Segment::Suspend(_) => out.push(seg.clone()),
+                Segment::Critical(r, body) => match group_of.get(r) {
+                    Some(&g) if inside == Some(g) => {
+                        // Already holding the group lock: splice contents.
+                        rewrite(body, group_of, inside, out);
+                    }
+                    Some(&g) => {
+                        let mut inner = Vec::new();
+                        rewrite(body, group_of, Some(g), &mut inner);
+                        out.push(Segment::Critical(g, inner));
+                    }
+                    None => {
+                        let mut inner = Vec::new();
+                        rewrite(body, group_of, inside, &mut inner);
+                        out.push(Segment::Critical(*r, inner));
+                    }
+                },
+            }
+        }
+    }
+
+    for t in system.tasks() {
+        let mut segs = Vec::new();
+        rewrite(t.body().segments(), &group_of, None, &mut segs);
+        b.add_task(
+            TaskDef::new(t.name(), t.processor())
+                .period(t.period().ticks())
+                .deadline(t.deadline().ticks())
+                .offset(t.offset().ticks())
+                .priority(t.priority().level())
+                .body(Body::from_segments(segs)),
+        );
+    }
+    (
+        b.build().expect("collapsing preserves validity"),
+        groups,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpcp_bounds;
+    use mpcp_model::{Dur, System, TaskDef};
+
+    fn nested_system() -> System {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s1 = b.add_resource("S1");
+        let s2 = b.add_resource("S2");
+        let s3 = b.add_resource("S3");
+        // tau0 nests S2 inside S1 (both global); S3 stays independent.
+        b.add_task(
+            TaskDef::new("a", p[0]).period(100).priority(3).body(
+                Body::builder()
+                    .critical(s1, |c| c.compute(1).critical(s2, |c| c.compute(2)))
+                    .critical(s3, |c| c.compute(1))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("b", p[1]).period(200).priority(2).body(
+                Body::builder()
+                    .critical(s2, |c| c.compute(3))
+                    .critical(s3, |c| c.compute(1))
+                    .build(),
+            ),
+        );
+        b.add_task(TaskDef::new("c", p[0]).period(300).priority(1).body(
+            Body::builder().critical(s1, |c| c.compute(4)).build(),
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn analysis_rejects_then_accepts_after_collapse() {
+        let sys = nested_system();
+        assert!(mpcp_bounds(&sys).is_err());
+        let (collapsed, groups) = collapse_nested_globals(&sys);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members.len(), 2); // S1 + S2
+        assert!(mpcp_bounds(&collapsed).is_ok());
+    }
+
+    #[test]
+    fn group_sections_cover_the_original_demand() {
+        let sys = nested_system();
+        let (collapsed, groups) = collapse_nested_globals(&sys);
+        let g = groups[0].group;
+        let a = &collapsed.tasks()[0];
+        let sections = a.body().sections_of(g);
+        assert_eq!(sections.len(), 1);
+        // The collapsed section spans the whole former nest: 1 + 2.
+        assert_eq!(sections[0].duration, Dur::new(3));
+        assert!(!a.body().has_nested_sections());
+        // b's lone S2 section is rewritten to the group lock too.
+        let b = &collapsed.tasks()[1];
+        assert_eq!(b.body().sections_of(g).len(), 1);
+        // S3 sections survive untouched.
+        assert_eq!(
+            a.body().sections_of(ResourceId::from_index(2)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn systems_without_nesting_are_unchanged() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        let s = b.add_resource("S");
+        b.add_task(TaskDef::new("a", p).period(10).body(
+            Body::builder().critical(s, |c| c.compute(1)).build(),
+        ));
+        let sys = b.build().unwrap();
+        let (same, groups) = collapse_nested_globals(&sys);
+        assert!(groups.is_empty());
+        assert_eq!(same, sys);
+    }
+
+    #[test]
+    fn wcet_is_preserved() {
+        let sys = nested_system();
+        let (collapsed, _) = collapse_nested_globals(&sys);
+        for (orig, new) in sys.tasks().iter().zip(collapsed.tasks()) {
+            assert_eq!(orig.wcet(), new.wcet(), "{}", orig.name());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Derived per-task facts shared by the blocking analyses.
+
+use crate::error::AnalysisError;
+use mpcp_core::{CeilingTable, GcsPriorities};
+use mpcp_model::{
+    CriticalSection, Dur, Priority, ProcessorId, ResourceId, Segment, System, TaskId,
+};
+
+/// Facts about one task used by the §5.1 factors.
+#[derive(Debug, Clone)]
+pub(crate) struct TaskFacts {
+    pub id: TaskId,
+    pub proc: ProcessorId,
+    pub prio: Priority,
+    pub period: Dur,
+    pub wcet: Dur,
+    /// `NC_i`: number of outermost global critical sections per job.
+    pub nc: usize,
+    /// Number of explicit self-suspensions per job.
+    pub n_susp: usize,
+    /// Outermost global critical sections.
+    pub gcs: Vec<CriticalSection>,
+    /// Outermost local critical sections.
+    pub lcs: Vec<CriticalSection>,
+    /// Global resources used (deduplicated).
+    pub global_resources: Vec<ResourceId>,
+}
+
+/// Precomputed facts for a whole system.
+#[derive(Debug, Clone)]
+pub(crate) struct Facts {
+    pub tasks: Vec<TaskFacts>,
+    pub ceilings: CeilingTable,
+    pub gcs_pri: GcsPriorities,
+}
+
+impl Facts {
+    /// Computes facts, validating the base-protocol assumptions (§4.2:
+    /// non-nested gcs's; suspensions outside critical sections).
+    pub fn compute(system: &System) -> Result<Facts, AnalysisError> {
+        let info = system.info();
+        if info.has_nested_global_sections(system) {
+            let task = system
+                .tasks()
+                .iter()
+                .find(|t| {
+                    t.body().critical_sections().iter().any(|cs| {
+                        info.scope(cs.resource).is_global()
+                            && (!cs.nested.is_empty() || !cs.enclosing.is_empty())
+                    })
+                })
+                .map(|t| t.id())
+                .expect("some task exhibits the nesting");
+            return Err(AnalysisError::NestedGlobalSections { task });
+        }
+        for t in system.tasks() {
+            if suspends_inside_cs(t.body().segments(), false) {
+                return Err(AnalysisError::SuspensionInCriticalSection { task: t.id() });
+            }
+        }
+        let tasks = system
+            .tasks()
+            .iter()
+            .map(|t| {
+                let tu = info.task_use(t.id());
+                let mut global_resources: Vec<ResourceId> =
+                    tu.global_sections.iter().map(|cs| cs.resource).collect();
+                global_resources.sort_unstable();
+                global_resources.dedup();
+                TaskFacts {
+                    id: t.id(),
+                    proc: t.processor(),
+                    prio: t.priority(),
+                    period: t.period(),
+                    wcet: t.wcet(),
+                    nc: tu.gcs_count(),
+                    n_susp: t.body().suspension_count(),
+                    gcs: tu.global_sections.clone(),
+                    lcs: tu.local_sections.clone(),
+                    global_resources,
+                }
+            })
+            .collect();
+        Ok(Facts {
+            tasks,
+            ceilings: CeilingTable::compute(system),
+            gcs_pri: GcsPriorities::compute(system),
+        })
+    }
+
+    /// Number of job instances of `other` that can run within one period
+    /// of `of`: the paper's `⌈T_i / T_h⌉`, plus one carry-in instance when
+    /// `carry_in` is set (the sound variant used by the validation tests).
+    pub fn instances(&self, of: &TaskFacts, other: &TaskFacts, carry_in: bool) -> u64 {
+        other.period.div_ceil_of(of.period) + u64::from(carry_in)
+    }
+
+    /// Lower-priority tasks on the same processor as `i`.
+    pub fn lower_local<'a>(&'a self, i: &'a TaskFacts) -> impl Iterator<Item = &'a TaskFacts> {
+        self.tasks
+            .iter()
+            .filter(move |t| t.proc == i.proc && t.prio < i.prio)
+    }
+
+    /// Higher-priority tasks on the same processor as `i`.
+    pub fn higher_local<'a>(&'a self, i: &'a TaskFacts) -> impl Iterator<Item = &'a TaskFacts> {
+        self.tasks
+            .iter()
+            .filter(move |t| t.proc == i.proc && t.prio > i.prio)
+    }
+
+    /// Whether `a` and `b` share at least one global resource.
+    pub fn share_global(&self, a: &TaskFacts, b: &TaskFacts) -> bool {
+        a.global_resources
+            .iter()
+            .any(|r| b.global_resources.contains(r))
+    }
+}
+
+fn suspends_inside_cs(segments: &[Segment], inside: bool) -> bool {
+    segments.iter().any(|s| match s {
+        Segment::Suspend(_) => inside,
+        Segment::Critical(_, body) => suspends_inside_cs(body, true),
+        Segment::Compute(_) => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::{Body, System, TaskDef};
+
+    #[test]
+    fn facts_reject_nested_globals() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let sg = b.add_resource("SG");
+        let sl = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("a", p[0]).period(10).priority(2).body(
+                Body::builder()
+                    .critical(sl, |c| c.critical(sg, |c| c.compute(1)))
+                    .build(),
+            ),
+        );
+        b.add_task(TaskDef::new("b", p[1]).period(20).priority(1).body(
+            Body::builder().critical(sg, |c| c.compute(1)).build(),
+        ));
+        let sys = b.build().unwrap();
+        assert!(matches!(
+            Facts::compute(&sys),
+            Err(AnalysisError::NestedGlobalSections { .. })
+        ));
+    }
+
+    #[test]
+    fn facts_reject_suspension_in_cs() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        let s = b.add_resource("S");
+        b.add_task(TaskDef::new("a", p).period(10).body(
+            Body::builder().critical(s, |c| c.suspend(1)).build(),
+        ));
+        let sys = b.build().unwrap();
+        assert!(matches!(
+            Facts::compute(&sys),
+            Err(AnalysisError::SuspensionInCriticalSection { .. })
+        ));
+    }
+
+    #[test]
+    fn facts_counts() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let sg = b.add_resource("SG");
+        let sl = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("a", p[0]).period(10).priority(2).body(
+                Body::builder()
+                    .critical(sg, |c| c.compute(2))
+                    .suspend(1)
+                    .critical(sl, |c| c.compute(1))
+                    .critical(sg, |c| c.compute(3))
+                    .build(),
+            ),
+        );
+        b.add_task(TaskDef::new("b", p[1]).period(25).priority(1).body(
+            Body::builder().critical(sg, |c| c.compute(1)).build(),
+        ));
+        let sys = b.build().unwrap();
+        let f = Facts::compute(&sys).unwrap();
+        let a = &f.tasks[0];
+        assert_eq!(a.nc, 2);
+        assert_eq!(a.n_susp, 1);
+        assert_eq!(a.lcs.len(), 1);
+        assert_eq!(a.global_resources, vec![sg]);
+        let b_ = &f.tasks[1];
+        assert!(f.share_global(a, b_));
+        // ⌈T_b / T_a⌉ = ⌈25/10⌉ = 3 instances of a within b's period.
+        assert_eq!(f.instances(b_, a, false), 3);
+        assert_eq!(f.instances(b_, a, true), 4);
+        assert_eq!(f.lower_local(a).count(), 0);
+        assert_eq!(f.higher_local(b_).count(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Analysis errors.
+
+use mpcp_model::{ResourceId, TaskId};
+use std::error::Error;
+use std::fmt;
+
+/// Reasons the blocking analysis rejects a system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A global critical section nests or is nested in another critical
+    /// section; the §5.1 blocking factors assume non-nested gcs's. Apply
+    /// [`collapse_nested_globals`](crate::collapse_nested_globals) first,
+    /// as the paper suggests (§5.1, "collapse nested critical sections").
+    NestedGlobalSections {
+        /// A task exhibiting the nesting.
+        task: TaskId,
+    },
+    /// A job self-suspends while holding a semaphore; Theorem 1's counting
+    /// of suspension-induced blocking assumes suspensions happen outside
+    /// critical sections.
+    SuspensionInCriticalSection {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// The nested global sections admit no partial order: two jobs can
+    /// acquire these semaphores in opposite orders and deadlock (§5.1
+    /// requires an explicit partial ordering).
+    CyclicLockOrder {
+        /// A witness cycle in the nesting graph.
+        cycle: Vec<ResourceId>,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NestedGlobalSections { task } => write!(
+                f,
+                "task {task} has nested global critical sections; collapse them first"
+            ),
+            AnalysisError::SuspensionInCriticalSection { task } => write!(
+                f,
+                "task {task} self-suspends inside a critical section"
+            ),
+            AnalysisError::CyclicLockOrder { cycle } => {
+                write!(f, "global lock order has a cycle: ")?;
+                for (i, r) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, " -> {}", cycle[0])
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_error() {
+        let e = AnalysisError::NestedGlobalSections {
+            task: TaskId::from_index(1),
+        };
+        assert!(e.to_string().contains("nested"));
+        fn takes<E: Error + Send + Sync>(_: E) {}
+        takes(e);
+    }
+}

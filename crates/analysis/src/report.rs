@@ -1,0 +1,205 @@
+//! Text rendering of the paper's tables.
+
+use crate::{BlockingBreakdown, DpcpBreakdown, SchedReport};
+use mpcp_core::{CeilingTable, GcsPriorities};
+use mpcp_model::{Scope, System};
+use std::fmt::Write as _;
+
+/// Renders the priority ceilings of every used semaphore — the format of
+/// the paper's Table 4-1.
+pub fn ceiling_table(system: &System) -> String {
+    let info = system.info();
+    let ceilings = CeilingTable::compute(system);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<12} {:<10} {:<14}", "semaphore", "scope", "priority ceiling");
+    for u in info.all_usage() {
+        let scope = match u.scope {
+            Scope::Local(p) => format!("local({})", system.processor(p).name()),
+            Scope::Global => "global".to_owned(),
+            Scope::Unused => continue,
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:<10} {:<14}",
+            system.resource(u.resource).name(),
+            scope,
+            ceilings.ceiling(u.resource).to_string()
+        );
+    }
+    out
+}
+
+/// Renders the normal execution priority of every global critical section
+/// — the format of the paper's Table 4-2.
+pub fn gcs_priority_table(system: &System) -> String {
+    let info = system.info();
+    let gcs = GcsPriorities::compute(system);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:<12} {:<16}",
+        "task", "semaphore", "gcs priority"
+    );
+    for task in system.tasks() {
+        // One row per distinct (task, semaphore) pair.
+        let mut seen: Vec<mpcp_model::ResourceId> = Vec::new();
+        for cs in &info.task_use(task.id()).global_sections {
+            if seen.contains(&cs.resource) {
+                continue;
+            }
+            seen.push(cs.resource);
+            let p = gcs
+                .of(task.id(), cs.resource)
+                .expect("gcs priority exists for users");
+            let _ = writeln!(
+                out,
+                "{:<8} {:<12} {:<16}",
+                task.name(),
+                system.resource(cs.resource).name(),
+                p.to_string()
+            );
+        }
+    }
+    out
+}
+
+/// Renders the §5.1 blocking factors for every task.
+pub fn blocking_table(system: &System, bounds: &[BlockingBreakdown]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>8}",
+        "task", "F1", "F2", "F3", "F4", "F5", "B_i", "defer", "total"
+    );
+    for b in bounds {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>8}",
+            system.task(b.task).name(),
+            b.local_cs.ticks(),
+            b.lower_gcs_same_sem.ticks(),
+            b.higher_remote_gcs.ticks(),
+            b.blocking_processor_gcs.ticks(),
+            b.lower_local_gcs.ticks(),
+            b.blocking().ticks(),
+            b.deferred_penalty.ticks(),
+            b.total().ticks(),
+        );
+    }
+    out
+}
+
+/// Renders the DPCP blocking factors for every task.
+pub fn dpcp_blocking_table(system: &System, bounds: &[DpcpBreakdown]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>8}",
+        "task", "F1", "F2", "F3", "F4'", "F5'", "B_i", "defer", "total"
+    );
+    for b in bounds {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>8}",
+            system.task(b.task).name(),
+            b.local_cs.ticks(),
+            b.lower_gcs_same_sem.ticks(),
+            b.higher_remote_gcs.ticks(),
+            b.host_ceiling_gcs.ticks(),
+            b.agent_interference.ticks(),
+            b.blocking().ticks(),
+            b.deferred_penalty.ticks(),
+            b.total().ticks(),
+        );
+    }
+    out
+}
+
+/// Renders a Theorem 3 verdict table.
+pub fn sched_table(system: &System, report: &SchedReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:<6} {:>10} {:>10} {:>6}",
+        "task", "proc", "demand", "LL-bound", "ok"
+    );
+    for t in report.per_task() {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<6} {:>10.4} {:>10.4} {:>6}",
+            system.task(t.task).name(),
+            system.processor(t.processor).name(),
+            t.demand,
+            t.bound,
+            if t.ok { "yes" } else { "NO" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "schedulable: {}",
+        if report.schedulable() { "yes" } else { "NO" }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mpcp_bounds, theorem3};
+    use mpcp_model::{Body, System, TaskDef};
+
+    fn sample() -> System {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let sl = b.add_resource("S_local");
+        let sg = b.add_resource("S_glob");
+        b.add_task(
+            TaskDef::new("hi", p[0]).period(100).priority(2).body(
+                Body::builder()
+                    .critical(sl, |c| c.compute(1))
+                    .critical(sg, |c| c.compute(2))
+                    .build(),
+            ),
+        );
+        b.add_task(TaskDef::new("lo", p[1]).period(200).priority(1).body(
+            Body::builder().critical(sg, |c| c.compute(3)).build(),
+        ));
+        b.add_task(TaskDef::new("l2", p[0]).period(300).priority(0).body(
+            Body::builder().critical(sl, |c| c.compute(1)).build(),
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tables_mention_all_parts() {
+        let sys = sample();
+        let ct = ceiling_table(&sys);
+        assert!(ct.contains("S_local"));
+        assert!(ct.contains("S_glob"));
+        assert!(ct.contains("global"));
+        assert!(ct.contains("PG+"));
+
+        let gt = gcs_priority_table(&sys);
+        assert!(gt.contains("hi"));
+        assert!(gt.contains("lo"));
+        assert!(gt.contains("PG+"));
+
+        let bounds = mpcp_bounds(&sys).unwrap();
+        let bt = blocking_table(&sys, &bounds);
+        assert!(bt.contains("F5"));
+        assert!(bt.contains("hi"));
+
+        let blocking: Vec<_> = bounds.iter().map(|b| b.total()).collect();
+        let st = sched_table(&sys, &theorem3(&sys, &blocking));
+        assert!(st.contains("schedulable"));
+    }
+
+    #[test]
+    fn dpcp_table_renders() {
+        let sys = sample();
+        let bounds = crate::dpcp_bounds(&sys).unwrap();
+        let t = dpcp_blocking_table(&sys, &bounds);
+        assert!(t.contains("F4'"));
+        assert!(t.contains("lo"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Benchmarks of the analytical pipeline: ceiling computation (E3/E4),
+//! the §5.1 blocking bounds and the §5.2 DPCP bounds (E8/E9), and the
+//! Theorem 3 / response-time schedulability tests (E10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcp_analysis::{dpcp_bounds, mpcp_bounds, rta_schedulable, theorem3};
+use mpcp_core::{CeilingTable, GcsPriorities};
+use mpcp_model::Dur;
+use mpcp_taskgen::{generate, WorkloadConfig};
+use std::hint::black_box;
+
+fn system_of(procs: usize, tasks: usize) -> mpcp_model::System {
+    generate(
+        &WorkloadConfig::default()
+            .processors(procs)
+            .tasks_per_processor(tasks)
+            .utilization(0.4)
+            .resources(1, procs)
+            .sections(1, 3),
+        42,
+    )
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    for (procs, tasks) in [(2, 4), (4, 8), (8, 16)] {
+        let sys = system_of(procs, tasks);
+        g.bench_with_input(
+            BenchmarkId::new("ceilings", format!("{procs}x{tasks}")),
+            &sys,
+            |b, sys| b.iter(|| black_box(CeilingTable::compute(sys))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("gcs_priorities", format!("{procs}x{tasks}")),
+            &sys,
+            |b, sys| b.iter(|| black_box(GcsPriorities::compute(sys))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_blocking_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocking_bounds");
+    for (procs, tasks) in [(2, 4), (4, 8), (8, 16)] {
+        let sys = system_of(procs, tasks);
+        g.bench_with_input(
+            BenchmarkId::new("mpcp", format!("{procs}x{tasks}")),
+            &sys,
+            |b, sys| b.iter(|| black_box(mpcp_bounds(sys).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dpcp", format!("{procs}x{tasks}")),
+            &sys,
+            |b, sys| b.iter(|| black_box(dpcp_bounds(sys).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_schedulability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedulability");
+    for (procs, tasks) in [(2, 4), (8, 16)] {
+        let sys = system_of(procs, tasks);
+        let blocking: Vec<Dur> = mpcp_bounds(&sys)
+            .unwrap()
+            .iter()
+            .map(|b| b.total())
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("theorem3", format!("{procs}x{tasks}")),
+            &(&sys, &blocking),
+            |b, (sys, blocking)| b.iter(|| black_box(theorem3(sys, blocking))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("rta", format!("{procs}x{tasks}")),
+            &(&sys, &blocking),
+            |b, (sys, blocking)| b.iter(|| black_box(rta_schedulable(sys, blocking))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_blocking_bounds,
+    bench_schedulability
+);
+criterion_main!(benches);

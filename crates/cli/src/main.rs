@@ -1,0 +1,243 @@
+//! `mpcp` — command-line experiment runner for the MPCP reproduction.
+//!
+//! ```text
+//! mpcp exp <e1..e16|all>          regenerate a paper table/figure
+//! mpcp trace [--until T]          Example 4 schedule (Figure 5-1)
+//! mpcp sim [opts]                 simulate a random system
+//! mpcp analyze [opts]             blocking bounds + Theorem 3 tables
+//! mpcp allocate [opts]            task allocation study
+//! ```
+
+use mpcp_alloc::{allocate, Heuristic};
+use mpcp_analysis as analysis;
+use mpcp_model::{Dur, Time};
+use mpcp_protocols::ProtocolKind;
+use mpcp_sim::{SimConfig, Simulator};
+use mpcp_taskgen::{generate, WorkloadConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "exp" => {
+            let Some(id) = args.get(1) else {
+                eprintln!("usage: mpcp exp <e1..e16|all>");
+                return ExitCode::FAILURE;
+            };
+            match mpcp_bench::experiments::by_name(id) {
+                Some(report) => {
+                    println!("{report}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!(
+                        "unknown experiment {id:?}; known: {} or all",
+                        mpcp_bench::experiments::IDS.join(", ")
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "trace" => {
+            let until = flag_u64(&flags, "until", 20);
+            let (sys, _) = mpcp_bench::paper::example3();
+            let mut sim = Simulator::new(&sys, ProtocolKind::Mpcp.build());
+            sim.run_until(until);
+            if flags.contains_key("csv") {
+                print!("{}", mpcp_sim::export::events_csv(sim.trace()));
+                print!("{}", mpcp_sim::export::slices_csv(sim.trace()));
+                return ExitCode::SUCCESS;
+            }
+            println!(
+                "{}",
+                sim.trace().gantt(&sys, Time::ZERO, Time::new(until), 1)
+            );
+            println!(
+                "{}",
+                sim.trace().job_gantt(&sys, Time::ZERO, Time::new(until), 1)
+            );
+            println!("{}", sim.trace().event_log());
+            println!("{}", sim.metrics());
+            ExitCode::SUCCESS
+        }
+        "sim" => {
+            let (sys, seed) = build_system(&flags);
+            let kind = flag_protocol(&flags);
+            let until = flag_u64(&flags, "until", 100_000);
+            let mut sim = Simulator::with_config(
+                &sys,
+                kind.build(),
+                SimConfig {
+                    record_trace: flags.contains_key("gantt"),
+                    ..SimConfig::until(until)
+                },
+            );
+            sim.run();
+            println!(
+                "protocol {kind}, seed {seed}, {} tasks on {} processors, until t={until}",
+                sys.tasks().len(),
+                sys.processors().len()
+            );
+            if flags.contains_key("gantt") {
+                let window = flag_u64(&flags, "window", 200).min(until);
+                println!(
+                    "{}",
+                    sim.trace().gantt(&sys, Time::ZERO, Time::new(window), 1)
+                );
+            }
+            println!("{}", sim.metrics());
+            ExitCode::SUCCESS
+        }
+        "analyze" => {
+            let (sys, seed) = build_system(&flags);
+            println!("seed {seed}");
+            println!("{}", analysis::report::ceiling_table(&sys));
+            println!("{}", analysis::report::gcs_priority_table(&sys));
+            match analysis::mpcp_bounds(&sys) {
+                Ok(bounds) => {
+                    println!("MPCP blocking bounds (§5.1):");
+                    println!("{}", analysis::report::blocking_table(&sys, &bounds));
+                    let blocking: Vec<Dur> = bounds.iter().map(|b| b.total()).collect();
+                    println!("Theorem 3:");
+                    println!(
+                        "{}",
+                        analysis::report::sched_table(
+                            &sys,
+                            &analysis::theorem3(&sys, &blocking)
+                        )
+                    );
+                    let dpcp = analysis::dpcp_bounds(&sys).expect("same preconditions");
+                    println!("DPCP blocking bounds (§5.2 comparison):");
+                    println!("{}", analysis::report::dpcp_blocking_table(&sys, &dpcp));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("analysis rejected the system: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "allocate" => {
+            let (sys, seed) = build_system(&flags);
+            let m = flag_u64(&flags, "procs", 4) as usize;
+            println!(
+                "seed {seed}: allocating {} tasks onto {m} processors",
+                sys.tasks().len()
+            );
+            println!(
+                "{:<10} {:>8} {:>12} {:>12}",
+                "heuristic", "globals", "max util", "schedulable"
+            );
+            for h in Heuristic::ALL {
+                match allocate(&sys, m, h) {
+                    Ok(a) => {
+                        let max_u = a
+                            .per_processor_utilization
+                            .iter()
+                            .cloned()
+                            .fold(0.0f64, f64::max);
+                        println!(
+                            "{:<10} {:>8} {:>12.3} {:>12}",
+                            h.name(),
+                            a.global_resources,
+                            max_u,
+                            if a.schedulable { "yes" } else { "no" }
+                        );
+                    }
+                    Err(e) => println!("{:<10} failed: {e}", h.name()),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "mpcp — real-time synchronization protocols for shared memory multiprocessors\n\
+     \n\
+     usage:\n\
+     \x20 mpcp exp <e1..e16|all>      regenerate a paper table/figure\n\
+     \x20 mpcp trace [--until T]      Example 4 schedule under MPCP (Figure 5-1)\n\
+     \x20 mpcp sim [opts] [--gantt]   simulate a random system\n\
+     \x20 mpcp analyze [opts]         blocking bounds and Theorem 3 tables\n\
+     \x20 mpcp allocate [opts]        compare allocation heuristics\n\
+     \n\
+     random-system options (sim/analyze/allocate):\n\
+     \x20 --seed N       (default 1)    --procs N      (default 4)\n\
+     \x20 --tasks N      per processor  (default 4)\n\
+     \x20 --util U       per processor  (default 0.4)\n\
+     \x20 --globals N    global semaphores (default 2)\n\
+     \x20 --locals N     local semaphores per processor (default 1)\n\
+     \x20 --protocol P   mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp\n\
+     \x20 --until T      simulation horizon (default 100000)\n"
+        .to_owned()
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_default();
+            if !value.is_empty() {
+                i += 1;
+            }
+            flags.insert(name.to_owned(), value);
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> u64 {
+    flags
+        .get(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> f64 {
+    flags
+        .get(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn flag_protocol(flags: &HashMap<String, String>) -> ProtocolKind {
+    flags
+        .get("protocol")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(ProtocolKind::Mpcp)
+}
+
+fn build_system(flags: &HashMap<String, String>) -> (mpcp_model::System, u64) {
+    let seed = flag_u64(flags, "seed", 1);
+    let cfg = WorkloadConfig::default()
+        .processors(flag_u64(flags, "procs", 4) as usize)
+        .tasks_per_processor(flag_u64(flags, "tasks", 4) as usize)
+        .utilization(flag_f64(flags, "util", 0.4))
+        .resources(
+            flag_u64(flags, "locals", 1) as usize,
+            flag_u64(flags, "globals", 2) as usize,
+        )
+        .sections(0, 2);
+    (generate(&cfg, seed), seed)
+}

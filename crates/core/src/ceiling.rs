@@ -1,0 +1,156 @@
+//! Priority ceilings of local and global semaphores (§4.4, Table 4-1).
+
+use mpcp_model::{Priority, ResourceId, Scope, System};
+
+/// Priority ceilings for every resource in a system.
+///
+/// * **Local semaphore** `S`: the ceiling is the priority of the
+///   highest-priority task that may lock `S` (the uniprocessor PCP
+///   definition).
+/// * **Global semaphore** `S_G`: the ceiling is `P_G + P_S` where `P_S` is
+///   the priority of the highest-priority task that may lock `S_G` and
+///   `P_G` exceeds every assigned task priority. This satisfies both of the
+///   paper's conditions: the ceiling is above `P_H` (the system's highest
+///   task priority) and ceiling order follows user-priority order.
+///
+/// Unused resources have no ceiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CeilingTable {
+    ceilings: Vec<Option<Priority>>,
+}
+
+impl CeilingTable {
+    /// Computes the ceilings of all resources in `system`.
+    pub fn compute(system: &System) -> Self {
+        let info = system.info();
+        let ceilings = info
+            .all_usage()
+            .iter()
+            .map(|u| {
+                let top_user = u.users.first()?; // users sorted by priority
+                let p = system.task(*top_user).priority();
+                Some(match u.scope {
+                    Scope::Local(_) => p,
+                    Scope::Global => p.to_global(),
+                    Scope::Unused => return None,
+                })
+            })
+            .collect();
+        CeilingTable { ceilings }
+    }
+
+    /// The ceiling of `resource`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource is unused (it has no ceiling) or unknown.
+    #[track_caller]
+    pub fn ceiling(&self, resource: ResourceId) -> Priority {
+        self.try_ceiling(resource)
+            .unwrap_or_else(|| panic!("resource {resource} is unused and has no ceiling"))
+    }
+
+    /// The ceiling of `resource`, or `None` if the resource is unused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource` does not belong to the system the table was
+    /// computed from.
+    #[track_caller]
+    pub fn try_ceiling(&self, resource: ResourceId) -> Option<Priority> {
+        self.ceilings[resource.index()]
+    }
+
+    /// Ceilings of all resources, indexed by [`ResourceId`]; `None` for
+    /// unused resources.
+    pub fn all(&self) -> &[Option<Priority>] {
+        &self.ceilings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::{Body, System, TaskDef};
+
+    /// Two processors; S0 local to P0 (users: pri 3 and 2), S1 global
+    /// (users: pri 2 on P0 and pri 1 on P1), S2 unused.
+    fn sample() -> (System, [ResourceId; 3]) {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s0 = b.add_resource("S0");
+        let s1 = b.add_resource("S1");
+        let s2 = b.add_resource("S2");
+        b.add_task(TaskDef::new("a", p[0]).period(10).priority(3).body(
+            Body::builder().critical(s0, |c| c.compute(1)).build(),
+        ));
+        b.add_task(
+            TaskDef::new("b", p[0]).period(20).priority(2).body(
+                Body::builder()
+                    .critical(s0, |c| c.compute(1))
+                    .critical(s1, |c| c.compute(1))
+                    .build(),
+            ),
+        );
+        b.add_task(TaskDef::new("c", p[1]).period(30).priority(1).body(
+            Body::builder().critical(s1, |c| c.compute(1)).build(),
+        ));
+        (b.build().unwrap(), [s0, s1, s2])
+    }
+
+    #[test]
+    fn local_ceiling_is_highest_user_priority() {
+        let (sys, [s0, _, _]) = sample();
+        let t = CeilingTable::compute(&sys);
+        assert_eq!(t.ceiling(s0), Priority::task(3));
+    }
+
+    #[test]
+    fn global_ceiling_is_in_global_band() {
+        let (sys, [_, s1, _]) = sample();
+        let t = CeilingTable::compute(&sys);
+        assert_eq!(t.ceiling(s1), Priority::global(2));
+        assert!(t.ceiling(s1) > sys.highest_priority());
+    }
+
+    #[test]
+    fn global_ceilings_preserve_user_priority_order() {
+        // Paper condition: P_{S_i} > P_{S_j} implies ceiling(S_i) > ceiling(S_j).
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let sa = b.add_resource("SA");
+        let sb = b.add_resource("SB");
+        b.add_task(TaskDef::new("hi", p[0]).period(10).priority(9).body(
+            Body::builder().critical(sa, |c| c.compute(1)).build(),
+        ));
+        b.add_task(
+            TaskDef::new("lo", p[1]).period(20).priority(1).body(
+                Body::builder()
+                    .critical(sa, |c| c.compute(1))
+                    .critical(sb, |c| c.compute(1))
+                    .build(),
+            ),
+        );
+        b.add_task(TaskDef::new("mid", p[0]).period(15).priority(5).body(
+            Body::builder().critical(sb, |c| c.compute(1)).build(),
+        ));
+        let sys = b.build().unwrap();
+        let t = CeilingTable::compute(&sys);
+        assert!(t.ceiling(sa) > t.ceiling(sb));
+    }
+
+    #[test]
+    fn unused_resource_has_no_ceiling() {
+        let (sys, [_, _, s2]) = sample();
+        let t = CeilingTable::compute(&sys);
+        assert_eq!(t.try_ceiling(s2), None);
+        assert_eq!(t.all().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unused")]
+    fn ceiling_of_unused_panics() {
+        let (sys, [_, _, s2]) = sample();
+        CeilingTable::compute(&sys).ceiling(s2);
+    }
+}

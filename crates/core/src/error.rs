@@ -1,0 +1,49 @@
+//! Protocol-core errors.
+
+use mpcp_model::ResourceId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the protocol state machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An unlock/release was attempted by a job that does not hold the
+    /// semaphore.
+    NotHolder {
+        /// The resource involved ([`ResourceId::from_index`]`(u32::MAX)`
+        /// when the semaphore is anonymous, as for
+        /// [`GlobalSemaphore`](crate::GlobalSemaphore)).
+        resource: ResourceId,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotHolder { detail, .. } => {
+                write!(f, "release by non-holder: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_error_impl() {
+        let e = CoreError::NotHolder {
+            resource: ResourceId::from_index(1),
+            detail: "x".into(),
+        };
+        assert!(e.to_string().contains("non-holder"));
+        fn takes<E: Error + Send + Sync>(_: E) {}
+        takes(e);
+    }
+}

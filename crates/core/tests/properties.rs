@@ -1,0 +1,183 @@
+//! Property-based tests of the protocol-core state machines against
+//! simple reference models.
+
+use mpcp_core::{GlobalSemaphore, Pcp, PcpDecision, PrioQueue, ReleaseOutcome};
+use mpcp_model::{Priority, ResourceId};
+use proptest::prelude::*;
+
+/// Reference model for the stable max-priority queue: a vector sorted on
+/// pop by (priority desc, insertion order asc).
+#[derive(Default)]
+struct ModelQueue {
+    items: Vec<(u32, u64, u32)>, // (priority, seq, value)
+    next_seq: u64,
+}
+
+impl ModelQueue {
+    fn push(&mut self, pri: u32, value: u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.items.push((pri, seq, value));
+    }
+    fn pop(&mut self) -> Option<u32> {
+        let best = self
+            .items
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+            .map(|(i, _)| i)?;
+        Some(self.items.remove(best).2)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum QueueOp {
+    Push(u32, u32),
+    Pop,
+}
+
+fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..5, 0u32..100).prop_map(|(p, v)| QueueOp::Push(p, v)),
+            Just(QueueOp::Pop),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// PrioQueue behaves exactly like the reference model under arbitrary
+    /// push/pop interleavings (including FIFO tie-breaks).
+    #[test]
+    fn prio_queue_matches_model(ops in queue_ops()) {
+        let mut real: PrioQueue<u32, u32> = PrioQueue::new();
+        let mut model = ModelQueue::default();
+        for op in ops {
+            match op {
+                QueueOp::Push(p, v) => {
+                    real.push(p, v);
+                    model.push(p, v);
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(real.pop(), model.pop());
+                }
+            }
+            prop_assert_eq!(real.len(), model.items.len());
+        }
+        // Drain and compare the remainder.
+        while let Some(v) = model.pop() {
+            prop_assert_eq!(real.pop(), Some(v));
+        }
+        prop_assert!(real.is_empty());
+    }
+
+    /// GlobalSemaphore: any sequence of try_acquire / enqueue / release
+    /// keeps exactly zero or one holder, never loses a waiter, and always
+    /// hands off to the highest-priority waiter.
+    #[test]
+    fn global_semaphore_never_loses_waiters(
+        script in proptest::collection::vec((0u8..3, 0u8..8, 0u32..8), 0..80),
+    ) {
+        let mut sem: GlobalSemaphore<u8> = GlobalSemaphore::new();
+        let mut queued: Vec<(u8, u32)> = Vec::new();
+        let mut holder: Option<u8> = None;
+        for (op, actor, pri) in script {
+            match op {
+                0 => {
+                    let got = sem.try_acquire(actor);
+                    prop_assert_eq!(got, holder.is_none());
+                    if got {
+                        holder = Some(actor);
+                    }
+                }
+                1 => {
+                    // Enqueue only when legal (held by someone else and
+                    // not already queued).
+                    if holder.is_some()
+                        && holder != Some(actor)
+                        && !queued.iter().any(|(a, _)| *a == actor)
+                    {
+                        sem.enqueue(actor, Priority::task(pri));
+                        queued.push((actor, pri));
+                    }
+                }
+                _ => {
+                    if let Some(h) = holder {
+                        match sem.release(h).unwrap() {
+                            ReleaseOutcome::Freed => {
+                                prop_assert!(queued.is_empty());
+                                holder = None;
+                            }
+                            ReleaseOutcome::HandedTo(next) => {
+                                // next must be a queued waiter with max priority.
+                                let best = queued.iter().map(|(_, p)| *p).max().unwrap();
+                                let pos = queued
+                                    .iter()
+                                    .position(|(a, p)| *a == next && *p == best);
+                                prop_assert!(pos.is_some(), "handed to non-best waiter");
+                                queued.remove(pos.unwrap());
+                                holder = Some(next);
+                            }
+                        }
+                    } else {
+                        prop_assert!(sem.release(actor).is_err());
+                    }
+                }
+            }
+            prop_assert_eq!(sem.holder(), holder);
+            prop_assert_eq!(sem.queue_len(), queued.len());
+        }
+    }
+
+    /// PCP grant rule: a request is granted iff the requester's priority
+    /// exceeds every ceiling of semaphores held by others.
+    #[test]
+    fn pcp_grant_matches_definition(
+        held in proptest::collection::vec((0u8..4, 0u32..10), 0..4),
+        req_pri in 0u32..12,
+    ) {
+        let mut pcp: Pcp<u8> = Pcp::new();
+        let mut ceilings: Vec<u32> = Vec::new();
+        for (i, (holder, ceiling)) in held.iter().enumerate() {
+            let r = ResourceId::from_index(i as u32);
+            // Each resource locked once by `holder` (ids 0..4; requester is 9).
+            pcp.lock(*holder, r, Priority::task(*ceiling));
+            ceilings.push(*ceiling);
+        }
+        let decision = pcp.try_lock(9, Priority::task(req_pri), ResourceId::from_index(99));
+        let max_ceiling = ceilings.iter().max().copied();
+        match (decision, max_ceiling) {
+            (PcpDecision::Granted, None) => {}
+            (PcpDecision::Granted, Some(c)) => prop_assert!(req_pri > c),
+            (PcpDecision::Blocked { ceiling, .. }, Some(c)) => {
+                prop_assert_eq!(ceiling, Priority::task(c));
+                prop_assert!(req_pri <= c);
+            }
+            (PcpDecision::Blocked { .. }, None) => prop_assert!(false, "blocked with no locks"),
+        }
+    }
+
+    /// PCP lock/unlock round trip leaves no residue.
+    #[test]
+    fn pcp_round_trip_is_clean(ops in proptest::collection::vec((0u8..3, 0u32..6), 0..30)) {
+        let mut pcp: Pcp<u8> = Pcp::new();
+        let mut held: Vec<(u8, u32)> = Vec::new(); // (job, resource index)
+        for (job, r) in ops {
+            let res = ResourceId::from_index(r);
+            if let Some(pos) = held.iter().position(|(j, rr)| *j == job && *rr == r) {
+                pcp.unlock(job, res).unwrap();
+                held.remove(pos);
+            } else if pcp.holder(res).is_none() {
+                pcp.lock(job, res, Priority::task(5));
+                held.push((job, r));
+            }
+        }
+        for (job, r) in held.clone() {
+            pcp.unlock(job, ResourceId::from_index(r)).unwrap();
+        }
+        prop_assert!(!pcp.any_locked());
+    }
+}

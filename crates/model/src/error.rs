@@ -1,0 +1,117 @@
+//! Model validation errors.
+
+use crate::ids::{ProcessorId, ResourceId, TaskId};
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a [`SystemBuilder`](crate::SystemBuilder) can reject its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The system has no processors.
+    NoProcessors,
+    /// The system has no tasks.
+    NoTasks,
+    /// A task was defined with a zero period.
+    ZeroPeriod {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A task's deadline is zero or exceeds its period.
+    BadDeadline {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A task is bound to a processor that was never added.
+    UnknownProcessor {
+        /// The offending task.
+        task: TaskId,
+        /// The missing processor.
+        processor: ProcessorId,
+    },
+    /// A task's body uses a resource that was never added.
+    UnknownResource {
+        /// The offending task.
+        task: TaskId,
+        /// The missing resource.
+        resource: ResourceId,
+    },
+    /// A task's body locks a semaphore it already holds (§3.1 assumes a
+    /// job never deadlocks itself).
+    SelfNesting {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// Some tasks have explicit priorities and some do not.
+    MixedPriorities,
+    /// Two tasks share the same explicit priority level; the paper assumes
+    /// a total priority order across the system.
+    DuplicatePriority,
+    /// An aperiodic task's arrival times are not strictly increasing.
+    UnorderedArrivals {
+        /// The offending task.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoProcessors => write!(f, "system has no processors"),
+            ModelError::NoTasks => write!(f, "system has no tasks"),
+            ModelError::ZeroPeriod { task } => write!(f, "task {task} has a zero period"),
+            ModelError::BadDeadline { task } => {
+                write!(f, "task {task} has a zero deadline or one beyond its period")
+            }
+            ModelError::UnknownProcessor { task, processor } => {
+                write!(f, "task {task} is bound to unknown processor {processor}")
+            }
+            ModelError::UnknownResource { task, resource } => {
+                write!(f, "task {task} uses unknown resource {resource}")
+            }
+            ModelError::SelfNesting { task } => {
+                write!(f, "task {task} locks a semaphore it already holds")
+            }
+            ModelError::MixedPriorities => {
+                write!(f, "either all tasks or no tasks may have explicit priorities")
+            }
+            ModelError::DuplicatePriority => {
+                write!(f, "explicit priority levels must be unique system-wide")
+            }
+            ModelError::UnorderedArrivals { task } => {
+                write!(f, "task {task} has non-increasing arrival times")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_nonempty() {
+        let samples = [
+            ModelError::NoProcessors,
+            ModelError::NoTasks,
+            ModelError::ZeroPeriod {
+                task: TaskId::from_index(0),
+            },
+            ModelError::MixedPriorities,
+            ModelError::DuplicatePriority,
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(ModelError::NoTasks);
+    }
+}

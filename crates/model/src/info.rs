@@ -1,0 +1,355 @@
+//! Derived system structure: resource scopes and usage maps.
+
+use crate::ids::{ProcessorId, ResourceId, TaskId};
+use crate::segment::CriticalSection;
+use crate::system::System;
+use crate::time::Dur;
+
+/// Where a resource's users live: on one processor, on several, or nowhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scope {
+    /// Every task using the resource is bound to this processor; the
+    /// semaphore is *local* and lives in that processor's local memory.
+    Local(ProcessorId),
+    /// Tasks on at least two processors use the resource; the semaphore is
+    /// *global* and lives in shared memory.
+    Global,
+    /// No task uses the resource.
+    Unused,
+}
+
+impl Scope {
+    /// Whether this is [`Scope::Global`].
+    pub fn is_global(self) -> bool {
+        matches!(self, Scope::Global)
+    }
+
+    /// Whether this is [`Scope::Local`] for any processor.
+    pub fn is_local(self) -> bool {
+        matches!(self, Scope::Local(_))
+    }
+}
+
+/// Usage facts for one resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// The resource described.
+    pub resource: ResourceId,
+    /// Local / global / unused classification.
+    pub scope: Scope,
+    /// Tasks with at least one critical section on the resource, in
+    /// decreasing priority order.
+    pub users: Vec<TaskId>,
+    /// Longest single critical section on the resource over all users.
+    pub longest_cs: Dur,
+}
+
+/// Per-task critical-section facts split by resource scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskResourceUse {
+    /// The task described.
+    pub task: TaskId,
+    /// Critical sections on **global** resources (outermost only), in lock
+    /// order. Its length is the paper's `NC_i` (number of gcs's of the
+    /// task).
+    pub global_sections: Vec<CriticalSection>,
+    /// Critical sections on **local** resources (outermost only), in lock
+    /// order.
+    pub local_sections: Vec<CriticalSection>,
+}
+
+impl TaskResourceUse {
+    /// The paper's `NC_i`: number of global critical sections the task
+    /// enters per job.
+    pub fn gcs_count(&self) -> usize {
+        self.global_sections.len()
+    }
+
+    /// Longest global critical section of the task.
+    pub fn longest_gcs(&self) -> Dur {
+        self.global_sections
+            .iter()
+            .map(|cs| cs.duration)
+            .max()
+            .unwrap_or(Dur::ZERO)
+    }
+
+    /// Longest local critical section of the task.
+    pub fn longest_lcs(&self) -> Dur {
+        self.local_sections
+            .iter()
+            .map(|cs| cs.duration)
+            .max()
+            .unwrap_or(Dur::ZERO)
+    }
+}
+
+/// Derived structure of a [`System`]; obtain via [`System::info`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemInfo {
+    usage: Vec<ResourceUsage>,
+    task_use: Vec<TaskResourceUse>,
+}
+
+impl SystemInfo {
+    pub(crate) fn compute(system: &System) -> SystemInfo {
+        let n_res = system.resources().len();
+        let mut users: Vec<Vec<TaskId>> = vec![Vec::new(); n_res];
+        let mut longest: Vec<Dur> = vec![Dur::ZERO; n_res];
+
+        for task in system.tasks() {
+            for cs in task.body().critical_sections() {
+                let ri = cs.resource.index();
+                if !users[ri].contains(&task.id()) {
+                    users[ri].push(task.id());
+                }
+                longest[ri] = longest[ri].max(cs.duration);
+            }
+        }
+
+        let usage: Vec<ResourceUsage> = (0..n_res)
+            .map(|ri| {
+                let resource = ResourceId::from_index(ri as u32);
+                let mut us = users[ri].clone();
+                us.sort_by(|a, b| {
+                    system
+                        .task(*b)
+                        .priority()
+                        .cmp(&system.task(*a).priority())
+                });
+                let mut procs: Vec<ProcessorId> = us
+                    .iter()
+                    .map(|t| system.task(*t).processor())
+                    .collect();
+                procs.sort_unstable();
+                procs.dedup();
+                let scope = match procs.len() {
+                    0 => Scope::Unused,
+                    1 => Scope::Local(procs[0]),
+                    _ => Scope::Global,
+                };
+                ResourceUsage {
+                    resource,
+                    scope,
+                    users: us,
+                    longest_cs: longest[ri],
+                }
+            })
+            .collect();
+
+        let task_use = system
+            .tasks()
+            .iter()
+            .map(|task| {
+                let mut global_sections = Vec::new();
+                let mut local_sections = Vec::new();
+                for cs in task.body().critical_sections() {
+                    // Only outermost sections count towards NC_i; a nested
+                    // section is part of its outermost section's duration.
+                    if !cs.is_outermost() {
+                        continue;
+                    }
+                    match usage[cs.resource.index()].scope {
+                        Scope::Global => global_sections.push(cs),
+                        Scope::Local(_) => local_sections.push(cs),
+                        Scope::Unused => unreachable!("used resource marked unused"),
+                    }
+                }
+                TaskResourceUse {
+                    task: task.id(),
+                    global_sections,
+                    local_sections,
+                }
+            })
+            .collect();
+
+        SystemInfo { usage, task_use }
+    }
+
+    /// Scope of `resource`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource` does not belong to the system.
+    #[track_caller]
+    pub fn scope(&self, resource: ResourceId) -> Scope {
+        self.usage[resource.index()].scope
+    }
+
+    /// Usage facts for `resource`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource` does not belong to the system.
+    #[track_caller]
+    pub fn usage(&self, resource: ResourceId) -> &ResourceUsage {
+        &self.usage[resource.index()]
+    }
+
+    /// Usage facts for every resource, indexed by [`ResourceId`].
+    pub fn all_usage(&self) -> &[ResourceUsage] {
+        &self.usage
+    }
+
+    /// Critical-section facts for `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` does not belong to the system.
+    #[track_caller]
+    pub fn task_use(&self, task: TaskId) -> &TaskResourceUse {
+        &self.task_use[task.index()]
+    }
+
+    /// Critical-section facts for every task, indexed by [`TaskId`].
+    pub fn all_task_use(&self) -> &[TaskResourceUse] {
+        &self.task_use
+    }
+
+    /// Global resources, in id order.
+    pub fn global_resources(&self) -> Vec<ResourceId> {
+        self.usage
+            .iter()
+            .filter(|u| u.scope.is_global())
+            .map(|u| u.resource)
+            .collect()
+    }
+
+    /// Local resources on `processor`, in id order.
+    pub fn local_resources_on(&self, processor: ProcessorId) -> Vec<ResourceId> {
+        self.usage
+            .iter()
+            .filter(|u| u.scope == Scope::Local(processor))
+            .map(|u| u.resource)
+            .collect()
+    }
+
+    /// Whether any task has a global critical section nested inside
+    /// another critical section, or nesting another critical section —
+    /// ruled out by the base protocol's assumption (§4.2).
+    pub fn has_nested_global_sections(&self, system: &System) -> bool {
+        for task in system.tasks() {
+            for cs in task.body().critical_sections() {
+                let is_global = self.scope(cs.resource).is_global();
+                if is_global && (!cs.nested.is_empty() || !cs.enclosing.is_empty()) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Body;
+    use crate::system::{System, TaskDef};
+
+    fn sample() -> System {
+        let mut b = System::builder();
+        let p0 = b.add_processor("P0");
+        let p1 = b.add_processor("P1");
+        let sl = b.add_resource("S_local");
+        let sg = b.add_resource("S_global");
+        let su = b.add_resource("S_unused");
+        let _ = su;
+        b.add_task(
+            TaskDef::new("hi", p0).period(10).priority(3).body(
+                Body::builder()
+                    .critical(sl, |c| c.compute(2))
+                    .critical(sg, |c| c.compute(4))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("mid", p0).period(20).priority(2).body(
+                Body::builder().critical(sl, |c| c.compute(5)).build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("lo", p1).period(30).priority(1).body(
+                Body::builder().critical(sg, |c| c.compute(1)).build(),
+            ),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scopes_are_classified() {
+        let sys = sample();
+        let info = sys.info();
+        assert_eq!(
+            info.scope(ResourceId::from_index(0)),
+            Scope::Local(ProcessorId::from_index(0))
+        );
+        assert_eq!(info.scope(ResourceId::from_index(1)), Scope::Global);
+        assert_eq!(info.scope(ResourceId::from_index(2)), Scope::Unused);
+        assert!(info.scope(ResourceId::from_index(1)).is_global());
+        assert!(info.scope(ResourceId::from_index(0)).is_local());
+    }
+
+    #[test]
+    fn users_sorted_by_priority_and_longest_cs() {
+        let sys = sample();
+        let info = sys.info();
+        let u = info.usage(ResourceId::from_index(0));
+        assert_eq!(u.users, vec![TaskId::from_index(0), TaskId::from_index(1)]);
+        assert_eq!(u.longest_cs, Dur::new(5));
+        let g = info.usage(ResourceId::from_index(1));
+        assert_eq!(g.longest_cs, Dur::new(4));
+    }
+
+    #[test]
+    fn task_use_splits_by_scope() {
+        let sys = sample();
+        let info = sys.info();
+        let tu = info.task_use(TaskId::from_index(0));
+        assert_eq!(tu.gcs_count(), 1);
+        assert_eq!(tu.local_sections.len(), 1);
+        assert_eq!(tu.longest_gcs(), Dur::new(4));
+        assert_eq!(tu.longest_lcs(), Dur::new(2));
+        let lo = info.task_use(TaskId::from_index(2));
+        assert_eq!(lo.gcs_count(), 1);
+        assert_eq!(lo.longest_lcs(), Dur::ZERO);
+    }
+
+    #[test]
+    fn resource_lists() {
+        let sys = sample();
+        let info = sys.info();
+        assert_eq!(info.global_resources(), vec![ResourceId::from_index(1)]);
+        assert_eq!(
+            info.local_resources_on(ProcessorId::from_index(0)),
+            vec![ResourceId::from_index(0)]
+        );
+        assert!(info
+            .local_resources_on(ProcessorId::from_index(1))
+            .is_empty());
+        assert!(!info.has_nested_global_sections(&sys));
+    }
+
+    #[test]
+    fn nested_global_sections_detected() {
+        let mut b = System::builder();
+        let p0 = b.add_processor("P0");
+        let p1 = b.add_processor("P1");
+        let sg = b.add_resource("SG");
+        let sl = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("a", p0).period(10).priority(2).body(
+                Body::builder()
+                    .critical(sg, |c| c.critical(sl, |c| c.compute(1)))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("b", p1).period(20).priority(1).body(
+                Body::builder().critical(sg, |c| c.compute(1)).build(),
+            ),
+        );
+        let sys = b.build().unwrap();
+        let info = sys.info();
+        assert!(info.has_nested_global_sections(&sys));
+    }
+}

@@ -1,0 +1,73 @@
+//! Task, resource and machine model for multiprocessor real-time
+//! synchronization.
+//!
+//! This crate is the substrate shared by every other crate in the `mpcp`
+//! workspace. It models the system described in Rajkumar's *"Real-Time
+//! Synchronization Protocols for Shared Memory Multiprocessors"* (ICDCS
+//! 1990):
+//!
+//! * a set of **processors** with local memory, connected to shared memory
+//!   over a backplane bus ([`Machine`]),
+//! * **periodic tasks** statically bound to processors, each a sequence of
+//!   computation, self-suspension and (possibly nested) critical sections
+//!   ([`Task`], [`Body`], [`Segment`]),
+//! * binary-semaphore **resources**, classified as *local* (all users bound
+//!   to one processor) or *global* ([`Resource`], [`Scope`]),
+//! * fixed **priorities**, either explicit or assigned rate-monotonically,
+//!   with a dedicated band above every task priority for global critical
+//!   sections ([`Priority`]).
+//!
+//! # Example
+//!
+//! Build the two-processor system of the paper's Example 1 and inspect it:
+//!
+//! ```
+//! use mpcp_model::{Body, System, TaskDef, Scope};
+//!
+//! # fn main() -> Result<(), mpcp_model::ModelError> {
+//! let mut b = System::builder();
+//! let p1 = b.add_processor("P1");
+//! let p2 = b.add_processor("P2");
+//! let s = b.add_resource("S");
+//! b.add_task(
+//!     TaskDef::new("tau1", p1)
+//!         .period(100)
+//!         .body(Body::builder().compute(2).critical(s, |c| c.compute(4)).build()),
+//! );
+//! b.add_task(
+//!     TaskDef::new("tau3", p2)
+//!         .period(300)
+//!         .body(Body::builder().compute(1).critical(s, |c| c.compute(6)).build()),
+//! );
+//! let system = b.build()?;
+//!
+//! assert_eq!(system.tasks().len(), 2);
+//! assert_eq!(system.info().scope(s), Scope::Global);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ids;
+mod info;
+mod machine;
+mod priority;
+mod rm;
+mod segment;
+mod system;
+mod task;
+mod time;
+
+pub use error::ModelError;
+pub use ids::{JobId, ProcessorId, ResourceId, TaskId};
+pub use info::{ResourceUsage, Scope, SystemInfo, TaskResourceUse};
+pub use machine::Machine;
+pub use priority::Priority;
+pub use rm::rate_monotonic_order;
+pub use segment::{Body, BodyBuilder, CriticalSection, Segment};
+pub use system::{Processor, Resource, System, SystemBuilder, TaskDef};
+pub use task::Task;
+pub use time::{Dur, Time};

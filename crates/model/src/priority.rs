@@ -1,0 +1,137 @@
+//! Fixed priorities with a dedicated global-critical-section band.
+//!
+//! The paper orders all task priorities system-wide (`P_1 > P_2 > …`) and
+//! then places every global-critical-section (gcs) priority *above* the
+//! highest task priority: a gcs guarded by `S_G` runs at `P_G + P_H` where
+//! `P_G` is a base level exceeding every assigned task priority and `P_H`
+//! is a task priority (§4.4). [`Priority`] encodes this as two disjoint
+//! bands over one totally ordered value, so the paper's arithmetic
+//! (`P_G + P_i`) becomes [`Priority::global`]`(i)` and every global-band
+//! priority compares greater than every task-band priority by construction.
+
+use std::fmt;
+
+/// Numeric level within a band; larger means more urgent.
+pub(crate) type Level = u32;
+
+const GLOBAL_BAND: u64 = 1 << 32;
+
+/// A fixed scheduling priority. Larger values are more urgent.
+///
+/// Two bands exist:
+///
+/// * **task band** — assigned task priorities ([`Priority::task`]),
+/// * **global band** — execution priorities of global critical sections
+///   ([`Priority::global`]); every global-band value exceeds every
+///   task-band value, implementing the paper's `P_G + P_H` rule.
+///
+/// # Example
+///
+/// ```
+/// use mpcp_model::Priority;
+///
+/// let highest_task = Priority::task(100);
+/// let lowest_gcs = Priority::global(0);
+/// assert!(lowest_gcs > highest_task);
+/// assert!(Priority::global(3) > Priority::global(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(u64);
+
+impl Priority {
+    /// The lowest possible priority (task band, level 0).
+    pub const MIN: Priority = Priority(0);
+
+    /// Creates a task-band priority with the given level.
+    ///
+    /// Rate-monotonic assignment gives higher levels to shorter periods.
+    pub const fn task(level: Level) -> Self {
+        Priority(level as u64)
+    }
+
+    /// Creates a global-band priority: the paper's `P_G + level`.
+    ///
+    /// `level` is normally the task priority level of the highest-priority
+    /// (remote) task that may lock the semaphore.
+    pub const fn global(level: Level) -> Self {
+        Priority(GLOBAL_BAND + level as u64)
+    }
+
+    /// Whether this priority lies in the global (gcs) band.
+    pub const fn is_global(self) -> bool {
+        self.0 >= GLOBAL_BAND
+    }
+
+    /// The level within the band (the `i` of `P_i` or of `P_G + P_i`).
+    pub const fn level(self) -> Level {
+        (self.0 & (GLOBAL_BAND - 1)) as Level
+    }
+
+    /// Re-expresses this priority in the global band at the same level.
+    ///
+    /// Used when a critical section guarded by a global semaphore must rise
+    /// above all assigned task priorities (Theorem 2).
+    pub const fn to_global(self) -> Priority {
+        Priority::global(self.level())
+    }
+
+    /// The greater of two priorities.
+    pub fn max(self, other: Priority) -> Priority {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_global() {
+            write!(f, "PG+{}", self.level())
+        } else {
+            write!(f, "P{}", self.level())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_band_dominates_task_band() {
+        assert!(Priority::global(0) > Priority::task(u32::MAX));
+        assert!(Priority::task(5) > Priority::task(4));
+        assert!(Priority::global(5) > Priority::global(4));
+    }
+
+    #[test]
+    fn level_round_trips_in_both_bands() {
+        assert_eq!(Priority::task(42).level(), 42);
+        assert_eq!(Priority::global(42).level(), 42);
+        assert!(!Priority::task(42).is_global());
+        assert!(Priority::global(42).is_global());
+    }
+
+    #[test]
+    fn to_global_preserves_level() {
+        let p = Priority::task(7);
+        assert_eq!(p.to_global(), Priority::global(7));
+        assert_eq!(Priority::global(7).to_global(), Priority::global(7));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Priority::task(3).to_string(), "P3");
+        assert_eq!(Priority::global(3).to_string(), "PG+3");
+    }
+
+    #[test]
+    fn max_picks_greater() {
+        assert_eq!(
+            Priority::task(1).max(Priority::global(0)),
+            Priority::global(0)
+        );
+    }
+}

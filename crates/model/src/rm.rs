@@ -1,0 +1,43 @@
+//! Rate-monotonic priority ordering (Liu & Layland), as assumed in §3.1.
+
+use crate::time::Dur;
+
+/// Returns task indices ordered from highest to lowest rate-monotonic
+/// priority: shorter periods first, ties broken by position (earlier tasks
+/// win), which keeps the ordering total as the paper requires.
+///
+/// # Example
+///
+/// ```
+/// use mpcp_model::{rate_monotonic_order, Dur};
+///
+/// let periods = [Dur::new(50), Dur::new(10), Dur::new(10)];
+/// assert_eq!(rate_monotonic_order(periods), vec![1, 2, 0]);
+/// ```
+pub fn rate_monotonic_order(periods: impl IntoIterator<Item = Dur>) -> Vec<usize> {
+    let mut idx: Vec<(usize, Dur)> = periods.into_iter().enumerate().collect();
+    idx.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+    idx.into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shorter_period_wins() {
+        let order = rate_monotonic_order([Dur::new(100), Dur::new(5), Dur::new(20)]);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_broken_by_position() {
+        let order = rate_monotonic_order([Dur::new(10), Dur::new(10)]);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(rate_monotonic_order(std::iter::empty()).is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared machinery for the protocol policies.
+
+use mpcp_core::PrioQueue;
+use mpcp_model::{JobId, Priority, ProcessorId, ResourceId};
+use std::collections::HashMap;
+
+/// Per-job stack of (resource, priority-to-restore, processor-to-restore)
+/// entries, pushed when a critical section is entered and popped when it
+/// is left. Properly nested sections make this a true stack.
+#[derive(Debug, Default)]
+pub(crate) struct SavedStack {
+    map: HashMap<JobId, Vec<(ResourceId, Priority, ProcessorId)>>,
+}
+
+impl SavedStack {
+    pub fn push(
+        &mut self,
+        job: JobId,
+        resource: ResourceId,
+        priority: Priority,
+        processor: ProcessorId,
+    ) {
+        self.map
+            .entry(job)
+            .or_default()
+            .push((resource, priority, processor));
+    }
+
+    /// Pops the most recent entry for `resource`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry for `resource` exists (unbalanced lock/unlock,
+    /// which the flattened programs rule out).
+    #[track_caller]
+    pub fn pop(&mut self, job: JobId, resource: ResourceId) -> (Priority, ProcessorId) {
+        let stack = self
+            .map
+            .get_mut(&job)
+            .unwrap_or_else(|| panic!("{job} has no saved priorities"));
+        let idx = stack
+            .iter()
+            .rposition(|(r, _, _)| *r == resource)
+            .unwrap_or_else(|| panic!("{job} has no saved priority for {resource}"));
+        let (_, pri, proc) = stack.remove(idx);
+        if stack.is_empty() {
+            self.map.remove(&job);
+        }
+        (pri, proc)
+    }
+
+    /// Drops all entries of a completed job, returning whether any were
+    /// left (a protocol bug if so, since jobs release all locks before
+    /// completion).
+    pub fn clear(&mut self, job: JobId) -> bool {
+        self.map.remove(&job).is_some()
+    }
+}
+
+/// A semaphore with an explicit holder and a prioritized wait queue, used
+/// by the baseline protocols (PIP, non-preemptive, direct-PCP). The MPCP
+/// itself uses [`mpcp_core::GlobalSemaphore`], which this mirrors with a
+/// generic queue key.
+#[derive(Debug, Default)]
+pub(crate) struct WaitSem {
+    pub holder: Option<JobId>,
+    pub queue: PrioQueue<Priority, JobId>,
+}
+
+impl WaitSem {
+    /// Grants to `job` if free; returns whether it was granted.
+    pub fn try_acquire(&mut self, job: JobId) -> bool {
+        if self.holder.is_none() {
+            self.holder = Some(job);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the next holder (highest priority first), installing it.
+    pub fn hand_off(&mut self) -> Option<JobId> {
+        let next = self.queue.pop();
+        self.holder = next;
+        next
+    }
+}
+
+/// A FIFO variant used by the no-protocol baseline.
+#[derive(Debug, Default)]
+pub(crate) struct FifoSem {
+    pub holder: Option<JobId>,
+    pub queue: std::collections::VecDeque<JobId>,
+}
+
+impl FifoSem {
+    pub fn try_acquire(&mut self, job: JobId) -> bool {
+        if self.holder.is_none() {
+            self.holder = Some(job);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn hand_off(&mut self) -> Option<JobId> {
+        let next = self.queue.pop_front();
+        self.holder = next;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::TaskId;
+
+    fn jid(i: u32) -> JobId {
+        JobId::first(TaskId::from_index(i))
+    }
+    fn proc(i: u32) -> ProcessorId {
+        ProcessorId::from_index(i)
+    }
+    fn res(i: u32) -> ResourceId {
+        ResourceId::from_index(i)
+    }
+
+    #[test]
+    fn saved_stack_nests() {
+        let mut s = SavedStack::default();
+        s.push(jid(0), res(0), Priority::task(1), proc(0));
+        s.push(jid(0), res(1), Priority::global(3), proc(1));
+        assert_eq!(s.pop(jid(0), res(1)), (Priority::global(3), proc(1)));
+        assert_eq!(s.pop(jid(0), res(0)), (Priority::task(1), proc(0)));
+        assert!(!s.clear(jid(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no saved priority")]
+    fn unbalanced_pop_panics() {
+        let mut s = SavedStack::default();
+        s.push(jid(0), res(0), Priority::task(1), proc(0));
+        s.pop(jid(0), res(1));
+    }
+
+    #[test]
+    fn wait_sem_priority_order() {
+        let mut s = WaitSem::default();
+        assert!(s.try_acquire(jid(0)));
+        assert!(!s.try_acquire(jid(1)));
+        s.queue.push(Priority::task(1), jid(1));
+        s.queue.push(Priority::task(5), jid(2));
+        assert_eq!(s.hand_off(), Some(jid(2)));
+        assert_eq!(s.holder, Some(jid(2)));
+    }
+
+    #[test]
+    fn fifo_sem_order() {
+        let mut s = FifoSem::default();
+        assert!(s.try_acquire(jid(0)));
+        s.queue.push_back(jid(1));
+        s.queue.push_back(jid(2));
+        assert_eq!(s.hand_off(), Some(jid(1)));
+        assert_eq!(s.hand_off(), Some(jid(2)));
+        assert_eq!(s.hand_off(), None);
+        assert_eq!(s.holder, None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Protocol registry for experiment harnesses.
+
+use crate::{Dpcp, DirectPcp, Mpcp, NonPreemptiveCs, Pip, RawSemaphores};
+use mpcp_sim::Protocol;
+use std::fmt;
+use std::str::FromStr;
+
+/// Every protocol in the crate, for sweeping experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ProtocolKind {
+    /// The paper's shared-memory protocol.
+    Mpcp,
+    /// The message-based baseline of reference \[8\].
+    Dpcp,
+    /// Plain priority inheritance.
+    Pip,
+    /// FIFO semaphores without inheritance.
+    Raw,
+    /// Non-preemptive critical sections.
+    NonPreemptive,
+    /// Uniprocessor PCP applied directly (the §3.3 strawman).
+    DirectPcp,
+}
+
+impl ProtocolKind {
+    /// All protocols, MPCP first.
+    pub const ALL: [ProtocolKind; 6] = [
+        ProtocolKind::Mpcp,
+        ProtocolKind::Dpcp,
+        ProtocolKind::Pip,
+        ProtocolKind::Raw,
+        ProtocolKind::NonPreemptive,
+        ProtocolKind::DirectPcp,
+    ];
+
+    /// The canonical name, matching
+    /// [`Protocol::name`](mpcp_sim::Protocol::name).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Mpcp => "mpcp",
+            ProtocolKind::Dpcp => "dpcp",
+            ProtocolKind::Pip => "pip",
+            ProtocolKind::Raw => "raw",
+            ProtocolKind::NonPreemptive => "nonpreemptive",
+            ProtocolKind::DirectPcp => "direct-pcp",
+        }
+    }
+
+    /// Instantiates a fresh protocol object.
+    pub fn build(self) -> Box<dyn Protocol> {
+        match self {
+            ProtocolKind::Mpcp => Box::new(Mpcp::new()),
+            ProtocolKind::Dpcp => Box::new(Dpcp::new()),
+            ProtocolKind::Pip => Box::new(Pip::new()),
+            ProtocolKind::Raw => Box::new(RawSemaphores::new()),
+            ProtocolKind::NonPreemptive => Box::new(NonPreemptiveCs::new()),
+            ProtocolKind::DirectPcp => Box::new(DirectPcp::new()),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown protocol name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProtocolError(String);
+
+impl fmt::Display for ParseProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown protocol {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseProtocolError {}
+
+impl FromStr for ProtocolKind {
+    type Err = ParseProtocolError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ProtocolKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| ParseProtocolError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in ProtocolKind::ALL {
+            assert_eq!(k.name().parse::<ProtocolKind>().unwrap(), k);
+            assert_eq!(k.build().name(), k.name());
+            assert_eq!(k.to_string(), k.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let e = "bogus".parse::<ProtocolKind>().unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Synchronization protocol policies for the multiprocessor simulator.
+//!
+//! The paper's contribution and every baseline it argues against, each as
+//! a [`Protocol`](mpcp_sim::Protocol) pluggable into
+//! [`Simulator`](mpcp_sim::Simulator):
+//!
+//! | type | §/ref | semantics |
+//! |------|-------|-----------|
+//! | [`Mpcp`] | §5 | local PCP + fixed-priority global critical sections + prioritized global queues |
+//! | [`Dpcp`] | \[8\], §5.2 | global sections execute on a synchronization processor at the global ceiling |
+//! | [`Pip`] | §2.2, \[10\] | priority inheritance on plain semaphores |
+//! | [`RawSemaphores`] | §2.1 | FIFO semaphores, no inheritance (unbounded inversion) |
+//! | [`NonPreemptiveCs`] | §3.3 | critical sections run non-preemptively |
+//! | [`DirectPcp`] | §3.3 | uniprocessor PCP applied directly; no gcs boost (Example 2's failure) |
+//!
+//! Use [`ProtocolKind`] to sweep all of them in experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use mpcp_model::{Body, System, TaskDef};
+//! use mpcp_protocols::ProtocolKind;
+//! use mpcp_sim::Simulator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = System::builder();
+//! let p = b.add_processors(2);
+//! let s = b.add_resource("SG");
+//! b.add_task(TaskDef::new("a", p[0]).period(20).priority(2).body(
+//!     Body::builder().critical(s, |c| c.compute(2)).build(),
+//! ));
+//! b.add_task(TaskDef::new("b", p[1]).period(30).priority(1).body(
+//!     Body::builder().critical(s, |c| c.compute(3)).build(),
+//! ));
+//! let system = b.build()?;
+//!
+//! for kind in ProtocolKind::ALL {
+//!     let mut sim = Simulator::new(&system, kind.build());
+//!     sim.run_until(60);
+//!     assert_eq!(sim.misses(), 0, "{kind} missed deadlines");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod directpcp;
+mod dpcp;
+mod kind;
+mod local;
+mod mpcp;
+mod nonpreemptive;
+mod pip;
+mod raw;
+
+pub use directpcp::DirectPcp;
+pub use dpcp::Dpcp;
+pub use kind::{ParseProtocolError, ProtocolKind};
+pub use mpcp::Mpcp;
+pub use nonpreemptive::NonPreemptiveCs;
+pub use pip::Pip;
+pub use raw::RawSemaphores;

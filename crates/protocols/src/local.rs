@@ -1,0 +1,76 @@
+//! The local-semaphore part shared by MPCP, DPCP and the direct-PCP
+//! baseline: the uniprocessor priority ceiling protocol on each
+//! processor's local semaphores (§5, rule 2).
+
+use crate::common::SavedStack;
+use mpcp_core::{CeilingTable, Pcp, PcpDecision};
+use mpcp_model::{JobId, ProcessorId, ResourceId};
+use mpcp_sim::{Ctx, LockResult};
+
+/// Per-processor PCP state plus the bookkeeping to wake blocked requesters
+/// on release.
+#[derive(Debug, Default)]
+pub(crate) struct LocalPcpPart {
+    pcp: Vec<Pcp<JobId>>,
+    blocked: Vec<Vec<JobId>>,
+}
+
+impl LocalPcpPart {
+    pub fn init(&mut self, processors: usize) {
+        self.pcp = (0..processors).map(|_| Pcp::new()).collect();
+        self.blocked = vec![Vec::new(); processors];
+    }
+
+    /// Handles `P(resource)` for a local semaphore on `proc`.
+    pub fn on_lock(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        job: JobId,
+        resource: ResourceId,
+        proc: ProcessorId,
+        ceilings: &CeilingTable,
+        saved: &mut SavedStack,
+    ) -> LockResult {
+        let priority = ctx.job(job).effective_priority;
+        match self.pcp[proc.index()].try_lock(job, priority, resource) {
+            PcpDecision::Granted => {
+                self.pcp[proc.index()].lock(job, resource, ceilings.ceiling(resource));
+                saved.push(job, resource, priority, ctx.job(job).processor);
+                LockResult::Granted
+            }
+            PcpDecision::Blocked { holder, .. } => {
+                // The holder of S* inherits the blocked job's priority
+                // until it releases (rule 2b).
+                ctx.raise_priority(holder, priority);
+                self.blocked[proc.index()].push(job);
+                LockResult::Blocked {
+                    holder: Some(holder),
+                }
+            }
+        }
+    }
+
+    /// Handles `V(resource)` for a local semaphore on `proc`: releases,
+    /// restores the saved priority and wakes every blocked local requester
+    /// to retry (the highest-priority one re-runs the PCP test first, so
+    /// inheritance is re-established within the same instant).
+    pub fn on_unlock(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        job: JobId,
+        resource: ResourceId,
+        proc: ProcessorId,
+        saved: &mut SavedStack,
+    ) {
+        self.pcp[proc.index()]
+            .unlock(job, resource)
+            .expect("PCP unlock by holder");
+        let (priority, _) = saved.pop(job, resource);
+        ctx.set_priority(job, priority);
+        for waiter in std::mem::take(&mut self.blocked[proc.index()]) {
+            if ctx.is_active(waiter) {
+                ctx.wake_retry(waiter);
+            }
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The shared-memory multiprocessor priority ceiling protocol (§5) — the
+//! paper's contribution.
+//!
+//! Rules implemented (numbering follows §5):
+//!
+//! 1. A job uses its assigned priority outside critical sections.
+//! 2. Local semaphores follow the uniprocessor priority ceiling protocol
+//!    on their processor, with priority inheritance on blocking.
+//! 3. A job inside a global critical section (gcs) runs at the fixed
+//!    priority assigned to that gcs (`P_G + P_H`, [`GcsPriorities`]).
+//! 4. Preemption among gcs's follows those fixed priorities (encoded in
+//!    the global priority band).
+//! 5. A free global semaphore is granted atomically.
+//! 6. Otherwise the requester enqueues in priority order, keyed by its
+//!    **assigned** priority, and suspends.
+//! 7. `V(S_G)` hands the semaphore to the highest-priority waiter, which
+//!    resumes on its host processor at its gcs priority.
+
+use crate::common::SavedStack;
+use crate::local::LocalPcpPart;
+use mpcp_core::{CeilingTable, GcsPriorities, GlobalSemaphore, ReleaseOutcome};
+use mpcp_model::{JobId, ResourceId, Scope, System};
+use mpcp_sim::{Ctx, LockResult, Protocol};
+
+/// The shared-memory synchronization protocol of the paper.
+///
+/// # Example
+///
+/// ```
+/// use mpcp_model::{Body, System, TaskDef};
+/// use mpcp_protocols::Mpcp;
+/// use mpcp_sim::Simulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = System::builder();
+/// let p = b.add_processors(2);
+/// let s = b.add_resource("SG");
+/// b.add_task(TaskDef::new("hi", p[0]).period(10).priority(2).body(
+///     Body::builder().compute(1).critical(s, |c| c.compute(2)).build(),
+/// ));
+/// b.add_task(TaskDef::new("lo", p[1]).period(20).priority(1).body(
+///     Body::builder().critical(s, |c| c.compute(3)).build(),
+/// ));
+/// let system = b.build()?;
+/// let mut sim = Simulator::new(&system, Mpcp::new());
+/// sim.run_until(20);
+/// assert_eq!(sim.misses(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Mpcp {
+    ceilings: Option<CeilingTable>,
+    gcs: Option<GcsPriorities>,
+    scopes: Vec<Scope>,
+    local: LocalPcpPart,
+    gsems: Vec<GlobalSemaphore<JobId>>,
+    saved: SavedStack,
+}
+
+impl Mpcp {
+    /// Creates the protocol; tables are computed when the simulator calls
+    /// [`Protocol::init`].
+    pub fn new() -> Self {
+        Mpcp::default()
+    }
+
+    fn gcs_priorities(&self) -> &GcsPriorities {
+        self.gcs.as_ref().expect("protocol initialized")
+    }
+
+    /// Boosts `job` into its gcs priority band for `resource` (rule 3),
+    /// remembering the priority to restore.
+    fn enter_gcs(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) {
+        let current = ctx.job(job).effective_priority;
+        let processor = ctx.job(job).processor;
+        self.saved.push(job, resource, current, processor);
+        let gcs_priority = self
+            .gcs_priorities()
+            .of(job.task, resource)
+            .expect("user of a global resource has a gcs priority");
+        ctx.set_priority(job, current.max(gcs_priority));
+    }
+}
+
+impl Protocol for Mpcp {
+    fn name(&self) -> &'static str {
+        "mpcp"
+    }
+
+    fn init(&mut self, system: &System) {
+        let info = system.info();
+        self.ceilings = Some(CeilingTable::compute(system));
+        self.gcs = Some(GcsPriorities::compute(system));
+        self.scopes = info.all_usage().iter().map(|u| u.scope).collect();
+        self.local.init(system.processors().len());
+        self.gsems = (0..system.resources().len())
+            .map(|_| GlobalSemaphore::new())
+            .collect();
+    }
+
+    fn on_lock(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) -> LockResult {
+        match self.scopes[resource.index()] {
+            Scope::Global => {
+                if self.gsems[resource.index()].try_acquire(job) {
+                    self.enter_gcs(ctx, job, resource);
+                    LockResult::Granted
+                } else {
+                    let holder = self.gsems[resource.index()].holder();
+                    let assigned = ctx.job(job).base_priority;
+                    self.gsems[resource.index()].enqueue(job, assigned);
+                    LockResult::Blocked { holder }
+                }
+            }
+            Scope::Local(proc) => {
+                let ceilings = self.ceilings.as_ref().expect("protocol initialized");
+                self.local
+                    .on_lock(ctx, job, resource, proc, ceilings, &mut self.saved)
+            }
+            Scope::Unused => unreachable!("lock of unused resource {resource}"),
+        }
+    }
+
+    fn on_unlock(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) {
+        match self.scopes[resource.index()] {
+            Scope::Global => {
+                let (priority, _) = self.saved.pop(job, resource);
+                ctx.set_priority(job, priority);
+                match self.gsems[resource.index()]
+                    .release(job)
+                    .expect("V by the gcs holder")
+                {
+                    ReleaseOutcome::Freed => {}
+                    ReleaseOutcome::HandedTo(next) => {
+                        ctx.grant_lock(next, resource);
+                        self.enter_gcs(ctx, next, resource);
+                    }
+                }
+            }
+            Scope::Local(proc) => {
+                self.local.on_unlock(ctx, job, resource, proc, &mut self.saved);
+            }
+            Scope::Unused => unreachable!("unlock of unused resource {resource}"),
+        }
+    }
+
+    fn on_complete(&mut self, _ctx: &mut Ctx<'_>, job: JobId) {
+        debug_assert!(
+            !self.saved.clear(job),
+            "{job} completed with saved priorities"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::{Body, Dur, Priority, System, TaskDef, TaskId};
+    use mpcp_sim::Simulator;
+
+    fn jid(t: u32, i: u32) -> JobId {
+        JobId::new(TaskId::from_index(t), i)
+    }
+
+    /// A gcs cannot be preempted by non-critical code (Theorem 2).
+    #[test]
+    fn gcs_outprioritizes_all_task_code() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("SG");
+        // "low" on P0 enters its gcs at t=0; "high" (higher priority, same
+        // processor, no resources) arrives at t=1 and must NOT preempt the
+        // gcs.
+        b.add_task(
+            TaskDef::new("high", p[0])
+                .period(100)
+                .priority(3)
+                .offset(1)
+                .body(Body::builder().compute(2).build()),
+        );
+        b.add_task(TaskDef::new("low", p[0]).period(100).priority(1).body(
+            Body::builder().critical(s, |c| c.compute(4)).compute(1).build(),
+        ));
+        // Remote sharer makes S global.
+        b.add_task(TaskDef::new("rem", p[1]).period(100).priority(2).body(
+            Body::builder().critical(s, |c| c.compute(1)).build(),
+        ));
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Mpcp::new());
+        sim.run_until(100);
+        // low's gcs runs 0..4 uninterrupted; high runs 4..6.
+        assert_eq!(sim.trace().response_of(jid(0, 0)), Some(Dur::new(5)));
+        // low: gcs 0..4, then preempted by high until 6, final compute 6..7.
+        assert_eq!(sim.trace().response_of(jid(1, 0)), Some(Dur::new(7)));
+    }
+
+    /// Rule 7: the highest-priority waiter gets the semaphore, not the
+    /// first to arrive.
+    #[test]
+    fn handoff_is_priority_ordered() {
+        let mut b = System::builder();
+        let p = b.add_processors(3);
+        let s = b.add_resource("SG");
+        // holder on P0 holds S for 10.
+        b.add_task(TaskDef::new("holder", p[0]).period(100).priority(1).body(
+            Body::builder().critical(s, |c| c.compute(10)).build(),
+        ));
+        // "early-low" requests at t=2, "late-high" at t=5.
+        b.add_task(
+            TaskDef::new("early-low", p[1])
+                .period(100)
+                .priority(2)
+                .offset(2)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("late-high", p[2])
+                .period(100)
+                .priority(3)
+                .offset(5)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Mpcp::new());
+        sim.run_until(100);
+        // late-high finishes its cs at 11, early-low at 12.
+        assert_eq!(sim.trace().completion_of(jid(2, 0)), Some(mpcp_model::Time::new(11)));
+        assert_eq!(sim.trace().completion_of(jid(1, 0)), Some(mpcp_model::Time::new(12)));
+    }
+
+    /// While a job is suspended on a global semaphore, a lower-priority
+    /// local job executes (the protocol suspends rather than spins).
+    #[test]
+    fn suspension_lets_lower_priority_run() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("SG");
+        b.add_task(
+            TaskDef::new("wants", p[0])
+                .period(100)
+                .priority(3)
+                .offset(1)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("filler", p[0])
+                .period(100)
+                .priority(2)
+                .body(Body::builder().compute(6).build()),
+        );
+        b.add_task(TaskDef::new("holder", p[1]).period(100).priority(1).body(
+            Body::builder().critical(s, |c| c.compute(5)).build(),
+        ));
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Mpcp::new());
+        sim.run_until(100);
+        // filler starts at 0, preempted at 1? No: "wants" arrives at 1,
+        // requests S immediately, blocks, so filler resumes 1..5 window.
+        // holder releases at 5; "wants" resumes in gcs, finishes at 6.
+        assert_eq!(sim.trace().completion_of(jid(0, 0)), Some(mpcp_model::Time::new(6)));
+        let rec = sim
+            .records()
+            .iter()
+            .find(|r| r.id == jid(0, 0))
+            .copied()
+            .unwrap();
+        assert_eq!(rec.blocked_global, Dur::new(4)); // 1..5
+    }
+
+    /// The gcs priority is the paper's `P_G + P_H` with `P_H` the highest
+    /// *remote* user priority.
+    #[test]
+    fn gcs_priority_matches_table_4_2_rule() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("SG");
+        b.add_task(TaskDef::new("a", p[0]).period(10).priority(7).body(
+            Body::builder().critical(s, |c| c.compute(1)).build(),
+        ));
+        b.add_task(TaskDef::new("b", p[1]).period(20).priority(3).body(
+            Body::builder().critical(s, |c| c.compute(1)).build(),
+        ));
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Mpcp::new());
+        sim.run_until(10);
+        let tr = sim.trace();
+        // a's gcs runs at PG + 3 (highest remote user is b).
+        assert_eq!(
+            tr.max_priority_of(jid(0, 0), Priority::task(7)),
+            Priority::global(3)
+        );
+        // b's gcs runs at PG + 7.
+        assert_eq!(
+            tr.max_priority_of(jid(1, 0), Priority::task(3)),
+            Priority::global(7)
+        );
+    }
+
+    /// Local semaphores behave per the uniprocessor PCP: a job can be
+    /// ceiling-blocked by a semaphore it does not request.
+    #[test]
+    fn local_pcp_ceiling_blocking() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        let s1 = b.add_resource("S1");
+        let s2 = b.add_resource("S2");
+        // low locks S1 (ceiling = high's priority); high then tries S2 and
+        // must be ceiling-blocked; low inherits.
+        b.add_task(
+            TaskDef::new("high", p)
+                .period(100)
+                .priority(3)
+                .offset(1)
+                .body(
+                    Body::builder()
+                        .compute(1)
+                        .critical(s2, |c| c.compute(1))
+                        .build(),
+                ),
+        );
+        b.add_task(
+            TaskDef::new("low", p).period(100).priority(1).body(
+                Body::builder()
+                    .critical(s1, |c| c.compute(4))
+                    .compute(1)
+                    .build(),
+            ),
+        );
+        // high also uses S1 somewhere so its ceiling is high.
+        b.add_task(
+            TaskDef::new("alsoS1", p)
+                .period(100)
+                .priority(2)
+                .offset(50)
+                .body(Body::builder().critical(s1, |c| c.compute(1)).build()),
+        );
+        let sys = b.build().unwrap();
+        // Raise S1's ceiling to "high" by having high use it too: rebuild.
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        let s1 = b.add_resource("S1");
+        let s2 = b.add_resource("S2");
+        b.add_task(
+            TaskDef::new("high", p)
+                .period(100)
+                .priority(3)
+                .offset(1)
+                .body(
+                    Body::builder()
+                        .compute(1)
+                        .critical(s2, |c| c.compute(1))
+                        .critical(s1, |c| c.compute(1))
+                        .build(),
+                ),
+        );
+        b.add_task(
+            TaskDef::new("low", p).period(100).priority(1).body(
+                Body::builder()
+                    .critical(s1, |c| c.compute(4))
+                    .compute(1)
+                    .build(),
+            ),
+        );
+        let sys2 = b.build().unwrap();
+        let _ = sys;
+        let mut sim = Simulator::new(&sys2, Mpcp::new());
+        sim.run_until(100);
+        let tr = sim.trace();
+        // high arrives at 1, computes 1..2, requests S2 at 2 and is
+        // ceiling-blocked (ceiling(S1)=3 >= 3). low inherits 3 and runs
+        // its cs to 5 (4 ticks from 0, preempted 1..2), then high locks S2.
+        assert!(tr
+            .find(|e| matches!(e.kind, mpcp_sim::EventKind::LockBlocked { resource, .. } if resource == s2))
+            .is_some());
+        // low inherited high's priority during its cs.
+        assert_eq!(
+            tr.max_priority_of(jid(1, 0), Priority::task(1)),
+            Priority::task(3)
+        );
+        assert_eq!(sim.misses(), 0);
+    }
+
+    /// Two jobs in different gcs's preempt per gcs priority (rule 4): a
+    /// job handed a global semaphore while suspended resumes at its gcs
+    /// priority and preempts a lower-priority gcs on its processor (as at
+    /// t=7 in the paper's Example 4).
+    #[test]
+    fn gcs_preempts_gcs_by_priority() {
+        let mut b = System::builder();
+        let p = b.add_processors(3);
+        let sa = b.add_resource("SA");
+        let sb = b.add_resource("SB");
+        // midB (P0, pri 3): compute 1 then gcs(SB). SB is held remotely by
+        // remB until t=3, so midB suspends; lowA (P0, pri 1) enters its
+        // gcs(SA) meanwhile. When SB is handed to midB at t=3, midB's gcs
+        // priority PG+9 preempts lowA's gcs priority PG+2.
+        b.add_task(
+            TaskDef::new("midB", p[0]).period(100).priority(3).body(
+                Body::builder()
+                    .compute(1)
+                    .critical(sb, |c| c.compute(1))
+                    .build(),
+            ),
+        );
+        b.add_task(TaskDef::new("lowA", p[0]).period(100).priority(1).body(
+            Body::builder().critical(sa, |c| c.compute(6)).build(),
+        ));
+        b.add_task(
+            TaskDef::new("remA", p[1])
+                .period(100)
+                .priority(2)
+                .offset(60)
+                .body(Body::builder().critical(sa, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("remB", p[2]).period(100).priority(9).body(
+                Body::builder().critical(sb, |c| c.compute(3)).build(),
+            ),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Mpcp::new());
+        sim.run_until(50);
+        // midB: compute 0..1, blocked 1..3, gcs 3..4 (preempting lowA's
+        // gcs), completes at 4. lowA: gcs 1..3 and 4..8, completes at 8.
+        assert_eq!(
+            sim.trace().completion_of(jid(0, 0)),
+            Some(mpcp_model::Time::new(4))
+        );
+        assert_eq!(
+            sim.trace().completion_of(jid(1, 0)),
+            Some(mpcp_model::Time::new(8))
+        );
+        // The preemption of lowA's gcs by midB's gcs is visible.
+        assert!(sim
+            .trace()
+            .find(|e| e.time == mpcp_model::Time::new(3)
+                && e.job == jid(1, 0)
+                && matches!(e.kind, mpcp_sim::EventKind::Preempted { by, .. } if by == jid(0, 0)))
+            .is_some());
+    }
+}

@@ -1,0 +1,126 @@
+//! Raw semaphores: FIFO queues, no inheritance, no ceilings — the
+//! uncontrolled baseline whose unbounded priority inversion motivates the
+//! paper (§2.1, Example 1).
+
+use crate::common::FifoSem;
+use mpcp_model::{JobId, ResourceId, System};
+use mpcp_sim::{Ctx, LockResult, Protocol};
+
+/// Plain FIFO binary semaphores with suspension.
+#[derive(Debug, Default)]
+pub struct RawSemaphores {
+    sems: Vec<FifoSem>,
+}
+
+impl RawSemaphores {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        RawSemaphores::default()
+    }
+}
+
+impl Protocol for RawSemaphores {
+    fn name(&self) -> &'static str {
+        "raw"
+    }
+
+    fn init(&mut self, system: &System) {
+        self.sems = (0..system.resources().len())
+            .map(|_| FifoSem::default())
+            .collect();
+    }
+
+    fn on_lock(&mut self, _ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) -> LockResult {
+        if self.sems[resource.index()].try_acquire(job) {
+            LockResult::Granted
+        } else {
+            let holder = self.sems[resource.index()].holder;
+            self.sems[resource.index()].queue.push_back(job);
+            LockResult::Blocked { holder }
+        }
+    }
+
+    fn on_unlock(&mut self, ctx: &mut Ctx<'_>, _job: JobId, resource: ResourceId) {
+        if let Some(next) = self.sems[resource.index()].hand_off() {
+            ctx.grant_lock(next, resource);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::{Body, Dur, System, TaskDef, TaskId, Time};
+    use mpcp_sim::Simulator;
+
+    fn jid(t: u32, i: u32) -> JobId {
+        JobId::new(TaskId::from_index(t), i)
+    }
+
+    /// The §2.1 pathology: a medium-priority job preempts the lock holder
+    /// and starves the blocked high-priority job for its entire execution.
+    #[test]
+    fn unbounded_priority_inversion() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        let s = b.add_resource("S");
+        b.add_task(
+            TaskDef::new("high", p)
+                .period(200)
+                .priority(3)
+                .offset(2)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("med", p)
+                .period(200)
+                .priority(2)
+                .offset(3)
+                .body(Body::builder().compute(50).build()),
+        );
+        b.add_task(TaskDef::new("low", p).period(200).priority(1).body(
+            Body::builder().critical(s, |c| c.compute(5)).build(),
+        ));
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, RawSemaphores::new());
+        sim.run_until(200);
+        // low's cs runs 0..2 and 2..3 (after high blocks), then med runs
+        // 3..53; low finishes the section 53..55; high gets S at 55 and
+        // completes at 56.
+        assert_eq!(sim.trace().completion_of(jid(0, 0)), Some(Time::new(56)));
+        let rec = sim.records().iter().find(|r| r.id == jid(0, 0)).unwrap();
+        // high was blocked from 2 to 55: 53 ticks — a function of med's
+        // *execution time*, the very thing the paper's goal G1 forbids.
+        assert_eq!(rec.measured_blocking(), Dur::new(53));
+    }
+
+    #[test]
+    fn fifo_order_ignores_priority() {
+        let mut b = System::builder();
+        let p = b.add_processors(3);
+        let s = b.add_resource("S");
+        b.add_task(TaskDef::new("holder", p[0]).period(100).priority(1).body(
+            Body::builder().critical(s, |c| c.compute(10)).build(),
+        ));
+        b.add_task(
+            TaskDef::new("early-low", p[1])
+                .period(100)
+                .priority(2)
+                .offset(1)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("late-high", p[2])
+                .period(100)
+                .priority(3)
+                .offset(5)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, RawSemaphores::new());
+        sim.run_until(100);
+        // FIFO: early-low is served before late-high.
+        assert_eq!(sim.trace().completion_of(jid(1, 0)), Some(Time::new(11)));
+        assert_eq!(sim.trace().completion_of(jid(2, 0)), Some(Time::new(12)));
+    }
+}

@@ -1,0 +1,215 @@
+//! Execution logs of the threaded runtime, with protocol-invariant
+//! checkers used by the stress tests.
+
+use mpcp_model::{Priority, ResourceId, TaskId};
+use std::collections::HashMap;
+
+/// What a runtime actor did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtEventKind {
+    /// Issued `P(S)`.
+    Requested(ResourceId),
+    /// Obtained the semaphore immediately.
+    Locked(ResourceId),
+    /// Suspended waiting for the semaphore.
+    Blocked(ResourceId),
+    /// Was handed the semaphore by a releaser.
+    HandedOff(ResourceId),
+    /// Issued `V(S)`.
+    Unlocked(ResourceId),
+    /// Finished its job.
+    Completed,
+}
+
+/// One logged event; `seq` is a global total order taken under the
+/// scheduler lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtEvent {
+    /// Global sequence number.
+    pub seq: u64,
+    /// The acting task.
+    pub task: TaskId,
+    /// Its assigned priority (for ordering checks).
+    pub priority: Priority,
+    /// What happened.
+    pub kind: RtEventKind,
+}
+
+/// The full log of a runtime execution.
+#[derive(Debug, Clone, Default)]
+pub struct RtLog {
+    events: Vec<RtEvent>,
+}
+
+impl RtLog {
+    pub(crate) fn push(&mut self, event: RtEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in sequence order.
+    pub fn events(&self) -> &[RtEvent] {
+        &self.events
+    }
+
+    /// Events touching `resource`.
+    pub fn for_resource(&self, resource: ResourceId) -> impl Iterator<Item = &RtEvent> {
+        self.events.iter().filter(move |e| {
+            matches!(
+                e.kind,
+                RtEventKind::Requested(r)
+                    | RtEventKind::Locked(r)
+                    | RtEventKind::Blocked(r)
+                    | RtEventKind::HandedOff(r)
+                    | RtEventKind::Unlocked(r)
+                    if r == resource
+            )
+        })
+    }
+
+    /// Checks that no two tasks ever held the same semaphore at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violation, if any.
+    pub fn assert_mutual_exclusion(&self) {
+        let mut owner: HashMap<ResourceId, TaskId> = HashMap::new();
+        for e in &self.events {
+            match e.kind {
+                RtEventKind::Locked(r) | RtEventKind::HandedOff(r) => {
+                    if let Some(prev) = owner.insert(r, e.task) {
+                        panic!(
+                            "seq {}: {} acquired {r} while {prev} still held it",
+                            e.seq, e.task
+                        );
+                    }
+                }
+                RtEventKind::Unlocked(r) => {
+                    let prev = owner.remove(&r);
+                    assert_eq!(
+                        prev,
+                        Some(e.task),
+                        "seq {}: {} released {r} it did not hold",
+                        e.seq,
+                        e.task
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Checks that every hand-off went to the highest-priority waiter
+    /// blocked on the semaphore at that moment (rule 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violation, if any.
+    pub fn assert_priority_ordered_handoffs(&self) {
+        let mut waiting: HashMap<ResourceId, Vec<(TaskId, Priority)>> = HashMap::new();
+        for e in &self.events {
+            match e.kind {
+                RtEventKind::Blocked(r) => {
+                    waiting.entry(r).or_default().push((e.task, e.priority));
+                }
+                RtEventKind::HandedOff(r) => {
+                    let q = waiting.entry(r).or_default();
+                    let pos = q
+                        .iter()
+                        .position(|(t, _)| *t == e.task)
+                        .unwrap_or_else(|| {
+                            panic!("seq {}: hand-off of {r} to non-waiter {}", e.seq, e.task)
+                        });
+                    let my = q[pos].1;
+                    let best = q.iter().map(|(_, p)| *p).max().expect("non-empty");
+                    assert!(
+                        my >= best,
+                        "seq {}: {r} handed to {} (priority {my}) while a waiter \
+                         with priority {best} was queued",
+                        e.seq,
+                        e.task
+                    );
+                    q.remove(pos);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Completed task count.
+    pub fn completions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, RtEventKind::Completed))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, task: u32, pri: u32, kind: RtEventKind) -> RtEvent {
+        RtEvent {
+            seq,
+            task: TaskId::from_index(task),
+            priority: Priority::task(pri),
+            kind,
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_accepts_serial_use() {
+        let r = ResourceId::from_index(0);
+        let mut log = RtLog::default();
+        log.push(ev(0, 0, 1, RtEventKind::Locked(r)));
+        log.push(ev(1, 0, 1, RtEventKind::Unlocked(r)));
+        log.push(ev(2, 1, 2, RtEventKind::Locked(r)));
+        log.push(ev(3, 1, 2, RtEventKind::Unlocked(r)));
+        log.assert_mutual_exclusion();
+        assert_eq!(log.for_resource(r).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "still held")]
+    fn mutual_exclusion_catches_overlap() {
+        let r = ResourceId::from_index(0);
+        let mut log = RtLog::default();
+        log.push(ev(0, 0, 1, RtEventKind::Locked(r)));
+        log.push(ev(1, 1, 2, RtEventKind::Locked(r)));
+        log.assert_mutual_exclusion();
+    }
+
+    #[test]
+    fn handoff_order_accepts_priority_service() {
+        let r = ResourceId::from_index(0);
+        let mut log = RtLog::default();
+        log.push(ev(0, 0, 9, RtEventKind::Locked(r)));
+        log.push(ev(1, 1, 1, RtEventKind::Blocked(r)));
+        log.push(ev(2, 2, 5, RtEventKind::Blocked(r)));
+        log.push(ev(3, 0, 9, RtEventKind::Unlocked(r)));
+        log.push(ev(4, 2, 5, RtEventKind::HandedOff(r)));
+        log.push(ev(5, 2, 5, RtEventKind::Unlocked(r)));
+        log.push(ev(6, 1, 1, RtEventKind::HandedOff(r)));
+        log.assert_priority_ordered_handoffs();
+    }
+
+    #[test]
+    #[should_panic(expected = "was queued")]
+    fn handoff_order_catches_inversion() {
+        let r = ResourceId::from_index(0);
+        let mut log = RtLog::default();
+        log.push(ev(0, 1, 1, RtEventKind::Blocked(r)));
+        log.push(ev(1, 2, 5, RtEventKind::Blocked(r)));
+        log.push(ev(2, 1, 1, RtEventKind::HandedOff(r)));
+        log.assert_priority_ordered_handoffs();
+    }
+
+    #[test]
+    fn completions_counted() {
+        let mut log = RtLog::default();
+        log.push(ev(0, 0, 1, RtEventKind::Completed));
+        log.push(ev(1, 1, 2, RtEventKind::Completed));
+        assert_eq!(log.completions(), 2);
+    }
+}

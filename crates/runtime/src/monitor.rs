@@ -1,0 +1,164 @@
+//! A monitor abstraction over the MPCP lock ("the idea is also
+//! applicable when monitors are used", §3.1).
+//!
+//! A [`Monitor`] owns shared state and exposes it only through entries —
+//! closures executed while holding the underlying priority-queued lock.
+//! Condition synchronization uses [`Monitor::wait_until`], which
+//! re-checks a predicate each time the state changes (signalled
+//! automatically at the end of every entry).
+
+use crate::locks::MpcpMutex;
+use mpcp_model::Priority;
+use parking_lot::Condvar;
+
+/// Monitor-style shared state on top of [`MpcpMutex`].
+///
+/// # Example
+///
+/// ```
+/// use mpcp_model::Priority;
+/// use mpcp_runtime::Monitor;
+/// use std::sync::Arc;
+///
+/// let buffer: Arc<Monitor<Vec<u32>>> = Arc::new(Monitor::new(Vec::new()));
+/// let producer = {
+///     let buffer = Arc::clone(&buffer);
+///     std::thread::spawn(move || {
+///         for i in 0..3 {
+///             buffer.enter(Priority::task(1), |b| b.push(i));
+///         }
+///     })
+/// };
+/// // Consume exactly 3 items, waiting for them to appear.
+/// let got = buffer.wait_until(
+///     Priority::task(2),
+///     |b| b.len() >= 3,
+///     |b| std::mem::take(b),
+/// );
+/// producer.join().unwrap();
+/// assert_eq!(got, vec![0, 1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct Monitor<T> {
+    lock: MpcpMutex<T>,
+    /// Generation counter bumped by every completed entry; waiting
+    /// threads sleep on it between condition checks.
+    generation: parking_lot::Mutex<u64>,
+    changed: Condvar,
+}
+
+impl<T> Monitor<T> {
+    /// Creates a monitor around `value`.
+    pub fn new(value: T) -> Self {
+        Monitor {
+            lock: MpcpMutex::new(value),
+            generation: parking_lot::Mutex::new(0),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn bump(&self) {
+        *self.generation.lock() += 1;
+        self.changed.notify_all();
+    }
+
+    /// Runs `entry` with exclusive access at the caller's `priority`
+    /// (contended entries are served in priority order). Signals waiting
+    /// conditions afterwards.
+    pub fn enter<R>(&self, priority: Priority, entry: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.lock.lock(priority);
+        let result = entry(&mut guard);
+        drop(guard);
+        self.bump();
+        result
+    }
+
+    /// Blocks until `cond` holds, then runs `entry` — both under the
+    /// lock, with the lock released between checks (the monitor
+    /// `wait`/`signal` pattern; each re-acquisition goes through the
+    /// priority queue like any entry).
+    pub fn wait_until<R>(
+        &self,
+        priority: Priority,
+        mut cond: impl FnMut(&T) -> bool,
+        entry: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        loop {
+            let guard = self.lock.lock(priority);
+            // Snapshot the generation while still holding the data lock:
+            // any entry that changes the state after this point also
+            // bumps the generation, so the wait below cannot miss it.
+            let seen = *self.generation.lock();
+            if cond(&guard) {
+                let mut guard = guard;
+                let result = entry(&mut guard);
+                drop(guard);
+                self.bump();
+                return result;
+            }
+            drop(guard);
+            let mut gen = self.generation.lock();
+            while *gen == seen {
+                self.changed.wait(&mut gen);
+            }
+        }
+    }
+
+    /// Consumes the monitor, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.lock.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn entries_are_serialized() {
+        let m = Arc::new(Monitor::new(0u64));
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        m.enter(Priority::task(i), |v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.enter(Priority::task(0), |v| *v), 400);
+    }
+
+    #[test]
+    fn wait_until_sees_the_condition() {
+        let m = Arc::new(Monitor::new(Vec::<u32>::new()));
+        let producer = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for i in 0..5 {
+                    m.enter(Priority::task(1), |v| v.push(i));
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let sum = m.wait_until(
+            Priority::task(2),
+            |v| v.len() == 5,
+            |v| v.iter().sum::<u32>(),
+        );
+        producer.join().unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn into_inner_returns_state() {
+        let m = Monitor::new(7u8);
+        m.enter(Priority::task(0), |v| *v += 1);
+        assert_eq!(m.into_inner(), 8);
+    }
+}

@@ -1,0 +1,396 @@
+//! Machine-checkable protocol invariants over recorded traces.
+//!
+//! Every synchronization protocol, whatever its policy, must satisfy a
+//! set of structural properties; these checkers verify them post-hoc on
+//! any [`Trace`]. They are used by the property-based test suite to
+//! validate all six protocol implementations on randomly generated
+//! systems.
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+use mpcp_model::{JobId, Priority, ResourceId, System, Time};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// When the violation was observed.
+    pub time: Time,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.time, self.message)
+    }
+}
+
+impl Error for CheckError {}
+
+fn err(time: Time, message: String) -> CheckError {
+    CheckError { time, message }
+}
+
+/// No two jobs hold the same semaphore simultaneously, every release is
+/// by the holder, and lock/unlock pairs balance per job.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn mutual_exclusion(trace: &Trace) -> Result<(), CheckError> {
+    let mut holder: HashMap<ResourceId, JobId> = HashMap::new();
+    for e in trace.events() {
+        match e.kind {
+            EventKind::LockGranted { resource } | EventKind::HandedOff { resource, .. } => {
+                if let Some(prev) = holder.insert(resource, e.job) {
+                    return Err(err(
+                        e.time,
+                        format!("{} acquired {resource} while {prev} held it", e.job),
+                    ));
+                }
+            }
+            EventKind::Unlocked { resource } => match holder.remove(&resource) {
+                Some(h) if h == e.job => {}
+                Some(h) => {
+                    return Err(err(
+                        e.time,
+                        format!("{} released {resource} held by {h}", e.job),
+                    ))
+                }
+                None => {
+                    return Err(err(
+                        e.time,
+                        format!("{} released free semaphore {resource}", e.job),
+                    ))
+                }
+            },
+            EventKind::Completed { .. } => {
+                if let Some((r, _)) = holder.iter().find(|(_, j)| **j == e.job) {
+                    return Err(err(
+                        e.time,
+                        format!("{} completed while holding {r}", e.job),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Each processor runs at most one job at a time and occupancy slices do
+/// not overlap.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn single_occupancy(trace: &Trace, system: &System) -> Result<(), CheckError> {
+    for proc in system.processors() {
+        let mut slices: Vec<_> = trace
+            .slices()
+            .iter()
+            .filter(|s| s.processor == proc.id())
+            .collect();
+        slices.sort_by_key(|s| s.start);
+        for w in slices.windows(2) {
+            let end = w[0].start + w[0].dur;
+            if end > w[1].start {
+                return Err(err(
+                    w[1].start,
+                    format!(
+                        "overlapping slices on {}: {:?} and {:?}",
+                        proc.name(),
+                        w[0],
+                        w[1]
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Hand-offs of a semaphore go to the highest-assigned-priority waiter
+/// queued at that moment (§5 rule 7). Protocols with FIFO queues (the
+/// raw baseline) legitimately fail this — that *is* the paper's point.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn priority_ordered_handoffs(trace: &Trace, system: &System) -> Result<(), CheckError> {
+    let mut waiting: HashMap<ResourceId, Vec<JobId>> = HashMap::new();
+    let prio = |j: JobId| system.task(j.task).priority();
+    for e in trace.events() {
+        match e.kind {
+            EventKind::LockBlocked { resource, .. } => {
+                waiting.entry(resource).or_default().push(e.job);
+            }
+            EventKind::Woken => {
+                // Local PCP retry: the job leaves every wait set (it will
+                // re-block if still refused).
+                for q in waiting.values_mut() {
+                    q.retain(|j| *j != e.job);
+                }
+            }
+            EventKind::HandedOff { resource, to } => {
+                let q = waiting.entry(resource).or_default();
+                let Some(pos) = q.iter().position(|j| *j == to) else {
+                    return Err(err(
+                        e.time,
+                        format!("{resource} handed to non-waiter {to}"),
+                    ));
+                };
+                if let Some(best) = q.iter().map(|j| prio(*j)).max() {
+                    if prio(to) < best {
+                        return Err(err(
+                            e.time,
+                            format!(
+                                "{resource} handed to {to} ({}) over a waiter at {best}",
+                                prio(to)
+                            ),
+                        ));
+                    }
+                }
+                q.remove(pos);
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Theorem 2's structural form: while a job holds a *global* semaphore,
+/// any job preempting it must itself hold a global semaphore (a gcs can
+/// only be preempted by a higher-priority gcs, never by task code).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn gcs_preemption_discipline(trace: &Trace, system: &System) -> Result<(), CheckError> {
+    let info = system.info();
+    let mut held: HashMap<JobId, Vec<ResourceId>> = HashMap::new();
+    let in_gcs = |held: &HashMap<JobId, Vec<ResourceId>>, j: JobId| {
+        held.get(&j)
+            .is_some_and(|v| v.iter().any(|r| info.scope(*r).is_global()))
+    };
+    for e in trace.events() {
+        match e.kind {
+            EventKind::LockGranted { resource } | EventKind::HandedOff { resource, .. } => {
+                held.entry(e.job).or_default().push(resource);
+            }
+            EventKind::Unlocked { resource } => {
+                if let Some(v) = held.get_mut(&e.job) {
+                    if let Some(pos) = v.iter().rposition(|&r| r == resource) {
+                        v.remove(pos);
+                    }
+                }
+            }
+            EventKind::Preempted { by, .. }
+                if in_gcs(&held, e.job) && !in_gcs(&held, by) => {
+                    return Err(err(
+                        e.time,
+                        format!("gcs of {} preempted by non-gcs job {by}", e.job),
+                    ));
+                }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// A job's priority never drops below its assigned priority.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn priority_floor(trace: &Trace, system: &System) -> Result<(), CheckError> {
+    for e in trace.events() {
+        if let EventKind::PriorityChanged { to, .. } = e.kind {
+            let base: Priority = system.task(e.job.task).priority();
+            if to < base {
+                return Err(err(
+                    e.time,
+                    format!("{} dropped to {to}, below its assigned {base}", e.job),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs every invariant applicable to the shared-memory protocol.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_mpcp_trace(trace: &Trace, system: &System) -> Result<(), CheckError> {
+    mutual_exclusion(trace)?;
+    single_occupancy(trace, system)?;
+    priority_ordered_handoffs(trace, system)?;
+    gcs_preemption_discipline(trace, system)?;
+    priority_floor(trace, system)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Band, Slice};
+    use mpcp_model::{Body, Dur, System, TaskDef, TaskId};
+
+    fn jid(i: u32) -> JobId {
+        JobId::first(TaskId::from_index(i))
+    }
+    fn res(i: u32) -> ResourceId {
+        ResourceId::from_index(i)
+    }
+
+    fn two_task_system() -> System {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("S");
+        b.add_task(TaskDef::new("a", p[0]).period(10).priority(2).body(
+            Body::builder().critical(s, |c| c.compute(1)).build(),
+        ));
+        b.add_task(TaskDef::new("b", p[1]).period(20).priority(1).body(
+            Body::builder().critical(s, |c| c.compute(1)).build(),
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mutual_exclusion_detects_double_grant() {
+        let mut tr = Trace::new();
+        tr.push(Time::new(0), jid(0), EventKind::LockGranted { resource: res(0) });
+        tr.push(Time::new(1), jid(1), EventKind::LockGranted { resource: res(0) });
+        let e = mutual_exclusion(&tr).unwrap_err();
+        assert!(e.to_string().contains("while"));
+    }
+
+    #[test]
+    fn mutual_exclusion_detects_foreign_release() {
+        let mut tr = Trace::new();
+        tr.push(Time::new(0), jid(0), EventKind::LockGranted { resource: res(0) });
+        tr.push(Time::new(1), jid(1), EventKind::Unlocked { resource: res(0) });
+        assert!(mutual_exclusion(&tr).is_err());
+        let mut tr2 = Trace::new();
+        tr2.push(Time::new(0), jid(0), EventKind::Unlocked { resource: res(0) });
+        assert!(mutual_exclusion(&tr2).is_err());
+    }
+
+    #[test]
+    fn mutual_exclusion_detects_completion_with_lock() {
+        let mut tr = Trace::new();
+        tr.push(Time::new(0), jid(0), EventKind::LockGranted { resource: res(0) });
+        tr.push(
+            Time::new(1),
+            jid(0),
+            EventKind::Completed {
+                response: Dur::new(1),
+            },
+        );
+        assert!(mutual_exclusion(&tr).is_err());
+    }
+
+    #[test]
+    fn handoff_order_detects_inversion() {
+        let sys = two_task_system();
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::LockBlocked {
+                resource: res(0),
+                holder: None,
+            },
+        );
+        tr.push(
+            Time::new(1),
+            jid(1),
+            EventKind::LockBlocked {
+                resource: res(0),
+                holder: None,
+            },
+        );
+        // Hand to the lower-priority waiter (task 1) while task 0 waits.
+        tr.push(
+            Time::new(2),
+            jid(1),
+            EventKind::HandedOff {
+                resource: res(0),
+                to: jid(1),
+            },
+        );
+        assert!(priority_ordered_handoffs(&tr, &sys).is_err());
+    }
+
+    #[test]
+    fn handoff_to_non_waiter_is_flagged() {
+        let sys = two_task_system();
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(0),
+            jid(1),
+            EventKind::HandedOff {
+                resource: res(0),
+                to: jid(1),
+            },
+        );
+        assert!(priority_ordered_handoffs(&tr, &sys).is_err());
+    }
+
+    #[test]
+    fn priority_floor_detects_underrun() {
+        let sys = two_task_system();
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::PriorityChanged {
+                from: Priority::task(2),
+                to: Priority::task(0),
+            },
+        );
+        assert!(priority_floor(&tr, &sys).is_err());
+    }
+
+    #[test]
+    fn overlapping_slices_detected() {
+        let sys = two_task_system();
+        let mut tr = Trace::new();
+        tr.push_slice(Slice {
+            processor: sys.processors()[0].id(),
+            job: Some(jid(0)),
+            start: Time::new(0),
+            dur: Dur::new(5),
+            band: Band::Normal,
+        });
+        tr.push_slice(Slice {
+            processor: sys.processors()[0].id(),
+            job: Some(jid(1)),
+            start: Time::new(3),
+            dur: Dur::new(5),
+            band: Band::Normal,
+        });
+        assert!(single_occupancy(&tr, &sys).is_err());
+    }
+
+    #[test]
+    fn clean_trace_passes_all() {
+        let sys = two_task_system();
+        let mut tr = Trace::new();
+        tr.push(Time::new(0), jid(0), EventKind::LockGranted { resource: res(0) });
+        tr.push(Time::new(1), jid(0), EventKind::Unlocked { resource: res(0) });
+        tr.push(
+            Time::new(2),
+            jid(0),
+            EventKind::Completed {
+                response: Dur::new(2),
+            },
+        );
+        check_mpcp_trace(&tr, &sys).unwrap();
+    }
+}

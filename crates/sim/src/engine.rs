@@ -1,0 +1,915 @@
+//! The discrete-event fixed-priority preemptive multiprocessor engine.
+//!
+//! The engine owns time, job release, dispatching and program execution;
+//! a [`Protocol`] policy decides everything about semaphores. Scheduling
+//! follows the paper's model (§3.1): on each processor the
+//! highest-effective-priority ready job runs, equal priorities are FCFS,
+//! and preemption is immediate.
+
+use crate::event::EventKind;
+use crate::job::{ExecState, JobState, Jobs};
+use crate::metrics::{JobRecord, Metrics};
+use crate::op::{Op, Program};
+use crate::policy::{Ctx, LockResult, Protocol};
+use crate::trace::{Band, Slice, Trace};
+use mpcp_model::{Dur, JobId, Machine, ProcessorId, System, TaskId, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How jobs are mapped to processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Binding {
+    /// Each task runs only on its bound processor (§3.2; the protocol's
+    /// assumption).
+    #[default]
+    Static,
+    /// The `m` highest-priority ready jobs run on the `m` processors
+    /// (used to reproduce the Dhall-effect example of §3.2). Only systems
+    /// without resources are supported.
+    Dynamic,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulation end time; the engine stops at the first instant `>=`
+    /// this.
+    pub horizon: Time,
+    /// Static or dynamic binding.
+    pub binding: Binding,
+    /// Hardware overhead model folded into job programs.
+    pub machine: Machine,
+    /// Stop at the end of the instant in which a deadline miss occurs.
+    pub stop_on_miss: bool,
+    /// Record events and occupancy slices (disable for long statistical
+    /// runs; metrics are collected either way).
+    pub record_trace: bool,
+    /// Safety bound on protocol/scheduler interactions within one instant.
+    pub max_rounds_per_instant: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: Time::new(u64::MAX / 4),
+            binding: Binding::Static,
+            machine: Machine::new(),
+            stop_on_miss: false,
+            record_trace: true,
+            max_rounds_per_instant: 1_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config that runs until `horizon`.
+    pub fn until(horizon: u64) -> Self {
+        SimConfig {
+            horizon: Time::new(horizon),
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// A discrete-event simulation of one [`System`] under one [`Protocol`].
+#[derive(Debug)]
+pub struct Simulator<P> {
+    system: System,
+    config: SimConfig,
+    protocol: P,
+    res_global: Vec<bool>,
+    programs: Vec<Program>,
+    now: Time,
+    jobs: Jobs,
+    trace: Trace,
+    running: Vec<Option<JobId>>,
+    next_release: Vec<(Time, u32)>,
+    deadlines: BinaryHeap<Reverse<(Time, JobId)>>,
+    records: Vec<JobRecord>,
+    misses: u64,
+    finished: bool,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator with the default configuration.
+    pub fn new(system: &System, protocol: P) -> Self {
+        Simulator::with_config(system, protocol, SimConfig::default())
+    }
+
+    /// Creates a simulator with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Binding::Dynamic`] is combined with a system that uses
+    /// resources (dynamic binding is only provided for the resource-free
+    /// Dhall-effect demonstration).
+    pub fn with_config(system: &System, mut protocol: P, config: SimConfig) -> Self {
+        let info = system.info();
+        if config.binding == Binding::Dynamic {
+            assert!(
+                system
+                    .tasks()
+                    .iter()
+                    .all(|t| t.body().resources_used().is_empty()),
+                "dynamic binding supports only resource-free systems"
+            );
+        }
+        let res_global = (0..system.resources().len())
+            .map(|i| info.scope(mpcp_model::ResourceId::from_index(i as u32)).is_global())
+            .collect();
+        let programs = system
+            .tasks()
+            .iter()
+            .map(|t| Program::flatten(t.body(), &config.machine, &info))
+            .collect();
+        let next_release = system
+            .tasks()
+            .iter()
+            .map(|t| (t.try_release_of(0).unwrap_or(Time::MAX), 0u32))
+            .collect();
+        let running = vec![None; system.processors().len()];
+        protocol.init(system);
+        let mut trace = Trace::new();
+        trace.set_enabled(config.record_trace);
+        Simulator {
+            system: system.clone(),
+            config,
+            protocol,
+            res_global,
+            programs,
+            now: Time::ZERO,
+            jobs: Jobs::new(),
+            trace,
+            running,
+            next_release,
+            deadlines: BinaryHeap::new(),
+            records: Vec::new(),
+            misses: 0,
+            finished: false,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The system being simulated.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Per-job records of completed jobs.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Total deadline misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Aggregated metrics over completed (and, for blocking, in-flight)
+    /// jobs.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::collect(&self.system, &self.records, &self.jobs, self.misses)
+    }
+
+    /// Runs to the configured horizon and returns the trace.
+    pub fn run(&mut self) -> &Trace {
+        while self.step() {}
+        &self.trace
+    }
+
+    /// Runs until `t` (clamping the configured horizon) and returns the
+    /// trace.
+    pub fn run_until(&mut self, t: u64) -> &Trace {
+        self.config.horizon = Time::new(t);
+        self.run()
+    }
+
+    /// Advances to the next event instant. Returns `false` when the
+    /// simulation is over (horizon reached, stop-on-miss triggered, or no
+    /// activity left).
+    pub fn step(&mut self) -> bool {
+        if self.finished || self.now >= self.config.horizon {
+            self.finished = true;
+            return false;
+        }
+        self.process_instant();
+        if self.config.stop_on_miss && self.misses > 0 {
+            self.finished = true;
+            return false;
+        }
+        let Some(next) = self.next_event_time() else {
+            self.finished = true;
+            return false;
+        };
+        let next = next.min(self.config.horizon);
+        if next <= self.now {
+            // Can only happen when the horizon clamps to now.
+            self.finished = true;
+            return false;
+        }
+        self.advance(next - self.now);
+        true
+    }
+
+    fn ctx<'a>(
+        now: Time,
+        jobs: &'a mut Jobs,
+        trace: &'a mut Trace,
+        system: &'a System,
+    ) -> Ctx<'a> {
+        Ctx {
+            now,
+            jobs,
+            trace,
+            system,
+        }
+    }
+
+    fn process_instant(&mut self) {
+        self.release_due_jobs();
+        self.wake_sleepers();
+        self.scheduling_fixpoint();
+        self.check_deadlines();
+    }
+
+    fn release_due_jobs(&mut self) {
+        for ti in 0..self.system.tasks().len() {
+            loop {
+                let (t_rel, instance) = self.next_release[ti];
+                if t_rel > self.now {
+                    break;
+                }
+                let task = &self.system.tasks()[ti];
+                let id = JobId::new(TaskId::from_index(ti as u32), instance);
+                let job = JobState::new(
+                    id,
+                    task.processor(),
+                    task.priority(),
+                    t_rel,
+                    t_rel + task.deadline(),
+                    self.programs[ti].clone(),
+                );
+                self.deadlines.push(Reverse((job.abs_deadline, id)));
+                self.jobs.insert(job);
+                self.trace.push(self.now, id, EventKind::Released);
+                let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
+                self.protocol.on_release(&mut ctx, id);
+                // Periodic tasks release forever; aperiodic tasks stop at
+                // the end of their arrival trace.
+                let next = task.try_release_of(instance + 1).unwrap_or(Time::MAX);
+                self.next_release[ti] = (next, instance + 1);
+            }
+        }
+    }
+
+    fn wake_sleepers(&mut self) {
+        let now = self.now;
+        let mut woken = Vec::new();
+        for job in self.jobs.iter_mut() {
+            if let ExecState::Sleeping { until } = job.state {
+                if until <= now {
+                    job.state = ExecState::Ready;
+                    woken.push(job.id);
+                }
+            }
+        }
+        for id in woken {
+            self.trace.push(now, id, EventKind::Woken);
+        }
+    }
+
+    fn scheduling_fixpoint(&mut self) {
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            assert!(
+                rounds <= self.config.max_rounds_per_instant,
+                "no scheduling fixpoint at {} (protocol livelock?)",
+                self.now
+            );
+            // A job whose last instruction has executed is done, whether
+            // or not it still holds a processor — completion is free.
+            if self.sweep_completions() {
+                continue;
+            }
+            self.reschedule();
+            if !self.execute_one_instantaneous_op() {
+                break;
+            }
+        }
+    }
+
+    fn sweep_completions(&mut self) -> bool {
+        let done: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|j| j.state == ExecState::Ready && j.is_complete())
+            .map(|j| j.id)
+            .collect();
+        if done.is_empty() {
+            return false;
+        }
+        for id in done {
+            self.complete_job(id);
+            for slot in self.running.iter_mut() {
+                if *slot == Some(id) {
+                    *slot = None;
+                }
+            }
+        }
+        true
+    }
+
+    /// Picks runners on all processors, tracing preemptions and starts.
+    fn reschedule(&mut self) {
+        match self.config.binding {
+            Binding::Static => self.reschedule_static(),
+            Binding::Dynamic => self.reschedule_dynamic(),
+        }
+    }
+
+    fn reschedule_static(&mut self) {
+        for pi in 0..self.running.len() {
+            let proc = ProcessorId::from_index(pi as u32);
+            let current = self.running[pi];
+            let chosen = self
+                .jobs
+                .on_processor(proc)
+                .filter(|j| j.state == ExecState::Ready)
+                .max_by(|a, b| {
+                    a.effective_priority
+                        .cmp(&b.effective_priority)
+                        .then_with(|| {
+                            (Some(a.id) == current).cmp(&(Some(b.id) == current))
+                        })
+                        .then_with(|| b.release.cmp(&a.release))
+                        .then_with(|| b.id.cmp(&a.id))
+                })
+                .map(|j| j.id);
+            self.install_runner(pi, chosen);
+        }
+    }
+
+    fn reschedule_dynamic(&mut self) {
+        let m = self.running.len();
+        let mut ready: Vec<(mpcp_model::Priority, Reverse<Time>, Reverse<JobId>, JobId)> = self
+            .jobs
+            .iter()
+            .filter(|j| j.state == ExecState::Ready)
+            .map(|j| (j.effective_priority, Reverse(j.release), Reverse(j.id), j.id))
+            .collect();
+        ready.sort();
+        ready.reverse();
+        let selected: Vec<JobId> = ready.into_iter().take(m).map(|e| e.3).collect();
+
+        // Keep affinity: a selected job already running somewhere stays.
+        let mut assignment: Vec<Option<JobId>> = vec![None; m];
+        let mut unplaced = Vec::new();
+        for &id in &selected {
+            let cur = self.jobs.expect(id).processor.index();
+            if self.running[cur] == Some(id) && assignment[cur].is_none() {
+                assignment[cur] = Some(id);
+            } else {
+                unplaced.push(id);
+            }
+        }
+        for id in unplaced {
+            if let Some(slot) = assignment.iter().position(Option::is_none) {
+                assignment[slot] = Some(id);
+                self.jobs.expect_mut(id).processor = ProcessorId::from_index(slot as u32);
+            }
+        }
+        for (pi, chosen) in assignment.into_iter().enumerate() {
+            self.install_runner(pi, chosen);
+        }
+    }
+
+    fn install_runner(&mut self, pi: usize, chosen: Option<JobId>) {
+        let proc = ProcessorId::from_index(pi as u32);
+        let current = self.running[pi];
+        if chosen == current {
+            return;
+        }
+        if let (Some(old), Some(new)) = (current, chosen) {
+            if self
+                .jobs
+                .get(old)
+                .is_some_and(|j| j.state == ExecState::Ready && j.processor == proc)
+            {
+                self.trace.push(
+                    self.now,
+                    old,
+                    EventKind::Preempted {
+                        processor: proc,
+                        by: new,
+                    },
+                );
+            }
+        }
+        if let Some(new) = chosen {
+            self.trace
+                .push(self.now, new, EventKind::Started { processor: proc });
+        }
+        self.running[pi] = chosen;
+    }
+
+    /// Executes at most one instantaneous operation (lock, unlock,
+    /// suspension, zero-compute skip, completion) on behalf of some
+    /// runner. Returns whether anything happened.
+    fn execute_one_instantaneous_op(&mut self) -> bool {
+        for pi in 0..self.running.len() {
+            let Some(id) = self.running[pi] else { continue };
+            let job = self.jobs.expect(id);
+            match job.current_op() {
+                None => {
+                    unreachable!("{id} complete but not swept");
+                }
+                Some(Op::Compute(_)) => {
+                    if job.remaining.is_zero() {
+                        self.jobs.expect_mut(id).advance_pc();
+                        return true;
+                    }
+                }
+                Some(Op::Suspend(d)) => {
+                    let until = self.now + d;
+                    let job = self.jobs.expect_mut(id);
+                    job.state = ExecState::Sleeping { until };
+                    job.advance_pc();
+                    self.trace
+                        .push(self.now, id, EventKind::SelfSuspended { until });
+                    self.running[pi] = None;
+                    return true;
+                }
+                Some(Op::Lock(res)) => {
+                    self.do_lock(id, res);
+                    return true;
+                }
+                Some(Op::Unlock(res)) => {
+                    self.do_unlock(id, res);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn do_lock(&mut self, id: JobId, res: mpcp_model::ResourceId) {
+        self.trace
+            .push(self.now, id, EventKind::LockRequested { resource: res });
+        let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
+        match self.protocol.on_lock(&mut ctx, id, res) {
+            LockResult::Granted => {
+                let job = self.jobs.expect_mut(id);
+                job.held.push(res);
+                job.advance_pc();
+                self.trace
+                    .push(self.now, id, EventKind::LockGranted { resource: res });
+            }
+            LockResult::Blocked { holder } => {
+                let global = self.res_global[res.index()];
+                let job = self.jobs.expect_mut(id);
+                job.state = ExecState::Blocked {
+                    resource: res,
+                    global,
+                };
+                self.trace.push(
+                    self.now,
+                    id,
+                    EventKind::LockBlocked {
+                        resource: res,
+                        holder,
+                    },
+                );
+            }
+        }
+    }
+
+    fn do_unlock(&mut self, id: JobId, res: mpcp_model::ResourceId) {
+        let job = self.jobs.expect_mut(id);
+        let pos = job
+            .held
+            .iter()
+            .rposition(|&r| r == res)
+            .unwrap_or_else(|| panic!("{id} unlocks {res} it does not hold"));
+        job.held.remove(pos);
+        job.advance_pc();
+        self.trace
+            .push(self.now, id, EventKind::Unlocked { resource: res });
+        let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
+        self.protocol.on_unlock(&mut ctx, id, res);
+    }
+
+    fn complete_job(&mut self, id: JobId) {
+        let response = self.now - self.jobs.expect(id).release;
+        self.trace
+            .push(self.now, id, EventKind::Completed { response });
+        let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
+        self.protocol.on_complete(&mut ctx, id);
+        let job = self.jobs.remove(id).expect("completing job is active");
+        assert!(
+            job.held.is_empty(),
+            "{id} completed while holding {:?}",
+            job.held
+        );
+        let late = self.now > job.abs_deadline;
+        if late && !job.miss_recorded {
+            // Normally check_deadlines fires at the deadline instant; this
+            // covers a late completion in the same instant the horizon cut
+            // in.
+            self.misses += 1;
+            self.trace.push(self.now, id, EventKind::DeadlineMiss);
+        }
+        self.records.push(JobRecord {
+            id,
+            release: job.release,
+            completion: self.now,
+            response,
+            blocked_local: job.blocked_local,
+            blocked_global: job.blocked_global,
+            lower_interference: job.lower_interference,
+            missed: job.miss_recorded || late,
+        });
+    }
+
+    fn check_deadlines(&mut self) {
+        while let Some(&Reverse((t, id))) = self.deadlines.peek() {
+            if t > self.now {
+                break;
+            }
+            self.deadlines.pop();
+            if let Some(job) = self.jobs.get_mut(id) {
+                if !job.is_complete() && !job.miss_recorded {
+                    job.miss_recorded = true;
+                    self.misses += 1;
+                    self.trace.push(self.now, id, EventKind::DeadlineMiss);
+                }
+            }
+        }
+    }
+
+    fn next_event_time(&self) -> Option<Time> {
+        let mut next: Option<Time> = None;
+        let mut consider = |t: Time| {
+            if t > self.now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        for &(t, _) in &self.next_release {
+            if t < Time::MAX {
+                consider(t);
+            }
+        }
+        for job in self.jobs.iter() {
+            if let ExecState::Sleeping { until } = job.state {
+                consider(until);
+            }
+        }
+        if let Some(&Reverse((t, _))) = self.deadlines.peek() {
+            // Overdue entries were popped by check_deadlines, so t > now.
+            consider(t);
+        }
+        for &runner in &self.running {
+            if let Some(id) = runner {
+                let job = self.jobs.expect(id);
+                if let Some(Op::Compute(_)) = job.current_op() {
+                    consider(self.now + job.remaining);
+                }
+            }
+        }
+        next
+    }
+
+    fn advance(&mut self, dt: Dur) {
+        debug_assert!(!dt.is_zero());
+        // Occupancy slices and runner progress.
+        for pi in 0..self.running.len() {
+            let proc = ProcessorId::from_index(pi as u32);
+            let (job_id, band) = match self.running[pi] {
+                Some(id) => {
+                    let job = self.jobs.expect(id);
+                    let band = if job.held.is_empty() {
+                        Band::Normal
+                    } else if job.effective_priority.is_global() {
+                        Band::GlobalCs
+                    } else {
+                        Band::LocalCs
+                    };
+                    (Some(id), band)
+                }
+                None => (None, Band::Normal),
+            };
+            self.trace.push_slice(Slice {
+                processor: proc,
+                job: job_id,
+                start: self.now,
+                dur: dt,
+                band,
+            });
+            if let Some(id) = job_id {
+                let job = self.jobs.expect_mut(id);
+                debug_assert!(job.remaining >= dt, "runner advanced past op end");
+                job.remaining = job.remaining.saturating_sub(dt);
+            }
+        }
+        // Blocking accounting for non-running jobs.
+        if self.config.binding == Binding::Static {
+            let runner_base: Vec<Option<mpcp_model::Priority>> = self
+                .running
+                .iter()
+                .map(|r| r.map(|id| self.jobs.expect(id).base_priority))
+                .collect();
+            let running = self.running.clone();
+            for job in self.jobs.iter_mut() {
+                if running[job.processor.index()] == Some(job.id) {
+                    continue;
+                }
+                match job.state {
+                    ExecState::Blocked { global, .. } => {
+                        if global {
+                            // A global wait is caused remotely; it counts
+                            // in full, whatever runs locally.
+                            job.blocked_global += dt;
+                        } else {
+                            // A local (PCP) wait counts as blocking only
+                            // while the processor is NOT serving a
+                            // higher-assigned-priority job — that portion
+                            // is ordinary preemption interference, which
+                            // Theorem 3 accounts separately.
+                            let higher_running = runner_base[job.processor.index()]
+                                .is_some_and(|rb| rb > job.base_priority);
+                            if !higher_running {
+                                job.blocked_local += dt;
+                            }
+                        }
+                    }
+                    ExecState::Ready => {
+                        if let Some(rb) = runner_base[job.processor.index()] {
+                            if rb < job.base_priority {
+                                job.lower_interference += dt;
+                            }
+                        }
+                    }
+                    ExecState::Sleeping { .. } => {}
+                }
+            }
+        }
+        self.now += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Ctx, LockResult, Protocol};
+    use mpcp_model::{Body, ResourceId, System, TaskDef};
+
+    /// A protocol that grants everything FIFO with no priority changes
+    /// (enough to exercise the engine itself).
+    struct Trivial {
+        held: std::collections::HashMap<ResourceId, JobId>,
+        waiting: Vec<(ResourceId, JobId)>,
+    }
+
+    impl Trivial {
+        fn new() -> Self {
+            Trivial {
+                held: Default::default(),
+                waiting: Vec::new(),
+            }
+        }
+    }
+
+    impl Protocol for Trivial {
+        fn name(&self) -> &'static str {
+            "trivial"
+        }
+        fn init(&mut self, _system: &System) {}
+        fn on_lock(&mut self, _ctx: &mut Ctx<'_>, job: JobId, res: ResourceId) -> LockResult {
+            if let Some(&holder) = self.held.get(&res) {
+                self.waiting.push((res, job));
+                LockResult::Blocked {
+                    holder: Some(holder),
+                }
+            } else {
+                self.held.insert(res, job);
+                LockResult::Granted
+            }
+        }
+        fn on_unlock(&mut self, ctx: &mut Ctx<'_>, _job: JobId, res: ResourceId) {
+            self.held.remove(&res);
+            if let Some(pos) = self.waiting.iter().position(|(r, _)| *r == res) {
+                let (_, next) = self.waiting.remove(pos);
+                self.held.insert(res, next);
+                ctx.grant_lock(next, res);
+            }
+        }
+    }
+
+    fn jid(t: u32, i: u32) -> JobId {
+        JobId::new(TaskId::from_index(t), i)
+    }
+
+    #[test]
+    fn single_task_runs_to_completion_periodically() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        b.add_task(
+            TaskDef::new("t", p)
+                .period(10)
+                .body(Body::builder().compute(3).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Trivial::new());
+        sim.run_until(30);
+        assert_eq!(sim.records().len(), 3);
+        for (i, r) in sim.records().iter().enumerate() {
+            assert_eq!(r.id, jid(0, i as u32));
+            assert_eq!(r.response, Dur::new(3));
+            assert!(!r.missed);
+        }
+        assert_eq!(sim.misses(), 0);
+    }
+
+    #[test]
+    fn preemption_by_higher_priority() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        b.add_task(
+            TaskDef::new("hi", p)
+                .period(10)
+                .offset(2)
+                .priority(2)
+                .body(Body::builder().compute(2).build()),
+        );
+        b.add_task(
+            TaskDef::new("lo", p)
+                .period(20)
+                .priority(1)
+                .body(Body::builder().compute(6).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Trivial::new());
+        sim.run_until(20);
+        // lo runs 0..2, preempted 2..4, resumes 4..8.
+        assert_eq!(sim.trace().response_of(jid(1, 0)), Some(Dur::new(8)));
+        assert_eq!(sim.trace().response_of(jid(0, 0)), Some(Dur::new(2)));
+        assert!(sim
+            .trace()
+            .find(|e| matches!(e.kind, EventKind::Preempted { .. }))
+            .is_some());
+    }
+
+    #[test]
+    fn blocking_and_handoff_work() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("S");
+        b.add_task(TaskDef::new("a", p[0]).period(100).priority(2).body(
+            Body::builder().critical(s, |c| c.compute(4)).build(),
+        ));
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(100)
+                .priority(1)
+                .offset(1)
+                .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Trivial::new());
+        sim.run_until(100);
+        // a: 0..4 in cs. b requests at 1, blocked until 4, runs 4..6.
+        assert_eq!(sim.trace().response_of(jid(0, 0)), Some(Dur::new(4)));
+        assert_eq!(sim.trace().response_of(jid(1, 0)), Some(Dur::new(5)));
+        let rec_b = &sim.records()[1];
+        assert_eq!(rec_b.blocked_global, Dur::new(3));
+        assert_eq!(rec_b.blocked_local, Dur::ZERO);
+    }
+
+    #[test]
+    fn self_suspension_releases_processor() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        b.add_task(
+            TaskDef::new("hi", p)
+                .period(100)
+                .priority(2)
+                .body(Body::builder().compute(1).suspend(5).compute(1).build()),
+        );
+        b.add_task(
+            TaskDef::new("lo", p)
+                .period(100)
+                .priority(1)
+                .body(Body::builder().compute(4).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Trivial::new());
+        sim.run_until(100);
+        // hi: 0..1 compute, sleeps 1..6, 6..7 compute => response 7.
+        // lo runs 1..5 during hi's sleep.
+        assert_eq!(sim.trace().response_of(jid(0, 0)), Some(Dur::new(7)));
+        assert_eq!(sim.trace().response_of(jid(1, 0)), Some(Dur::new(5)));
+    }
+
+    #[test]
+    fn deadline_misses_are_detected_once() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        b.add_task(
+            TaskDef::new("t", p)
+                .period(10)
+                .deadline(2)
+                .body(Body::builder().compute(5).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Trivial::new());
+        sim.run_until(10);
+        assert_eq!(sim.misses(), 1);
+        assert_eq!(sim.trace().deadline_misses(), 1);
+        assert!(sim.records()[0].missed);
+    }
+
+    #[test]
+    fn stop_on_miss_halts() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        b.add_task(
+            TaskDef::new("t", p)
+                .period(10)
+                .deadline(1)
+                .body(Body::builder().compute(5).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::with_config(
+            &sys,
+            Trivial::new(),
+            SimConfig {
+                stop_on_miss: true,
+                ..SimConfig::until(1000)
+            },
+        );
+        sim.run();
+        assert!(sim.now() <= Time::new(2));
+        assert_eq!(sim.misses(), 1);
+    }
+
+    #[test]
+    fn dynamic_binding_uses_all_processors() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let _ = p;
+        // Three equal tasks; under dynamic binding two run in parallel.
+        for i in 0..3 {
+            b.add_task(
+                TaskDef::new(format!("t{i}"), ProcessorId::from_index(0))
+                    .period(10)
+                    .priority(3 - i as u32)
+                    .body(Body::builder().compute(4).build()),
+            );
+        }
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::with_config(
+            &sys,
+            Trivial::new(),
+            SimConfig {
+                binding: Binding::Dynamic,
+                ..SimConfig::until(10)
+            },
+        );
+        sim.run();
+        // t0 and t1 run 0..4; t2 runs 4..8.
+        assert_eq!(sim.trace().response_of(jid(0, 0)), Some(Dur::new(4)));
+        assert_eq!(sim.trace().response_of(jid(1, 0)), Some(Dur::new(4)));
+        assert_eq!(sim.trace().response_of(jid(2, 0)), Some(Dur::new(8)));
+    }
+
+    #[test]
+    fn slices_cover_the_timeline() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        b.add_task(
+            TaskDef::new("t", p)
+                .period(4)
+                .body(Body::builder().compute(2).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Trivial::new());
+        sim.run_until(8);
+        let busy: u64 = sim
+            .trace()
+            .slices()
+            .iter()
+            .filter(|s| s.job.is_some())
+            .map(|s| s.dur.ticks())
+            .sum();
+        assert_eq!(busy, 4);
+    }
+}

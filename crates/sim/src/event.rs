@@ -1,0 +1,152 @@
+//! Trace events emitted by the simulation engine and the protocol
+//! policies.
+
+use mpcp_model::{Dur, JobId, Priority, ProcessorId, ResourceId, Time};
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// The job was released (arrived).
+    Released,
+    /// The job gained a processor.
+    Started {
+        /// Where it runs.
+        processor: ProcessorId,
+    },
+    /// The job lost its processor to `by` while still ready.
+    Preempted {
+        /// Where it was running.
+        processor: ProcessorId,
+        /// The preempting job.
+        by: JobId,
+    },
+    /// The job finished.
+    Completed {
+        /// Completion time minus release time.
+        response: Dur,
+    },
+    /// The job was still incomplete at its absolute deadline.
+    DeadlineMiss,
+    /// The job executed `P(S)`.
+    LockRequested {
+        /// The semaphore.
+        resource: ResourceId,
+    },
+    /// The request was granted immediately.
+    LockGranted {
+        /// The semaphore.
+        resource: ResourceId,
+    },
+    /// The request blocked.
+    LockBlocked {
+        /// The semaphore.
+        resource: ResourceId,
+        /// The job holding it, when the protocol knows.
+        holder: Option<JobId>,
+    },
+    /// The job executed `V(S)` with no waiter present.
+    Unlocked {
+        /// The semaphore.
+        resource: ResourceId,
+    },
+    /// The job executed `V(S)` and the semaphore was handed directly to
+    /// the highest-priority waiter (§5, rule 7).
+    HandedOff {
+        /// The semaphore.
+        resource: ResourceId,
+        /// The new holder.
+        to: JobId,
+    },
+    /// The job self-suspended.
+    SelfSuspended {
+        /// When it becomes ready again.
+        until: Time,
+    },
+    /// A blocked or suspended job became ready again.
+    Woken,
+    /// The job's effective priority changed (inheritance, gcs entry/exit).
+    PriorityChanged {
+        /// Previous effective priority.
+        from: Priority,
+        /// New effective priority.
+        to: Priority,
+    },
+    /// The job moved to another processor (DPCP executes global critical
+    /// sections on the semaphore's synchronization processor).
+    Migrated {
+        /// Previous processor.
+        from: ProcessorId,
+        /// New processor.
+        to: ProcessorId,
+    },
+}
+
+/// One timestamped event concerning one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: Time,
+    /// The job concerned.
+    pub job: JobId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: ", self.time, self.job)?;
+        match self.kind {
+            EventKind::Released => write!(f, "released"),
+            EventKind::Started { processor } => write!(f, "started on {processor}"),
+            EventKind::Preempted { processor, by } => {
+                write!(f, "preempted on {processor} by {by}")
+            }
+            EventKind::Completed { response } => write!(f, "completed (response {response})"),
+            EventKind::DeadlineMiss => write!(f, "MISSED DEADLINE"),
+            EventKind::LockRequested { resource } => write!(f, "P({resource})"),
+            EventKind::LockGranted { resource } => write!(f, "locked {resource}"),
+            EventKind::LockBlocked { resource, holder } => match holder {
+                Some(h) => write!(f, "blocked on {resource} held by {h}"),
+                None => write!(f, "blocked on {resource}"),
+            },
+            EventKind::Unlocked { resource } => write!(f, "V({resource})"),
+            EventKind::HandedOff { resource, to } => {
+                write!(f, "V({resource}), handed to {to}")
+            }
+            EventKind::SelfSuspended { until } => write!(f, "self-suspended until {until}"),
+            EventKind::Woken => write!(f, "woken"),
+            EventKind::PriorityChanged { from, to } => {
+                write!(f, "priority {from} -> {to}")
+            }
+            EventKind::Migrated { from, to } => write!(f, "migrated {from} -> {to}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::TaskId;
+
+    #[test]
+    fn display_is_readable() {
+        let j = JobId::first(TaskId::from_index(2));
+        let e = TraceEvent {
+            time: Time::new(5),
+            job: j,
+            kind: EventKind::LockBlocked {
+                resource: ResourceId::from_index(1),
+                holder: Some(JobId::first(TaskId::from_index(0))),
+            },
+        };
+        assert_eq!(e.to_string(), "t=5 J2.0: blocked on S1 held by J0.0");
+        let e2 = TraceEvent {
+            time: Time::new(0),
+            job: j,
+            kind: EventKind::Released,
+        };
+        assert_eq!(e2.to_string(), "t=0 J2.0: released");
+    }
+}

@@ -1,0 +1,287 @@
+//! Run-time job state.
+
+use crate::op::{Op, Program};
+use mpcp_model::{Dur, JobId, Priority, ProcessorId, ResourceId, Time};
+use std::collections::BTreeMap;
+
+/// Scheduling state of an active job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecState {
+    /// Eligible to run on its current processor.
+    Ready,
+    /// Waiting for a semaphore; the program counter still points at the
+    /// pending [`Op::Lock`].
+    Blocked {
+        /// The semaphore waited for.
+        resource: ResourceId,
+        /// Whether the semaphore is global (used to classify measured
+        /// blocking).
+        global: bool,
+    },
+    /// Self-suspended until the given instant.
+    Sleeping {
+        /// Wake-up time.
+        until: Time,
+    },
+}
+
+/// The full state of one active job.
+#[derive(Debug, Clone)]
+pub struct JobState {
+    /// The job's identity.
+    pub id: JobId,
+    /// The processor the task is statically bound to.
+    pub home: ProcessorId,
+    /// The processor the job currently runs on (differs from `home` only
+    /// under migrating protocols such as DPCP).
+    pub processor: ProcessorId,
+    /// The task's assigned priority.
+    pub base_priority: Priority,
+    /// The current effective priority (inheritance, gcs boosts).
+    pub effective_priority: Priority,
+    /// Release time.
+    pub release: Time,
+    /// Absolute deadline.
+    pub abs_deadline: Time,
+    /// The flattened program.
+    pub program: Program,
+    /// Index of the current operation.
+    pub pc: usize,
+    /// Remaining time of the current [`Op::Compute`], if `pc` points at
+    /// one.
+    pub remaining: Dur,
+    /// Scheduling state.
+    pub state: ExecState,
+    /// Resources currently held, in lock order.
+    pub held: Vec<ResourceId>,
+    /// Accumulated time blocked on local semaphores.
+    pub blocked_local: Dur,
+    /// Accumulated time blocked on global semaphores.
+    pub blocked_global: Dur,
+    /// Accumulated time ready but displaced by a job of lower assigned
+    /// priority (e.g. a gcs executing in the global band).
+    pub lower_interference: Dur,
+    /// Whether a deadline miss has been recorded for this job.
+    pub miss_recorded: bool,
+}
+
+impl JobState {
+    pub(crate) fn new(
+        id: JobId,
+        home: ProcessorId,
+        base_priority: Priority,
+        release: Time,
+        abs_deadline: Time,
+        program: Program,
+    ) -> Self {
+        let mut job = JobState {
+            id,
+            home,
+            processor: home,
+            base_priority,
+            effective_priority: base_priority,
+            release,
+            abs_deadline,
+            program,
+            pc: 0,
+            remaining: Dur::ZERO,
+            state: ExecState::Ready,
+            held: Vec::new(),
+            blocked_local: Dur::ZERO,
+            blocked_global: Dur::ZERO,
+            lower_interference: Dur::ZERO,
+            miss_recorded: false,
+        };
+        job.sync_remaining();
+        job
+    }
+
+    /// The operation at the program counter, or `None` when the job is
+    /// complete.
+    pub fn current_op(&self) -> Option<Op> {
+        self.program.op(self.pc)
+    }
+
+    /// Whether the job has executed its whole program.
+    pub fn is_complete(&self) -> bool {
+        self.pc >= self.program.len()
+    }
+
+    /// Advances past the current operation and initializes `remaining` for
+    /// the next one.
+    pub(crate) fn advance_pc(&mut self) {
+        self.pc += 1;
+        self.sync_remaining();
+    }
+
+    fn sync_remaining(&mut self) {
+        self.remaining = match self.current_op() {
+            Some(Op::Compute(d)) => d,
+            _ => Dur::ZERO,
+        };
+    }
+
+    /// Total measured blocking so far: semaphore waits plus displacement
+    /// by lower-assigned-priority execution.
+    pub fn measured_blocking(&self) -> Dur {
+        self.blocked_local + self.blocked_global + self.lower_interference
+    }
+
+    /// Whether the job currently holds any resource.
+    pub fn in_critical_section(&self) -> bool {
+        !self.held.is_empty()
+    }
+}
+
+/// The table of active jobs, with deterministic iteration order.
+#[derive(Debug, Default)]
+pub struct Jobs {
+    map: BTreeMap<JobId, JobState>,
+}
+
+impl Jobs {
+    pub(crate) fn new() -> Self {
+        Jobs::default()
+    }
+
+    /// The job with the given id, if active.
+    pub fn get(&self, id: JobId) -> Option<&JobState> {
+        self.map.get(&id)
+    }
+
+    /// Mutable access to the job with the given id, if active.
+    pub fn get_mut(&mut self, id: JobId) -> Option<&mut JobState> {
+        self.map.get_mut(&id)
+    }
+
+    /// The job with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not active.
+    #[track_caller]
+    pub fn expect(&self, id: JobId) -> &JobState {
+        self.map
+            .get(&id)
+            .unwrap_or_else(|| panic!("job {id} is not active"))
+    }
+
+    /// Mutable variant of [`Jobs::expect`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not active.
+    #[track_caller]
+    pub fn expect_mut(&mut self, id: JobId) -> &mut JobState {
+        self.map
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("job {id} is not active"))
+    }
+
+    pub(crate) fn insert(&mut self, job: JobState) {
+        self.map.insert(job.id, job);
+    }
+
+    pub(crate) fn remove(&mut self, id: JobId) -> Option<JobState> {
+        self.map.remove(&id)
+    }
+
+    /// Iterates over active jobs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &JobState> {
+        self.map.values()
+    }
+
+    /// Iterates mutably over active jobs in id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut JobState> {
+        self.map.values_mut()
+    }
+
+    /// Active jobs currently placed on `processor`, in id order.
+    pub fn on_processor(&self, processor: ProcessorId) -> impl Iterator<Item = &JobState> {
+        self.map.values().filter(move |j| j.processor == processor)
+    }
+
+    /// Number of active jobs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no active jobs.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Program;
+    use mpcp_model::{Body, Machine, System, TaskDef, TaskId};
+
+    fn program(body: Body) -> Program {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        b.add_task(TaskDef::new("t", p).period(100).body(body.clone()));
+        let sys = b.build().unwrap();
+        Program::flatten(&body, &Machine::new(), &sys.info())
+    }
+
+    fn job(body: Body) -> JobState {
+        JobState::new(
+            JobId::first(TaskId::from_index(0)),
+            ProcessorId::from_index(0),
+            Priority::task(1),
+            Time::ZERO,
+            Time::new(100),
+            program(body),
+        )
+    }
+
+    #[test]
+    fn new_job_is_ready_with_remaining_set() {
+        let j = job(Body::builder().compute(5).build());
+        assert_eq!(j.state, ExecState::Ready);
+        assert_eq!(j.remaining, Dur::new(5));
+        assert!(!j.is_complete());
+        assert!(!j.in_critical_section());
+    }
+
+    #[test]
+    fn advance_pc_reaches_completion() {
+        let mut j = job(Body::builder().compute(5).suspend(2).build());
+        j.advance_pc();
+        assert_eq!(j.remaining, Dur::ZERO); // suspend op
+        j.advance_pc();
+        assert!(j.is_complete());
+        assert_eq!(j.current_op(), None);
+    }
+
+    #[test]
+    fn measured_blocking_sums_components() {
+        let mut j = job(Body::builder().compute(1).build());
+        j.blocked_local = Dur::new(2);
+        j.blocked_global = Dur::new(3);
+        j.lower_interference = Dur::new(4);
+        assert_eq!(j.measured_blocking(), Dur::new(9));
+    }
+
+    #[test]
+    fn jobs_table_roundtrip() {
+        let mut jobs = Jobs::new();
+        let j = job(Body::builder().compute(1).build());
+        let id = j.id;
+        jobs.insert(j);
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs.get(id).is_some());
+        assert_eq!(jobs.on_processor(ProcessorId::from_index(0)).count(), 1);
+        assert_eq!(jobs.on_processor(ProcessorId::from_index(1)).count(), 0);
+        assert!(jobs.remove(id).is_some());
+        assert!(jobs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not active")]
+    fn expect_missing_panics() {
+        Jobs::new().expect(JobId::first(TaskId::from_index(0)));
+    }
+}

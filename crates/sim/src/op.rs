@@ -1,0 +1,190 @@
+//! Flattened job programs.
+//!
+//! A [`Body`](mpcp_model::Body) is a tree of nested segments; the engine
+//! executes a flat list of [`Op`]s per job. Flattening emits balanced
+//! `Lock`/`Unlock` pairs around critical-section contents and folds the
+//! machine's lock/unlock overheads in as extra computation charged inside
+//! the section.
+
+use mpcp_model::{Body, Dur, Machine, ResourceId, Segment, SystemInfo};
+use std::sync::Arc;
+
+/// One primitive step of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Occupy the processor for the given duration.
+    Compute(Dur),
+    /// Request the semaphore (the paper's `P(S)`).
+    Lock(ResourceId),
+    /// Release the semaphore (the paper's `V(S)`).
+    Unlock(ResourceId),
+    /// Self-suspend for the given duration.
+    Suspend(Dur),
+}
+
+/// An immutable, shareable flattened program for one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    ops: Arc<Vec<Op>>,
+}
+
+impl Program {
+    /// Flattens `body` into a program, charging `machine` overheads for
+    /// each semaphore operation inside the critical section. `info` is
+    /// used to decide whether the bus delay applies (global semaphores
+    /// only).
+    pub fn flatten(body: &Body, machine: &Machine, info: &SystemInfo) -> Program {
+        fn rec(segs: &[Segment], machine: &Machine, info: &SystemInfo, out: &mut Vec<Op>) {
+            for seg in segs {
+                match seg {
+                    Segment::Compute(d) => {
+                        if !d.is_zero() {
+                            out.push(Op::Compute(*d));
+                        }
+                    }
+                    Segment::Suspend(d) => {
+                        if !d.is_zero() {
+                            out.push(Op::Suspend(*d));
+                        }
+                    }
+                    Segment::Critical(res, body) => {
+                        let global = info.scope(*res).is_global();
+                        out.push(Op::Lock(*res));
+                        let lock_cost = machine.lock_cost(global);
+                        if !lock_cost.is_zero() {
+                            out.push(Op::Compute(lock_cost));
+                        }
+                        rec(body, machine, info, out);
+                        let unlock_cost = machine.unlock_cost(global);
+                        if !unlock_cost.is_zero() {
+                            out.push(Op::Compute(unlock_cost));
+                        }
+                        out.push(Op::Unlock(*res));
+                    }
+                }
+            }
+        }
+        let mut ops = Vec::new();
+        rec(body.segments(), machine, info, &mut ops);
+        Program { ops: Arc::new(ops) }
+    }
+
+    /// The operations in execution order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The operation at `pc`, or `None` past the end (job completion).
+    pub fn op(&self, pc: usize) -> Option<Op> {
+        self.ops.get(pc).copied()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty (a job that completes immediately).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::{System, TaskDef};
+
+    fn system_with(body: Body) -> (mpcp_model::System, ResourceId, ResourceId) {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let sl = b.add_resource("SL");
+        let sg = b.add_resource("SG");
+        b.add_task(TaskDef::new("t", p[0]).period(100).priority(2).body(body));
+        // second task makes SG global
+        b.add_task(TaskDef::new("u", p[1]).period(200).priority(1).body(
+            Body::builder().critical(sg, |c| c.compute(1)).build(),
+        ));
+        (b.build().unwrap(), sl, sg)
+    }
+
+    #[test]
+    fn flatten_emits_balanced_lock_pairs() {
+        let sl = ResourceId::from_index(0);
+        let sg = ResourceId::from_index(1);
+        let body = Body::builder()
+            .compute(3)
+            .critical(sl, |c| c.compute(2).critical(sg, |c| c.compute(1)))
+            .compute(4)
+            .build();
+        let (sys, sl, sg) = system_with(body.clone());
+        let info = sys.info();
+        let prog = Program::flatten(&body, &Machine::new(), &info);
+        assert_eq!(
+            prog.ops(),
+            &[
+                Op::Compute(Dur::new(3)),
+                Op::Lock(sl),
+                Op::Compute(Dur::new(2)),
+                Op::Lock(sg),
+                Op::Compute(Dur::new(1)),
+                Op::Unlock(sg),
+                Op::Unlock(sl),
+                Op::Compute(Dur::new(4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_segments_are_dropped() {
+        let body = Body::builder().compute(0).suspend(0).compute(1).build();
+        let (sys, _, _) = system_with(body.clone());
+        let prog = Program::flatten(&body, &Machine::new(), &sys.info());
+        assert_eq!(prog.ops(), &[Op::Compute(Dur::new(1))]);
+        assert_eq!(prog.len(), 1);
+        assert!(!prog.is_empty());
+    }
+
+    #[test]
+    fn overheads_are_charged_inside_the_section() {
+        let sl = ResourceId::from_index(0);
+        let sg = ResourceId::from_index(1);
+        let (sys, sl, sg) = system_with(
+            Body::builder()
+                .critical(sg, |c| c.compute(5))
+                .critical(sl, |c| c.compute(2))
+                .build(),
+        );
+        let _ = (sl, sg);
+        let machine = Machine::new()
+            .with_lock_overhead(1)
+            .with_unlock_overhead(1)
+            .with_bus_delay(2);
+        let body = sys.tasks()[0].body().clone();
+        let prog = Program::flatten(&body, &machine, &sys.info());
+        assert_eq!(
+            prog.ops(),
+            &[
+                Op::Lock(sg),
+                Op::Compute(Dur::new(3)), // lock overhead 1 + bus 2
+                Op::Compute(Dur::new(5)),
+                Op::Compute(Dur::new(3)), // unlock overhead 1 + bus 2
+                Op::Unlock(sg),
+                Op::Lock(sl),
+                Op::Compute(Dur::new(1)), // local: no bus delay
+                Op::Compute(Dur::new(2)),
+                Op::Compute(Dur::new(1)),
+                Op::Unlock(sl),
+            ]
+        );
+    }
+
+    #[test]
+    fn suspensions_survive_flattening() {
+        let body = Body::builder().suspend(7).build();
+        let (sys, _, _) = system_with(body.clone());
+        let prog = Program::flatten(&body, &Machine::new(), &sys.info());
+        assert_eq!(prog.op(0), Some(Op::Suspend(Dur::new(7))));
+        assert_eq!(prog.op(1), None);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the discrete-event engine itself, using a
+//! trivial always-grant protocol so only scheduling semantics are under
+//! test.
+
+use mpcp_model::{Body, Dur, JobId, ResourceId, System, TaskDef, Time};
+use mpcp_sim::{Ctx, LockResult, Protocol, SimConfig, Simulator};
+use proptest::prelude::*;
+
+struct AlwaysGrant;
+impl Protocol for AlwaysGrant {
+    fn name(&self) -> &'static str {
+        "always-grant"
+    }
+    fn init(&mut self, _: &System) {}
+    fn on_lock(&mut self, _: &mut Ctx<'_>, _: JobId, _: ResourceId) -> LockResult {
+        LockResult::Granted
+    }
+    fn on_unlock(&mut self, _: &mut Ctx<'_>, _: JobId, _: ResourceId) {}
+}
+
+fn system_from(params: &[(u64, u64, u64)]) -> System {
+    // (period, wcet, offset) per task, all on one processor.
+    let mut b = System::builder();
+    let p = b.add_processor("P0");
+    for (i, &(period, wcet, offset)) in params.iter().enumerate() {
+        b.add_task(
+            TaskDef::new(format!("t{i}"), p)
+                .period(period)
+                .offset(offset)
+                .body(Body::builder().compute(wcet).build()),
+        );
+    }
+    b.build().unwrap()
+}
+
+fn params_strategy() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    proptest::collection::vec(
+        (5u64..60).prop_flat_map(|period| {
+            (
+                Just(period),
+                1u64..=(period / 4).max(1),
+                0u64..10,
+            )
+        }),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Busy time on the processor equals the total work completed: the
+    /// engine neither loses nor invents execution time.
+    #[test]
+    fn work_conservation(params in params_strategy()) {
+        let sys = system_from(&params);
+        let mut sim = Simulator::new(&sys, AlwaysGrant);
+        sim.run_until(600);
+        let busy: u64 = sim
+            .trace()
+            .slices()
+            .iter()
+            .filter(|s| s.job.is_some())
+            .map(|s| s.dur.ticks())
+            .sum();
+        let completed_work: u64 = sim
+            .records()
+            .iter()
+            .map(|r| sys.task(r.id.task).wcet().ticks())
+            .sum();
+        // In-flight jobs at the horizon account for the difference.
+        prop_assert!(busy >= completed_work);
+        prop_assert!(busy <= completed_work + params.len() as u64 * 60);
+    }
+
+    /// Responses are at least the WCET, and the highest-priority task's
+    /// response is exactly its WCET (nothing can delay it).
+    #[test]
+    fn response_time_floors(params in params_strategy()) {
+        let sys = system_from(&params);
+        let top = sys
+            .tasks()
+            .iter()
+            .max_by_key(|t| t.priority())
+            .unwrap()
+            .id();
+        let mut sim = Simulator::new(&sys, AlwaysGrant);
+        sim.run_until(600);
+        for r in sim.records() {
+            prop_assert!(r.response >= sys.task(r.id.task).wcet());
+            if r.id.task == top {
+                prop_assert_eq!(r.response, sys.task(top).wcet());
+            }
+        }
+    }
+
+    /// Releases happen exactly on the periodic grid.
+    #[test]
+    fn releases_follow_the_grid(params in params_strategy()) {
+        let sys = system_from(&params);
+        let mut sim = Simulator::new(&sys, AlwaysGrant);
+        sim.run_until(300);
+        for e in sim.trace().events() {
+            if matches!(e.kind, mpcp_sim::EventKind::Released) {
+                let t = sys.task(e.job.task);
+                prop_assert_eq!(e.time, t.release_of(e.job.instance));
+            }
+        }
+    }
+
+    /// Determinism: the same system yields the identical event trace.
+    #[test]
+    fn engine_is_deterministic(params in params_strategy()) {
+        let sys = system_from(&params);
+        let mut a = Simulator::new(&sys, AlwaysGrant);
+        a.run_until(300);
+        let mut b = Simulator::new(&sys, AlwaysGrant);
+        b.run_until(300);
+        prop_assert_eq!(a.trace().events(), b.trace().events());
+        prop_assert_eq!(a.records(), b.records());
+    }
+
+    /// Metrics agree with the per-job records they summarize.
+    #[test]
+    fn metrics_match_records(params in params_strategy()) {
+        let sys = system_from(&params);
+        let mut sim = Simulator::new(&sys, AlwaysGrant);
+        sim.run_until(600);
+        let m = sim.metrics();
+        for t in sys.tasks() {
+            let recs: Vec<_> = sim.records().iter().filter(|r| r.id.task == t.id()).collect();
+            let tm = m.task(t.id());
+            prop_assert_eq!(tm.completed as usize, recs.len());
+            let max = recs.iter().map(|r| r.response).max().unwrap_or(Dur::ZERO);
+            prop_assert_eq!(tm.max_response, max);
+        }
+    }
+}
+
+/// The horizon is respected exactly: no event is recorded past it.
+#[test]
+fn horizon_is_a_hard_stop() {
+    let sys = system_from(&[(7, 3, 0), (11, 2, 1)]);
+    let mut sim = Simulator::with_config(&sys, AlwaysGrant, SimConfig::until(50));
+    sim.run();
+    assert!(sim.now() <= Time::new(50));
+    for e in sim.trace().events() {
+        assert!(e.time <= Time::new(50));
+    }
+}
+
+/// An empty-body task completes instantly at its release.
+#[test]
+fn zero_wcet_jobs_complete_at_release() {
+    let mut b = System::builder();
+    let p = b.add_processor("P0");
+    b.add_task(TaskDef::new("nop", p).period(10).body(Body::new()));
+    let sys = b.build().unwrap();
+    let mut sim = Simulator::new(&sys, AlwaysGrant);
+    sim.run_until(35);
+    assert_eq!(sim.records().len(), 4);
+    for r in sim.records() {
+        assert_eq!(r.response, Dur::ZERO);
+    }
+}

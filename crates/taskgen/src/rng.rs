@@ -1,0 +1,211 @@
+//! A small, deterministic PRNG (xoshiro256++ seeded via SplitMix64).
+//!
+//! Experiments must be reproducible bit-for-bit from a seed, so the crate
+//! ships its own generator instead of depending on `rand` (whose output
+//! can change across major versions).
+
+/// Deterministic pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A float uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[track_caller]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_u64: {lo} > {hi}");
+        let span = hi - lo + 1;
+        // Modulo bias is irrelevant for experiment generation.
+        lo + self.next_u64() % span
+    }
+
+    /// A uniform usize in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[track_caller]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A float uniform in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// A uniform choice from a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    #[track_caller]
+    pub fn choice<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choice from empty slice");
+        &items[self.range_usize(0, items.len() - 1)]
+    }
+
+    /// A Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// An exponentially distributed duration with the given mean (for
+    /// Poisson arrival processes), at least 1 tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    #[track_caller]
+    pub fn exponential(&mut self, mean: f64) -> u64 {
+        assert!(mean > 0.0, "exponential: non-positive mean");
+        let u = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        ((-u.ln() * mean).round() as u64).max(1)
+    }
+
+    /// A log-uniform integer in `[lo, hi]` — the conventional way to draw
+    /// periods spanning orders of magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` is zero or `lo > hi`.
+    #[track_caller]
+    pub fn log_uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo > 0 && lo <= hi, "log_uniform: bad range [{lo}, {hi}]");
+        let x = self.range_f64((lo as f64).ln(), (hi as f64).ln() + f64::EPSILON);
+        (x.exp().round() as u64).clamp(lo, hi)
+    }
+}
+
+/// The UUniFast algorithm: splits `total` utilization over `n` tasks,
+/// uniformly over the valid simplex.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[track_caller]
+pub fn uunifast(rng: &mut Rng, n: usize, total: f64) -> Vec<f64> {
+    assert!(n > 0, "uunifast: zero tasks");
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let next = sum * rng.f64().powf(1.0 / (n - i) as f64);
+        utils.push(sum - next);
+        sum = next;
+    }
+    utils.push(sum);
+    utils
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = Rng::new(1);
+        for _ in 0..1000 {
+            let v = r.range_u64(5, 9);
+            assert!((5..=9).contains(&v));
+            let f = r.range_f64(0.25, 0.75);
+            assert!((0.25..0.75).contains(&f));
+            let l = r.log_uniform(10, 1000);
+            assert!((10..=1000).contains(&l));
+        }
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        let mut r = Rng::new(9);
+        for n in [1usize, 2, 5, 20] {
+            let u = uunifast(&mut r, n, 0.7);
+            assert_eq!(u.len(), n);
+            let sum: f64 = u.iter().sum();
+            assert!((sum - 0.7).abs() < 1e-9, "n={n}: {sum}");
+            assert!(u.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn choice_picks_members() {
+        let mut r = Rng::new(11);
+        let items = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(items.contains(r.choice(&items)));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Task allocation study (§3.2 static binding, §6 allocation remark):
+//! compares bin-packing heuristics against the paper's resource-affinity
+//! idea across random workloads, counting how many semaphores each
+//! leaves global and how often the result is schedulable.
+//!
+//! Run with `cargo run --example allocation_study`.
+
+use mpcp::alloc::{allocate, Heuristic};
+use mpcp::taskgen::{generate, WorkloadConfig};
+
+fn main() {
+    let seeds = 0..30u64;
+    let m = 4;
+    let cfg = WorkloadConfig::default()
+        .processors(m)
+        .tasks_per_processor(3)
+        .utilization(0.35)
+        .resources(0, 4)
+        .sections(1, 2)
+        .section_len(0.03, 0.1);
+
+    println!("allocating 12 tasks onto {m} processors, 30 random workloads\n");
+    println!(
+        "{:<10} {:>14} {:>14} {:>12}",
+        "heuristic", "avg globals", "sched. count", "failures"
+    );
+    for h in Heuristic::ALL {
+        let mut globals = 0usize;
+        let mut sched = 0u32;
+        let mut failed = 0u32;
+        for seed in seeds.clone() {
+            match allocate(&generate(&cfg, seed), m, h) {
+                Ok(a) => {
+                    globals += a.global_resources;
+                    if a.schedulable {
+                        sched += 1;
+                    }
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        println!(
+            "{:<10} {:>14.2} {:>14} {:>12}",
+            h.name(),
+            globals as f64 / 30.0,
+            sched,
+            failed
+        );
+    }
+    println!(
+        "\nshape: resource affinity localizes semaphores (fewer globals), which\n\
+         shrinks remote-blocking terms and helps schedulability — the paper's §6\n\
+         allocation advice."
+    );
+}

@@ -1,0 +1,13 @@
+//! Reproduces the paper's Figure 5-1: the Example 4 schedule of the
+//! seven-task, three-processor Example 3 system under the shared-memory
+//! protocol, as a Gantt chart plus the full event log.
+//!
+//! Run with `cargo run --example example4_trace`.
+
+fn main() {
+    print!("{}", mpcp_bench::experiments::e5_example4_trace());
+    println!();
+    print!("{}", mpcp_bench::experiments::e3_ceiling_table());
+    println!();
+    print!("{}", mpcp_bench::experiments::e4_gcs_priority_table());
+}

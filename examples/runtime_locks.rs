@@ -1,0 +1,48 @@
+//! The threaded runtime (§5.4): priority-ordered lock hand-off with
+//! `MpcpMutex`, and a full model system executed on real OS threads with
+//! user-space priority scheduling.
+//!
+//! Run with `cargo run --example runtime_locks`.
+
+use mpcp::model::Priority;
+use mpcp::runtime::{MpcpMutex, Runtime};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // --- Standalone lock: priority-ordered hand-off ---------------------
+    let shared = Arc::new(MpcpMutex::with_spin(Vec::<u32>::new(), 0));
+    let holder = shared.lock(Priority::task(100));
+    println!("holder takes the lock; three waiters queue (priorities 1, 3, 2)");
+    let mut handles = Vec::new();
+    for pri in [1u32, 3, 2] {
+        let worker = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            worker.lock(Priority::task(pri)).push(pri);
+        }));
+        while shared.queue_len() < handles.len() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    drop(holder);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let order = shared.lock(Priority::task(0)).clone();
+    println!("service order by priority: {order:?} (expected [3, 2, 1])");
+    assert_eq!(order, vec![3, 2, 1]);
+
+    // --- Full runtime: Example 3 on real threads ------------------------
+    println!("\nrunning the Example 3 system on OS threads...");
+    let (system, _) = mpcp_bench::paper::example3();
+    let rt = Runtime::new(&system);
+    let log = rt.run_all_once();
+    println!("jobs completed: {}", log.completions());
+    log.assert_mutual_exclusion();
+    log.assert_priority_ordered_handoffs();
+    println!("protocol invariants hold: mutual exclusion + priority-ordered hand-offs");
+    for e in log.events().iter().take(20) {
+        println!("  [{:>3}] {:?} {:?}", e.seq, e.task, e.kind);
+    }
+    println!("  ... ({} events total)", log.events().len());
+}

@@ -1,0 +1,173 @@
+//! E8 — cross-validation of the §5.1 blocking analysis against the
+//! simulator: on randomly generated systems satisfying the protocol's
+//! assumptions, the measured blocking of every job must stay within the
+//! analytical bound (sound carry-in variant).
+
+use mpcp::analysis::{mpcp_bounds_with, theorem3, BlockingConfig};
+use mpcp::model::Dur;
+use mpcp::protocols::ProtocolKind;
+use mpcp::sim::{SimConfig, Simulator};
+use mpcp::taskgen::{generate, WorkloadConfig};
+use mpcp_bench::experiments::validate_bounds_once;
+use proptest::prelude::*;
+
+#[test]
+fn simulated_blocking_within_bounds_fixed_seeds() {
+    for seed in 0..40u64 {
+        for (task, measured, bound) in validate_bounds_once(seed) {
+            assert!(
+                measured <= bound,
+                "seed {seed}, {task}: measured {measured} exceeds bound {bound}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The property over a wider parameter space: random seeds, sharing
+    /// intensity and section lengths.
+    #[test]
+    fn simulated_blocking_within_bounds(
+        seed in 0u64..10_000,
+        globals in 1usize..4,
+        frac in 0.2f64..1.0,
+        len in 0.02f64..0.12,
+    ) {
+        let cfg = WorkloadConfig::default()
+            .processors(2)
+            .tasks_per_processor(3)
+            .utilization(0.3)
+            .resources(1, globals)
+            .sections(0, 2)
+            .global_access(frac)
+            .section_len(len, len + 0.05);
+        let sys = generate(&cfg, seed);
+        let bounds = mpcp_bounds_with(&sys, BlockingConfig::sound()).expect("valid system");
+        let mut sim = Simulator::with_config(
+            &sys,
+            ProtocolKind::Mpcp.build(),
+            SimConfig {
+                record_trace: false,
+                ..SimConfig::until(sys.hyperperiod().ticks().min(150_000))
+            },
+        );
+        sim.run();
+        let metrics = sim.metrics();
+        for t in sys.tasks() {
+            let measured = metrics.task(t.id()).max_blocking;
+            let bound = bounds[t.id().index()].total();
+            prop_assert!(
+                measured <= bound,
+                "seed {seed}, {}: measured {measured} > bound {bound}",
+                t.id()
+            );
+        }
+    }
+
+    /// The paper-literal bound is never larger than the sound variant.
+    #[test]
+    fn paper_bounds_below_sound_bounds(seed in 0u64..10_000) {
+        let cfg = WorkloadConfig::default().resources(1, 2).sections(0, 3);
+        let sys = generate(&cfg, seed);
+        let paper = mpcp_bounds_with(&sys, BlockingConfig::paper()).expect("valid");
+        let sound = mpcp_bounds_with(&sys, BlockingConfig::sound()).expect("valid");
+        for (p, s) in paper.iter().zip(&sound) {
+            prop_assert!(p.blocking() <= s.blocking());
+            prop_assert!(p.total() <= s.total());
+        }
+    }
+
+    /// Removing all resource sharing zeroes every blocking factor.
+    #[test]
+    fn no_sharing_no_blocking(seed in 0u64..10_000) {
+        let cfg = WorkloadConfig::default().sections(0, 0);
+        let sys = generate(&cfg, seed);
+        for b in mpcp_bounds_with(&sys, BlockingConfig::sound()).expect("valid") {
+            prop_assert_eq!(b.total(), Dur::ZERO);
+        }
+    }
+}
+
+/// Theorem 3 with sound bounds is safe in practice: accepted systems do
+/// not miss deadlines in simulation.
+#[test]
+fn theorem3_accepted_systems_do_not_miss() {
+    let mut accepted = 0u32;
+    for seed in 0..60u64 {
+        let cfg = WorkloadConfig::default()
+            .processors(2)
+            .tasks_per_processor(3)
+            .utilization(0.4)
+            .resources(1, 2)
+            .sections(0, 2)
+            .section_len(0.02, 0.08);
+        let sys = generate(&cfg, 40_000 + seed);
+        let Ok(bounds) = mpcp_bounds_with(&sys, BlockingConfig::sound()) else {
+            continue;
+        };
+        let blocking: Vec<Dur> = bounds.iter().map(|b| b.total()).collect();
+        if !theorem3(&sys, &blocking).schedulable() {
+            continue;
+        }
+        accepted += 1;
+        let mut sim = Simulator::with_config(
+            &sys,
+            ProtocolKind::Mpcp.build(),
+            SimConfig {
+                record_trace: false,
+                ..SimConfig::until(sys.hyperperiod().ticks().min(150_000))
+            },
+        );
+        sim.run();
+        assert_eq!(
+            sim.misses(),
+            0,
+            "seed {seed}: Theorem 3 accepted but the simulation missed"
+        );
+    }
+    assert!(
+        accepted >= 10,
+        "too few accepted systems ({accepted}) for the check to be meaningful"
+    );
+}
+
+/// The DPCP analysis is validated the same way: on random systems, no
+/// job's measured blocking under the DPCP protocol exceeds the DPCP
+/// bound (sound variant, default hosts).
+#[test]
+fn dpcp_simulated_blocking_within_bounds() {
+    use mpcp::analysis::{default_hosts, dpcp_bounds_with};
+    for seed in 0..40u64 {
+        let cfg = WorkloadConfig::default()
+            .processors(2)
+            .tasks_per_processor(3)
+            .utilization(0.35)
+            .resources(1, 2)
+            .sections(0, 2)
+            .section_len(0.05, 0.15);
+        let sys = generate(&cfg, seed);
+        let bounds =
+            dpcp_bounds_with(&sys, &default_hosts(&sys), BlockingConfig::sound()).unwrap();
+        let mut sim = Simulator::with_config(
+            &sys,
+            ProtocolKind::Dpcp.build(),
+            SimConfig {
+                record_trace: false,
+                ..SimConfig::until(sys.hyperperiod().ticks().min(200_000))
+            },
+        );
+        sim.run();
+        let m = sim.metrics();
+        for t in sys.tasks() {
+            let measured = m.task(t.id()).max_blocking;
+            let bound = bounds[t.id().index()].total();
+            assert!(
+                measured <= bound,
+                "seed {seed}, {}: measured {measured} > bound {bound}",
+                t.id()
+            );
+        }
+    }
+}

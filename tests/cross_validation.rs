@@ -1,0 +1,150 @@
+//! Cross-validation between the subsystems: protocols against each
+//! other, simulator against the threaded runtime, and analysis against
+//! allocation.
+
+use mpcp::alloc::{allocate, Heuristic};
+use mpcp::model::Dur;
+use mpcp::protocols::ProtocolKind;
+use mpcp::sim::{SimConfig, Simulator};
+use mpcp::taskgen::{generate, WorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Without any resources, every protocol degenerates to plain
+    /// fixed-priority preemptive scheduling: all six must produce
+    /// identical per-task response times.
+    #[test]
+    fn protocols_coincide_without_resources(seed in 0u64..10_000) {
+        let cfg = WorkloadConfig::default().sections(0, 0).utilization(0.5);
+        let sys = generate(&cfg, seed);
+        let horizon = sys.hyperperiod().ticks().min(50_000);
+        let reference: Vec<Option<Dur>> = {
+            let mut sim = Simulator::with_config(
+                &sys,
+                ProtocolKind::Mpcp.build(),
+                SimConfig { record_trace: false, ..SimConfig::until(horizon) },
+            );
+            sim.run();
+            let m = sim.metrics();
+            sys.tasks().iter().map(|t| Some(m.task(t.id()).max_response)).collect()
+        };
+        for kind in ProtocolKind::ALL {
+            let mut sim = Simulator::with_config(
+                &sys,
+                kind.build(),
+                SimConfig { record_trace: false, ..SimConfig::until(horizon) },
+            );
+            sim.run();
+            let m = sim.metrics();
+            for t in sys.tasks() {
+                prop_assert_eq!(
+                    Some(m.task(t.id()).max_response),
+                    reference[t.id().index()],
+                    "{} differs for {}", kind, t.id()
+                );
+            }
+        }
+    }
+
+    /// MPCP never deadlocks on assumption-conforming systems: every job
+    /// released well before the horizon completes.
+    #[test]
+    fn mpcp_is_deadlock_free(seed in 0u64..10_000, frac in 0.0f64..1.0) {
+        let cfg = WorkloadConfig::default()
+            .processors(3)
+            .tasks_per_processor(3)
+            .utilization(0.4)
+            .resources(1, 2)
+            .sections(0, 3)
+            .global_access(frac);
+        let sys = generate(&cfg, seed);
+        let horizon = 30_000u64;
+        let mut sim = Simulator::with_config(
+            &sys,
+            ProtocolKind::Mpcp.build(),
+            SimConfig { record_trace: false, ..SimConfig::until(horizon) },
+        );
+        sim.run();
+        // Every job released in the first half of the window completed
+        // (periods are ≤ 10000, utilization low).
+        let m = sim.metrics();
+        for t in sys.tasks() {
+            prop_assert!(
+                m.task(t.id()).completed > 0,
+                "{} never completed a job", t.id()
+            );
+        }
+    }
+}
+
+/// Rebinding by any heuristic preserves analysis validity and the
+/// sharing-aware heuristic's schedulability verdict matches a direct
+/// simulation (no misses when declared schedulable).
+#[test]
+fn allocation_verdicts_are_safe() {
+    let mut checked = 0;
+    for seed in 0..30u64 {
+        let cfg = WorkloadConfig::default()
+            .processors(4)
+            .tasks_per_processor(2)
+            .utilization(0.35)
+            .resources(0, 3)
+            .sections(0, 2)
+            .section_len(0.02, 0.08);
+        let sys = generate(&cfg, 900 + seed);
+        for h in [Heuristic::ResourceAffinity, Heuristic::WorstFitDecreasing] {
+            let Ok(alloc) = allocate(&sys, 4, h) else { continue };
+            if !alloc.schedulable {
+                continue;
+            }
+            checked += 1;
+            let mut sim = Simulator::with_config(
+                &alloc.system,
+                ProtocolKind::Mpcp.build(),
+                SimConfig {
+                    record_trace: false,
+                    ..SimConfig::until(alloc.system.hyperperiod().ticks().min(100_000))
+                },
+            );
+            sim.run();
+            assert_eq!(
+                sim.misses(),
+                0,
+                "seed {seed}, {h}: declared schedulable but missed"
+            );
+        }
+    }
+    assert!(checked >= 10, "too few schedulable allocations ({checked})");
+}
+
+/// The simulator and the threaded runtime agree on lock-grant order for
+/// a deterministic contention pattern (the Example 3 system's SG0 queue).
+#[test]
+fn sim_and_runtime_agree_on_handoff_order() {
+    let (sys, ex) = mpcp_bench::paper::example3();
+    // Simulator order.
+    let mut sim = Simulator::new(&sys, ProtocolKind::Mpcp.build());
+    sim.run_until(25);
+    let sim_order: Vec<_> = sim
+        .trace()
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            mpcp::sim::EventKind::HandedOff { resource, to } if resource == ex.sg0 => {
+                Some(to.task)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sim_order, vec![ex.tau[2], ex.tau[3], ex.tau[4]]);
+    // The runtime is nondeterministic in *when* requests arrive, so only
+    // the invariant (priority order among simultaneous waiters) is
+    // checked there — see runtime_stress.rs. Here we confirm it also
+    // completes the same job set.
+    let rt = mpcp::runtime::Runtime::new(&sys);
+    let log = rt.run_all_once();
+    assert_eq!(log.completions(), sys.tasks().len());
+    log.assert_priority_ordered_handoffs();
+}

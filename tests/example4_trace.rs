@@ -1,0 +1,211 @@
+//! E5 — event-by-event verification of the Example 4 schedule
+//! (Figure 5-1): the reconstructed Example 3 system, simulated under
+//! MPCP, must exhibit every protocol phenomenon the paper's narrative
+//! walks through.
+
+use mpcp::model::{JobId, Time};
+use mpcp::protocols::ProtocolKind;
+use mpcp::sim::{EventKind, Simulator, Trace};
+use mpcp_bench::paper;
+
+fn run() -> (Simulator<Box<dyn mpcp::sim::Protocol>>, paper::Example3) {
+    let (sys, ex) = paper::example3();
+    let mut sim = Simulator::new(&sys, ProtocolKind::Mpcp.build());
+    sim.run_until(25);
+    (sim, ex)
+}
+
+fn jid(ex: &paper::Example3, i: usize) -> JobId {
+    JobId::first(ex.tau[i])
+}
+
+fn completion(trace: &Trace, job: JobId) -> u64 {
+    trace
+        .completion_of(job)
+        .unwrap_or_else(|| panic!("{job} did not complete"))
+        .ticks()
+}
+
+#[test]
+fn all_first_jobs_complete_at_the_expected_times() {
+    let (sim, ex) = run();
+    let tr = sim.trace();
+    assert_eq!(completion(tr, jid(&ex, 0)), 7, "tau1");
+    assert_eq!(completion(tr, jid(&ex, 1)), 9, "tau2");
+    assert_eq!(completion(tr, jid(&ex, 2)), 8, "tau3");
+    assert_eq!(completion(tr, jid(&ex, 3)), 11, "tau4");
+    assert_eq!(completion(tr, jid(&ex, 4)), 14, "tau5");
+    assert_eq!(completion(tr, jid(&ex, 5)), 17, "tau6");
+    assert_eq!(completion(tr, jid(&ex, 6)), 18, "tau7");
+    assert_eq!(sim.misses(), 0);
+}
+
+/// Narrative beat "J arrives but is unable to preempt the gcs": tau1
+/// (highest priority in the system) is released at t=2 while tau2's gcs
+/// on SG0 runs (1..4) and must not start until t=4.
+#[test]
+fn arriving_task_cannot_preempt_a_gcs() {
+    let (sim, ex) = run();
+    let tr = sim.trace();
+    let tau1 = jid(&ex, 0);
+    let release = tr
+        .find(|e| e.job == tau1 && matches!(e.kind, EventKind::Released))
+        .expect("tau1 released")
+        .time;
+    assert_eq!(release, Time::new(2));
+    let first_start = tr
+        .find(|e| e.job == tau1 && matches!(e.kind, EventKind::Started { .. }))
+        .expect("tau1 started")
+        .time;
+    assert_eq!(
+        first_start,
+        Time::new(4),
+        "tau1 must wait for tau2's gcs to end at t=4"
+    );
+}
+
+/// Narrative beat "jobs are queued in priority order on SG0 and the
+/// semaphore is granted to the highest priority job pending": tau5
+/// blocks at t=1, tau3 at t=2, tau4 at t=3; hand-offs must go
+/// tau3 (t=4), tau4 (t=6), tau5 (t=7).
+#[test]
+fn global_queue_serves_by_priority_not_arrival() {
+    let (sim, ex) = run();
+    let tr = sim.trace();
+    let handoffs: Vec<(Time, JobId)> = tr
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::HandedOff { resource, to } if resource == ex.sg0 => Some((e.time, to)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        handoffs,
+        vec![
+            (Time::new(4), jid(&ex, 2)), // tau3 (priority 5)
+            (Time::new(6), jid(&ex, 3)), // tau4 (priority 4)
+            (Time::new(7), jid(&ex, 4)), // tau5 (priority 3), first to arrive
+        ]
+    );
+    // tau5 arrived first (t=1) yet is served last: priority beats FIFO.
+    let block_times: Vec<(Time, JobId)> = tr
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::LockBlocked { resource, .. } if resource == ex.sg0 => {
+                Some((e.time, e.job))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(block_times.first().map(|b| b.1), Some(jid(&ex, 4)));
+}
+
+/// Narrative beat at t=7 of Figure 5-1: a job handed a global semaphore
+/// wakes at its gcs priority and preempts a lower-priority gcs.
+#[test]
+fn woken_gcs_preempts_lower_gcs() {
+    let (sim, ex) = run();
+    let tr = sim.trace();
+    let tau5 = jid(&ex, 4);
+    let tau6 = jid(&ex, 5);
+    // tau6 is preempted by tau5 at t=7 while holding SG1 (its gcs runs
+    // 2..9 with the hole 7..8).
+    let preemption = tr
+        .find(|e| {
+            e.job == tau6
+                && e.time == Time::new(7)
+                && matches!(e.kind, EventKind::Preempted { by, .. } if by == tau5)
+        })
+        .expect("tau5's gcs preempts tau6's gcs at t=7");
+    assert_eq!(preemption.time, Time::new(7));
+    // At that moment tau6 still holds SG1: its V(SG1) is later.
+    let tau6_unlock = tr
+        .find(|e| {
+            e.job == tau6 && matches!(e.kind, EventKind::Unlocked { resource } if resource == ex.sg1)
+        })
+        .expect("tau6 releases SG1")
+        .time;
+    assert!(tau6_unlock > Time::new(7));
+}
+
+/// Narrative beat "finds that its priority is not greater than the
+/// priority ceiling of the locked semaphore; hence it blocks and the
+/// holder resumes at the inherited priority": tau5's request for S2 at
+/// t=9 is ceiling-blocked by S3 (held by tau7), and tau7 inherits
+/// priority 3.
+#[test]
+fn local_pcp_ceiling_blocking_with_inheritance() {
+    let (sim, ex) = run();
+    let tr = sim.trace();
+    let tau5 = jid(&ex, 4);
+    let tau7 = jid(&ex, 6);
+    let blocked = tr
+        .find(|e| {
+            e.job == tau5
+                && matches!(
+                    e.kind,
+                    EventKind::LockBlocked { resource, holder: Some(h) }
+                        if resource == ex.s2 && h == tau7
+                )
+        })
+        .expect("tau5 ceiling-blocked on S2 by tau7 (holder of S3)");
+    assert_eq!(blocked.time, Time::new(10));
+    // tau7 inherited tau5's priority.
+    let inherited = tr.max_priority_of(tau7, mpcp::model::Priority::task(1));
+    assert_eq!(inherited, mpcp::model::Priority::task(3));
+}
+
+/// Narrative beat "when a higher priority job suspends on a global
+/// semaphore, a lower priority job can execute": tau4 runs at t=2..3 on
+/// P2 while tau3 is suspended on SG0, and tau7 locks S3 on P3 while tau5
+/// is suspended (the §5.1 factor-1 situation).
+#[test]
+fn lower_priority_jobs_run_during_suspensions() {
+    let (sim, ex) = run();
+    let tr = sim.trace();
+    // tau3 blocks on SG0 at t=2; tau4 then issues its own request at t=3,
+    // so it must have been running in between.
+    let tau4_request = tr
+        .find(|e| {
+            e.job == jid(&ex, 3)
+                && matches!(e.kind, EventKind::LockRequested { resource } if resource == ex.sg0)
+        })
+        .expect("tau4 requests SG0")
+        .time;
+    assert_eq!(tau4_request, Time::new(3));
+    // tau7 (lowest priority) locks S3 at t=1 while tau5 is suspended.
+    let tau7_lock = tr
+        .find(|e| {
+            e.job == jid(&ex, 6)
+                && matches!(e.kind, EventKind::LockGranted { resource } if resource == ex.s3)
+        })
+        .expect("tau7 locks S3")
+        .time;
+    assert_eq!(tau7_lock, Time::new(1));
+}
+
+/// The gcs priorities observed in the trace equal the paper's
+/// `P_G + P_H` values from Table 4-2.
+#[test]
+fn observed_gcs_priorities_match_table_4_2() {
+    let (sim, ex) = run();
+    let tr = sim.trace();
+    use mpcp::model::Priority;
+    // tau2's gcs on SG0 runs at PG+5 (highest remote user tau3).
+    assert_eq!(
+        tr.max_priority_of(jid(&ex, 1), Priority::task(6)),
+        Priority::global(5)
+    );
+    // tau6's gcs on SG1 runs at PG+4 (remote user tau4).
+    assert_eq!(
+        tr.max_priority_of(jid(&ex, 5), Priority::task(2)),
+        Priority::global(4)
+    );
+    // tau5 is handed SG0 and wakes at PG+6 (remote user tau2).
+    assert_eq!(
+        tr.max_priority_of(jid(&ex, 4), Priority::task(3)),
+        Priority::global(6)
+    );
+}

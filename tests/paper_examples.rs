@@ -1,0 +1,96 @@
+//! E1, E2, E7 — the motivating examples: unbounded inversion under raw
+//! semaphores (Figure 3-1), the insufficiency of inheritance on
+//! multiprocessors (Figure 3-2), and the Dhall effect that justifies
+//! static binding (§3.2).
+
+use mpcp::model::Dur;
+use mpcp::protocols::ProtocolKind;
+use mpcp_bench::experiments::{dhall_misses, measured_blocking};
+use mpcp_bench::paper;
+
+/// Figure 3-1: under raw semaphores, tau1's blocking scales linearly
+/// with the medium task's execution time; under PIP and MPCP it is a
+/// constant (one critical section's remainder).
+#[test]
+fn example1_blocking_scaling() {
+    let mut raw = Vec::new();
+    let mut pip = Vec::new();
+    let mut mpcp = Vec::new();
+    for c2 in [10u64, 20, 40] {
+        let (sys, ex) = paper::example1(c2);
+        raw.push(measured_blocking(&sys, ProtocolKind::Raw, 500, ex.tau1));
+        pip.push(measured_blocking(&sys, ProtocolKind::Pip, 500, ex.tau1));
+        mpcp.push(measured_blocking(&sys, ProtocolKind::Mpcp, 500, ex.tau1));
+    }
+    // Raw grows by exactly the growth of C2 (10 then 20 more ticks).
+    assert_eq!(raw[1] - raw[0], Dur::new(10));
+    assert_eq!(raw[2] - raw[1], Dur::new(20));
+    // PIP and MPCP are flat.
+    assert_eq!(pip[0], pip[2]);
+    assert_eq!(mpcp[0], mpcp[2]);
+    // And bounded by one critical section (4 ticks).
+    assert!(pip[0] <= Dur::new(4));
+    assert!(mpcp[0] <= Dur::new(4));
+}
+
+/// Figure 3-2: inheritance does not help when the preemptor outranks the
+/// inherited priority; tau3's blocking grows with C1 under PIP and
+/// direct PCP but not under MPCP.
+#[test]
+fn example2_blocking_scaling() {
+    let mut pip = Vec::new();
+    let mut direct = Vec::new();
+    let mut mpcp = Vec::new();
+    for c1 in [10u64, 20, 40] {
+        let (sys, ex) = paper::example2(c1);
+        pip.push(measured_blocking(&sys, ProtocolKind::Pip, 500, ex.tau3));
+        direct.push(measured_blocking(&sys, ProtocolKind::DirectPcp, 500, ex.tau3));
+        mpcp.push(measured_blocking(&sys, ProtocolKind::Mpcp, 500, ex.tau3));
+    }
+    assert_eq!(pip[1] - pip[0], Dur::new(10));
+    assert_eq!(direct[1] - direct[0], Dur::new(10));
+    assert_eq!(mpcp[0], mpcp[2], "MPCP blocking must not scale with C1");
+    assert!(mpcp[0] <= Dur::new(5), "at most one critical section");
+}
+
+/// The §3.3 goal hierarchy: on Example 2, the non-preemptive baseline
+/// also bounds tau3's blocking (goal G1), but at the cost of delaying
+/// the *highest*-priority task tau1 behind every critical section —
+/// which MPCP's gcs-only boosting avoids for local sections.
+#[test]
+fn example2_nonpreemptive_also_bounds_but_mpcp_matches() {
+    let (sys, ex) = paper::example2(40);
+    let np = measured_blocking(&sys, ProtocolKind::NonPreemptive, 500, ex.tau3);
+    let mpcp = measured_blocking(&sys, ProtocolKind::Mpcp, 500, ex.tau3);
+    assert!(np <= Dur::new(5));
+    assert!(mpcp <= Dur::new(5));
+}
+
+/// §3.2: dynamic binding misses a deadline although utilization per
+/// processor shrinks as 1/m; static binding schedules the same set for
+/// every m.
+#[test]
+fn dhall_effect_for_growing_m() {
+    for m in [2usize, 3, 4, 8] {
+        let (dynamic, static_) = dhall_misses(m);
+        assert!(dynamic > 0, "m={m}: dynamic binding must miss");
+        assert_eq!(static_, 0, "m={m}: static binding must not miss");
+    }
+}
+
+/// All six protocols keep every example system deadlock-free and
+/// complete all jobs.
+#[test]
+fn all_protocols_complete_the_examples() {
+    use mpcp::sim::Simulator;
+    for kind in ProtocolKind::ALL {
+        for sys in [paper::example1(10).0, paper::example2(10).0, paper::example3().0] {
+            let mut sim = Simulator::new(&sys, kind.build());
+            sim.run_until(900);
+            assert!(
+                sim.records().len() >= sys.tasks().len(),
+                "{kind}: first jobs must all complete"
+            );
+        }
+    }
+}

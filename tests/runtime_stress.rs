@@ -1,0 +1,122 @@
+//! Threaded-runtime stress: the §5.4 implementation must uphold the
+//! protocol invariants under real concurrency, across many random
+//! systems and repeated runs (different interleavings each time).
+
+use mpcp::model::{Body, Priority, System, TaskDef};
+use mpcp::runtime::{MpcpMutex, Runtime};
+use mpcp::taskgen::{generate, WorkloadConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shrinks a generated system's computation segments so threaded runs
+/// finish quickly (1 tick = 1 checkpoint).
+fn shrink(system: &System) -> System {
+    mpcp::analysis::scale_system(system, 1, 50)
+}
+
+#[test]
+fn random_systems_hold_invariants_under_threads() {
+    for seed in 0..8u64 {
+        let cfg = WorkloadConfig::default()
+            .processors(3)
+            .tasks_per_processor(2)
+            .utilization(0.5)
+            .resources(1, 2)
+            .sections(1, 2)
+            .section_len(0.05, 0.2);
+        let sys = shrink(&generate(&cfg, seed));
+        let rt = Runtime::new(&sys);
+        let log = rt.run_all_once();
+        assert_eq!(log.completions(), sys.tasks().len(), "seed {seed}");
+        log.assert_mutual_exclusion();
+        log.assert_priority_ordered_handoffs();
+    }
+}
+
+#[test]
+fn example3_runs_on_real_threads() {
+    let (sys, _) = mpcp_bench::paper::example3();
+    for _ in 0..5 {
+        let rt = Runtime::new(&sys);
+        let log = rt.run_all_once();
+        assert_eq!(log.completions(), 7);
+        log.assert_mutual_exclusion();
+        log.assert_priority_ordered_handoffs();
+    }
+}
+
+/// The standalone lock under heavy mixed-priority contention: counts
+/// must balance and the data must never tear.
+#[test]
+fn mpcp_mutex_heavy_contention() {
+    let lock = Arc::new(MpcpMutex::new((0u64, 0u64)));
+    let acquisitions = Arc::new(AtomicU64::new(0));
+    let threads = 8u32;
+    let iters = 300u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let lock = Arc::clone(&lock);
+            let acquisitions = Arc::clone(&acquisitions);
+            std::thread::spawn(move || {
+                for k in 0..iters {
+                    let mut g = lock.lock(Priority::task(i % 4));
+                    // Write two fields non-atomically; a mutual-exclusion
+                    // bug shows up as a torn pair.
+                    g.0 += 1;
+                    g.1 += 1;
+                    assert_eq!(g.0, g.1, "torn critical section");
+                    acquisitions.fetch_add(1, Ordering::Relaxed);
+                    if k % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let final_ = *lock.lock(Priority::task(0));
+    assert_eq!(final_.0, u64::from(threads) * iters);
+    assert_eq!(acquisitions.load(Ordering::Relaxed), final_.0);
+}
+
+/// A single-processor runtime serializes everything in priority order at
+/// the first checkpoint: the highest-priority job finishes first.
+#[test]
+fn uniprocessor_runtime_respects_priority() {
+    let mut b = System::builder();
+    let p = b.add_processor("P0");
+    for i in 0..3u32 {
+        b.add_task(
+            TaskDef::new(format!("t{i}"), p)
+                .period(1_000)
+                .priority(i + 1)
+                .body(Body::builder().compute(5).build()),
+        );
+    }
+    let sys = b.build().unwrap();
+    let rt = Runtime::new(&sys);
+    let log = rt.run_all_once();
+    let completions: Vec<_> = log
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, mpcp::runtime::RtEventKind::Completed))
+        .map(|e| e.priority)
+        .collect();
+    assert_eq!(completions.len(), 3);
+    // Highest priority completes first (all were released together).
+    assert_eq!(completions[0], Priority::task(3));
+}
+
+/// Repeated executions multiply contention interleavings; invariants
+/// must survive them all.
+#[test]
+fn repeated_jobs_hold_invariants() {
+    let (sys, _) = mpcp_bench::paper::example3();
+    let rt = Runtime::new(&sys);
+    let log = rt.run_all_repeated(5);
+    assert_eq!(log.completions(), sys.tasks().len());
+    log.assert_mutual_exclusion();
+    log.assert_priority_ordered_handoffs();
+}

@@ -1,0 +1,149 @@
+//! E11 / E14 — direct checks of Theorems 1 and 2.
+
+use mpcp::model::{Body, Dur, JobId, System, TaskDef};
+use mpcp::protocols::ProtocolKind;
+use mpcp::sim::{EventKind, Simulator};
+use mpcp_bench::experiments::theorem1_point;
+use proptest::prelude::*;
+
+/// Theorem 1: a job that suspends `n` times is blocked by at most `n+1`
+/// lower-priority critical sections.
+#[test]
+fn theorem1_suspension_blocking_bound() {
+    for n in 0..6usize {
+        let (measured, bound) = theorem1_point(n);
+        assert!(
+            measured <= bound,
+            "n={n}: measured {measured} exceeds (n+1) sections = {bound}"
+        );
+    }
+}
+
+/// Theorem 1's bound is tight in shape: more suspensions allow more
+/// blocking (monotone non-decreasing in this adversarial workload).
+#[test]
+fn theorem1_blocking_grows_with_suspensions() {
+    let b0 = theorem1_point(0).0;
+    let b4 = theorem1_point(4).0;
+    assert!(b4 >= b0, "blocking with 4 suspensions ({b4}) < with 0 ({b0})");
+    assert!(b4 > Dur::ZERO, "the workload must actually block");
+}
+
+fn theorem2_system(boost: bool, c_med: u64) -> (System, JobId) {
+    // Remote job J_r waits for a gcs on P0 that a medium local task tries
+    // to preempt. With the boost (MPCP), J_r's wait excludes C_med; the
+    // direct-pcp baseline includes it.
+    // The preemptor ("med") outranks the remote waiter, so inheritance
+    // cannot shield the critical section — only the gcs boost can
+    // (exactly Example 2's constellation).
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let s = b.add_resource("S");
+    b.add_task(
+        TaskDef::new("med", p[0])
+            .period(1_000)
+            .priority(3)
+            .offset(1)
+            .body(Body::builder().compute(c_med).build()),
+    );
+    b.add_task(TaskDef::new("holder", p[0]).period(1_000).priority(2).body(
+        Body::builder().critical(s, |c| c.compute(4)).build(),
+    ));
+    b.add_task(
+        TaskDef::new("remote", p[1])
+            .period(1_000)
+            .priority(1)
+            .offset(1)
+            .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+    );
+    let sys = b.build().expect("valid");
+    let remote = JobId::first(sys.tasks()[2].id());
+    let _ = boost;
+    (sys, remote)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorem 2, forward direction: when the gcs cannot be preempted by
+    /// non-critical code (MPCP), the remote waiting time is a function of
+    /// critical sections only — it does not change as the medium task's
+    /// execution time grows.
+    #[test]
+    fn theorem2_boosted_gcs_gives_cs_only_blocking(c_med in 1u64..60) {
+        let (sys, remote) = theorem2_system(true, c_med);
+        let mut sim = Simulator::new(&sys, ProtocolKind::Mpcp.build());
+        sim.run_until(500);
+        let blocked = sim
+            .records()
+            .iter()
+            .find(|r| r.id == remote)
+            .expect("remote completed")
+            .measured_blocking();
+        // Exactly the remainder of the holder's section: 3 ticks
+        // (requested at t=1, section runs 0..4).
+        prop_assert_eq!(blocked, Dur::new(3));
+    }
+
+    /// Theorem 2, converse: if the gcs can be preempted by non-critical
+    /// code (direct PCP), remote blocking grows with that code's length.
+    #[test]
+    fn theorem2_unboosted_gcs_leaks_execution_time(c_med in 10u64..60) {
+        let (sys, remote) = theorem2_system(false, c_med);
+        let mut sim = Simulator::new(&sys, ProtocolKind::DirectPcp.build());
+        sim.run_until(500);
+        let blocked = sim
+            .records()
+            .iter()
+            .find(|r| r.id == remote)
+            .expect("remote completed")
+            .measured_blocking();
+        // The medium task's entire execution sits inside the wait.
+        prop_assert!(blocked >= Dur::new(c_med));
+    }
+}
+
+/// Structural form of Theorem 2 on the Example 3 schedule: whenever a
+/// job holds a global semaphore and is preempted, the preemptor is
+/// itself inside a global critical section (never plain task code).
+#[test]
+fn gcs_preemptors_are_gcs_jobs() {
+    let (sys, _) = mpcp_bench::paper::example3();
+    let mut sim = Simulator::new(&sys, ProtocolKind::Mpcp.build());
+    sim.run_until(25);
+    let tr = sim.trace();
+    let info = sys.info();
+    // Replay held sets per job.
+    use std::collections::HashMap;
+    let mut held: HashMap<JobId, Vec<mpcp::model::ResourceId>> = HashMap::new();
+    for e in tr.events() {
+        match e.kind {
+            EventKind::LockGranted { resource } | EventKind::HandedOff { resource, .. } => {
+                held.entry(e.job).or_default().push(resource);
+            }
+            EventKind::Unlocked { resource } => {
+                if let Some(v) = held.get_mut(&e.job) {
+                    if let Some(pos) = v.iter().rposition(|&r| r == resource) {
+                        v.remove(pos);
+                    }
+                }
+            }
+            EventKind::Preempted { by, .. } => {
+                let victim_in_gcs = held
+                    .get(&e.job)
+                    .is_some_and(|v| v.iter().any(|r| info.scope(*r).is_global()));
+                if victim_in_gcs {
+                    let preemptor_in_gcs = held
+                        .get(&by)
+                        .is_some_and(|v| v.iter().any(|r| info.scope(*r).is_global()));
+                    assert!(
+                        preemptor_in_gcs,
+                        "{}: gcs of {} preempted by non-gcs job {by}",
+                        e.time, e.job
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
