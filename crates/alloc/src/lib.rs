@@ -193,7 +193,7 @@ impl Bins {
 }
 
 fn by_utilization_desc(system: &System) -> Vec<TaskId> {
-    let mut ids: Vec<TaskId> = system.tasks().iter().map(|t| t.id()).collect();
+    let mut ids: Vec<TaskId> = system.tasks().iter().map(mpcp_model::Task::id).collect();
     ids.sort_by(|a, b| {
         system
             .task(*b)
@@ -325,7 +325,10 @@ fn finish(system: &System, m: usize, assignment: Vec<usize>) -> Allocation {
     let global_resources = info.global_resources().len();
     let schedulable = match mpcp_bounds(&rebound) {
         Ok(bounds) => {
-            let blocking: Vec<_> = bounds.iter().map(|b| b.total()).collect();
+            let blocking: Vec<_> = bounds
+                .iter()
+                .map(mpcp_analysis::BlockingBreakdown::total)
+                .collect();
             theorem3(&rebound, &blocking).schedulable()
         }
         Err(_) => false,

@@ -286,12 +286,18 @@ mod tests {
                     .build(),
             ),
         );
-        b.add_task(TaskDef::new("mid", p[1]).period(200).priority(3).body(
-            Body::builder().critical(sg, |c| c.compute(6)).build(),
-        ));
-        b.add_task(TaskDef::new("low2", p[1]).period(400).priority(2).body(
-            Body::builder().critical(sg, |c| c.compute(7)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("mid", p[1])
+                .period(200)
+                .priority(3)
+                .body(Body::builder().critical(sg, |c| c.compute(6)).build()),
+        );
+        b.add_task(
+            TaskDef::new("low2", p[1])
+                .period(400)
+                .priority(2)
+                .body(Body::builder().critical(sg, |c| c.compute(7)).build()),
+        );
         b.build().unwrap()
     }
 

@@ -75,10 +75,7 @@ pub fn collapse_nested_globals(system: &System) -> (System, Vec<LockGroup>) {
         if ms.len() < 2 {
             continue;
         }
-        let names: Vec<&str> = ms
-            .iter()
-            .map(|r| system.resource(*r).name())
-            .collect();
+        let names: Vec<&str> = ms.iter().map(|r| system.resource(*r).name()).collect();
         let group = b.add_resource(format!("G({})", names.join("+")));
         for &m in ms {
             group_of.insert(m, group);
@@ -130,10 +127,7 @@ pub fn collapse_nested_globals(system: &System) -> (System, Vec<LockGroup>) {
                 .body(Body::from_segments(segs)),
         );
     }
-    (
-        b.build().expect("collapsing preserves validity"),
-        groups,
-    )
+    (b.build().expect("collapsing preserves validity"), groups)
 }
 
 #[cfg(test)]
@@ -165,9 +159,12 @@ mod tests {
                     .build(),
             ),
         );
-        b.add_task(TaskDef::new("c", p[0]).period(300).priority(1).body(
-            Body::builder().critical(s1, |c| c.compute(4)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("c", p[0])
+                .period(300)
+                .priority(1)
+                .body(Body::builder().critical(s1, |c| c.compute(4)).build()),
+        );
         b.build().unwrap()
     }
 
@@ -196,10 +193,7 @@ mod tests {
         let b = &collapsed.tasks()[1];
         assert_eq!(b.body().sections_of(g).len(), 1);
         // S3 sections survive untouched.
-        assert_eq!(
-            a.body().sections_of(ResourceId::from_index(2)).len(),
-            1
-        );
+        assert_eq!(a.body().sections_of(ResourceId::from_index(2)).len(), 1);
     }
 
     #[test]
@@ -207,9 +201,11 @@ mod tests {
         let mut b = System::builder();
         let p = b.add_processor("P0");
         let s = b.add_resource("S");
-        b.add_task(TaskDef::new("a", p).period(10).body(
-            Body::builder().critical(s, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("a", p)
+                .period(10)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
         let sys = b.build().unwrap();
         let (same, groups) = collapse_nested_globals(&sys);
         assert!(groups.is_empty());

@@ -49,7 +49,7 @@ impl Facts {
                             && (!cs.nested.is_empty() || !cs.enclosing.is_empty())
                     })
                 })
-                .map(|t| t.id())
+                .map(mpcp_model::Task::id)
                 .expect("some task exhibits the nesting");
             return Err(AnalysisError::NestedGlobalSections { task });
         }
@@ -143,9 +143,12 @@ mod tests {
                     .build(),
             ),
         );
-        b.add_task(TaskDef::new("b", p[1]).period(20).priority(1).body(
-            Body::builder().critical(sg, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(20)
+                .priority(1)
+                .body(Body::builder().critical(sg, |c| c.compute(1)).build()),
+        );
         let sys = b.build().unwrap();
         assert!(matches!(
             Facts::compute(&sys),
@@ -158,9 +161,11 @@ mod tests {
         let mut b = System::builder();
         let p = b.add_processor("P0");
         let s = b.add_resource("S");
-        b.add_task(TaskDef::new("a", p).period(10).body(
-            Body::builder().critical(s, |c| c.suspend(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("a", p)
+                .period(10)
+                .body(Body::builder().critical(s, |c| c.suspend(1)).build()),
+        );
         let sys = b.build().unwrap();
         assert!(matches!(
             Facts::compute(&sys),
@@ -184,9 +189,12 @@ mod tests {
                     .build(),
             ),
         );
-        b.add_task(TaskDef::new("b", p[1]).period(25).priority(1).body(
-            Body::builder().critical(sg, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(25)
+                .priority(1)
+                .body(Body::builder().critical(sg, |c| c.compute(1)).build()),
+        );
         let sys = b.build().unwrap();
         let f = Facts::compute(&sys).unwrap();
         let a = &f.tasks[0];

@@ -182,12 +182,18 @@ mod tests {
         let mut b = System::builder();
         let p = b.add_processors(2);
         let s = b.add_resource("S");
-        b.add_task(TaskDef::new("a", p[0]).period(10).priority(2).body(
-            Body::builder().critical(s, |c| c.compute(1)).build(),
-        ));
-        b.add_task(TaskDef::new("b", p[1]).period(20).priority(1).body(
-            Body::builder().critical(s, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("a", p[0])
+                .period(10)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(20)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
         let sys = b.build().unwrap();
         validate_lock_ordering(&sys).unwrap();
         assert!(global_nesting_edges(&sys).is_empty());

@@ -182,20 +182,30 @@ mod tests {
         let p = b.add_processors(2);
         let sa = b.add_resource("SA");
         let sb = b.add_resource("SB");
-        b.add_task(TaskDef::new("hi", p[0]).period(100).priority(4).body(
-            Body::builder().critical(sa, |c| c.compute(3)).build(),
-        ));
         b.add_task(
-            TaskDef::new("mid", p[1]).period(200).priority(3).body(
-                Body::builder().critical(sb, |c| c.compute(5)).build(),
-            ),
+            TaskDef::new("hi", p[0])
+                .period(100)
+                .priority(4)
+                .body(Body::builder().critical(sa, |c| c.compute(3)).build()),
         );
-        b.add_task(TaskDef::new("loA", p[1]).period(300).priority(2).body(
-            Body::builder().critical(sa, |c| c.compute(2)).build(),
-        ));
-        b.add_task(TaskDef::new("loB", p[0]).period(400).priority(1).body(
-            Body::builder().critical(sb, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("mid", p[1])
+                .period(200)
+                .priority(3)
+                .body(Body::builder().critical(sb, |c| c.compute(5)).build()),
+        );
+        b.add_task(
+            TaskDef::new("loA", p[1])
+                .period(300)
+                .priority(2)
+                .body(Body::builder().critical(sa, |c| c.compute(2)).build()),
+        );
+        b.add_task(
+            TaskDef::new("loB", p[0])
+                .period(400)
+                .priority(1)
+                .body(Body::builder().critical(sb, |c| c.compute(1)).build()),
+        );
         b.build().unwrap()
     }
 

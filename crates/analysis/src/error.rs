@@ -39,10 +39,9 @@ impl fmt::Display for AnalysisError {
                 f,
                 "task {task} has nested global critical sections; collapse them first"
             ),
-            AnalysisError::SuspensionInCriticalSection { task } => write!(
-                f,
-                "task {task} self-suspends inside a critical section"
-            ),
+            AnalysisError::SuspensionInCriticalSection { task } => {
+                write!(f, "task {task} self-suspends inside a critical section")
+            }
             AnalysisError::CyclicLockOrder { cycle } => {
                 write!(f, "global lock order has a cycle: ")?;
                 for (i, r) in cycle.iter().enumerate() {

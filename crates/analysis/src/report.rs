@@ -11,7 +11,11 @@ pub fn ceiling_table(system: &System) -> String {
     let info = system.info();
     let ceilings = CeilingTable::compute(system);
     let mut out = String::new();
-    let _ = writeln!(out, "{:<12} {:<10} {:<14}", "semaphore", "scope", "priority ceiling");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<10} {:<14}",
+        "semaphore", "scope", "priority ceiling"
+    );
     for u in info.all_usage() {
         let scope = match u.scope {
             Scope::Local(p) => format!("local({})", system.processor(p).name()),
@@ -161,12 +165,18 @@ mod tests {
                     .build(),
             ),
         );
-        b.add_task(TaskDef::new("lo", p[1]).period(200).priority(1).body(
-            Body::builder().critical(sg, |c| c.compute(3)).build(),
-        ));
-        b.add_task(TaskDef::new("l2", p[0]).period(300).priority(0).body(
-            Body::builder().critical(sl, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("lo", p[1])
+                .period(200)
+                .priority(1)
+                .body(Body::builder().critical(sg, |c| c.compute(3)).build()),
+        );
+        b.add_task(
+            TaskDef::new("l2", p[0])
+                .period(300)
+                .priority(0)
+                .body(Body::builder().critical(sl, |c| c.compute(1)).build()),
+        );
         b.build().unwrap()
     }
 
@@ -189,7 +199,10 @@ mod tests {
         assert!(bt.contains("F5"));
         assert!(bt.contains("hi"));
 
-        let blocking: Vec<_> = bounds.iter().map(|b| b.total()).collect();
+        let blocking: Vec<_> = bounds
+            .iter()
+            .map(super::super::blocking::BlockingBreakdown::total)
+            .collect();
         let st = sched_table(&sys, &theorem3(&sys, &blocking));
         assert!(st.contains("schedulable"));
     }

@@ -182,8 +182,7 @@ pub fn response_times_with_jitter(system: &System, blocking: &[Dur]) -> Vec<Opti
         .tasks()
         .iter()
         .map(|t| {
-            let suspends = info.task_use(t.id()).gcs_count() > 0
-                || t.body().suspension_count() > 0;
+            let suspends = info.task_use(t.id()).gcs_count() > 0 || t.body().suspension_count() > 0;
             if suspends {
                 blocking[t.id().index()]
             } else {
@@ -248,13 +247,9 @@ pub fn scale_system(system: &System, num: u64, den: u64) -> System {
     fn scale_segs(segs: &[Segment], num: u64, den: u64) -> Vec<Segment> {
         segs.iter()
             .map(|s| match s {
-                Segment::Compute(d) => {
-                    Segment::Compute(Dur::new((d.ticks() * num).div_ceil(den)))
-                }
+                Segment::Compute(d) => Segment::Compute(Dur::new((d.ticks() * num).div_ceil(den))),
                 Segment::Suspend(d) => Segment::Suspend(*d),
-                Segment::Critical(r, body) => {
-                    Segment::Critical(*r, scale_segs(body, num, den))
-                }
+                Segment::Critical(r, body) => Segment::Critical(*r, scale_segs(body, num, den)),
             })
             .collect()
     }
@@ -404,9 +399,12 @@ mod tests {
                 .priority(1)
                 .body(Body::builder().compute(7).build()),
         );
-        b.add_task(TaskDef::new("rem", p[1]).period(40).priority(2).body(
-            Body::builder().critical(s, |c| c.compute(5)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("rem", p[1])
+                .period(40)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(5)).build()),
+        );
         let sys = b.build().unwrap();
         let blocking = vec![Dur::new(5), Dur::ZERO, Dur::ZERO];
         let plain = response_times(&sys, &blocking);

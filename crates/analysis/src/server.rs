@@ -160,8 +160,7 @@ mod tests {
         // -> R = 4.
         let r = response_times(&sys, &blocking)[server.index()].unwrap();
         assert_eq!(r, Dur::new(4));
-        let bound =
-            aperiodic_response_bound(&sys, server, sp, Dur::new(5), &blocking).unwrap();
+        let bound = aperiodic_response_bound(&sys, server, sp, Dur::new(5), &blocking).unwrap();
         // 2 polls: 15 + 15 + 4 = 34.
         assert_eq!(bound, Dur::new(34));
     }

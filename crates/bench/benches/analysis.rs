@@ -2,8 +2,8 @@
 //! the §5.1 blocking bounds and the §5.2 DPCP bounds (E8/E9), and the
 //! Theorem 3 / response-time schedulability tests (E10).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpcp_analysis::{dpcp_bounds, mpcp_bounds, rta_schedulable, theorem3};
+use mpcp_bench::harness::Runner;
 use mpcp_core::{CeilingTable, GcsPriorities};
 use mpcp_model::Dur;
 use mpcp_taskgen::{generate, WorkloadConfig};
@@ -21,69 +21,35 @@ fn system_of(procs: usize, tasks: usize) -> mpcp_model::System {
     )
 }
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
+fn main() {
+    let runner = Runner::from_args();
     for (procs, tasks) in [(2, 4), (4, 8), (8, 16)] {
         let sys = system_of(procs, tasks);
-        g.bench_with_input(
-            BenchmarkId::new("ceilings", format!("{procs}x{tasks}")),
-            &sys,
-            |b, sys| b.iter(|| black_box(CeilingTable::compute(sys))),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("gcs_priorities", format!("{procs}x{tasks}")),
-            &sys,
-            |b, sys| b.iter(|| black_box(GcsPriorities::compute(sys))),
-        );
+        runner.bench(&format!("tables/ceilings/{procs}x{tasks}"), || {
+            black_box(CeilingTable::compute(&sys))
+        });
+        runner.bench(&format!("tables/gcs_priorities/{procs}x{tasks}"), || {
+            black_box(GcsPriorities::compute(&sys))
+        });
+        runner.bench(&format!("blocking_bounds/mpcp/{procs}x{tasks}"), || {
+            black_box(mpcp_bounds(&sys).unwrap())
+        });
+        runner.bench(&format!("blocking_bounds/dpcp/{procs}x{tasks}"), || {
+            black_box(dpcp_bounds(&sys).unwrap())
+        });
     }
-    g.finish();
-}
-
-fn bench_blocking_bounds(c: &mut Criterion) {
-    let mut g = c.benchmark_group("blocking_bounds");
-    for (procs, tasks) in [(2, 4), (4, 8), (8, 16)] {
-        let sys = system_of(procs, tasks);
-        g.bench_with_input(
-            BenchmarkId::new("mpcp", format!("{procs}x{tasks}")),
-            &sys,
-            |b, sys| b.iter(|| black_box(mpcp_bounds(sys).unwrap())),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("dpcp", format!("{procs}x{tasks}")),
-            &sys,
-            |b, sys| b.iter(|| black_box(dpcp_bounds(sys).unwrap())),
-        );
-    }
-    g.finish();
-}
-
-fn bench_schedulability(c: &mut Criterion) {
-    let mut g = c.benchmark_group("schedulability");
     for (procs, tasks) in [(2, 4), (8, 16)] {
         let sys = system_of(procs, tasks);
         let blocking: Vec<Dur> = mpcp_bounds(&sys)
             .unwrap()
             .iter()
-            .map(|b| b.total())
+            .map(mpcp_analysis::BlockingBreakdown::total)
             .collect();
-        g.bench_with_input(
-            BenchmarkId::new("theorem3", format!("{procs}x{tasks}")),
-            &(&sys, &blocking),
-            |b, (sys, blocking)| b.iter(|| black_box(theorem3(sys, blocking))),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("rta", format!("{procs}x{tasks}")),
-            &(&sys, &blocking),
-            |b, (sys, blocking)| b.iter(|| black_box(rta_schedulable(sys, blocking))),
-        );
+        runner.bench(&format!("schedulability/theorem3/{procs}x{tasks}"), || {
+            black_box(theorem3(&sys, &blocking))
+        });
+        runner.bench(&format!("schedulability/rta/{procs}x{tasks}"), || {
+            black_box(rta_schedulable(&sys, &blocking))
+        });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_tables,
-    bench_blocking_bounds,
-    bench_schedulability
-);
-criterion_main!(benches);

@@ -1,35 +1,27 @@
 //! Benchmarks of workload generation (the substrate of E8–E10) and of
 //! the allocation heuristics (§6).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpcp_alloc::{allocate, Heuristic};
+use mpcp_bench::harness::Runner;
 use mpcp_taskgen::{generate, WorkloadConfig};
 use std::hint::black_box;
 
-fn bench_generate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("taskgen");
+fn main() {
+    let runner = Runner::from_args();
+
     for (procs, tasks) in [(2, 4), (8, 8), (16, 16)] {
         let cfg = WorkloadConfig::default()
             .processors(procs)
             .tasks_per_processor(tasks)
             .resources(1, procs)
             .sections(1, 3);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{procs}x{tasks}")),
-            &cfg,
-            |b, cfg| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    black_box(generate(cfg, seed))
-                })
-            },
-        );
+        let mut seed = 0u64;
+        runner.bench(&format!("taskgen/{procs}x{tasks}"), || {
+            seed += 1;
+            black_box(generate(&cfg, seed))
+        });
     }
-    g.finish();
-}
 
-fn bench_allocate(c: &mut Criterion) {
     let sys = generate(
         &WorkloadConfig::default()
             .processors(8)
@@ -39,14 +31,9 @@ fn bench_allocate(c: &mut Criterion) {
             .sections(1, 2),
         3,
     );
-    let mut g = c.benchmark_group("allocate_32_tasks_8_procs");
     for h in Heuristic::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(h.name()), &h, |b, &h| {
-            b.iter(|| black_box(allocate(&sys, 8, h).unwrap().global_resources))
+        runner.bench(&format!("allocate_32_tasks_8_procs/{}", h.name()), || {
+            black_box(allocate(&sys, 8, h).unwrap().global_resources)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_generate, bench_allocate);
-criterion_main!(benches);

@@ -1,37 +1,13 @@
 //! E13 — §5.4 lock-primitive micro-benchmarks: the priority-queued
 //! `MpcpMutex` (spin-then-queue, direct hand-off) against a FIFO
-//! hand-off lock and a plain `parking_lot::Mutex`, uncontended and under
+//! hand-off lock and a plain `std::sync::Mutex`, uncontended and under
 //! multi-thread contention.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcp_bench::harness::Runner;
 use mpcp_model::Priority;
 use mpcp_runtime::{FifoMutex, MpcpMutex};
 use std::hint::black_box;
-use std::sync::Arc;
-
-fn bench_uncontended(c: &mut Criterion) {
-    let mut g = c.benchmark_group("uncontended");
-    let m = MpcpMutex::new(0u64);
-    g.bench_function("mpcp_mutex", |b| {
-        b.iter(|| {
-            *m.lock(Priority::task(1)) += 1;
-        })
-    });
-    let f = FifoMutex::new(0u64);
-    g.bench_function("fifo_mutex", |b| {
-        b.iter(|| {
-            *f.lock() += 1;
-        })
-    });
-    let p = parking_lot::Mutex::new(0u64);
-    g.bench_function("parking_lot", |b| {
-        b.iter(|| {
-            *p.lock() += 1;
-        })
-    });
-    g.finish();
-    black_box((m.into_inner(), f));
-}
+use std::sync::{Arc, Mutex};
 
 fn contended_mpcp(threads: u32, iters: u64) -> u64 {
     let m = Arc::new(MpcpMutex::new(0u64));
@@ -71,14 +47,14 @@ fn contended_fifo(threads: u32, iters: u64) -> u64 {
     v
 }
 
-fn contended_parking_lot(threads: u32, iters: u64) -> u64 {
-    let m = Arc::new(parking_lot::Mutex::new(0u64));
+fn contended_std(threads: u32, iters: u64) -> u64 {
+    let m = Arc::new(Mutex::new(0u64));
     let handles: Vec<_> = (0..threads)
         .map(|_| {
             let m = Arc::clone(&m);
             std::thread::spawn(move || {
                 for _ in 0..iters {
-                    *m.lock() += 1;
+                    *m.lock().unwrap() += 1;
                 }
             })
         })
@@ -86,25 +62,35 @@ fn contended_parking_lot(threads: u32, iters: u64) -> u64 {
     for h in handles {
         h.join().unwrap();
     }
-    let v = *m.lock();
+    let v = *m.lock().unwrap();
     v
 }
 
-fn bench_contended(c: &mut Criterion) {
-    let mut g = c.benchmark_group("contended_4_threads");
-    g.sample_size(10);
-    let iters = 2_000u64;
-    g.bench_function(BenchmarkId::new("mpcp_mutex", iters), |b| {
-        b.iter(|| black_box(contended_mpcp(4, iters)))
-    });
-    g.bench_function(BenchmarkId::new("fifo_mutex", iters), |b| {
-        b.iter(|| black_box(contended_fifo(4, iters)))
-    });
-    g.bench_function(BenchmarkId::new("parking_lot", iters), |b| {
-        b.iter(|| black_box(contended_parking_lot(4, iters)))
-    });
-    g.finish();
-}
+fn main() {
+    let runner = Runner::from_args();
 
-criterion_group!(benches, bench_uncontended, bench_contended);
-criterion_main!(benches);
+    let m = MpcpMutex::new(0u64);
+    runner.bench("uncontended/mpcp_mutex", || {
+        *m.lock(Priority::task(1)) += 1;
+    });
+    let f = FifoMutex::new(0u64);
+    runner.bench("uncontended/fifo_mutex", || {
+        *f.lock() += 1;
+    });
+    let p = Mutex::new(0u64);
+    runner.bench("uncontended/std_mutex", || {
+        *p.lock().unwrap() += 1;
+    });
+    black_box((m.into_inner(), f));
+
+    let iters = 2_000u64;
+    runner.bench("contended_4_threads/mpcp_mutex", || {
+        black_box(contended_mpcp(4, iters))
+    });
+    runner.bench("contended_4_threads/fifo_mutex", || {
+        black_box(contended_fifo(4, iters))
+    });
+    runner.bench("contended_4_threads/std_mutex", || {
+        black_box(contended_std(4, iters))
+    });
+}

@@ -1,25 +1,23 @@
 //! Benchmarks of the discrete-event simulator: the Example 4 schedule
 //! (E5) and longer runs per protocol (the engine behind E1/E2/E7/E8).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcp_bench::harness::Runner;
 use mpcp_bench::paper;
 use mpcp_protocols::ProtocolKind;
 use mpcp_sim::{SimConfig, Simulator};
 use mpcp_taskgen::{generate, WorkloadConfig};
 use std::hint::black_box;
 
-fn bench_example4(c: &mut Criterion) {
-    let (sys, _) = paper::example3();
-    c.bench_function("example4_trace", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(&sys, ProtocolKind::Mpcp.build());
-            sim.run_until(20);
-            black_box(sim.records().len())
-        })
-    });
-}
+fn main() {
+    let runner = Runner::from_args();
 
-fn bench_protocols(c: &mut Criterion) {
+    let (ex3, _) = paper::example3();
+    runner.bench("example4_trace", || {
+        let mut sim = Simulator::new(&ex3, ProtocolKind::Mpcp.build());
+        sim.run_until(20);
+        black_box(sim.records().len())
+    });
+
     let sys = generate(
         &WorkloadConfig::default()
             .processors(4)
@@ -29,55 +27,38 @@ fn bench_protocols(c: &mut Criterion) {
             .sections(1, 2),
         9,
     );
-    let mut g = c.benchmark_group("simulate_100k_ticks");
-    g.sample_size(20);
     for kind in ProtocolKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            b.iter(|| {
-                let mut sim = Simulator::with_config(
-                    &sys,
-                    kind.build(),
-                    SimConfig {
-                        record_trace: false,
-                        ..SimConfig::until(100_000)
-                    },
-                );
-                sim.run();
-                black_box(sim.records().len())
-            })
+        runner.bench(&format!("simulate_100k_ticks/{}", kind.name()), || {
+            let mut sim = Simulator::with_config(
+                &sys,
+                kind.build(),
+                SimConfig {
+                    record_trace: false,
+                    ..SimConfig::until(100_000)
+                },
+            );
+            sim.run();
+            black_box(sim.records().len())
         });
     }
-    g.finish();
-}
 
-fn bench_trace_recording(c: &mut Criterion) {
-    let sys = generate(
+    let small = generate(
         &WorkloadConfig::default().utilization(0.5).resources(1, 2),
         11,
     );
-    let mut g = c.benchmark_group("trace_overhead");
     for record in [false, true] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(if record { "recorded" } else { "metrics_only" }),
-            &record,
-            |b, &record| {
-                b.iter(|| {
-                    let mut sim = Simulator::with_config(
-                        &sys,
-                        ProtocolKind::Mpcp.build(),
-                        SimConfig {
-                            record_trace: record,
-                            ..SimConfig::until(20_000)
-                        },
-                    );
-                    sim.run();
-                    black_box(sim.misses())
-                })
-            },
-        );
+        let label = if record { "recorded" } else { "metrics_only" };
+        runner.bench(&format!("trace_overhead/{label}"), || {
+            let mut sim = Simulator::with_config(
+                &small,
+                ProtocolKind::Mpcp.build(),
+                SimConfig {
+                    record_trace: record,
+                    ..SimConfig::until(20_000)
+                },
+            );
+            sim.run();
+            black_box(sim.misses())
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_example4, bench_protocols, bench_trace_recording);
-criterion_main!(benches);

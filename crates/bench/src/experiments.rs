@@ -70,11 +70,7 @@ pub fn e2_pip_insufficiency() -> String {
         .iter()
         .map(|k| measured_blocking(&sys, *k, 500, ex.tau3).ticks())
         .collect();
-        let _ = writeln!(
-            out,
-            "{:>6} {:>10} {:>10} {:>8}",
-            c1, row[0], row[1], row[2]
-        );
+        let _ = writeln!(out, "{:>6} {:>10} {:>10} {:>8}", c1, row[0], row[1], row[2]);
     }
     let _ = writeln!(
         out,
@@ -116,9 +112,15 @@ pub fn e5_example4_trace() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "E5 — Figure 5-1: Example 4 schedule under MPCP");
     let _ = writeln!(out, "\nper-processor view:");
-    out.push_str(&sim.trace().gantt(sim.system(), Time::ZERO, Time::new(20), 1));
+    out.push_str(
+        &sim.trace()
+            .gantt(sim.system(), Time::ZERO, Time::new(20), 1),
+    );
     let _ = writeln!(out, "\nper-job view (the paper's Figure 5-1 layout):");
-    out.push_str(&sim.trace().job_gantt(sim.system(), Time::ZERO, Time::new(20), 1));
+    out.push_str(
+        &sim.trace()
+            .job_gantt(sim.system(), Time::ZERO, Time::new(20), 1),
+    );
     let _ = writeln!(out, "\nevent log:");
     out.push_str(&sim.trace().event_log());
     out
@@ -150,11 +152,8 @@ pub fn dhall_misses(m: usize) -> (u64, u64) {
     };
     let static_ = {
         let sys = paper::dhall_system(m, true);
-        let mut sim = Simulator::with_config(
-            &sys,
-            ProtocolKind::Raw.build(),
-            SimConfig::until(120),
-        );
+        let mut sim =
+            Simulator::with_config(&sys, ProtocolKind::Raw.build(), SimConfig::until(120));
         sim.run();
         sim.misses()
     };
@@ -175,11 +174,7 @@ pub fn e7_dhall() -> String {
         let sys = paper::dhall_system(m, false);
         let u = sys.total_utilization() / m as f64;
         let (dynamic, static_) = dhall_misses(m);
-        let _ = writeln!(
-            out,
-            "{:>4} {:>12.3} {:>14} {:>14}",
-            m, u, dynamic, static_
-        );
+        let _ = writeln!(out, "{:>4} {:>12.3} {:>14} {:>14}", m, u, dynamic, static_);
     }
     let _ = writeln!(
         out,
@@ -232,7 +227,10 @@ pub fn e8_blocking_factors() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "E8 — §5.1 blocking factors (Example 3 system)");
     out.push_str(&analysis::report::blocking_table(&sys, &bounds));
-    let _ = writeln!(out, "\nsimulation vs bound on random systems (sound variant):");
+    let _ = writeln!(
+        out,
+        "\nsimulation vs bound on random systems (sound variant):"
+    );
     let _ = writeln!(
         out,
         "{:>6} {:>10} {:>10} {:>6}",
@@ -288,8 +286,11 @@ pub fn e9_mpcp_vs_dpcp() -> String {
             let db = analysis::dpcp_bounds(&sys).expect("valid");
             sum_m += mb.iter().map(|b| b.total().ticks()).sum::<u64>();
             sum_d += db.iter().map(|b| b.total().ticks()).sum::<u64>();
-            let bm: Vec<Dur> = mb.iter().map(|b| b.total()).collect();
-            let bd: Vec<Dur> = db.iter().map(|b| b.total()).collect();
+            let bm: Vec<Dur> = mb
+                .iter()
+                .map(mpcp_analysis::BlockingBreakdown::total)
+                .collect();
+            let bd: Vec<Dur> = db.iter().map(mpcp_analysis::DpcpBreakdown::total).collect();
             if analysis::theorem3(&sys, &bm).schedulable() {
                 sched_m += 1;
             }
@@ -337,13 +338,16 @@ pub fn sched_fraction(util: f64, n: u64) -> (f64, f64, f64) {
             ok_ideal += 1;
         }
         if let Ok(b) = analysis::mpcp_bounds(&sys) {
-            let b: Vec<Dur> = b.iter().map(|x| x.total()).collect();
+            let b: Vec<Dur> = b
+                .iter()
+                .map(mpcp_analysis::BlockingBreakdown::total)
+                .collect();
             if analysis::theorem3(&sys, &b).schedulable() {
                 ok_mpcp += 1;
             }
         }
         if let Ok(b) = analysis::dpcp_bounds(&sys) {
-            let b: Vec<Dur> = b.iter().map(|x| x.total()).collect();
+            let b: Vec<Dur> = b.iter().map(mpcp_analysis::DpcpBreakdown::total).collect();
             if analysis::theorem3(&sys, &b).schedulable() {
                 ok_dpcp += 1;
             }
@@ -446,7 +450,10 @@ pub fn e11_theorem1() -> String {
             bound.ticks()
         );
     }
-    let _ = writeln!(out, "shape: measured grows roughly one section per suspension, within the bound.");
+    let _ = writeln!(
+        out,
+        "shape: measured grows roughly one section per suspension, within the bound."
+    );
     out
 }
 
@@ -574,17 +581,21 @@ pub fn aperiodic_scenario(priority: u32, demand: u64, seed: u64) -> (System, Tas
     let p = b.add_processors(2);
     let s = b.add_resource("SG");
     b.add_task(
-        TaskDef::new("periodic-hi", p[0]).period(40).priority(10).body(
-            mpcp_model::Body::builder()
-                .compute(4)
-                .critical(s, |c| c.compute(2))
-                .build(),
-        ),
+        TaskDef::new("periodic-hi", p[0])
+            .period(40)
+            .priority(10)
+            .body(
+                mpcp_model::Body::builder()
+                    .compute(4)
+                    .critical(s, |c| c.compute(2))
+                    .build(),
+            ),
     );
     b.add_task(
-        TaskDef::new("periodic-lo", p[0]).period(100).priority(5).body(
-            mpcp_model::Body::builder().compute(12).build(),
-        ),
+        TaskDef::new("periodic-lo", p[0])
+            .period(100)
+            .priority(5)
+            .body(mpcp_model::Body::builder().compute(12).build()),
     );
     b.add_task(
         TaskDef::new("remote", p[1]).period(80).priority(7).body(
@@ -644,7 +655,10 @@ pub fn e16_aperiodic_service() -> String {
     let sp = PollingServer::new(demand, 30);
     let (sys, aper) = aperiodic_scenario(6, demand, 11);
     let bounds = mpcp_analysis::mpcp_bounds(&sys).expect("valid");
-    let blocking: Vec<Dur> = bounds.iter().map(|b| b.total()).collect();
+    let blocking: Vec<Dur> = bounds
+        .iter()
+        .map(mpcp_analysis::BlockingBreakdown::total)
+        .collect();
     if let Some(bound) =
         mpcp_analysis::aperiodic_response_bound(&sys, aper, sp, Dur::new(demand), &blocking)
     {

@@ -1,0 +1,59 @@
+//! A minimal self-contained timing harness for the `harness = false`
+//! bench targets (no external benchmarking crates are available in the
+//! offline build environment).
+//!
+//! Usage mirrors the former criterion setup: each bench binary builds a
+//! [`Runner`] from its CLI arguments and registers closures under
+//! hierarchical names (`group/name/param`). A positional argument
+//! filters benches by substring, as `cargo bench <filter>` does.
+
+use std::time::{Duration, Instant};
+
+/// Runs named benchmark closures, auto-calibrating iteration counts.
+#[derive(Debug, Default)]
+pub struct Runner {
+    filter: Option<String>,
+}
+
+impl Runner {
+    /// Builds a runner from `std::env::args`, taking the first
+    /// non-flag argument as a substring filter (flags such as
+    /// `--bench`, which cargo passes, are ignored).
+    pub fn from_args() -> Self {
+        Runner {
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+
+    /// Times `f`, printing mean ns/iteration under `name`.
+    ///
+    /// Calibrates by doubling the iteration count until the batch takes
+    /// at least 10 ms, then measures a batch sized for roughly 100 ms.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 30 {
+                let per_iter = (elapsed.as_nanos() / u128::from(iters)).max(1);
+                let target = (100_000_000 / per_iter).clamp(1, 1 << 24) as u64;
+                let start = Instant::now();
+                for _ in 0..target {
+                    std::hint::black_box(f());
+                }
+                let ns = start.elapsed().as_nanos() / u128::from(target);
+                println!("{name:<48} {target:>10} iters {ns:>12} ns/iter");
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+}

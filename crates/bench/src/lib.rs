@@ -5,7 +5,9 @@
 //!   Tables 4-1/4-2, Figure 5-1) and the §3.2 Dhall-effect set.
 //! * [`experiments`] — one function per experiment (E1–E12 in
 //!   DESIGN.md), each returning a printable report; the `mpcp` CLI and
-//!   the Criterion benches drive these.
+//!   the bench targets drive these.
+//! * [`harness`] — the minimal timing harness behind the
+//!   `harness = false` bench targets.
 //!
 //! # Example
 //!
@@ -18,4 +20,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod paper;

@@ -45,7 +45,10 @@ pub fn example1(c2: u64) -> (System, Example1) {
     );
     let tau3 = b.add_task(
         TaskDef::new("tau3", p[1]).period(1_000).priority(1).body(
-            Body::builder().critical(s, |c| c.compute(4)).compute(1).build(),
+            Body::builder()
+                .critical(s, |c| c.compute(4))
+                .compute(1)
+                .build(),
         ),
     );
     let system = b.build().expect("example 1 is valid");
@@ -91,9 +94,10 @@ pub fn example2(c1: u64) -> (System, Example2) {
             .body(Body::builder().compute(c1).build()),
     );
     let tau2 = b.add_task(
-        TaskDef::new("tau2", p[0]).period(1_000).priority(2).body(
-            Body::builder().critical(s, |c| c.compute(5)).build(),
-        ),
+        TaskDef::new("tau2", p[0])
+            .period(1_000)
+            .priority(2)
+            .body(Body::builder().critical(s, |c| c.compute(5)).build()),
     );
     let tau3 = b.add_task(
         TaskDef::new("tau3", p[1])
@@ -169,17 +173,14 @@ pub fn example3() -> (System, Example3) {
             ),
     );
     let tau2 = b.add_task(
-        TaskDef::new("tau2", procs[0])
-            .period(60)
-            .priority(6)
-            .body(
-                Body::builder()
-                    .critical(s1, |c| c.compute(1))
-                    .critical(sg0, |c| c.compute(3))
-                    .compute(1)
-                    .critical(s1, |c| c.compute(1))
-                    .build(),
-            ),
+        TaskDef::new("tau2", procs[0]).period(60).priority(6).body(
+            Body::builder()
+                .critical(s1, |c| c.compute(1))
+                .critical(sg0, |c| c.compute(3))
+                .compute(1)
+                .critical(s1, |c| c.compute(1))
+                .build(),
+        ),
     );
     let tau3 = b.add_task(
         TaskDef::new("tau3", procs[1])
@@ -195,32 +196,26 @@ pub fn example3() -> (System, Example3) {
             ),
     );
     let tau4 = b.add_task(
-        TaskDef::new("tau4", procs[1])
-            .period(80)
-            .priority(4)
-            .body(
-                Body::builder()
-                    .compute(2)
-                    .critical(sg0, |c| c.compute(1))
-                    .compute(1)
-                    .critical(sg1, |c| c.compute(1))
-                    .compute(1)
-                    .build(),
-            ),
+        TaskDef::new("tau4", procs[1]).period(80).priority(4).body(
+            Body::builder()
+                .compute(2)
+                .critical(sg0, |c| c.compute(1))
+                .compute(1)
+                .critical(sg1, |c| c.compute(1))
+                .compute(1)
+                .build(),
+        ),
     );
     let tau5 = b.add_task(
-        TaskDef::new("tau5", procs[2])
-            .period(90)
-            .priority(3)
-            .body(
-                Body::builder()
-                    .compute(1)
-                    .critical(sg0, |c| c.compute(1))
-                    .compute(1)
-                    .critical(s2, |c| c.compute(1))
-                    .critical(s3, |c| c.compute(1))
-                    .build(),
-            ),
+        TaskDef::new("tau5", procs[2]).period(90).priority(3).body(
+            Body::builder()
+                .compute(1)
+                .critical(sg0, |c| c.compute(1))
+                .compute(1)
+                .critical(s2, |c| c.compute(1))
+                .critical(s3, |c| c.compute(1))
+                .build(),
+        ),
     );
     let tau6 = b.add_task(
         TaskDef::new("tau6", procs[2])
@@ -236,15 +231,12 @@ pub fn example3() -> (System, Example3) {
             ),
     );
     let tau7 = b.add_task(
-        TaskDef::new("tau7", procs[2])
-            .period(99)
-            .priority(1)
-            .body(
-                Body::builder()
-                    .critical(s3, |c| c.compute(3))
-                    .compute(1)
-                    .build(),
-            ),
+        TaskDef::new("tau7", procs[2]).period(99).priority(1).body(
+            Body::builder()
+                .critical(s3, |c| c.compute(3))
+                .compute(1)
+                .build(),
+        ),
     );
     let system = b.build().expect("example 3 is valid");
     (

@@ -6,6 +6,8 @@
 //! mpcp sim [opts]                 simulate a random system
 //! mpcp analyze [opts]             blocking bounds + Theorem 3 tables
 //! mpcp allocate [opts]            task allocation study
+//! mpcp lint [opts] [--json]       static checks of a system configuration
+//! mpcp verify [opts] [--json]     exhaustive small-scope model checking
 //! ```
 
 use mpcp_alloc::{allocate, Heuristic};
@@ -103,14 +105,14 @@ fn main() -> ExitCode {
                 Ok(bounds) => {
                     println!("MPCP blocking bounds (§5.1):");
                     println!("{}", analysis::report::blocking_table(&sys, &bounds));
-                    let blocking: Vec<Dur> = bounds.iter().map(|b| b.total()).collect();
+                    let blocking: Vec<Dur> = bounds
+                        .iter()
+                        .map(mpcp_analysis::BlockingBreakdown::total)
+                        .collect();
                     println!("Theorem 3:");
                     println!(
                         "{}",
-                        analysis::report::sched_table(
-                            &sys,
-                            &analysis::theorem3(&sys, &blocking)
-                        )
+                        analysis::report::sched_table(&sys, &analysis::theorem3(&sys, &blocking))
                     );
                     let dpcp = analysis::dpcp_bounds(&sys).expect("same preconditions");
                     println!("DPCP blocking bounds (§5.2 comparison):");
@@ -155,6 +157,79 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "lint" => {
+            let (sys, label) = match lint_target(&flags) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = mpcp_verify::lint_system(&sys);
+            eprintln!("linting {label}");
+            if flags.contains_key("json") {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.has_errors() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "verify" => {
+            let (sys, label) = match lint_target(&flags) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let config = mpcp_verify::CheckerConfig {
+                horizon: flag_u64(&flags, "horizon", 0),
+                max_offset: flag_u64(&flags, "max-offset", 2),
+                offset_step: flag_u64(&flags, "step", 1),
+                max_variants: flag_u64(&flags, "max-variants", 4096) as usize,
+                check_blocking: !flags.contains_key("no-blocking-check"),
+            };
+            eprintln!("verifying {label}");
+            let lint_report = mpcp_verify::lint_system(&sys);
+            let explorations = match flags.get("protocol") {
+                Some(p) => match p.parse::<ProtocolKind>() {
+                    Ok(kind) => vec![mpcp_verify::checker::explore(&sys, kind, &config)],
+                    Err(_) => {
+                        eprintln!(
+                            "unknown protocol {p:?}: expected mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => mpcp_verify::checker::explore_all(&sys, &config),
+            };
+            let mut report = lint_report;
+            for d in mpcp_verify::checker::report(&explorations).diagnostics() {
+                report.push(d.clone());
+            }
+            if flags.contains_key("json") {
+                print!("{}", report.render_json());
+            } else {
+                for ex in &explorations {
+                    eprintln!(
+                        "{:<16} {:>6} variants  {}",
+                        ex.protocol,
+                        ex.variants,
+                        if ex.passed() { "ok" } else { "VIOLATED" }
+                    );
+                }
+                print!("{}", report.render_human());
+            }
+            if report.has_errors() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             ExitCode::SUCCESS
@@ -175,6 +250,16 @@ fn usage() -> String {
      \x20 mpcp sim [opts] [--gantt]   simulate a random system\n\
      \x20 mpcp analyze [opts]         blocking bounds and Theorem 3 tables\n\
      \x20 mpcp allocate [opts]        compare allocation heuristics\n\
+     \x20 mpcp lint [opts]            static checks; nonzero exit on errors\n\
+     \x20 mpcp verify [opts]          lints + exhaustive small-scope model check\n\
+     \n\
+     lint/verify options:\n\
+     \x20 --example X    paper example 1|2|3, or `deadlock` (a broken demo)\n\
+     \x20 --json         machine-readable diagnostics\n\
+     \x20 --max-offset N / --step N   release-offset grid (default 0..=2 by 1)\n\
+     \x20 --horizon T    ticks per variant (default: two hyperperiods)\n\
+     \x20 --max-variants N            enumeration cap (default 4096)\n\
+     \x20 --no-blocking-check         skip the blocking-bound cross-check\n\
      \n\
      random-system options (sim/analyze/allocate):\n\
      \x20 --seed N       (default 1)    --procs N      (default 4)\n\
@@ -226,6 +311,52 @@ fn flag_protocol(flags: &HashMap<String, String>) -> ProtocolKind {
         .get("protocol")
         .and_then(|v| v.parse().ok())
         .unwrap_or(ProtocolKind::Mpcp)
+}
+
+/// System under `lint`/`verify`: `--example 1|2|3` picks a paper
+/// example, `--example deadlock` a deliberately broken demo system,
+/// no `--example` falls back to the random-system flags.
+fn lint_target(flags: &HashMap<String, String>) -> Result<(mpcp_model::System, String), String> {
+    match flags.get("example").map(String::as_str) {
+        Some("1") => Ok((mpcp_bench::paper::example1(40).0, "example 1".to_owned())),
+        Some("2") => Ok((mpcp_bench::paper::example2(40).0, "example 2".to_owned())),
+        Some("3") => Ok((mpcp_bench::paper::example3().0, "example 3".to_owned())),
+        Some("deadlock") => Ok((deadlock_demo(), "deadlock demo".to_owned())),
+        Some(other) => Err(format!(
+            "unknown example {other:?}: expected 1, 2, 3 or deadlock"
+        )),
+        None => {
+            let (sys, seed) = build_system(flags);
+            Ok((sys, format!("random system (seed {seed})")))
+        }
+    }
+}
+
+/// Two tasks on two processors nesting the same global semaphores in
+/// opposite orders — the lock-order-cycle the V001 lint exists for.
+fn deadlock_demo() -> mpcp_model::System {
+    use mpcp_model::{Body, System, TaskDef};
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let sa = b.add_resource("SA");
+    let sb = b.add_resource("SB");
+    b.add_task(
+        TaskDef::new("tau1", p[0]).period(100).priority(2).body(
+            Body::builder()
+                .compute(1)
+                .critical(sa, |c| c.compute(1).critical(sb, |c| c.compute(1)))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("tau2", p[1]).period(200).priority(1).body(
+            Body::builder()
+                .compute(1)
+                .critical(sb, |c| c.compute(1).critical(sa, |c| c.compute(1)))
+                .build(),
+        ),
+    );
+    b.build().expect("demo system is structurally valid")
 }
 
 fn build_system(flags: &HashMap<String, String>) -> (mpcp_model::System, u64) {

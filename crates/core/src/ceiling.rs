@@ -81,9 +81,12 @@ mod tests {
         let s0 = b.add_resource("S0");
         let s1 = b.add_resource("S1");
         let s2 = b.add_resource("S2");
-        b.add_task(TaskDef::new("a", p[0]).period(10).priority(3).body(
-            Body::builder().critical(s0, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("a", p[0])
+                .period(10)
+                .priority(3)
+                .body(Body::builder().critical(s0, |c| c.compute(1)).build()),
+        );
         b.add_task(
             TaskDef::new("b", p[0]).period(20).priority(2).body(
                 Body::builder()
@@ -92,9 +95,12 @@ mod tests {
                     .build(),
             ),
         );
-        b.add_task(TaskDef::new("c", p[1]).period(30).priority(1).body(
-            Body::builder().critical(s1, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("c", p[1])
+                .period(30)
+                .priority(1)
+                .body(Body::builder().critical(s1, |c| c.compute(1)).build()),
+        );
         (b.build().unwrap(), [s0, s1, s2])
     }
 
@@ -120,9 +126,12 @@ mod tests {
         let p = b.add_processors(2);
         let sa = b.add_resource("SA");
         let sb = b.add_resource("SB");
-        b.add_task(TaskDef::new("hi", p[0]).period(10).priority(9).body(
-            Body::builder().critical(sa, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("hi", p[0])
+                .period(10)
+                .priority(9)
+                .body(Body::builder().critical(sa, |c| c.compute(1)).build()),
+        );
         b.add_task(
             TaskDef::new("lo", p[1]).period(20).priority(1).body(
                 Body::builder()
@@ -131,9 +140,12 @@ mod tests {
                     .build(),
             ),
         );
-        b.add_task(TaskDef::new("mid", p[0]).period(15).priority(5).body(
-            Body::builder().critical(sb, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("mid", p[0])
+                .period(15)
+                .priority(5)
+                .body(Body::builder().critical(sb, |c| c.compute(1)).build()),
+        );
         let sys = b.build().unwrap();
         let t = CeilingTable::compute(&sys);
         assert!(t.ceiling(sa) > t.ceiling(sb));

@@ -111,11 +111,7 @@ impl<K: Ord, V> PrioQueue<K, V> {
         V: Clone,
     {
         let before = self.heap.len();
-        let kept: Vec<Entry<K, V>> = self
-            .heap
-            .drain()
-            .filter(|e| !pred(&e.value))
-            .collect();
+        let kept: Vec<Entry<K, V>> = self.heap.drain().filter(|e| !pred(&e.value)).collect();
         self.heap.extend(kept);
         before - self.heap.len()
     }

@@ -80,10 +80,7 @@ impl<W: Copy + Eq + std::fmt::Debug> GlobalSemaphore<W> {
     /// §3.1).
     #[track_caller]
     pub fn enqueue(&mut self, waiter: W, assigned_priority: Priority) {
-        assert!(
-            self.holder.is_some(),
-            "enqueue on a free global semaphore"
-        );
+        assert!(self.holder.is_some(), "enqueue on a free global semaphore");
         assert!(
             self.holder != Some(waiter),
             "waiter {waiter:?} already holds this semaphore"

@@ -1,9 +1,9 @@
-//! Property-based tests of the protocol-core state machines against
-//! simple reference models.
+//! Randomized tests of the protocol-core state machines against simple
+//! reference models.
 
 use mpcp_core::{GlobalSemaphore, Pcp, PcpDecision, PrioQueue, ReleaseOutcome};
 use mpcp_model::{Priority, ResourceId};
-use proptest::prelude::*;
+use mpcp_prop::cases;
 
 /// Reference model for the stable max-priority queue: a vector sorted on
 /// pop by (priority desc, insertion order asc).
@@ -30,65 +30,51 @@ impl ModelQueue {
     }
 }
 
-#[derive(Debug, Clone)]
-enum QueueOp {
-    Push(u32, u32),
-    Pop,
-}
-
-fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u32..5, 0u32..100).prop_map(|(p, v)| QueueOp::Push(p, v)),
-            Just(QueueOp::Pop),
-        ],
-        0..60,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// PrioQueue behaves exactly like the reference model under arbitrary
-    /// push/pop interleavings (including FIFO tie-breaks).
-    #[test]
-    fn prio_queue_matches_model(ops in queue_ops()) {
+/// PrioQueue behaves exactly like the reference model under arbitrary
+/// push/pop interleavings (including FIFO tie-breaks).
+#[test]
+fn prio_queue_matches_model() {
+    cases(128, 0xC08E_0001, |rng| {
         let mut real: PrioQueue<u32, u32> = PrioQueue::new();
         let mut model = ModelQueue::default();
-        for op in ops {
-            match op {
-                QueueOp::Push(p, v) => {
-                    real.push(p, v);
-                    model.push(p, v);
-                }
-                QueueOp::Pop => {
-                    prop_assert_eq!(real.pop(), model.pop());
-                }
+        let n_ops = rng.range_usize(0, 59);
+        for _ in 0..n_ops {
+            if rng.chance(0.6) {
+                let p = rng.range_u32(0, 4);
+                let v = rng.range_u32(0, 99);
+                real.push(p, v);
+                model.push(p, v);
+            } else {
+                assert_eq!(real.pop(), model.pop());
             }
-            prop_assert_eq!(real.len(), model.items.len());
+            assert_eq!(real.len(), model.items.len());
         }
         // Drain and compare the remainder.
         while let Some(v) = model.pop() {
-            prop_assert_eq!(real.pop(), Some(v));
+            assert_eq!(real.pop(), Some(v));
         }
-        prop_assert!(real.is_empty());
-    }
+        assert!(real.is_empty());
+    });
+}
 
-    /// GlobalSemaphore: any sequence of try_acquire / enqueue / release
-    /// keeps exactly zero or one holder, never loses a waiter, and always
-    /// hands off to the highest-priority waiter.
-    #[test]
-    fn global_semaphore_never_loses_waiters(
-        script in proptest::collection::vec((0u8..3, 0u8..8, 0u32..8), 0..80),
-    ) {
+/// GlobalSemaphore: any sequence of try_acquire / enqueue / release
+/// keeps exactly zero or one holder, never loses a waiter, and always
+/// hands off to the highest-priority waiter.
+#[test]
+fn global_semaphore_never_loses_waiters() {
+    cases(128, 0xC08E_0002, |rng| {
         let mut sem: GlobalSemaphore<u8> = GlobalSemaphore::new();
         let mut queued: Vec<(u8, u32)> = Vec::new();
         let mut holder: Option<u8> = None;
-        for (op, actor, pri) in script {
+        let n_ops = rng.range_usize(0, 79);
+        for _ in 0..n_ops {
+            let op = rng.range_u32(0, 2);
+            let actor = rng.range_u32(0, 7) as u8;
+            let pri = rng.range_u32(0, 7);
             match op {
                 0 => {
                     let got = sem.try_acquire(actor);
-                    prop_assert_eq!(got, holder.is_none());
+                    assert_eq!(got, holder.is_none());
                     if got {
                         holder = Some(actor);
                     }
@@ -108,64 +94,70 @@ proptest! {
                     if let Some(h) = holder {
                         match sem.release(h).unwrap() {
                             ReleaseOutcome::Freed => {
-                                prop_assert!(queued.is_empty());
+                                assert!(queued.is_empty());
                                 holder = None;
                             }
                             ReleaseOutcome::HandedTo(next) => {
                                 // next must be a queued waiter with max priority.
                                 let best = queued.iter().map(|(_, p)| *p).max().unwrap();
-                                let pos = queued
-                                    .iter()
-                                    .position(|(a, p)| *a == next && *p == best);
-                                prop_assert!(pos.is_some(), "handed to non-best waiter");
+                                let pos = queued.iter().position(|(a, p)| *a == next && *p == best);
+                                assert!(pos.is_some(), "handed to non-best waiter");
                                 queued.remove(pos.unwrap());
                                 holder = Some(next);
                             }
                         }
                     } else {
-                        prop_assert!(sem.release(actor).is_err());
+                        assert!(sem.release(actor).is_err());
                     }
                 }
             }
-            prop_assert_eq!(sem.holder(), holder);
-            prop_assert_eq!(sem.queue_len(), queued.len());
+            assert_eq!(sem.holder(), holder);
+            assert_eq!(sem.queue_len(), queued.len());
         }
-    }
+    });
+}
 
-    /// PCP grant rule: a request is granted iff the requester's priority
-    /// exceeds every ceiling of semaphores held by others.
-    #[test]
-    fn pcp_grant_matches_definition(
-        held in proptest::collection::vec((0u8..4, 0u32..10), 0..4),
-        req_pri in 0u32..12,
-    ) {
+/// PCP grant rule: a request is granted iff the requester's priority
+/// exceeds every ceiling of semaphores held by others.
+#[test]
+fn pcp_grant_matches_definition() {
+    cases(128, 0xC08E_0003, |rng| {
         let mut pcp: Pcp<u8> = Pcp::new();
         let mut ceilings: Vec<u32> = Vec::new();
-        for (i, (holder, ceiling)) in held.iter().enumerate() {
+        let n_held = rng.range_usize(0, 3);
+        for i in 0..n_held {
+            let holder = rng.range_u32(0, 3) as u8;
+            let ceiling = rng.range_u32(0, 9);
             let r = ResourceId::from_index(i as u32);
             // Each resource locked once by `holder` (ids 0..4; requester is 9).
-            pcp.lock(*holder, r, Priority::task(*ceiling));
-            ceilings.push(*ceiling);
+            pcp.lock(holder, r, Priority::task(ceiling));
+            ceilings.push(ceiling);
         }
+        let req_pri = rng.range_u32(0, 11);
         let decision = pcp.try_lock(9, Priority::task(req_pri), ResourceId::from_index(99));
         let max_ceiling = ceilings.iter().max().copied();
         match (decision, max_ceiling) {
             (PcpDecision::Granted, None) => {}
-            (PcpDecision::Granted, Some(c)) => prop_assert!(req_pri > c),
+            (PcpDecision::Granted, Some(c)) => assert!(req_pri > c),
             (PcpDecision::Blocked { ceiling, .. }, Some(c)) => {
-                prop_assert_eq!(ceiling, Priority::task(c));
-                prop_assert!(req_pri <= c);
+                assert_eq!(ceiling, Priority::task(c));
+                assert!(req_pri <= c);
             }
-            (PcpDecision::Blocked { .. }, None) => prop_assert!(false, "blocked with no locks"),
+            (PcpDecision::Blocked { .. }, None) => panic!("blocked with no locks"),
         }
-    }
+    });
+}
 
-    /// PCP lock/unlock round trip leaves no residue.
-    #[test]
-    fn pcp_round_trip_is_clean(ops in proptest::collection::vec((0u8..3, 0u32..6), 0..30)) {
+/// PCP lock/unlock round trip leaves no residue.
+#[test]
+fn pcp_round_trip_is_clean() {
+    cases(128, 0xC08E_0004, |rng| {
         let mut pcp: Pcp<u8> = Pcp::new();
         let mut held: Vec<(u8, u32)> = Vec::new(); // (job, resource index)
-        for (job, r) in ops {
+        let n_ops = rng.range_usize(0, 29);
+        for _ in 0..n_ops {
+            let job = rng.range_u32(0, 2) as u8;
+            let r = rng.range_u32(0, 5);
             let res = ResourceId::from_index(r);
             if let Some(pos) = held.iter().position(|(j, rr)| *j == job && *rr == r) {
                 pcp.unlock(job, res).unwrap();
@@ -178,6 +170,6 @@ proptest! {
         for (job, r) in held.clone() {
             pcp.unlock(job, ResourceId::from_index(r)).unwrap();
         }
-        prop_assert!(!pcp.any_locked());
-    }
+        assert!(!pcp.any_locked());
+    });
 }

@@ -61,7 +61,10 @@ impl fmt::Display for ModelError {
             ModelError::NoTasks => write!(f, "system has no tasks"),
             ModelError::ZeroPeriod { task } => write!(f, "task {task} has a zero period"),
             ModelError::BadDeadline { task } => {
-                write!(f, "task {task} has a zero deadline or one beyond its period")
+                write!(
+                    f,
+                    "task {task} has a zero deadline or one beyond its period"
+                )
             }
             ModelError::UnknownProcessor { task, processor } => {
                 write!(f, "task {task} is bound to unknown processor {processor}")
@@ -73,7 +76,10 @@ impl fmt::Display for ModelError {
                 write!(f, "task {task} locks a semaphore it already holds")
             }
             ModelError::MixedPriorities => {
-                write!(f, "either all tasks or no tasks may have explicit priorities")
+                write!(
+                    f,
+                    "either all tasks or no tasks may have explicit priorities"
+                )
             }
             ModelError::DuplicatePriority => {
                 write!(f, "explicit priority levels must be unique system-wide")

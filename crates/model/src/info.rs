@@ -111,16 +111,9 @@ impl SystemInfo {
             .map(|ri| {
                 let resource = ResourceId::from_index(ri as u32);
                 let mut us = users[ri].clone();
-                us.sort_by(|a, b| {
-                    system
-                        .task(*b)
-                        .priority()
-                        .cmp(&system.task(*a).priority())
-                });
-                let mut procs: Vec<ProcessorId> = us
-                    .iter()
-                    .map(|t| system.task(*t).processor())
-                    .collect();
+                us.sort_by_key(|t| std::cmp::Reverse(system.task(*t).priority()));
+                let mut procs: Vec<ProcessorId> =
+                    us.iter().map(|t| system.task(*t).processor()).collect();
                 procs.sort_unstable();
                 procs.dedup();
                 let scope = match procs.len() {
@@ -263,14 +256,16 @@ mod tests {
             ),
         );
         b.add_task(
-            TaskDef::new("mid", p0).period(20).priority(2).body(
-                Body::builder().critical(sl, |c| c.compute(5)).build(),
-            ),
+            TaskDef::new("mid", p0)
+                .period(20)
+                .priority(2)
+                .body(Body::builder().critical(sl, |c| c.compute(5)).build()),
         );
         b.add_task(
-            TaskDef::new("lo", p1).period(30).priority(1).body(
-                Body::builder().critical(sg, |c| c.compute(1)).build(),
-            ),
+            TaskDef::new("lo", p1)
+                .period(30)
+                .priority(1)
+                .body(Body::builder().critical(sg, |c| c.compute(1)).build()),
         );
         b.build().unwrap()
     }
@@ -344,9 +339,10 @@ mod tests {
             ),
         );
         b.add_task(
-            TaskDef::new("b", p1).period(20).priority(1).body(
-                Body::builder().critical(sg, |c| c.compute(1)).build(),
-            ),
+            TaskDef::new("b", p1)
+                .period(20)
+                .priority(1)
+                .body(Body::builder().critical(sg, |c| c.compute(1)).build()),
         );
         let sys = b.build().unwrap();
         let info = sys.info();

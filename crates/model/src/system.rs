@@ -165,9 +165,7 @@ impl SystemBuilder {
 
     /// Adds `n` resources named `S0..S{n-1}` and returns their ids.
     pub fn add_resources(&mut self, n: usize) -> Vec<ResourceId> {
-        (0..n)
-            .map(|i| self.add_resource(format!("S{i}")))
-            .collect()
+        (0..n).map(|i| self.add_resource(format!("S{i}"))).collect()
     }
 
     /// Adds a task definition and returns the id it will receive.

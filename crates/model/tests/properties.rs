@@ -1,116 +1,114 @@
-//! Property-based tests of the model's structural invariants.
+//! Randomized tests of the model's structural invariants (deterministic
+//! seeded generation via `mpcp-prop`).
 
-use mpcp_model::{rate_monotonic_order, Body, BodyBuilder, Dur, ResourceId, System, TaskDef};
-use proptest::prelude::*;
+use mpcp_model::{
+    rate_monotonic_order, Body, BodyBuilder, Dur, ResourceId, Segment, System, TaskDef,
+};
+use mpcp_prop::{cases, Rng};
 
-/// A strategy for random (non-self-nesting) bodies over `n_res`
-/// resources.
-fn body_strategy(n_res: u32, depth: u32) -> BoxedStrategy<Body> {
-    segments_strategy(n_res, depth)
-        .prop_map(Body::from_segments)
-        .boxed()
+/// A random (non-self-nesting) body over `n_res` resources.
+fn random_body(rng: &mut Rng, n_res: u32, depth: u32) -> Body {
+    Body::from_segments(random_segments(rng, n_res, depth))
 }
 
-fn segments_strategy(n_res: u32, depth: u32) -> BoxedStrategy<Vec<mpcp_model::Segment>> {
-    use mpcp_model::Segment;
-    let leaf = prop_oneof![
-        (1u64..20).prop_map(|d| Segment::Compute(Dur::new(d))),
-        (1u64..5).prop_map(|d| Segment::Suspend(Dur::new(d))),
-    ];
-    if depth == 0 {
-        proptest::collection::vec(leaf, 0..4).boxed()
-    } else {
-        let inner = segments_strategy(n_res, depth - 1);
-        let cs = (0..n_res, inner).prop_map(move |(r, body)| {
-            // Strip self-nesting: remove any inner section on r.
-            fn strip(segs: Vec<Segment>, r: ResourceId) -> Vec<Segment> {
-                segs.into_iter()
-                    .map(|s| match s {
-                        Segment::Critical(res, body) if res == r => {
-                            // Splice contents instead.
-                            Segment::Compute(
-                                body.iter()
-                                    .map(|b| b.compute_demand())
-                                    .sum::<Dur>()
-                                    .max(Dur::new(1)),
-                            )
-                        }
-                        Segment::Critical(res, body) => {
-                            Segment::Critical(res, strip(body, r))
-                        }
-                        other => other,
-                    })
-                    .collect()
+fn random_segments(rng: &mut Rng, n_res: u32, depth: u32) -> Vec<Segment> {
+    let n = rng.range_usize(0, 3);
+    (0..n)
+        .map(|_| match rng.range_u32(0, if depth == 0 { 1 } else { 2 }) {
+            0 => Segment::Compute(Dur::new(rng.range_u64(1, 19))),
+            1 => Segment::Suspend(Dur::new(rng.range_u64(1, 4))),
+            _ => {
+                let r = ResourceId::from_index(rng.range_u32(0, n_res - 1));
+                let inner = random_segments(rng, n_res, depth - 1);
+                Segment::Critical(r, strip(inner, r))
             }
-            Segment::Critical(
-                ResourceId::from_index(r),
-                strip(body, ResourceId::from_index(r)),
-            )
-        });
-        proptest::collection::vec(prop_oneof![leaf, cs], 0..4).boxed()
-    }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Strip self-nesting: replace any inner section on `r` by its compute
+/// demand (mirrors what the old proptest strategy did).
+fn strip(segs: Vec<Segment>, r: ResourceId) -> Vec<Segment> {
+    segs.into_iter()
+        .map(|s| match s {
+            Segment::Critical(res, body) if res == r => Segment::Compute(
+                body.iter()
+                    .map(mpcp_model::Segment::compute_demand)
+                    .sum::<Dur>()
+                    .max(Dur::new(1)),
+            ),
+            Segment::Critical(res, body) => Segment::Critical(res, strip(body, r)),
+            other => other,
+        })
+        .collect()
+}
 
-    /// WCET equals the sum of all compute segments, wherever they nest.
-    #[test]
-    fn wcet_is_total_compute(body in body_strategy(3, 2)) {
-        use mpcp_model::Segment;
+/// WCET equals the sum of all compute segments, wherever they nest.
+#[test]
+fn wcet_is_total_compute() {
+    cases(64, 0x030D_0001, |rng| {
+        let body = random_body(rng, 3, 2);
         fn total(segs: &[Segment]) -> Dur {
-            segs.iter().map(|s| match s {
-                Segment::Compute(d) => *d,
-                Segment::Suspend(_) => Dur::ZERO,
-                Segment::Critical(_, b) => total(b),
-            }).sum()
+            segs.iter()
+                .map(|s| match s {
+                    Segment::Compute(d) => *d,
+                    Segment::Suspend(_) => Dur::ZERO,
+                    Segment::Critical(_, b) => total(b),
+                })
+                .sum()
         }
-        prop_assert_eq!(body.wcet(), total(body.segments()));
-    }
+        assert_eq!(body.wcet(), total(body.segments()));
+    });
+}
 
-    /// Critical-section durations are consistent: a section's duration
-    /// includes every directly nested section's duration (checked
-    /// structurally, since the same resource can guard several distinct
-    /// sections).
-    #[test]
-    fn outer_sections_contain_inner_durations(body in body_strategy(3, 2)) {
-        use mpcp_model::Segment;
-        fn check(segs: &[Segment]) -> Result<(), proptest::test_runner::TestCaseError> {
+/// Critical-section durations are consistent: a section's duration
+/// includes every directly nested section's duration (checked
+/// structurally, since the same resource can guard several distinct
+/// sections).
+#[test]
+fn outer_sections_contain_inner_durations() {
+    cases(64, 0x030D_0002, |rng| {
+        let body = random_body(rng, 3, 2);
+        fn check(segs: &[Segment]) {
             for seg in segs {
                 if let Segment::Critical(_, inner) = seg {
                     let own = seg.compute_demand();
                     let nested: Dur = inner
                         .iter()
                         .filter(|s| matches!(s, Segment::Critical(..)))
-                        .map(|s| s.compute_demand())
+                        .map(mpcp_model::Segment::compute_demand)
                         .sum();
-                    prop_assert!(own >= nested);
-                    check(inner)?;
+                    assert!(own >= nested);
+                    check(inner);
                 }
             }
-            Ok(())
         }
-        check(body.segments())?;
-    }
+        check(body.segments());
+    });
+}
 
-    /// Section counts split exactly into outermost and nested.
-    #[test]
-    fn depth_partition(body in body_strategy(3, 2)) {
+/// Section counts split exactly into outermost and nested.
+#[test]
+fn depth_partition() {
+    cases(64, 0x030D_0003, |rng| {
+        let body = random_body(rng, 3, 2);
         let sections = body.critical_sections();
         let outer = sections.iter().filter(|c| c.is_outermost()).count();
         let nested = sections.iter().filter(|c| !c.is_outermost()).count();
-        prop_assert_eq!(outer + nested, sections.len());
-        prop_assert_eq!(body.has_nested_sections(), nested > 0);
-        prop_assert!(!body.has_self_nesting());
-    }
+        assert_eq!(outer + nested, sections.len());
+        assert_eq!(body.has_nested_sections(), nested > 0);
+        assert!(!body.has_self_nesting());
+    });
+}
 
-    /// A system built from random bodies validates and derives consistent
-    /// info: every used resource has users and a scope; every gcs a task
-    /// reports is on a Global resource.
-    #[test]
-    fn system_info_is_consistent(
-        bodies in proptest::collection::vec(body_strategy(3, 1), 1..6),
-    ) {
+/// A system built from random bodies validates and derives consistent
+/// info: every used resource has users and a scope; every gcs a task
+/// reports is on a Global resource.
+#[test]
+fn system_info_is_consistent() {
+    cases(64, 0x030D_0004, |rng| {
+        let n_bodies = rng.range_usize(1, 5);
+        let bodies: Vec<Body> = (0..n_bodies).map(|_| random_body(rng, 3, 1)).collect();
         let mut b = System::builder();
         let procs = b.add_processors(2);
         b.add_resources(3);
@@ -125,43 +123,49 @@ proptest! {
         let info = sys.info();
         for usage in info.all_usage() {
             match usage.scope {
-                mpcp_model::Scope::Unused => prop_assert!(usage.users.is_empty()),
-                _ => prop_assert!(!usage.users.is_empty()),
+                mpcp_model::Scope::Unused => assert!(usage.users.is_empty()),
+                _ => assert!(!usage.users.is_empty()),
             }
             // Users are sorted by decreasing priority.
             for w in usage.users.windows(2) {
-                prop_assert!(
-                    sys.task(w[0]).priority() > sys.task(w[1]).priority()
-                );
+                assert!(sys.task(w[0]).priority() > sys.task(w[1]).priority());
             }
         }
         for task in sys.tasks() {
             for cs in &info.task_use(task.id()).global_sections {
-                prop_assert!(info.scope(cs.resource).is_global());
+                assert!(info.scope(cs.resource).is_global());
             }
         }
-    }
+    });
+}
 
-    /// Rate-monotonic order sorts periods non-decreasingly and is a
-    /// permutation.
-    #[test]
-    fn rm_order_is_a_sorted_permutation(periods in proptest::collection::vec(1u64..1000, 1..20)) {
+/// Rate-monotonic order sorts periods non-decreasingly and is a
+/// permutation.
+#[test]
+fn rm_order_is_a_sorted_permutation() {
+    cases(64, 0x030D_0005, |rng| {
+        let n = rng.range_usize(1, 19);
+        let periods: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 999)).collect();
         let durs: Vec<Dur> = periods.iter().map(|&p| Dur::new(p)).collect();
         let order = rate_monotonic_order(durs.clone());
         let mut seen = vec![false; periods.len()];
         for &i in &order {
-            prop_assert!(!seen[i]);
+            assert!(!seen[i]);
             seen[i] = true;
         }
         for w in order.windows(2) {
-            prop_assert!(durs[w[0]] <= durs[w[1]]);
+            assert!(durs[w[0]] <= durs[w[1]]);
         }
-    }
+    });
+}
 
-    /// Builder priorities: rate-monotonic auto-assignment gives shorter
-    /// periods strictly higher priorities, uniquely.
-    #[test]
-    fn auto_priorities_follow_periods(periods in proptest::collection::vec(1u64..1000, 2..10)) {
+/// Builder priorities: rate-monotonic auto-assignment gives shorter
+/// periods strictly higher priorities, uniquely.
+#[test]
+fn auto_priorities_follow_periods() {
+    cases(64, 0x030D_0006, |rng| {
+        let n = rng.range_usize(2, 9);
+        let periods: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 999)).collect();
         let mut b = System::builder();
         let p = b.add_processor("P0");
         for (i, &t) in periods.iter().enumerate() {
@@ -171,15 +175,15 @@ proptest! {
         let mut levels: Vec<u32> = sys.tasks().iter().map(|t| t.priority().level()).collect();
         levels.sort_unstable();
         levels.dedup();
-        prop_assert_eq!(levels.len(), periods.len(), "unique priorities");
+        assert_eq!(levels.len(), periods.len(), "unique priorities");
         for a in sys.tasks() {
             for c in sys.tasks() {
                 if a.period() < c.period() {
-                    prop_assert!(a.priority() > c.priority());
+                    assert!(a.priority() > c.priority());
                 }
             }
         }
-    }
+    });
 }
 
 /// Builder ergonomics survive a round trip through raw segments.
@@ -192,9 +196,9 @@ fn builder_and_from_segments_agree() {
         .suspend(1)
         .build();
     let manual = Body::from_segments(vec![
-        mpcp_model::Segment::Compute(Dur::new(3)),
-        mpcp_model::Segment::Critical(r, vec![mpcp_model::Segment::Compute(Dur::new(2))]),
-        mpcp_model::Segment::Suspend(Dur::new(1)),
+        Segment::Compute(Dur::new(3)),
+        Segment::Critical(r, vec![Segment::Compute(Dur::new(2))]),
+        Segment::Suspend(Dur::new(1)),
     ]);
     assert_eq!(built, manual);
 }

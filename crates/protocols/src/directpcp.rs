@@ -104,7 +104,8 @@ impl Protocol for DirectPcp {
                 }
             }
             Scope::Local(proc) => {
-                self.local.on_unlock(ctx, job, resource, proc, &mut self.saved);
+                self.local
+                    .on_unlock(ctx, job, resource, proc, &mut self.saved);
             }
             Scope::Unused => unreachable!("unlock of unused resource {resource}"),
         }
@@ -142,9 +143,12 @@ mod tests {
                 .offset(2)
                 .body(Body::builder().compute(30).build()),
         );
-        b.add_task(TaskDef::new("tau2", p[0]).period(200).priority(2).body(
-            Body::builder().critical(s, |c| c.compute(5)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("tau2", p[0])
+                .period(200)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(5)).build()),
+        );
         b.add_task(
             TaskDef::new("tau3", p[1])
                 .period(200)
@@ -184,9 +188,10 @@ mod tests {
                 ),
         );
         b.add_task(
-            TaskDef::new("low", p).period(100).priority(1).body(
-                Body::builder().critical(s1, |c| c.compute(4)).build(),
-            ),
+            TaskDef::new("low", p)
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s1, |c| c.compute(4)).build()),
         );
         let sys = b.build().unwrap();
         let mut sim = Simulator::new(&sys, DirectPcp::new());

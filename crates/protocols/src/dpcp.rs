@@ -143,7 +143,8 @@ impl Protocol for Dpcp {
                 }
             }
             Scope::Local(proc) => {
-                self.local.on_unlock(ctx, job, resource, proc, &mut self.saved);
+                self.local
+                    .on_unlock(ctx, job, resource, proc, &mut self.saved);
             }
             Scope::Unused => unreachable!("unlock of unused resource {resource}"),
         }
@@ -173,12 +174,22 @@ mod tests {
         let mut b = System::builder();
         let p = b.add_processors(2);
         let s = b.add_resource("SG");
-        b.add_task(TaskDef::new("hi", p[0]).period(100).priority(3).body(
-            Body::builder().compute(1).critical(s, |c| c.compute(2)).build(),
-        ));
-        b.add_task(TaskDef::new("lo", p[1]).period(100).priority(1).body(
-            Body::builder().critical(s, |c| c.compute(4)).compute(2).build(),
-        ));
+        b.add_task(
+            TaskDef::new("hi", p[0]).period(100).priority(3).body(
+                Body::builder()
+                    .compute(1)
+                    .critical(s, |c| c.compute(2))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("lo", p[1]).period(100).priority(1).body(
+                Body::builder()
+                    .critical(s, |c| c.compute(4))
+                    .compute(2)
+                    .build(),
+            ),
+        );
         (b.build().unwrap(), s)
     }
 

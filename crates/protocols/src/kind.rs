@@ -1,6 +1,6 @@
 //! Protocol registry for experiment harnesses.
 
-use crate::{Dpcp, DirectPcp, Mpcp, NonPreemptiveCs, Pip, RawSemaphores};
+use crate::{DirectPcp, Dpcp, Mpcp, NonPreemptiveCs, Pip, RawSemaphores};
 use mpcp_sim::Protocol;
 use std::fmt;
 use std::str::FromStr;

@@ -138,7 +138,8 @@ impl Protocol for Mpcp {
                 }
             }
             Scope::Local(proc) => {
-                self.local.on_unlock(ctx, job, resource, proc, &mut self.saved);
+                self.local
+                    .on_unlock(ctx, job, resource, proc, &mut self.saved);
             }
             Scope::Unused => unreachable!("unlock of unused resource {resource}"),
         }
@@ -178,13 +179,21 @@ mod tests {
                 .offset(1)
                 .body(Body::builder().compute(2).build()),
         );
-        b.add_task(TaskDef::new("low", p[0]).period(100).priority(1).body(
-            Body::builder().critical(s, |c| c.compute(4)).compute(1).build(),
-        ));
+        b.add_task(
+            TaskDef::new("low", p[0]).period(100).priority(1).body(
+                Body::builder()
+                    .critical(s, |c| c.compute(4))
+                    .compute(1)
+                    .build(),
+            ),
+        );
         // Remote sharer makes S global.
-        b.add_task(TaskDef::new("rem", p[1]).period(100).priority(2).body(
-            Body::builder().critical(s, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("rem", p[1])
+                .period(100)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
         let sys = b.build().unwrap();
         let mut sim = Simulator::new(&sys, Mpcp::new());
         sim.run_until(100);
@@ -202,9 +211,12 @@ mod tests {
         let p = b.add_processors(3);
         let s = b.add_resource("SG");
         // holder on P0 holds S for 10.
-        b.add_task(TaskDef::new("holder", p[0]).period(100).priority(1).body(
-            Body::builder().critical(s, |c| c.compute(10)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("holder", p[0])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(10)).build()),
+        );
         // "early-low" requests at t=2, "late-high" at t=5.
         b.add_task(
             TaskDef::new("early-low", p[1])
@@ -224,8 +236,14 @@ mod tests {
         let mut sim = Simulator::new(&sys, Mpcp::new());
         sim.run_until(100);
         // late-high finishes its cs at 11, early-low at 12.
-        assert_eq!(sim.trace().completion_of(jid(2, 0)), Some(mpcp_model::Time::new(11)));
-        assert_eq!(sim.trace().completion_of(jid(1, 0)), Some(mpcp_model::Time::new(12)));
+        assert_eq!(
+            sim.trace().completion_of(jid(2, 0)),
+            Some(mpcp_model::Time::new(11))
+        );
+        assert_eq!(
+            sim.trace().completion_of(jid(1, 0)),
+            Some(mpcp_model::Time::new(12))
+        );
     }
 
     /// While a job is suspended on a global semaphore, a lower-priority
@@ -248,16 +266,22 @@ mod tests {
                 .priority(2)
                 .body(Body::builder().compute(6).build()),
         );
-        b.add_task(TaskDef::new("holder", p[1]).period(100).priority(1).body(
-            Body::builder().critical(s, |c| c.compute(5)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("holder", p[1])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(5)).build()),
+        );
         let sys = b.build().unwrap();
         let mut sim = Simulator::new(&sys, Mpcp::new());
         sim.run_until(100);
         // filler starts at 0, preempted at 1? No: "wants" arrives at 1,
         // requests S immediately, blocks, so filler resumes 1..5 window.
         // holder releases at 5; "wants" resumes in gcs, finishes at 6.
-        assert_eq!(sim.trace().completion_of(jid(0, 0)), Some(mpcp_model::Time::new(6)));
+        assert_eq!(
+            sim.trace().completion_of(jid(0, 0)),
+            Some(mpcp_model::Time::new(6))
+        );
         let rec = sim
             .records()
             .iter()
@@ -274,12 +298,18 @@ mod tests {
         let mut b = System::builder();
         let p = b.add_processors(2);
         let s = b.add_resource("SG");
-        b.add_task(TaskDef::new("a", p[0]).period(10).priority(7).body(
-            Body::builder().critical(s, |c| c.compute(1)).build(),
-        ));
-        b.add_task(TaskDef::new("b", p[1]).period(20).priority(3).body(
-            Body::builder().critical(s, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("a", p[0])
+                .period(10)
+                .priority(7)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(20)
+                .priority(3)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
         let sys = b.build().unwrap();
         let mut sim = Simulator::new(&sys, Mpcp::new());
         sim.run_until(10);
@@ -402,9 +432,12 @@ mod tests {
                     .build(),
             ),
         );
-        b.add_task(TaskDef::new("lowA", p[0]).period(100).priority(1).body(
-            Body::builder().critical(sa, |c| c.compute(6)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("lowA", p[0])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(sa, |c| c.compute(6)).build()),
+        );
         b.add_task(
             TaskDef::new("remA", p[1])
                 .period(100)
@@ -413,9 +446,10 @@ mod tests {
                 .body(Body::builder().critical(sa, |c| c.compute(1)).build()),
         );
         b.add_task(
-            TaskDef::new("remB", p[2]).period(100).priority(9).body(
-                Body::builder().critical(sb, |c| c.compute(3)).build(),
-            ),
+            TaskDef::new("remB", p[2])
+                .period(100)
+                .priority(9)
+                .body(Body::builder().critical(sb, |c| c.compute(3)).build()),
         );
         let sys = b.build().unwrap();
         let mut sim = Simulator::new(&sys, Mpcp::new());

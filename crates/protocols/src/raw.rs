@@ -78,9 +78,12 @@ mod tests {
                 .offset(3)
                 .body(Body::builder().compute(50).build()),
         );
-        b.add_task(TaskDef::new("low", p).period(200).priority(1).body(
-            Body::builder().critical(s, |c| c.compute(5)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("low", p)
+                .period(200)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(5)).build()),
+        );
         let sys = b.build().unwrap();
         let mut sim = Simulator::new(&sys, RawSemaphores::new());
         sim.run_until(200);
@@ -99,9 +102,12 @@ mod tests {
         let mut b = System::builder();
         let p = b.add_processors(3);
         let s = b.add_resource("S");
-        b.add_task(TaskDef::new("holder", p[0]).period(100).priority(1).body(
-            Body::builder().critical(s, |c| c.compute(10)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("holder", p[0])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(10)).build()),
+        );
         b.add_task(
             TaskDef::new("early-low", p[1])
                 .period(100)

@@ -58,10 +58,10 @@ fn mpcp_nested_gcs_boost_stacks() {
     assert_eq!(
         changes,
         vec![
-            (Priority::task(1), Priority::global(5)),  // enter SA
+            (Priority::task(1), Priority::global(5)),   // enter SA
             (Priority::global(5), Priority::global(9)), // enter SB
             (Priority::global(9), Priority::global(5)), // exit SB
-            (Priority::global(5), Priority::task(1)),  // exit SA
+            (Priority::global(5), Priority::task(1)),   // exit SA
         ]
     );
 }
@@ -88,9 +88,12 @@ fn mpcp_global_inside_local() {
             .offset(10)
             .body(Body::builder().critical(sl, |c| c.compute(1)).build()),
     );
-    b.add_task(TaskDef::new("t2", p[1]).period(100).priority(1).body(
-        Body::builder().critical(sg, |c| c.compute(1)).build(),
-    ));
+    b.add_task(
+        TaskDef::new("t2", p[1])
+            .period(100)
+            .priority(1)
+            .body(Body::builder().critical(sg, |c| c.compute(1)).build()),
+    );
     let sys = b.build().unwrap();
     let mut sim = Simulator::new(&sys, Mpcp::new());
     sim.run_until(100);
@@ -146,7 +149,7 @@ fn pip_multi_semaphore_inheritance_steps_down() {
                 EventKind::PriorityChanged { to, .. } => Some(to),
                 _ => None,
             })
-            .last()
+            .next_back()
             .unwrap_or(Priority::task(1))
     };
     assert_eq!(p_of(Time::new(3)), Priority::task(5));
@@ -164,9 +167,12 @@ fn dpcp_migration_round_trip_after_blocking() {
     let mut b = System::builder();
     let p = b.add_processors(2);
     let s = b.add_resource("SG");
-    b.add_task(TaskDef::new("hi", p[0]).period(100).priority(3).body(
-        Body::builder().critical(s, |c| c.compute(5)).build(),
-    ));
+    b.add_task(
+        TaskDef::new("hi", p[0])
+            .period(100)
+            .priority(3)
+            .body(Body::builder().critical(s, |c| c.compute(5)).build()),
+    );
     b.add_task(
         TaskDef::new("lo", p[1])
             .period(100)
@@ -197,8 +203,7 @@ fn dpcp_migration_round_trip_after_blocking() {
     let last = tr
         .slices()
         .iter()
-        .filter(|s| s.job == Some(jid(1, 0)))
-        .next_back()
+        .rfind(|s| s.job == Some(jid(1, 0)))
         .unwrap();
     assert_eq!(last.processor.index(), 1);
     assert_eq!(sim.misses(), 0);
@@ -262,12 +267,18 @@ fn empty_critical_sections_are_harmless() {
     let mut b = System::builder();
     let p = b.add_processors(2);
     let s = b.add_resource("S");
-    b.add_task(TaskDef::new("a", p[0]).period(10).priority(2).body(
-        Body::builder().critical(s, |c| c).compute(1).build(),
-    ));
-    b.add_task(TaskDef::new("b", p[1]).period(20).priority(1).body(
-        Body::builder().critical(s, |c| c).build(),
-    ));
+    b.add_task(
+        TaskDef::new("a", p[0])
+            .period(10)
+            .priority(2)
+            .body(Body::builder().critical(s, |c| c).compute(1).build()),
+    );
+    b.add_task(
+        TaskDef::new("b", p[1])
+            .period(20)
+            .priority(1)
+            .body(Body::builder().critical(s, |c| c).build()),
+    );
     let sys = b.build().unwrap();
     for kind in ProtocolKind::ALL {
         let mut sim = Simulator::with_config(&sys, kind.build(), SimConfig::until(40));
@@ -284,15 +295,24 @@ fn back_to_back_gcs_jobs() {
     let mut b = System::builder();
     let p = b.add_processors(2);
     let s = b.add_resource("S");
-    b.add_task(TaskDef::new("a", p[0]).period(4).priority(2).body(
-        Body::builder().critical(s, |c| c.compute(2)).build(),
-    ));
-    b.add_task(TaskDef::new("b", p[0]).period(8).priority(1).body(
-        Body::builder().compute(2).build(),
-    ));
-    b.add_task(TaskDef::new("rem", p[1]).period(16).priority(3).body(
-        Body::builder().critical(s, |c| c.compute(1)).build(),
-    ));
+    b.add_task(
+        TaskDef::new("a", p[0])
+            .period(4)
+            .priority(2)
+            .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+    );
+    b.add_task(
+        TaskDef::new("b", p[0])
+            .period(8)
+            .priority(1)
+            .body(Body::builder().compute(2).build()),
+    );
+    b.add_task(
+        TaskDef::new("rem", p[1])
+            .period(16)
+            .priority(3)
+            .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+    );
     let sys = b.build().unwrap();
     let mut sim = Simulator::new(&sys, Mpcp::new());
     sim.run_until(32);

@@ -5,9 +5,9 @@
 
 use mpcp_core::PrioQueue;
 use mpcp_model::Priority;
-use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 #[derive(Debug)]
 struct Gate {
@@ -78,7 +78,7 @@ impl<T> MpcpMutex<T> {
     }
 
     fn try_enter(&self) -> bool {
-        let mut g = self.gate.lock();
+        let mut g = self.gate.lock().unwrap();
         if !g.held {
             debug_assert!(g.granted.is_none());
             g.held = true;
@@ -93,7 +93,7 @@ impl<T> MpcpMutex<T> {
         if self.try_enter() {
             Some(MpcpMutexGuard {
                 lock: self,
-                data: Some(self.data.lock()),
+                data: Some(self.data.lock().unwrap()),
             })
         } else {
             None
@@ -108,12 +108,12 @@ impl<T> MpcpMutex<T> {
             if self.try_enter() {
                 return MpcpMutexGuard {
                     lock: self,
-                    data: Some(self.data.lock()),
+                    data: Some(self.data.lock().unwrap()),
                 };
             }
             std::hint::spin_loop();
         }
-        let mut g = self.gate.lock();
+        let mut g = self.gate.lock().unwrap();
         if !g.held {
             g.held = true;
         } else {
@@ -121,7 +121,7 @@ impl<T> MpcpMutex<T> {
             g.next_token += 1;
             g.queue.push(priority, token);
             loop {
-                self.cv.wait(&mut g);
+                g = self.cv.wait(g).unwrap();
                 if g.granted == Some(token) {
                     g.granted = None;
                     break;
@@ -132,18 +132,18 @@ impl<T> MpcpMutex<T> {
         drop(g);
         MpcpMutexGuard {
             lock: self,
-            data: Some(self.data.lock()),
+            data: Some(self.data.lock().unwrap()),
         }
     }
 
     /// Number of queued waiters (racy; for tests and metrics).
     pub fn queue_len(&self) -> usize {
-        self.gate.lock().queue.len()
+        self.gate.lock().unwrap().queue.len()
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.data.into_inner()
+        self.data.into_inner().unwrap()
     }
 }
 
@@ -171,7 +171,7 @@ impl<T> Drop for MpcpMutexGuard<'_, T> {
         // Release the data before the gate so the next holder never
         // contends on the data mutex.
         self.data = None;
-        let mut g = self.lock.gate.lock();
+        let mut g = self.lock.gate.lock().unwrap();
         match g.queue.pop() {
             Some(token) => {
                 g.granted = Some(token);
@@ -226,7 +226,7 @@ impl<T> FifoMutex<T> {
     /// Acquires the lock; contended requests are served first-come
     /// first-served.
     pub fn lock(&self) -> FifoMutexGuard<'_, T> {
-        let mut g = self.gate.lock();
+        let mut g = self.gate.lock().unwrap();
         if !g.held {
             g.held = true;
         } else {
@@ -234,7 +234,7 @@ impl<T> FifoMutex<T> {
             g.next_token += 1;
             g.queue.push_back(token);
             loop {
-                self.cv.wait(&mut g);
+                g = self.cv.wait(g).unwrap();
                 if g.granted == Some(token) {
                     g.granted = None;
                     break;
@@ -244,7 +244,7 @@ impl<T> FifoMutex<T> {
         drop(g);
         FifoMutexGuard {
             lock: self,
-            data: Some(self.data.lock()),
+            data: Some(self.data.lock().unwrap()),
         }
     }
 }
@@ -265,7 +265,7 @@ impl<T> DerefMut for FifoMutexGuard<'_, T> {
 impl<T> Drop for FifoMutexGuard<'_, T> {
     fn drop(&mut self) {
         self.data = None;
-        let mut g = self.lock.gate.lock();
+        let mut g = self.lock.gate.lock().unwrap();
         match g.queue.pop_front() {
             Some(token) => {
                 g.granted = Some(token);
@@ -363,7 +363,7 @@ mod tests {
             handles.push(thread::spawn(move || {
                 mc.lock().push(id);
             }));
-            while m.gate.lock().queue.len() < handles.len() {
+            while m.gate.lock().unwrap().queue.len() < handles.len() {
                 thread::sleep(Duration::from_millis(1));
             }
         }

@@ -114,12 +114,9 @@ impl RtLog {
                 }
                 RtEventKind::HandedOff(r) => {
                     let q = waiting.entry(r).or_default();
-                    let pos = q
-                        .iter()
-                        .position(|(t, _)| *t == e.task)
-                        .unwrap_or_else(|| {
-                            panic!("seq {}: hand-off of {r} to non-waiter {}", e.seq, e.task)
-                        });
+                    let pos = q.iter().position(|(t, _)| *t == e.task).unwrap_or_else(|| {
+                        panic!("seq {}: hand-off of {r} to non-waiter {}", e.seq, e.task)
+                    });
                     let my = q[pos].1;
                     let best = q.iter().map(|(_, p)| *p).max().expect("non-empty");
                     assert!(

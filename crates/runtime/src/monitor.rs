@@ -9,7 +9,7 @@
 
 use crate::locks::MpcpMutex;
 use mpcp_model::Priority;
-use parking_lot::Condvar;
+use std::sync::{Condvar, Mutex};
 
 /// Monitor-style shared state on top of [`MpcpMutex`].
 ///
@@ -43,7 +43,7 @@ pub struct Monitor<T> {
     lock: MpcpMutex<T>,
     /// Generation counter bumped by every completed entry; waiting
     /// threads sleep on it between condition checks.
-    generation: parking_lot::Mutex<u64>,
+    generation: Mutex<u64>,
     changed: Condvar,
 }
 
@@ -52,13 +52,13 @@ impl<T> Monitor<T> {
     pub fn new(value: T) -> Self {
         Monitor {
             lock: MpcpMutex::new(value),
-            generation: parking_lot::Mutex::new(0),
+            generation: Mutex::new(0),
             changed: Condvar::new(),
         }
     }
 
     fn bump(&self) {
-        *self.generation.lock() += 1;
+        *self.generation.lock().unwrap() += 1;
         self.changed.notify_all();
     }
 
@@ -88,7 +88,7 @@ impl<T> Monitor<T> {
             // Snapshot the generation while still holding the data lock:
             // any entry that changes the state after this point also
             // bumps the generation, so the wait below cannot miss it.
-            let seen = *self.generation.lock();
+            let seen = *self.generation.lock().unwrap();
             if cond(&guard) {
                 let mut guard = guard;
                 let result = entry(&mut guard);
@@ -97,9 +97,9 @@ impl<T> Monitor<T> {
                 return result;
             }
             drop(guard);
-            let mut gen = self.generation.lock();
+            let mut gen = self.generation.lock().unwrap();
             while *gen == seen {
-                self.changed.wait(&mut gen);
+                gen = self.changed.wait(gen).unwrap();
             }
         }
     }

@@ -14,9 +14,8 @@
 use crate::log::{RtEvent, RtEventKind, RtLog};
 use mpcp_core::{CeilingTable, GcsPriorities, GlobalSemaphore, Pcp, PcpDecision, ReleaseOutcome};
 use mpcp_model::{Priority, ResourceId, Scope, Segment, System, TaskId};
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type ActorId = u64;
@@ -64,8 +63,7 @@ impl Sched {
             .iter()
             .filter(|(_, a)| a.proc == me.proc && a.runnable)
             .max_by(|(ia, a), (ib, b)| a.eff.cmp(&b.eff).then(ib.cmp(ia)))
-            .map(|(winner, _)| *winner == id)
-            .unwrap_or(false)
+            .is_some_and(|(winner, _)| *winner == id)
     }
 }
 
@@ -155,35 +153,46 @@ impl Runtime {
     /// Panics if `task` does not belong to the runtime's system or
     /// `iterations` is zero.
     pub fn spawn_job_repeated(&self, task: TaskId, iterations: u32) -> JoinHandle<()> {
-        assert!(iterations > 0, "zero iterations");
-        let inner = Arc::clone(&self.inner);
-        let t = inner.system.task(task);
-        let body = t.body().clone();
+        let id = self.register(task);
+        self.spawn_registered(id, task, iterations)
+    }
+
+    /// Registers an actor for one job of `task` without starting it, so
+    /// a batch of jobs can be made visible to the admission rule before
+    /// any of them runs (a simultaneous release).
+    fn register(&self, task: TaskId) -> ActorId {
+        let t = self.inner.system.task(task);
         let proc = t.processor().index();
         let base = t.priority();
-        let id = {
-            let mut s = inner.sched.lock();
-            let id = s.next_actor;
-            s.next_actor += 1;
-            s.actors.insert(
-                id,
-                Actor {
-                    task,
-                    proc,
-                    base,
-                    eff: base,
-                    runnable: true,
-                    saved: Vec::new(),
-                },
-            );
-            id
-        };
+        let mut s = self.inner.sched.lock().unwrap();
+        let id = s.next_actor;
+        s.next_actor += 1;
+        s.actors.insert(
+            id,
+            Actor {
+                task,
+                proc,
+                base,
+                eff: base,
+                runnable: true,
+                saved: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Starts the thread for a previously [`register`](Self::register)ed
+    /// actor.
+    fn spawn_registered(&self, id: ActorId, task: TaskId, iterations: u32) -> JoinHandle<()> {
+        assert!(iterations > 0, "zero iterations");
+        let inner = Arc::clone(&self.inner);
+        let body = inner.system.task(task).body().clone();
         self.inner.cv.notify_all();
         std::thread::spawn(move || {
             for _ in 0..iterations {
                 drive(&inner, id, body.segments());
             }
-            let mut s = inner.sched.lock();
+            let mut s = inner.sched.lock().unwrap();
             let actor = s.actors.remove(&id).expect("actor registered");
             debug_assert!(actor.saved.is_empty(), "completed holding locks");
             let seq = s.next_seq;
@@ -209,30 +218,37 @@ impl Runtime {
     /// one thread executing its body repeatedly) and returns the log.
     /// More iterations mean more lock-contention interleavings.
     pub fn run_all_repeated(&self, iterations: u32) -> RtLog {
-        let handles: Vec<_> = self
+        // Register every actor before starting any thread: the admission
+        // rule only arbitrates among registered actors, so spawning as we
+        // register would let an early low-priority job run unopposed.
+        let ids: Vec<(ActorId, TaskId)> = self
             .inner
             .system
             .tasks()
             .iter()
-            .map(|t| self.spawn_job_repeated(t.id(), iterations))
+            .map(|t| (self.register(t.id()), t.id()))
+            .collect();
+        let handles: Vec<_> = ids
+            .into_iter()
+            .map(|(id, task)| self.spawn_registered(id, task, iterations))
             .collect();
         for h in handles {
             h.join().expect("runtime job panicked");
         }
-        self.inner.sched.lock().log.clone()
+        self.inner.sched.lock().unwrap().log.clone()
     }
 
     /// A snapshot of the log so far.
     pub fn log(&self) -> RtLog {
-        self.inner.sched.lock().log.clone()
+        self.inner.sched.lock().unwrap().log.clone()
     }
 }
 
 /// Waits until `id` is the dispatched actor of its virtual processor.
 fn checkpoint(inner: &Inner, id: ActorId) {
-    let mut s = inner.sched.lock();
+    let mut s = inner.sched.lock().unwrap();
     while !s.admitted(id) {
-        inner.cv.wait(&mut s);
+        s = inner.cv.wait(s).unwrap();
     }
 }
 
@@ -247,13 +263,13 @@ fn drive(inner: &Inner, id: ActorId, segments: &[Segment]) {
             }
             Segment::Suspend(d) => {
                 {
-                    let mut s = inner.sched.lock();
+                    let mut s = inner.sched.lock().unwrap();
                     s.actors.get_mut(&id).expect("actor").runnable = false;
                 }
                 inner.cv.notify_all();
                 std::thread::sleep(std::time::Duration::from_micros(d.ticks()));
                 {
-                    let mut s = inner.sched.lock();
+                    let mut s = inner.sched.lock().unwrap();
                     s.actors.get_mut(&id).expect("actor").runnable = true;
                 }
                 inner.cv.notify_all();
@@ -272,7 +288,7 @@ fn drive(inner: &Inner, id: ActorId, segments: &[Segment]) {
 
 fn lock(inner: &Inner, id: ActorId, res: ResourceId) {
     checkpoint(inner, id);
-    let mut s = inner.sched.lock();
+    let mut s = inner.sched.lock().unwrap();
     let snap = snapshot(&s.actors[&id]);
     s.log(&snap, RtEventKind::Requested(res));
     match inner.scopes[res.index()] {
@@ -297,7 +313,7 @@ fn lock(inner: &Inner, id: ActorId, res: ResourceId) {
                 // Wait for the hand-off (the releaser does all the
                 // bookkeeping, including our log entry and priority).
                 while !s.actors[&id].runnable {
-                    inner.cv.wait(&mut s);
+                    s = inner.cv.wait(s).unwrap();
                 }
                 drop(s);
             }
@@ -332,13 +348,13 @@ fn lock(inner: &Inner, id: ActorId, res: ResourceId) {
                         s.log(&snap, RtEventKind::Blocked(res));
                         inner.cv.notify_all();
                         while !s.actors[&id].runnable {
-                            inner.cv.wait(&mut s);
+                            s = inner.cv.wait(s).unwrap();
                         }
                         // Retry only once dispatched, so a higher-priority
                         // woken waiter re-runs the PCP test first (as a
                         // preemptive kernel would dispatch it first).
                         while !s.admitted(id) {
-                            inner.cv.wait(&mut s);
+                            s = inner.cv.wait(s).unwrap();
                         }
                     }
                 }
@@ -350,7 +366,7 @@ fn lock(inner: &Inner, id: ActorId, res: ResourceId) {
 
 fn unlock(inner: &Inner, id: ActorId, res: ResourceId) {
     checkpoint(inner, id);
-    let mut s = inner.sched.lock();
+    let mut s = inner.sched.lock().unwrap();
     match inner.scopes[res.index()] {
         Scope::Global => {
             {

@@ -138,10 +138,7 @@ pub fn priority_ordered_handoffs(trace: &Trace, system: &System) -> Result<(), C
             EventKind::HandedOff { resource, to } => {
                 let q = waiting.entry(resource).or_default();
                 let Some(pos) = q.iter().position(|j| *j == to) else {
-                    return Err(err(
-                        e.time,
-                        format!("{resource} handed to non-waiter {to}"),
-                    ));
+                    return Err(err(e.time, format!("{resource} handed to non-waiter {to}")));
                 };
                 if let Some(best) = q.iter().map(|j| prio(*j)).max() {
                     if prio(to) < best {
@@ -188,13 +185,12 @@ pub fn gcs_preemption_discipline(trace: &Trace, system: &System) -> Result<(), C
                     }
                 }
             }
-            EventKind::Preempted { by, .. }
-                if in_gcs(&held, e.job) && !in_gcs(&held, by) => {
-                    return Err(err(
-                        e.time,
-                        format!("gcs of {} preempted by non-gcs job {by}", e.job),
-                    ));
-                }
+            EventKind::Preempted { by, .. } if in_gcs(&held, e.job) && !in_gcs(&held, by) => {
+                return Err(err(
+                    e.time,
+                    format!("gcs of {} preempted by non-gcs job {by}", e.job),
+                ));
+            }
             _ => {}
         }
     }
@@ -252,20 +248,34 @@ mod tests {
         let mut b = System::builder();
         let p = b.add_processors(2);
         let s = b.add_resource("S");
-        b.add_task(TaskDef::new("a", p[0]).period(10).priority(2).body(
-            Body::builder().critical(s, |c| c.compute(1)).build(),
-        ));
-        b.add_task(TaskDef::new("b", p[1]).period(20).priority(1).body(
-            Body::builder().critical(s, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("a", p[0])
+                .period(10)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(20)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
         b.build().unwrap()
     }
 
     #[test]
     fn mutual_exclusion_detects_double_grant() {
         let mut tr = Trace::new();
-        tr.push(Time::new(0), jid(0), EventKind::LockGranted { resource: res(0) });
-        tr.push(Time::new(1), jid(1), EventKind::LockGranted { resource: res(0) });
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        tr.push(
+            Time::new(1),
+            jid(1),
+            EventKind::LockGranted { resource: res(0) },
+        );
         let e = mutual_exclusion(&tr).unwrap_err();
         assert!(e.to_string().contains("while"));
     }
@@ -273,18 +283,34 @@ mod tests {
     #[test]
     fn mutual_exclusion_detects_foreign_release() {
         let mut tr = Trace::new();
-        tr.push(Time::new(0), jid(0), EventKind::LockGranted { resource: res(0) });
-        tr.push(Time::new(1), jid(1), EventKind::Unlocked { resource: res(0) });
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        tr.push(
+            Time::new(1),
+            jid(1),
+            EventKind::Unlocked { resource: res(0) },
+        );
         assert!(mutual_exclusion(&tr).is_err());
         let mut tr2 = Trace::new();
-        tr2.push(Time::new(0), jid(0), EventKind::Unlocked { resource: res(0) });
+        tr2.push(
+            Time::new(0),
+            jid(0),
+            EventKind::Unlocked { resource: res(0) },
+        );
         assert!(mutual_exclusion(&tr2).is_err());
     }
 
     #[test]
     fn mutual_exclusion_detects_completion_with_lock() {
         let mut tr = Trace::new();
-        tr.push(Time::new(0), jid(0), EventKind::LockGranted { resource: res(0) });
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
         tr.push(
             Time::new(1),
             jid(0),
@@ -382,8 +408,16 @@ mod tests {
     fn clean_trace_passes_all() {
         let sys = two_task_system();
         let mut tr = Trace::new();
-        tr.push(Time::new(0), jid(0), EventKind::LockGranted { resource: res(0) });
-        tr.push(Time::new(1), jid(0), EventKind::Unlocked { resource: res(0) });
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        tr.push(
+            Time::new(1),
+            jid(0),
+            EventKind::Unlocked { resource: res(0) },
+        );
         tr.push(
             Time::new(2),
             jid(0),

@@ -115,7 +115,10 @@ impl<P: Protocol> Simulator<P> {
             );
         }
         let res_global = (0..system.resources().len())
-            .map(|i| info.scope(mpcp_model::ResourceId::from_index(i as u32)).is_global())
+            .map(|i| {
+                info.scope(mpcp_model::ResourceId::from_index(i as u32))
+                    .is_global()
+            })
             .collect();
         let programs = system
             .tasks()
@@ -220,12 +223,7 @@ impl<P: Protocol> Simulator<P> {
         true
     }
 
-    fn ctx<'a>(
-        now: Time,
-        jobs: &'a mut Jobs,
-        trace: &'a mut Trace,
-        system: &'a System,
-    ) -> Ctx<'a> {
+    fn ctx<'a>(now: Time, jobs: &'a mut Jobs, trace: &'a mut Trace, system: &'a System) -> Ctx<'a> {
         Ctx {
             now,
             jobs,
@@ -320,7 +318,7 @@ impl<P: Protocol> Simulator<P> {
         }
         for id in done {
             self.complete_job(id);
-            for slot in self.running.iter_mut() {
+            for slot in &mut self.running {
                 if *slot == Some(id) {
                     *slot = None;
                 }
@@ -348,9 +346,7 @@ impl<P: Protocol> Simulator<P> {
                 .max_by(|a, b| {
                     a.effective_priority
                         .cmp(&b.effective_priority)
-                        .then_with(|| {
-                            (Some(a.id) == current).cmp(&(Some(b.id) == current))
-                        })
+                        .then_with(|| (Some(a.id) == current).cmp(&(Some(b.id) == current)))
                         .then_with(|| b.release.cmp(&a.release))
                         .then_with(|| b.id.cmp(&a.id))
                 })
@@ -365,7 +361,14 @@ impl<P: Protocol> Simulator<P> {
             .jobs
             .iter()
             .filter(|j| j.state == ExecState::Ready)
-            .map(|j| (j.effective_priority, Reverse(j.release), Reverse(j.id), j.id))
+            .map(|j| {
+                (
+                    j.effective_priority,
+                    Reverse(j.release),
+                    Reverse(j.id),
+                    j.id,
+                )
+            })
             .collect();
         ready.sort();
         ready.reverse();
@@ -773,9 +776,12 @@ mod tests {
         let mut b = System::builder();
         let p = b.add_processors(2);
         let s = b.add_resource("S");
-        b.add_task(TaskDef::new("a", p[0]).period(100).priority(2).body(
-            Body::builder().critical(s, |c| c.compute(4)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("a", p[0])
+                .period(100)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(4)).build()),
+        );
         b.add_task(
             TaskDef::new("b", p[1])
                 .period(100)

@@ -14,15 +14,11 @@ pub fn events_csv(trace: &Trace) -> String {
     for e in trace.events() {
         let (kind, resource, other): (&str, String, String) = match e.kind {
             EventKind::Released => ("released", String::new(), String::new()),
-            EventKind::Started { processor } => {
-                ("started", processor.to_string(), String::new())
-            }
+            EventKind::Started { processor } => ("started", processor.to_string(), String::new()),
             EventKind::Preempted { processor, by } => {
                 ("preempted", processor.to_string(), by.to_string())
             }
-            EventKind::Completed { response } => {
-                ("completed", String::new(), response.to_string())
-            }
+            EventKind::Completed { response } => ("completed", String::new(), response.to_string()),
             EventKind::DeadlineMiss => ("deadline_miss", String::new(), String::new()),
             EventKind::LockRequested { resource } => {
                 ("lock_requested", resource.to_string(), String::new())
@@ -35,9 +31,7 @@ pub fn events_csv(trace: &Trace) -> String {
                 resource.to_string(),
                 holder.map(|h| h.to_string()).unwrap_or_default(),
             ),
-            EventKind::Unlocked { resource } => {
-                ("unlocked", resource.to_string(), String::new())
-            }
+            EventKind::Unlocked { resource } => ("unlocked", resource.to_string(), String::new()),
             EventKind::HandedOff { resource, to } => {
                 ("handed_off", resource.to_string(), to.to_string())
             }
@@ -48,9 +42,7 @@ pub fn events_csv(trace: &Trace) -> String {
             EventKind::PriorityChanged { from, to } => {
                 ("priority_changed", from.to_string(), to.to_string())
             }
-            EventKind::Migrated { from, to } => {
-                ("migrated", from.to_string(), to.to_string())
-            }
+            EventKind::Migrated { from, to } => ("migrated", from.to_string(), to.to_string()),
         };
         let _ = writeln!(
             out,

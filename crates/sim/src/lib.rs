@@ -50,8 +50,8 @@
 
 pub mod check;
 mod engine;
-pub mod export;
 mod event;
+pub mod export;
 mod job;
 mod metrics;
 mod op;

@@ -102,9 +102,12 @@ mod tests {
         let sg = b.add_resource("SG");
         b.add_task(TaskDef::new("t", p[0]).period(100).priority(2).body(body));
         // second task makes SG global
-        b.add_task(TaskDef::new("u", p[1]).period(200).priority(1).body(
-            Body::builder().critical(sg, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("u", p[1])
+                .period(200)
+                .priority(1)
+                .body(Body::builder().critical(sg, |c| c.compute(1)).build()),
+        );
         (b.build().unwrap(), sl, sg)
     }
 

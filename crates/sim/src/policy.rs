@@ -218,19 +218,19 @@ impl Protocol for Box<dyn Protocol> {
         (**self).name()
     }
     fn init(&mut self, system: &System) {
-        (**self).init(system)
+        (**self).init(system);
     }
     fn on_release(&mut self, ctx: &mut Ctx<'_>, job: JobId) {
-        (**self).on_release(ctx, job)
+        (**self).on_release(ctx, job);
     }
     fn on_lock(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) -> LockResult {
         (**self).on_lock(ctx, job, resource)
     }
     fn on_unlock(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) {
-        (**self).on_unlock(ctx, job, resource)
+        (**self).on_unlock(ctx, job, resource);
     }
     fn on_complete(&mut self, ctx: &mut Ctx<'_>, job: JobId) {
-        (**self).on_complete(ctx, job)
+        (**self).on_complete(ctx, job);
     }
 }
 
@@ -244,12 +244,18 @@ mod tests {
         let mut b = System::builder();
         let p = b.add_processors(2);
         let s = b.add_resource("S");
-        b.add_task(TaskDef::new("a", p[0]).period(10).priority(2).body(
-            Body::builder().critical(s, |c| c.compute(1)).build(),
-        ));
-        b.add_task(TaskDef::new("b", p[1]).period(20).priority(1).body(
-            Body::builder().critical(s, |c| c.compute(1)).build(),
-        ));
+        b.add_task(
+            TaskDef::new("a", p[0])
+                .period(10)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(20)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
         let sys = b.build().unwrap();
         let mut jobs = Jobs::new();
         for t in sys.tasks() {

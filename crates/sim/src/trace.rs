@@ -179,7 +179,12 @@ impl Trace {
                     };
                 }
             }
-            let _ = writeln!(out, "{:>4} |{}|", proc.name(), row.iter().collect::<String>());
+            let _ = writeln!(
+                out,
+                "{:>4} |{}|",
+                proc.name(),
+                row.iter().collect::<String>()
+            );
         }
         let _ = writeln!(
             out,
@@ -199,35 +204,28 @@ impl Trace {
         assert!(scale > 0, "job_gantt: zero scale");
         assert!(to > from, "job_gantt: empty window");
         let width = ((to - from).ticks().div_ceil(scale)) as usize;
-        let col = |t: Time| -> usize {
-            ((t.max(from).min(to) - from).ticks() / scale) as usize
-        };
+        let col = |t: Time| -> usize { ((t.max(from).min(to) - from).ticks() / scale) as usize };
 
         // Collect the jobs seen in the window, in id order.
         let mut jobs: Vec<JobId> = self.events.iter().map(|e| e.job).collect();
         jobs.sort_unstable();
         jobs.dedup();
 
-        let mut rows: Vec<(JobId, Vec<char>)> = jobs
-            .iter()
-            .map(|&j| (j, vec![' '; width]))
-            .collect();
+        let mut rows: Vec<(JobId, Vec<char>)> =
+            jobs.iter().map(|&j| (j, vec![' '; width])).collect();
         let row_of = |rows: &mut Vec<(JobId, Vec<char>)>, j: JobId| -> usize {
             rows.iter().position(|(id, _)| *id == j).expect("job row")
         };
 
         // Phase 1: lifetime = ready ('.') from release to completion (or
         // window end).
-        for (job, row) in rows.iter_mut() {
+        for (job, row) in &mut rows {
             let released = self
                 .events
                 .iter()
                 .find(|e| e.job == *job && matches!(e.kind, EventKind::Released))
-                .map(|e| e.time)
-                .unwrap_or(from);
-            let completed = self
-                .completion_of(*job)
-                .unwrap_or(to);
+                .map_or(from, |e| e.time);
+            let completed = self.completion_of(*job).unwrap_or(to);
             if completed <= from || released >= to {
                 continue;
             }
@@ -257,10 +255,22 @@ impl Trace {
         for e in &self.events {
             match e.kind {
                 EventKind::LockBlocked { .. } => {
-                    open.insert(e.job, Open { start: e.time, sym: 'b' });
+                    open.insert(
+                        e.job,
+                        Open {
+                            start: e.time,
+                            sym: 'b',
+                        },
+                    );
                 }
                 EventKind::SelfSuspended { .. } => {
-                    open.insert(e.job, Open { start: e.time, sym: 'z' });
+                    open.insert(
+                        e.job,
+                        Open {
+                            start: e.time,
+                            sym: 'z',
+                        },
+                    );
                 }
                 EventKind::Woken | EventKind::HandedOff { .. } => {
                     if let Some(o) = open.remove(&e.job) {
@@ -305,7 +315,11 @@ impl Trace {
             }
             c += (label.len() + 1).div_ceil(5) * 5;
         }
-        let _ = writeln!(out, "        {}", ruler.iter().collect::<String>().trim_end());
+        let _ = writeln!(
+            out,
+            "        {}",
+            ruler.iter().collect::<String>().trim_end()
+        );
         for (job, row) in &rows {
             let name = system.task(job.task).name();
             let _ = writeln!(out, "{:>7} |{}|", name, row.iter().collect::<String>());

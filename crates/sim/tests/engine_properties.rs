@@ -1,10 +1,10 @@
-//! Property-based tests of the discrete-event engine itself, using a
+//! Randomized tests of the discrete-event engine itself, using a
 //! trivial always-grant protocol so only scheduling semantics are under
 //! test.
 
 use mpcp_model::{Body, Dur, JobId, ResourceId, System, TaskDef, Time};
+use mpcp_prop::{cases, Rng};
 use mpcp_sim::{Ctx, LockResult, Protocol, SimConfig, Simulator};
-use proptest::prelude::*;
 
 struct AlwaysGrant;
 impl Protocol for AlwaysGrant {
@@ -33,26 +33,24 @@ fn system_from(params: &[(u64, u64, u64)]) -> System {
     b.build().unwrap()
 }
 
-fn params_strategy() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
-    proptest::collection::vec(
-        (5u64..60).prop_flat_map(|period| {
-            (
-                Just(period),
-                1u64..=(period / 4).max(1),
-                0u64..10,
-            )
-        }),
-        1..5,
-    )
+fn random_params(rng: &mut Rng) -> Vec<(u64, u64, u64)> {
+    let n = rng.range_usize(1, 4);
+    (0..n)
+        .map(|_| {
+            let period = rng.range_u64(5, 59);
+            let wcet = rng.range_u64(1, (period / 4).max(1));
+            let offset = rng.range_u64(0, 9);
+            (period, wcet, offset)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Busy time on the processor equals the total work completed: the
-    /// engine neither loses nor invents execution time.
-    #[test]
-    fn work_conservation(params in params_strategy()) {
+/// Busy time on the processor equals the total work completed: the
+/// engine neither loses nor invents execution time.
+#[test]
+fn work_conservation() {
+    cases(48, 0x51_01, |rng| {
+        let params = random_params(rng);
         let sys = system_from(&params);
         let mut sim = Simulator::new(&sys, AlwaysGrant);
         sim.run_until(600);
@@ -69,14 +67,17 @@ proptest! {
             .map(|r| sys.task(r.id.task).wcet().ticks())
             .sum();
         // In-flight jobs at the horizon account for the difference.
-        prop_assert!(busy >= completed_work);
-        prop_assert!(busy <= completed_work + params.len() as u64 * 60);
-    }
+        assert!(busy >= completed_work);
+        assert!(busy <= completed_work + params.len() as u64 * 60);
+    });
+}
 
-    /// Responses are at least the WCET, and the highest-priority task's
-    /// response is exactly its WCET (nothing can delay it).
-    #[test]
-    fn response_time_floors(params in params_strategy()) {
+/// Responses are at least the WCET, and the highest-priority task's
+/// response is exactly its WCET (nothing can delay it).
+#[test]
+fn response_time_floors() {
+    cases(48, 0x51_02, |rng| {
+        let params = random_params(rng);
         let sys = system_from(&params);
         let top = sys
             .tasks()
@@ -87,54 +88,67 @@ proptest! {
         let mut sim = Simulator::new(&sys, AlwaysGrant);
         sim.run_until(600);
         for r in sim.records() {
-            prop_assert!(r.response >= sys.task(r.id.task).wcet());
+            assert!(r.response >= sys.task(r.id.task).wcet());
             if r.id.task == top {
-                prop_assert_eq!(r.response, sys.task(top).wcet());
+                assert_eq!(r.response, sys.task(top).wcet());
             }
         }
-    }
+    });
+}
 
-    /// Releases happen exactly on the periodic grid.
-    #[test]
-    fn releases_follow_the_grid(params in params_strategy()) {
+/// Releases happen exactly on the periodic grid.
+#[test]
+fn releases_follow_the_grid() {
+    cases(48, 0x51_03, |rng| {
+        let params = random_params(rng);
         let sys = system_from(&params);
         let mut sim = Simulator::new(&sys, AlwaysGrant);
         sim.run_until(300);
         for e in sim.trace().events() {
             if matches!(e.kind, mpcp_sim::EventKind::Released) {
                 let t = sys.task(e.job.task);
-                prop_assert_eq!(e.time, t.release_of(e.job.instance));
+                assert_eq!(e.time, t.release_of(e.job.instance));
             }
         }
-    }
+    });
+}
 
-    /// Determinism: the same system yields the identical event trace.
-    #[test]
-    fn engine_is_deterministic(params in params_strategy()) {
+/// Determinism: the same system yields the identical event trace.
+#[test]
+fn engine_is_deterministic() {
+    cases(48, 0x51_04, |rng| {
+        let params = random_params(rng);
         let sys = system_from(&params);
         let mut a = Simulator::new(&sys, AlwaysGrant);
         a.run_until(300);
         let mut b = Simulator::new(&sys, AlwaysGrant);
         b.run_until(300);
-        prop_assert_eq!(a.trace().events(), b.trace().events());
-        prop_assert_eq!(a.records(), b.records());
-    }
+        assert_eq!(a.trace().events(), b.trace().events());
+        assert_eq!(a.records(), b.records());
+    });
+}
 
-    /// Metrics agree with the per-job records they summarize.
-    #[test]
-    fn metrics_match_records(params in params_strategy()) {
+/// Metrics agree with the per-job records they summarize.
+#[test]
+fn metrics_match_records() {
+    cases(48, 0x51_05, |rng| {
+        let params = random_params(rng);
         let sys = system_from(&params);
         let mut sim = Simulator::new(&sys, AlwaysGrant);
         sim.run_until(600);
         let m = sim.metrics();
         for t in sys.tasks() {
-            let recs: Vec<_> = sim.records().iter().filter(|r| r.id.task == t.id()).collect();
+            let recs: Vec<_> = sim
+                .records()
+                .iter()
+                .filter(|r| r.id.task == t.id())
+                .collect();
             let tm = m.task(t.id());
-            prop_assert_eq!(tm.completed as usize, recs.len());
+            assert_eq!(tm.completed as usize, recs.len());
             let max = recs.iter().map(|r| r.response).max().unwrap_or(Dur::ZERO);
-            prop_assert_eq!(tm.max_response, max);
+            assert_eq!(tm.max_response, max);
         }
-    }
+    });
 }
 
 /// The horizon is respected exactly: no event is recorded past it.

@@ -149,8 +149,7 @@ pub fn generate(config: &WorkloadConfig, seed: u64) -> System {
         "bad period range"
     );
     let needs_resources = config.cs_range.1 > 0;
-    let has_resources =
-        config.local_resources_per_processor > 0 || config.global_resources > 0;
+    let has_resources = config.local_resources_per_processor > 0 || config.global_resources > 0;
     assert!(
         !needs_resources || has_resources,
         "sections requested but no resources configured"
@@ -186,13 +185,7 @@ pub fn generate(config: &WorkloadConfig, seed: u64) -> System {
                 rng.log_uniform(config.period_range.0, config.period_range.1)
             };
             let wcet = ((u * period as f64).round() as u64).max(1);
-            let body = build_body(
-                &mut rng,
-                config,
-                wcet,
-                &local_pools[pi],
-                &global_pool,
-            );
+            let body = build_body(&mut rng, config, wcet, &local_pools[pi], &global_pool);
             b.add_task(
                 TaskDef::new(format!("t{pi}.{ti}"), proc)
                     .period(period)
@@ -235,8 +228,8 @@ fn build_body(
     let mut sections: Vec<(ResourceId, u64, Option<ResourceId>)> = Vec::new();
     let mut cs_budget = wcet;
     for _ in 0..k {
-        let use_global = !globals.is_empty()
-            && (locals.is_empty() || rng.chance(config.global_access_prob));
+        let use_global =
+            !globals.is_empty() && (locals.is_empty() || rng.chance(config.global_access_prob));
         let res = if use_global {
             *rng.choice(globals)
         } else {
@@ -417,10 +410,7 @@ mod tests {
     fn suspensions_appear_when_enabled() {
         let cfg = WorkloadConfig::default().suspensions(1.0).sections(1, 2);
         let sys = generate(&cfg, 8);
-        assert!(sys
-            .tasks()
-            .iter()
-            .any(|t| t.body().suspension_count() > 0));
+        assert!(sys.tasks().iter().any(|t| t.body().suspension_count() > 0));
     }
 
     #[test]
@@ -429,13 +419,18 @@ mod tests {
         let sys = generate(&cfg, 3);
         for t in sys.tasks() {
             let p = t.period().ticks();
-            assert!(p >= 100 && p <= 1600);
+            assert!((100..=1600).contains(&p));
             let ratio = p / 100;
             assert_eq!(p % 100, 0);
             assert!(ratio.is_power_of_two(), "{p}");
         }
         // Harmonic sets divide evenly: hyperperiod equals the max period.
-        let max = sys.tasks().iter().map(|t| t.period()).max().unwrap();
+        let max = sys
+            .tasks()
+            .iter()
+            .map(mpcp_model::Task::period)
+            .max()
+            .unwrap();
         assert_eq!(sys.hyperperiod(), max);
     }
 

@@ -1,0 +1,404 @@
+//! Exhaustive small-scope model checking of protocol executions.
+//!
+//! For a small system the scheduler is deterministic once the release
+//! times are fixed, so the reachable executions are exactly the
+//! release-phasing variants. The checker enumerates every combination
+//! of per-task release offsets on a grid ([`CheckerConfig::max_offset`]
+//! / [`CheckerConfig::offset_step`]), simulates each variant, and runs
+//! the recorded trace through the structural invariants of
+//! [`mpcp_sim::check`] — plus, for MPCP, a cross-check that observed
+//! blocking never exceeds the §5.1 analytical bound `B_i`.
+//!
+//! The *small-scope hypothesis*: most protocol bugs already show up on
+//! systems of a handful of tasks within a couple of hyperperiods, so
+//! exhausting the small space buys real confidence cheaply.
+
+use crate::diag::{Diagnostic, Report, Severity};
+use mpcp_analysis::{mpcp_bounds_with, BlockingConfig};
+use mpcp_model::{Dur, System, TaskDef, Time};
+use mpcp_protocols::ProtocolKind;
+use mpcp_sim::{check, Protocol, SimConfig, Simulator};
+
+/// Scope bounds for an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckerConfig {
+    /// Ticks to simulate per variant; `0` picks two hyperperiods
+    /// (clamped to [100, 20 000]).
+    pub horizon: u64,
+    /// Largest extra release offset tried per task.
+    pub max_offset: u64,
+    /// Grid step between tried offsets (must be nonzero).
+    pub offset_step: u64,
+    /// Hard cap on enumerated variants; exceeding it marks the
+    /// exploration truncated rather than running forever.
+    pub max_variants: usize,
+    /// For MPCP, also check observed blocking against the §5.1 bound.
+    pub check_blocking: bool,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            horizon: 0,
+            max_offset: 2,
+            offset_step: 1,
+            max_variants: 4096,
+            check_blocking: true,
+        }
+    }
+}
+
+impl CheckerConfig {
+    fn resolved_horizon(&self, system: &System) -> u64 {
+        if self.horizon != 0 {
+            return self.horizon;
+        }
+        let hyper = system.hyperperiod().ticks().saturating_mul(2);
+        hyper.clamp(100, 20_000)
+    }
+}
+
+/// One invariant violation found in one execution variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Protocol under which the violation occurred.
+    pub protocol: String,
+    /// The per-task release offsets (in task order) of the variant.
+    pub offsets: Vec<u64>,
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// When in the execution the violation was observed.
+    pub time: Time,
+    /// What happened.
+    pub message: String,
+}
+
+/// Result of exhausting the scope for one protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exploration {
+    /// Name of the protocol explored.
+    pub protocol: String,
+    /// Number of release-phasing variants simulated.
+    pub variants: usize,
+    /// Whether [`CheckerConfig::max_variants`] cut the enumeration short.
+    pub truncated: bool,
+    /// All invariant violations found, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl Exploration {
+    /// Whether every explored execution satisfied every invariant.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Which trace invariants to demand of a protocol. Mutual exclusion
+/// and single occupancy are always checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvariantProfile {
+    /// Semaphores hand off to the highest-priority waiter.
+    pub handoff_order: bool,
+    /// Theorem 2's gcs preemption discipline (only gcs preempt gcs).
+    pub gcs_discipline: bool,
+    /// Effective priority never drops below the base priority.
+    pub priority_floor: bool,
+    /// Observed blocking stays within the §5.1 bound `B_i`.
+    pub blocking_bound: bool,
+}
+
+impl InvariantProfile {
+    /// Everything the MPCP must satisfy.
+    pub fn mpcp() -> Self {
+        InvariantProfile {
+            handoff_order: true,
+            gcs_discipline: true,
+            priority_floor: true,
+            blocking_bound: true,
+        }
+    }
+
+    /// Only the universal invariants (mutual exclusion, occupancy).
+    pub fn minimal() -> Self {
+        InvariantProfile {
+            handoff_order: false,
+            gcs_discipline: false,
+            priority_floor: false,
+            blocking_bound: false,
+        }
+    }
+
+    /// What each built-in protocol promises: MPCP everything, the
+    /// other priority-queued protocols ordered hand-offs, raw
+    /// semaphores only the universal invariants.
+    pub fn for_kind(kind: ProtocolKind) -> Self {
+        match kind {
+            ProtocolKind::Mpcp => InvariantProfile::mpcp(),
+            ProtocolKind::Raw => InvariantProfile::minimal(),
+            _ => InvariantProfile {
+                handoff_order: true,
+                ..InvariantProfile::minimal()
+            },
+        }
+    }
+}
+
+/// Rebuilds `system` with each task's release shifted by the matching
+/// delta (periodic tasks get an offset bump; arrival-driven tasks get
+/// every arrival shifted).
+fn with_offsets(system: &System, deltas: &[u64]) -> System {
+    let mut b = System::builder();
+    for p in system.processors() {
+        b.add_processor(p.name());
+    }
+    for r in system.resources() {
+        b.add_resource(r.name());
+    }
+    for (task, &delta) in system.tasks().iter().zip(deltas) {
+        let mut def = TaskDef::new(task.name(), task.processor())
+            .period(task.period().ticks())
+            .deadline(task.deadline().ticks())
+            .offset(task.offset().ticks() + delta)
+            .priority(task.priority().level())
+            .body(task.body().clone());
+        if let Some(times) = task.arrivals() {
+            def = def.arrivals(times.iter().map(|t| t.ticks() + delta));
+        }
+        b.add_task(def);
+    }
+    b.build()
+        .expect("offset variant of a valid system is valid")
+}
+
+/// Odometer over the offset grid: yields every combination of
+/// `0, step, 2*step, ..., <= max_offset` across `n` tasks.
+struct OffsetGrid {
+    current: Vec<u64>,
+    max_offset: u64,
+    step: u64,
+    done: bool,
+}
+
+impl OffsetGrid {
+    fn new(n: usize, max_offset: u64, step: u64) -> Self {
+        OffsetGrid {
+            current: vec![0; n],
+            max_offset,
+            step: step.max(1),
+            done: false,
+        }
+    }
+}
+
+impl Iterator for OffsetGrid {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        if self.done {
+            return None;
+        }
+        let out = self.current.clone();
+        let mut i = 0;
+        loop {
+            if i == self.current.len() {
+                self.done = true;
+                break;
+            }
+            self.current[i] += self.step;
+            if self.current[i] <= self.max_offset {
+                break;
+            }
+            self.current[i] = 0;
+            i += 1;
+        }
+        Some(out)
+    }
+}
+
+/// Explores every release-phasing variant of `system` under a custom
+/// protocol factory and invariant profile. `protocol_name` labels the
+/// produced [`Violation`]s.
+///
+/// This is the general entry point; [`explore`] covers the built-in
+/// protocols. Passing a *wrong* factory for a profile — say, raw FIFO
+/// semaphores checked against [`InvariantProfile::mpcp`] — is how the
+/// checker's own sensitivity is validated.
+pub fn explore_with(
+    system: &System,
+    config: &CheckerConfig,
+    profile: InvariantProfile,
+    protocol_name: &str,
+    mut factory: impl FnMut() -> Box<dyn Protocol>,
+) -> Exploration {
+    let horizon = config.resolved_horizon(system);
+    let bounds: Option<Vec<Dur>> = if profile.blocking_bound {
+        mpcp_bounds_with(system, BlockingConfig::sound())
+            .ok()
+            .map(|bs| {
+                bs.iter()
+                    .map(mpcp_analysis::BlockingBreakdown::total)
+                    .collect()
+            })
+    } else {
+        None
+    };
+
+    let mut exploration = Exploration {
+        protocol: protocol_name.to_string(),
+        variants: 0,
+        truncated: false,
+        violations: Vec::new(),
+    };
+
+    for deltas in OffsetGrid::new(system.tasks().len(), config.max_offset, config.offset_step) {
+        if exploration.variants >= config.max_variants {
+            exploration.truncated = true;
+            break;
+        }
+        exploration.variants += 1;
+        let variant = with_offsets(system, &deltas);
+        let mut sim = Simulator::with_config(&variant, factory(), SimConfig::until(horizon));
+        sim.run();
+
+        let mut fail = |invariant: &'static str, time: Time, message: String| {
+            exploration.violations.push(Violation {
+                protocol: protocol_name.to_string(),
+                offsets: deltas.clone(),
+                invariant,
+                time,
+                message,
+            });
+        };
+
+        if let Err(e) = check::mutual_exclusion(sim.trace()) {
+            fail("mutual-exclusion", e.time, e.message);
+        }
+        if let Err(e) = check::single_occupancy(sim.trace(), &variant) {
+            fail("single-occupancy", e.time, e.message);
+        }
+        if profile.handoff_order {
+            if let Err(e) = check::priority_ordered_handoffs(sim.trace(), &variant) {
+                fail("priority-ordered-handoffs", e.time, e.message);
+            }
+        }
+        if profile.gcs_discipline {
+            if let Err(e) = check::gcs_preemption_discipline(sim.trace(), &variant) {
+                fail("gcs-preemption-discipline", e.time, e.message);
+            }
+        }
+        if profile.priority_floor {
+            if let Err(e) = check::priority_floor(sim.trace(), &variant) {
+                fail("priority-floor", e.time, e.message);
+            }
+        }
+        if let Some(bounds) = &bounds {
+            let metrics = sim.metrics();
+            for task in variant.tasks() {
+                let measured = metrics.task(task.id()).max_blocking;
+                let bound = bounds[task.id().index()];
+                if measured > bound {
+                    fail(
+                        "blocking-bound",
+                        Time::ZERO,
+                        format!(
+                            "{} observed blocking {} exceeds analytical bound {}",
+                            task.name(),
+                            measured,
+                            bound,
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    exploration
+}
+
+/// Explores every release-phasing variant of `system` under one
+/// built-in protocol, checking the invariants that protocol promises
+/// ([`InvariantProfile::for_kind`]).
+pub fn explore(system: &System, kind: ProtocolKind, config: &CheckerConfig) -> Exploration {
+    explore_with(
+        system,
+        config,
+        InvariantProfile::for_kind(kind),
+        kind.name(),
+        || kind.build(),
+    )
+}
+
+/// Runs [`explore`] for all six built-in protocols.
+pub fn explore_all(system: &System, config: &CheckerConfig) -> Vec<Exploration> {
+    ProtocolKind::ALL
+        .iter()
+        .map(|&kind| explore(system, kind, config))
+        .collect()
+}
+
+/// Converts exploration results into a diagnostics [`Report`]: one
+/// `V100` error per violation, one `V101` warning per truncated
+/// enumeration.
+pub fn report(explorations: &[Exploration]) -> Report {
+    let mut out = Report::new();
+    for ex in explorations {
+        for v in &ex.violations {
+            let offsets = v
+                .offsets
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push(
+                Diagnostic::new(
+                    "V100",
+                    "model-checker-violation",
+                    Severity::Error,
+                    format!(
+                        "{}: {} violated at t={} (offsets [{}]): {}",
+                        ex.protocol, v.invariant, v.time, offsets, v.message
+                    ),
+                )
+                .with_hint("re-run `mpcp sim` with these offsets to reproduce the trace"),
+            );
+        }
+        if ex.truncated {
+            out.push(
+                Diagnostic::new(
+                    "V101",
+                    "model-checker-truncated",
+                    Severity::Warning,
+                    format!(
+                        "{}: enumeration stopped after {} variants; scope not exhausted",
+                        ex.protocol, ex.variants
+                    ),
+                )
+                .with_hint("raise max_variants or coarsen the offset grid"),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_grid_is_exhaustive_and_duplicate_free() {
+        let all: Vec<Vec<u64>> = OffsetGrid::new(3, 2, 1).collect();
+        assert_eq!(all.len(), 27);
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 27);
+        assert!(all.contains(&vec![0, 0, 0]));
+        assert!(all.contains(&vec![2, 2, 2]));
+    }
+
+    #[test]
+    fn offset_grid_respects_step() {
+        let all: Vec<Vec<u64>> = OffsetGrid::new(2, 4, 2).collect();
+        assert_eq!(all.len(), 9);
+        assert!(all.iter().all(|v| v.iter().all(|&d| d % 2 == 0)));
+    }
+}

@@ -1,0 +1,12 @@
+//! Deprecated re-export of the lock-order deadlock analysis.
+//!
+//! **Deprecation note:** these functions now live in
+//! `mpcp_analysis`'s deadlock module and are surfaced here only so existing
+//! callers can migrate to the structured diagnostics API in one step.
+//! New code should run the [`crate::lint::LockOrderCycle`] lint (code
+//! `V001`) via [`crate::lint_system`], which wraps
+//! [`lock_order_cycle`] and reports the cycle as a [`crate::Diagnostic`]
+//! with the offending semaphores named. This module will be removed
+//! once the CLI and experiment harness are fully on the lint pass.
+
+pub use mpcp_analysis::{global_nesting_edges, lock_order_cycle, validate_lock_ordering};

@@ -1,0 +1,59 @@
+//! `mpcp-verify` — static lints and a small-scope model checker for
+//! MPCP task systems.
+//!
+//! Two engines behind one structured-diagnostics API:
+//!
+//! * **[`lint`]** — a static pass over a built [`mpcp_model::System`]:
+//!   lock-order cycles among nested global semaphores (§5.1's partial
+//!   ordering), mis-scoped resources, the §4 scope-nesting rules,
+//!   suspension inside critical sections, per-processor utilization
+//!   against the Liu–Layland bound, rate-monotonic priority inversions
+//!   and global sections that already exceed a user's deadline. Run
+//!   [`lint_system`] and render the [`Report`] for humans or as JSON.
+//! * **[`checker`]** — exhaustive exploration of every release-phasing
+//!   variant of a small system, with each execution's trace checked
+//!   against the structural invariants of [`mpcp_sim::check`] and (for
+//!   MPCP) the §5.1 blocking bound. Run [`checker::explore_all`] and
+//!   turn the results into diagnostics with [`checker::report`].
+//!
+//! Both are wired into the CLI as `mpcp lint` and `mpcp verify`, which
+//! exit nonzero when any error-severity finding is produced.
+//!
+//! # Example
+//!
+//! ```
+//! use mpcp_model::{Body, System, TaskDef};
+//!
+//! // Two tasks on two processors nest the same pair of global
+//! // semaphores in opposite orders: a classic cross-processor deadlock.
+//! let mut b = System::builder();
+//! let procs = b.add_processors(2);
+//! let sa = b.add_resource("SA");
+//! let sb = b.add_resource("SB");
+//! b.add_task(TaskDef::new("tau1", procs[0]).period(100).body(
+//!     Body::builder()
+//!         .critical(sa, |c| c.compute(1).critical(sb, |c| c.compute(1)))
+//!         .build(),
+//! ));
+//! b.add_task(TaskDef::new("tau2", procs[1]).period(200).body(
+//!     Body::builder()
+//!         .critical(sb, |c| c.compute(1).critical(sa, |c| c.compute(1)))
+//!         .build(),
+//! ));
+//! let system = b.build().unwrap();
+//!
+//! let report = mpcp_verify::lint_system(&system);
+//! assert!(report.has_errors());
+//! assert!(report.render_human().contains("V001"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod checker;
+pub mod deadlock;
+pub mod diag;
+pub mod lint;
+
+pub use checker::{CheckerConfig, Exploration, InvariantProfile, Violation};
+pub use diag::{Diagnostic, Report, Severity};
+pub use lint::{default_lints, lint_system, lint_system_with, Lint, LintContext};

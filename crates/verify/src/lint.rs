@@ -1,0 +1,562 @@
+//! Static lints over a [`System`] configuration.
+//!
+//! Each lint checks one rule a valid MPCP configuration must (or
+//! should) obey — the §4 nesting rules, the Theorem 2 priority-band
+//! structure, the lock-order partial ordering for nested global
+//! sections — and emits [`Diagnostic`]s for violations. Run the default
+//! set with [`lint_system`], or a custom set with [`lint_system_with`].
+//!
+//! | code | lint | severity |
+//! |------|------|----------|
+//! | V001 | `lock-order-cycle` | error |
+//! | V002 | `misscoped-resource` | warning |
+//! | V003 | `unused-resource` | warning |
+//! | V004 | `mixed-scope-nesting` | error |
+//! | V005 | `nested-global-sections` | warning |
+//! | V006 | `suspension-in-critical-section` | error |
+//! | V007 | `processor-overutilized` | error / warning |
+//! | V008 | `non-rm-priorities` | warning |
+//! | V009 | `gcs-exceeds-deadline` | error |
+
+use crate::diag::{Diagnostic, Report, Severity};
+use mpcp_analysis::{liu_layland_bound, lock_order_cycle};
+use mpcp_model::{Scope, Segment, System, SystemInfo};
+use std::collections::BTreeMap;
+
+/// Precomputed facts shared by all lints, so each lint does not have to
+/// re-derive the resource usage tables.
+pub struct LintContext {
+    /// Derived usage/scope information for the system under lint.
+    pub info: SystemInfo,
+}
+
+impl LintContext {
+    /// Precomputes the shared facts for `system`.
+    pub fn new(system: &System) -> Self {
+        LintContext {
+            info: system.info(),
+        }
+    }
+}
+
+/// A single static check over a system configuration.
+pub trait Lint {
+    /// Stable machine-readable code, e.g. `V001`.
+    fn code(&self) -> &'static str;
+    /// Kebab-case lint name, e.g. `lock-order-cycle`.
+    fn name(&self) -> &'static str;
+    /// One-line description of what the lint enforces.
+    fn description(&self) -> &'static str;
+    /// Runs the lint, appending any findings to `out`.
+    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>);
+}
+
+/// The default lint set, in code order.
+pub fn default_lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(LockOrderCycle),
+        Box::new(MisscopedResource),
+        Box::new(UnusedResource),
+        Box::new(MixedScopeNesting),
+        Box::new(NestedGlobalSections),
+        Box::new(SuspensionInCriticalSection),
+        Box::new(ProcessorOverutilized),
+        Box::new(NonRmPriorities),
+        Box::new(GcsExceedsDeadline),
+    ]
+}
+
+/// Runs the [`default_lints`] over `system`.
+pub fn lint_system(system: &System) -> Report {
+    lint_system_with(system, &default_lints())
+}
+
+/// Runs an explicit lint set over `system`.
+pub fn lint_system_with(system: &System, lints: &[Box<dyn Lint>]) -> Report {
+    let ctx = LintContext::new(system);
+    let mut out = Vec::new();
+    for lint in lints {
+        lint.check(system, &ctx, &mut out);
+    }
+    Report::from_diagnostics(out)
+}
+
+fn res_name(system: &System, id: mpcp_model::ResourceId) -> String {
+    system.resource(id).name().to_string()
+}
+
+fn task_name(system: &System, id: mpcp_model::TaskId) -> String {
+    system.task(id).name().to_string()
+}
+
+/// V001 — the global lock-order graph must be acyclic (§5.1's partial
+/// ordering on nested global semaphores); a cycle means two jobs can
+/// deadlock across processors. Wraps [`lock_order_cycle`].
+pub struct LockOrderCycle;
+
+impl Lint for LockOrderCycle {
+    fn code(&self) -> &'static str {
+        "V001"
+    }
+    fn name(&self) -> &'static str {
+        "lock-order-cycle"
+    }
+    fn description(&self) -> &'static str {
+        "nested global sections must follow a partial lock order (no cycles)"
+    }
+    fn check(&self, system: &System, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        if let Some(cycle) = lock_order_cycle(system) {
+            let names: Vec<String> = cycle.iter().map(|&r| res_name(system, r)).collect();
+            let mut path = names.clone();
+            if let Some(first) = names.first() {
+                path.push(first.clone());
+            }
+            out.push(
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    Severity::Error,
+                    format!(
+                        "global semaphores are acquired in a cycle: {}",
+                        path.join(" -> ")
+                    ),
+                )
+                .with_resources(names)
+                .with_hint(
+                    "impose a fixed acquisition order on these semaphores, \
+                     or collapse the cycle into one lock group",
+                ),
+            );
+        }
+    }
+}
+
+/// V002 — a global resource one task-move away from being local: its
+/// users span exactly two processors and one side has a single user.
+/// Global semaphores are far more expensive than local ones (Theorem 2
+/// runs every gcs in the remote-priority band), so flag the cheap fix.
+pub struct MisscopedResource;
+
+impl Lint for MisscopedResource {
+    fn code(&self) -> &'static str {
+        "V002"
+    }
+    fn name(&self) -> &'static str {
+        "misscoped-resource"
+    }
+    fn description(&self) -> &'static str {
+        "a resource is global only because of a single remote task"
+    }
+    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for usage in ctx.info.all_usage() {
+            if usage.scope != Scope::Global {
+                continue;
+            }
+            let mut by_proc: BTreeMap<usize, Vec<mpcp_model::TaskId>> = BTreeMap::new();
+            for &t in &usage.users {
+                by_proc
+                    .entry(system.task(t).processor().index())
+                    .or_default()
+                    .push(t);
+            }
+            if by_proc.len() != 2 {
+                continue;
+            }
+            let Some((_, lone)) = by_proc.iter().find(|(_, ts)| ts.len() == 1) else {
+                continue;
+            };
+            let Some((home, _)) = by_proc.iter().find(|(_, ts)| ts.len() > 1) else {
+                continue;
+            };
+            let lone = lone[0];
+            let home_name = system.processors()[*home].name().to_string();
+            out.push(
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "{} is global only because {} uses it from {}",
+                        res_name(system, usage.resource),
+                        task_name(system, lone),
+                        system.processor(system.task(lone).processor()).name(),
+                    ),
+                )
+                .with_tasks([task_name(system, lone)])
+                .with_resources([res_name(system, usage.resource)])
+                .on_processor(home_name.clone())
+                .with_hint(format!(
+                    "moving {} to {} would make {} a local semaphore",
+                    task_name(system, lone),
+                    home_name,
+                    res_name(system, usage.resource),
+                )),
+            );
+        }
+    }
+}
+
+/// V003 — a declared resource no task ever locks.
+pub struct UnusedResource;
+
+impl Lint for UnusedResource {
+    fn code(&self) -> &'static str {
+        "V003"
+    }
+    fn name(&self) -> &'static str {
+        "unused-resource"
+    }
+    fn description(&self) -> &'static str {
+        "a declared resource is never used by any task"
+    }
+    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for usage in ctx.info.all_usage() {
+            if usage.users.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        self.name(),
+                        Severity::Warning,
+                        format!(
+                            "{} is declared but never used",
+                            res_name(system, usage.resource)
+                        ),
+                    )
+                    .with_resources([res_name(system, usage.resource)])
+                    .with_hint("remove the resource from the system definition"),
+                );
+            }
+        }
+    }
+}
+
+/// V004 — §4's nesting rule: global and local critical sections must
+/// not nest inside one another in either direction. A gcs runs in the
+/// remote-priority band of Theorem 2; a local semaphore taken inside it
+/// (or a gcs taken inside a local section) breaks the two-band
+/// structure the blocking bounds of §5.1 assume.
+pub struct MixedScopeNesting;
+
+impl Lint for MixedScopeNesting {
+    fn code(&self) -> &'static str {
+        "V004"
+    }
+    fn name(&self) -> &'static str {
+        "mixed-scope-nesting"
+    }
+    fn description(&self) -> &'static str {
+        "global and local critical sections must not nest inside each other"
+    }
+    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for task in system.tasks() {
+            for cs in task.body().critical_sections() {
+                let outer = ctx.info.scope(cs.resource);
+                for &inner in &cs.nested {
+                    let inner_scope = ctx.info.scope(inner);
+                    if outer == inner_scope {
+                        continue;
+                    }
+                    let (o, i) = match outer {
+                        Scope::Global => ("global", "local"),
+                        Scope::Local(_) => ("local", "global"),
+                        Scope::Unused => continue,
+                    };
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            self.name(),
+                            Severity::Error,
+                            format!(
+                                "{} nests {} section {} inside {} section {}",
+                                task.name(),
+                                i,
+                                res_name(system, inner),
+                                o,
+                                res_name(system, cs.resource),
+                            ),
+                        )
+                        .with_tasks([task.name().to_string()])
+                        .with_resources([res_name(system, cs.resource), res_name(system, inner)])
+                        .with_hint(
+                            "split the outer section so both semaphores \
+                             are acquired at the same scope",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// V005 — nested global sections are legal under a lock-order partial
+/// ordering (§5.1) but each nesting level adds remote blocking; suggest
+/// collapsing the group into one semaphore when the analysis supports
+/// it ([`mpcp_analysis::collapse_nested_globals`]).
+pub struct NestedGlobalSections;
+
+impl Lint for NestedGlobalSections {
+    fn code(&self) -> &'static str {
+        "V005"
+    }
+    fn name(&self) -> &'static str {
+        "nested-global-sections"
+    }
+    fn description(&self) -> &'static str {
+        "nested global sections add remote blocking; consider a lock group"
+    }
+    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for task in system.tasks() {
+            let mut flagged: Vec<(String, String)> = Vec::new();
+            for cs in task.body().critical_sections() {
+                if ctx.info.scope(cs.resource) != Scope::Global {
+                    continue;
+                }
+                for &inner in &cs.nested {
+                    if ctx.info.scope(inner) == Scope::Global {
+                        flagged.push((res_name(system, cs.resource), res_name(system, inner)));
+                    }
+                }
+            }
+            for (outer, inner) in flagged {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        self.name(),
+                        Severity::Warning,
+                        format!(
+                            "{} holds global {} while acquiring global {}",
+                            task.name(),
+                            outer,
+                            inner,
+                        ),
+                    )
+                    .with_tasks([task.name().to_string()])
+                    .with_resources([outer, inner])
+                    .with_hint(
+                        "consider collapsing the nested semaphores into a \
+                         single lock group (see collapse_nested_globals)",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// V006 — a job must not self-suspend while holding a semaphore: the
+/// blocking bounds count critical-section *processor demand*, and a
+/// suspension inside a section would stall every waiter for the
+/// suspension length too (Theorem 1 territory the analysis excludes).
+pub struct SuspensionInCriticalSection;
+
+fn has_suspension(segments: &[Segment]) -> bool {
+    segments.iter().any(|s| match s {
+        Segment::Suspend(_) => true,
+        Segment::Compute(_) => false,
+        Segment::Critical(_, inner) => has_suspension(inner),
+    })
+}
+
+impl Lint for SuspensionInCriticalSection {
+    fn code(&self) -> &'static str {
+        "V006"
+    }
+    fn name(&self) -> &'static str {
+        "suspension-in-critical-section"
+    }
+    fn description(&self) -> &'static str {
+        "a task must not self-suspend while holding a semaphore"
+    }
+    fn check(&self, system: &System, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for task in system.tasks() {
+            for seg in task.body().segments() {
+                if let Segment::Critical(res, inner) = seg {
+                    if has_suspension(inner) {
+                        out.push(
+                            Diagnostic::new(
+                                self.code(),
+                                self.name(),
+                                Severity::Error,
+                                format!(
+                                    "{} self-suspends while holding {}",
+                                    task.name(),
+                                    res_name(system, *res),
+                                ),
+                            )
+                            .with_tasks([task.name().to_string()])
+                            .with_resources([res_name(system, *res)])
+                            .with_hint("move the suspension outside the critical section"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// V007 — per-processor utilization: above 1.0 the processor cannot
+/// meet deadlines at all (error); above the Liu–Layland bound for its
+/// task count, Theorem 3 cannot admit it even before blocking terms are
+/// added (warning).
+pub struct ProcessorOverutilized;
+
+impl Lint for ProcessorOverutilized {
+    fn code(&self) -> &'static str {
+        "V007"
+    }
+    fn name(&self) -> &'static str {
+        "processor-overutilized"
+    }
+    fn description(&self) -> &'static str {
+        "a processor's utilization exceeds 1.0 or the Liu-Layland bound"
+    }
+    fn check(&self, system: &System, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for proc in system.processors() {
+            let n = system.tasks_on(proc.id()).len();
+            if n == 0 {
+                continue;
+            }
+            let util = system.utilization_on(proc.id());
+            let ll = liu_layland_bound(n);
+            if util > 1.0 {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        self.name(),
+                        Severity::Error,
+                        format!("{} is overutilized: U = {util:.3} > 1.0", proc.name()),
+                    )
+                    .on_processor(proc.name().to_string())
+                    .with_hint("move tasks to another processor or lengthen periods"),
+                );
+            } else if util > ll {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        self.name(),
+                        Severity::Warning,
+                        format!(
+                            "{} exceeds the Liu-Layland bound: U = {util:.3} > {ll:.3} \
+                             for {n} tasks",
+                            proc.name(),
+                        ),
+                    )
+                    .on_processor(proc.name().to_string())
+                    .with_hint(
+                        "Theorem 3 cannot admit this processor before blocking \
+                         is even added; check the response-time analysis",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// V008 — priorities that invert the rate-monotonic order on a
+/// processor. Theorem 3 and the §5.1 bounds assume RM priorities; an
+/// inversion is legal but silently voids the schedulability story.
+pub struct NonRmPriorities;
+
+impl Lint for NonRmPriorities {
+    fn code(&self) -> &'static str {
+        "V008"
+    }
+    fn name(&self) -> &'static str {
+        "non-rm-priorities"
+    }
+    fn description(&self) -> &'static str {
+        "task priorities on a processor invert the rate-monotonic order"
+    }
+    fn check(&self, system: &System, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for proc in system.processors() {
+            let tasks = system.tasks_on(proc.id());
+            for a in &tasks {
+                for b in &tasks {
+                    if a.priority() > b.priority() && a.period() > b.period() {
+                        out.push(
+                            Diagnostic::new(
+                                self.code(),
+                                self.name(),
+                                Severity::Warning,
+                                format!(
+                                    "{} (period {}) outranks {} (period {})",
+                                    a.name(),
+                                    a.period(),
+                                    b.name(),
+                                    b.period(),
+                                ),
+                            )
+                            .with_tasks([a.name().to_string(), b.name().to_string()])
+                            .on_processor(proc.name().to_string())
+                            .with_hint(
+                                "assign rate-monotonic priorities (shorter period = \
+                                 higher priority) or re-derive the blocking bounds",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// V009 — a single remote global critical section already exceeds a
+/// user's deadline. Factor 2 of §5.1 bounds the wait for a semaphore by
+/// the longest gcs of other users; if that alone is at least some
+/// user's deadline, no priority assignment can save the task.
+pub struct GcsExceedsDeadline;
+
+impl Lint for GcsExceedsDeadline {
+    fn code(&self) -> &'static str {
+        "V009"
+    }
+    fn name(&self) -> &'static str {
+        "gcs-exceeds-deadline"
+    }
+    fn description(&self) -> &'static str {
+        "another user's global section is as long as a task's deadline"
+    }
+    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for usage in ctx.info.all_usage() {
+            if usage.scope != Scope::Global {
+                continue;
+            }
+            for &t in &usage.users {
+                let task = system.task(t);
+                let longest_other = usage
+                    .users
+                    .iter()
+                    .filter(|&&u| u != t)
+                    .flat_map(|&u| {
+                        system
+                            .task(u)
+                            .body()
+                            .sections_of(usage.resource)
+                            .into_iter()
+                            .map(|cs| cs.duration)
+                    })
+                    .max()
+                    .unwrap_or(mpcp_model::Dur::ZERO);
+                if longest_other >= task.deadline() && !longest_other.is_zero() {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            self.name(),
+                            Severity::Error,
+                            format!(
+                                "waiting once for {} can cost {} {} ticks, at or past \
+                                 its deadline of {}",
+                                res_name(system, usage.resource),
+                                task.name(),
+                                longest_other.ticks(),
+                                task.deadline(),
+                            ),
+                        )
+                        .with_tasks([task.name().to_string()])
+                        .with_resources([res_name(system, usage.resource)])
+                        .with_hint("shorten the section or split the resource"),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Small-scope model checking acceptance: the exhaustive exploration
+//! passes for every protocol on several small systems, and detects a
+//! seeded protocol mutation (FIFO hand-off where the MPCP's
+//! priority-queued hand-off is required).
+
+use mpcp_model::{Body, System, TaskDef};
+use mpcp_protocols::ProtocolKind;
+use mpcp_verify::checker::{explore, explore_all, explore_with, report};
+use mpcp_verify::{CheckerConfig, InvariantProfile};
+
+fn small_config() -> CheckerConfig {
+    CheckerConfig {
+        horizon: 0,
+        max_offset: 2,
+        offset_step: 1,
+        max_variants: 4096,
+        check_blocking: true,
+    }
+}
+
+/// Three tasks on two processors sharing one global semaphore.
+fn sys_shared_global() -> System {
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let s = b.add_resource("SG");
+    b.add_task(
+        TaskDef::new("t0", p[0]).period(12).priority(3).body(
+            Body::builder()
+                .compute(1)
+                .critical(s, |c| c.compute(2))
+                .compute(1)
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("t1", p[1]).period(16).priority(2).body(
+            Body::builder()
+                .compute(2)
+                .critical(s, |c| c.compute(3))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("t2", p[1])
+            .period(24)
+            .priority(1)
+            .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+    );
+    b.build().unwrap()
+}
+
+/// A global semaphore plus a local one on P0 (exercises the PCP path).
+fn sys_mixed_scopes() -> System {
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let sg = b.add_resource("SG");
+    let sl = b.add_resource("SL");
+    b.add_task(
+        TaskDef::new("t0", p[0]).period(10).priority(3).body(
+            Body::builder()
+                .compute(1)
+                .critical(sl, |c| c.compute(1))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("t1", p[0]).period(20).priority(2).body(
+            Body::builder()
+                .critical(sl, |c| c.compute(2))
+                .critical(sg, |c| c.compute(2))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("t2", p[1])
+            .period(15)
+            .priority(1)
+            .body(Body::builder().critical(sg, |c| c.compute(3)).build()),
+    );
+    b.build().unwrap()
+}
+
+/// Three processors contending on one semaphore from different rates.
+fn sys_three_procs() -> System {
+    let mut b = System::builder();
+    let p = b.add_processors(3);
+    let s = b.add_resource("SG");
+    b.add_task(
+        TaskDef::new("t0", p[0])
+            .period(8)
+            .priority(3)
+            .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+    );
+    b.add_task(
+        TaskDef::new("t1", p[1]).period(12).priority(2).body(
+            Body::builder()
+                .compute(1)
+                .critical(s, |c| c.compute(3))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("t2", p[2]).period(16).priority(1).body(
+            Body::builder()
+                .critical(s, |c| c.compute(4))
+                .compute(1)
+                .build(),
+        ),
+    );
+    b.build().unwrap()
+}
+
+#[test]
+fn all_protocols_pass_on_small_systems() {
+    let config = small_config();
+    for (name, sys) in [
+        ("shared-global", sys_shared_global()),
+        ("mixed-scopes", sys_mixed_scopes()),
+        ("three-procs", sys_three_procs()),
+    ] {
+        let explorations = explore_all(&sys, &config);
+        assert_eq!(explorations.len(), ProtocolKind::ALL.len());
+        for ex in &explorations {
+            // 3 tasks x offsets {0,1,2} = 27 variants, fully explored.
+            assert_eq!(ex.variants, 27, "{name}/{}", ex.protocol);
+            assert!(!ex.truncated, "{name}/{}", ex.protocol);
+            assert!(
+                ex.passed(),
+                "{name}/{}: {:?}",
+                ex.protocol,
+                ex.violations.first()
+            );
+        }
+        assert!(!report(&explorations).has_errors());
+    }
+}
+
+/// Raw FIFO semaphores satisfy their own (minimal) contract...
+#[test]
+fn raw_passes_under_its_own_profile() {
+    let ex = explore(&sys_three_procs(), ProtocolKind::Raw, &small_config());
+    assert!(ex.passed(), "{:?}", ex.violations.first());
+}
+
+/// ...but swapping them in where the MPCP's priority-queued hand-off is
+/// required is caught by the checker: with two waiters queued behind a
+/// long holder, FIFO hands the semaphore to the lower-priority waiter.
+#[test]
+fn fifo_handoff_mutation_is_detected() {
+    let mut b = System::builder();
+    let p = b.add_processors(3);
+    let s = b.add_resource("SG");
+    b.add_task(
+        TaskDef::new("holder", p[0])
+            .period(30)
+            .priority(1)
+            .body(Body::builder().critical(s, |c| c.compute(10)).build()),
+    );
+    b.add_task(
+        TaskDef::new("low", p[1]).period(30).priority(2).body(
+            Body::builder()
+                .compute(1)
+                .critical(s, |c| c.compute(2))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("high", p[2]).period(30).priority(3).body(
+            Body::builder()
+                .compute(2)
+                .critical(s, |c| c.compute(2))
+                .build(),
+        ),
+    );
+    let sys = b.build().unwrap();
+
+    let mutated = explore_with(
+        &sys,
+        &small_config(),
+        InvariantProfile::mpcp(),
+        "raw-as-mpcp",
+        || ProtocolKind::Raw.build(),
+    );
+    assert!(!mutated.passed(), "mutation not detected");
+    assert!(
+        mutated
+            .violations
+            .iter()
+            .any(|v| v.invariant == "priority-ordered-handoffs"),
+        "wrong invariant flagged: {:?}",
+        mutated.violations.first()
+    );
+
+    // The genuine MPCP on the same system is clean.
+    let genuine = explore(&sys, ProtocolKind::Mpcp, &small_config());
+    assert!(genuine.passed(), "{:?}", genuine.violations.first());
+
+    // And the violations surface as error diagnostics.
+    let r = report(&[mutated]);
+    assert!(r.has_errors());
+    assert!(r.render_human().contains("priority-ordered-handoffs"));
+}
+
+/// The variant cap truncates instead of hanging, and says so.
+#[test]
+fn truncation_is_reported() {
+    let config = CheckerConfig {
+        max_variants: 5,
+        ..small_config()
+    };
+    let ex = explore(&sys_shared_global(), ProtocolKind::Mpcp, &config);
+    assert!(ex.truncated);
+    assert_eq!(ex.variants, 5);
+    let r = report(&[ex]);
+    assert!(!r.has_errors());
+    assert!(r.render_human().contains("V101"));
+}
+
+/// Paper Example 3 (the §4/§5 worked system) passes under MPCP with a
+/// coarser grid (7 tasks make the full 3^7 grid needlessly large).
+#[test]
+fn example3_passes_under_mpcp() {
+    let (sys, _) = mpcp_bench::paper::example3();
+    let config = CheckerConfig {
+        max_offset: 1,
+        max_variants: 200,
+        ..small_config()
+    };
+    let ex = explore(&sys, ProtocolKind::Mpcp, &config);
+    assert!(ex.passed(), "{:?}", ex.violations.first());
+    assert!(ex.variants > 1);
+}

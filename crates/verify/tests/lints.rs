@@ -1,0 +1,307 @@
+//! Every lint fires on a crafted bad system and stays silent on the
+//! paper's example systems; the JSON rendering is snapshot-stable.
+
+use mpcp_model::{Body, System, TaskDef};
+use mpcp_verify::{lint_system, Severity};
+
+fn codes(report: &mpcp_verify::Report) -> Vec<&'static str> {
+    report.diagnostics().iter().map(|d| d.code).collect()
+}
+
+/// Two tasks on two processors nest the same global semaphores in
+/// opposite orders.
+fn lock_cycle_system() -> System {
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let sa = b.add_resource("SA");
+    let sb = b.add_resource("SB");
+    b.add_task(
+        TaskDef::new("tau1", p[0]).period(100).priority(2).body(
+            Body::builder()
+                .compute(1)
+                .critical(sa, |c| c.compute(1).critical(sb, |c| c.compute(1)))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("tau2", p[1]).period(200).priority(1).body(
+            Body::builder()
+                .compute(1)
+                .critical(sb, |c| c.compute(1).critical(sa, |c| c.compute(1)))
+                .build(),
+        ),
+    );
+    b.build().unwrap()
+}
+
+#[test]
+fn v001_fires_on_lock_order_cycle_and_names_the_cycle() {
+    let report = lint_system(&lock_cycle_system());
+    assert!(report.has_errors());
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "V001")
+        .expect("V001 fired");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("SA") && d.message.contains("SB"));
+    assert!(
+        d.message.contains("->"),
+        "cycle path rendered: {}",
+        d.message
+    );
+}
+
+#[test]
+fn v002_fires_on_resource_global_because_of_one_task() {
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let s = b.add_resource("S");
+    let cs = |_: u32| Body::builder().critical(s, |c| c.compute(1)).build();
+    b.add_task(TaskDef::new("a", p[0]).period(10).priority(3).body(cs(0)));
+    b.add_task(TaskDef::new("b", p[0]).period(20).priority(2).body(cs(1)));
+    b.add_task(
+        TaskDef::new("stray", p[1])
+            .period(40)
+            .priority(1)
+            .body(cs(2)),
+    );
+    let report = lint_system(&b.build().unwrap());
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "V002")
+        .expect("V002 fired");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.tasks.contains(&"stray".to_string()));
+    assert!(d.hint.as_deref().unwrap_or("").contains("local"));
+}
+
+#[test]
+fn v003_fires_on_unused_resource() {
+    let mut b = System::builder();
+    let p = b.add_processor("P0");
+    b.add_resource("GHOST");
+    b.add_task(
+        TaskDef::new("t", p)
+            .period(10)
+            .priority(1)
+            .body(Body::builder().compute(1).build()),
+    );
+    let report = lint_system(&b.build().unwrap());
+    assert!(codes(&report).contains(&"V003"));
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn v004_fires_on_local_section_nested_in_global() {
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let sg = b.add_resource("SG");
+    let sl = b.add_resource("SL");
+    b.add_task(
+        TaskDef::new("t0", p[0]).period(20).priority(2).body(
+            Body::builder()
+                .critical(sg, |c| c.compute(1).critical(sl, |c| c.compute(1)))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("t1", p[1])
+            .period(40)
+            .priority(1)
+            .body(Body::builder().critical(sg, |c| c.compute(1)).build()),
+    );
+    let report = lint_system(&b.build().unwrap());
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "V004")
+        .expect("V004 fired");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(report.has_errors());
+}
+
+#[test]
+fn v005_fires_on_nested_global_sections() {
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let sa = b.add_resource("SA");
+    let sb = b.add_resource("SB");
+    // Same nesting order everywhere: deadlock-safe, so V001 stays quiet
+    // and only the lock-group advisory fires.
+    b.add_task(
+        TaskDef::new("t0", p[0]).period(20).priority(2).body(
+            Body::builder()
+                .critical(sa, |c| c.compute(1).critical(sb, |c| c.compute(1)))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("t1", p[1]).period(40).priority(1).body(
+            Body::builder()
+                .critical(sa, |c| c.compute(1))
+                .critical(sb, |c| c.compute(1))
+                .build(),
+        ),
+    );
+    let report = lint_system(&b.build().unwrap());
+    assert!(codes(&report).contains(&"V005"));
+    assert!(!codes(&report).contains(&"V001"));
+}
+
+#[test]
+fn v006_fires_on_suspension_inside_critical_section() {
+    let mut b = System::builder();
+    let p = b.add_processor("P0");
+    let s = b.add_resource("S");
+    b.add_task(
+        TaskDef::new("t", p).period(50).priority(1).body(
+            Body::builder()
+                .critical(s, |c| c.compute(1).suspend(5).compute(1))
+                .build(),
+        ),
+    );
+    let report = lint_system(&b.build().unwrap());
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "V006")
+        .expect("V006 fired");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn v007_error_above_full_utilization_warning_above_liu_layland() {
+    // U = 0.6 + 0.6 = 1.2 > 1.0: error.
+    let mut b = System::builder();
+    let p = b.add_processor("P0");
+    for (i, (per, c)) in [(10u64, 6u64), (20, 12)].iter().enumerate() {
+        b.add_task(
+            TaskDef::new(format!("t{i}"), p)
+                .period(*per)
+                .priority(2 - i as u32)
+                .body(Body::builder().compute(*c).build()),
+        );
+    }
+    let report = lint_system(&b.build().unwrap());
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "V007")
+        .expect("V007 fired");
+    assert_eq!(d.severity, Severity::Error);
+
+    // U = 3 * 0.3 = 0.9: above the 3-task Liu-Layland bound (~0.780)
+    // but feasible, so only a warning.
+    let mut b = System::builder();
+    let p = b.add_processor("P0");
+    for (i, per) in [10u64, 20, 40].iter().enumerate() {
+        b.add_task(
+            TaskDef::new(format!("t{i}"), p)
+                .period(*per)
+                .priority(3 - i as u32)
+                .body(Body::builder().compute(per * 3 / 10).build()),
+        );
+    }
+    let report = lint_system(&b.build().unwrap());
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "V007")
+        .expect("V007 fired");
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+#[test]
+fn v008_fires_on_non_rate_monotonic_priorities() {
+    let mut b = System::builder();
+    let p = b.add_processor("P0");
+    b.add_task(
+        TaskDef::new("slow", p)
+            .period(100)
+            .priority(2)
+            .body(Body::builder().compute(1).build()),
+    );
+    b.add_task(
+        TaskDef::new("fast", p)
+            .period(10)
+            .priority(1)
+            .body(Body::builder().compute(1).build()),
+    );
+    let report = lint_system(&b.build().unwrap());
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "V008")
+        .expect("V008 fired");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.tasks.contains(&"slow".to_string()));
+}
+
+#[test]
+fn v009_fires_when_a_remote_gcs_covers_a_deadline() {
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let s = b.add_resource("S");
+    b.add_task(
+        TaskDef::new("hog", p[0])
+            .period(200)
+            .priority(1)
+            .body(Body::builder().critical(s, |c| c.compute(50)).build()),
+    );
+    b.add_task(
+        TaskDef::new("tight", p[1])
+            .period(40)
+            .priority(2)
+            .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+    );
+    let report = lint_system(&b.build().unwrap());
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "V009")
+        .expect("V009 fired");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.tasks.contains(&"tight".to_string()));
+}
+
+#[test]
+fn paper_examples_produce_no_errors() {
+    let (ex1, _) = mpcp_bench::paper::example1(40);
+    let (ex2, _) = mpcp_bench::paper::example2(40);
+    let (ex3, _) = mpcp_bench::paper::example3();
+    for (name, sys) in [("example1", ex1), ("example2", ex2), ("example3", ex3)] {
+        let report = lint_system(&sys);
+        assert!(
+            !report.has_errors(),
+            "{name} has lint errors:\n{}",
+            report.render_human()
+        );
+    }
+}
+
+#[test]
+fn default_lints_have_unique_codes_and_names() {
+    let lints = mpcp_verify::default_lints();
+    let mut codes: Vec<_> = lints.iter().map(|l| l.code()).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    assert_eq!(codes.len(), lints.len());
+    assert!(lints.iter().all(|l| !l.description().is_empty()));
+}
+
+/// The JSON rendering is a stable contract: golden-snapshot it for the
+/// lock-order-cycle system.
+#[test]
+fn json_diagnostics_match_golden_snapshot() {
+    let report = lint_system(&lock_cycle_system());
+    let json = report.render_json();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/lock_cycle.json");
+        std::fs::write(path, &json).unwrap();
+        return;
+    }
+    let golden = include_str!("golden/lock_cycle.json");
+    assert_eq!(json, golden, "JSON diagnostics drifted:\n{json}");
+}

@@ -20,7 +20,10 @@ fn main() {
     let sp = PollingServer::new(3, 30);
     let (sys, aper) = aperiodic_scenario(6, 3, 11);
     let bounds = mpcp_bounds(&sys).expect("valid system");
-    let blocking: Vec<Dur> = bounds.iter().map(|b| b.total()).collect();
+    let blocking: Vec<Dur> = bounds
+        .iter()
+        .map(mpcp::analysis::BlockingBreakdown::total)
+        .collect();
     for demand in [1u64, 3, 4, 6, 9] {
         let d = Dur::new(demand);
         match aperiodic_response_bound(&sys, aper, sp, d, &blocking) {
@@ -36,7 +39,10 @@ fn main() {
 
     // And the simulated response distribution at each service level.
     println!("\nsimulated aperiodic responses by service priority:");
-    println!("{:>10} {:>10} {:>10} {:>8}", "priority", "mean", "max", "jobs");
+    println!(
+        "{:>10} {:>10} {:>10} {:>8}",
+        "priority", "mean", "max", "jobs"
+    );
     for prio in [1u32, 6, 99] {
         let (sys, aper) = aperiodic_scenario(prio, 3, 11);
         let mut sim = Simulator::with_config(

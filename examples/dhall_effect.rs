@@ -28,9 +28,6 @@ fn main() {
         );
         sim.run();
         println!("\n{label}: {} deadline miss(es)", sim.misses());
-        println!(
-            "{}",
-            sim.trace().gantt(&sys, Time::ZERO, Time::new(24), 1)
-        );
+        println!("{}", sim.trace().gantt(&sys, Time::ZERO, Time::new(24), 1));
     }
 }

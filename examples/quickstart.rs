@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", analysis::report::blocking_table(&system, &bounds));
 
     println!("== Theorem 3 ==");
-    let blocking: Vec<Dur> = bounds.iter().map(|b| b.total()).collect();
+    let blocking: Vec<Dur> = bounds
+        .iter()
+        .map(mpcp::analysis::BlockingBreakdown::total)
+        .collect();
     let report = theorem3(&system, &blocking);
     println!("{}", analysis::report::sched_table(&system, &report));
 

@@ -17,6 +17,7 @@
 //! | [`taskgen`] | deterministic synthetic workload generation |
 //! | [`alloc`] | task-to-processor allocation heuristics |
 //! | [`runtime`] | threaded MPCP runtime and lock primitives |
+//! | [`verify`] | static lints and small-scope model checking |
 //!
 //! # Quickstart
 //!
@@ -55,3 +56,4 @@ pub use mpcp_protocols as protocols;
 pub use mpcp_runtime as runtime;
 pub use mpcp_sim as sim;
 pub use mpcp_taskgen as taskgen;
+pub use mpcp_verify as verify;

@@ -103,7 +103,10 @@ fn polling_bound_dominates_interrupt_level_simulation() {
 
     let sp = PollingServer::new(demand, 30);
     let bounds = mpcp_bounds(&sys).expect("valid");
-    let blocking: Vec<Dur> = bounds.iter().map(|b| b.total()).collect();
+    let blocking: Vec<Dur> = bounds
+        .iter()
+        .map(mpcp::analysis::BlockingBreakdown::total)
+        .collect();
     let bound =
         aperiodic_response_bound(&sys, aper, sp, Dur::new(demand), &blocking).expect("schedulable");
     // The polling bound includes a full polling period of waiting, so it

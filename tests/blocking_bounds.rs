@@ -9,7 +9,7 @@ use mpcp::protocols::ProtocolKind;
 use mpcp::sim::{SimConfig, Simulator};
 use mpcp::taskgen::{generate, WorkloadConfig};
 use mpcp_bench::experiments::validate_bounds_once;
-use proptest::prelude::*;
+use mpcp_prop::cases;
 
 #[test]
 fn simulated_blocking_within_bounds_fixed_seeds() {
@@ -23,18 +23,15 @@ fn simulated_blocking_within_bounds_fixed_seeds() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The property over a wider parameter space: random seeds, sharing
-    /// intensity and section lengths.
-    #[test]
-    fn simulated_blocking_within_bounds(
-        seed in 0u64..10_000,
-        globals in 1usize..4,
-        frac in 0.2f64..1.0,
-        len in 0.02f64..0.12,
-    ) {
+/// The property over a wider parameter space: random seeds, sharing
+/// intensity and section lengths.
+#[test]
+fn simulated_blocking_within_bounds() {
+    cases(24, 0xE8_01, |rng| {
+        let seed = rng.range_u64(0, 9_999);
+        let globals = rng.range_usize(1, 3);
+        let frac = rng.range_f64(0.2, 1.0);
+        let len = rng.range_f64(0.02, 0.12);
         let cfg = WorkloadConfig::default()
             .processors(2)
             .tasks_per_processor(3)
@@ -58,36 +55,42 @@ proptest! {
         for t in sys.tasks() {
             let measured = metrics.task(t.id()).max_blocking;
             let bound = bounds[t.id().index()].total();
-            prop_assert!(
+            assert!(
                 measured <= bound,
                 "seed {seed}, {}: measured {measured} > bound {bound}",
                 t.id()
             );
         }
-    }
+    });
+}
 
-    /// The paper-literal bound is never larger than the sound variant.
-    #[test]
-    fn paper_bounds_below_sound_bounds(seed in 0u64..10_000) {
+/// The paper-literal bound is never larger than the sound variant.
+#[test]
+fn paper_bounds_below_sound_bounds() {
+    cases(24, 0xE8_02, |rng| {
+        let seed = rng.range_u64(0, 9_999);
         let cfg = WorkloadConfig::default().resources(1, 2).sections(0, 3);
         let sys = generate(&cfg, seed);
         let paper = mpcp_bounds_with(&sys, BlockingConfig::paper()).expect("valid");
         let sound = mpcp_bounds_with(&sys, BlockingConfig::sound()).expect("valid");
         for (p, s) in paper.iter().zip(&sound) {
-            prop_assert!(p.blocking() <= s.blocking());
-            prop_assert!(p.total() <= s.total());
+            assert!(p.blocking() <= s.blocking(), "seed {seed}");
+            assert!(p.total() <= s.total(), "seed {seed}");
         }
-    }
+    });
+}
 
-    /// Removing all resource sharing zeroes every blocking factor.
-    #[test]
-    fn no_sharing_no_blocking(seed in 0u64..10_000) {
+/// Removing all resource sharing zeroes every blocking factor.
+#[test]
+fn no_sharing_no_blocking() {
+    cases(24, 0xE8_03, |rng| {
+        let seed = rng.range_u64(0, 9_999);
         let cfg = WorkloadConfig::default().sections(0, 0);
         let sys = generate(&cfg, seed);
         for b in mpcp_bounds_with(&sys, BlockingConfig::sound()).expect("valid") {
-            prop_assert_eq!(b.total(), Dur::ZERO);
+            assert_eq!(b.total(), Dur::ZERO, "seed {seed}");
         }
-    }
+    });
 }
 
 /// Theorem 3 with sound bounds is safe in practice: accepted systems do
@@ -107,7 +110,10 @@ fn theorem3_accepted_systems_do_not_miss() {
         let Ok(bounds) = mpcp_bounds_with(&sys, BlockingConfig::sound()) else {
             continue;
         };
-        let blocking: Vec<Dur> = bounds.iter().map(|b| b.total()).collect();
+        let blocking: Vec<Dur> = bounds
+            .iter()
+            .map(mpcp::analysis::BlockingBreakdown::total)
+            .collect();
         if !theorem3(&sys, &blocking).schedulable() {
             continue;
         }
@@ -148,8 +154,7 @@ fn dpcp_simulated_blocking_within_bounds() {
             .sections(0, 2)
             .section_len(0.05, 0.15);
         let sys = generate(&cfg, seed);
-        let bounds =
-            dpcp_bounds_with(&sys, &default_hosts(&sys), BlockingConfig::sound()).unwrap();
+        let bounds = dpcp_bounds_with(&sys, &default_hosts(&sys), BlockingConfig::sound()).unwrap();
         let mut sim = Simulator::with_config(
             &sys,
             ProtocolKind::Dpcp.build(),

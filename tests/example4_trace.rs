@@ -93,9 +93,7 @@ fn global_queue_serves_by_priority_not_arrival() {
         .events()
         .iter()
         .filter_map(|e| match e.kind {
-            EventKind::LockBlocked { resource, .. } if resource == ex.sg0 => {
-                Some((e.time, e.job))
-            }
+            EventKind::LockBlocked { resource, .. } if resource == ex.sg0 => Some((e.time, e.job)),
             _ => None,
         })
         .collect();
@@ -123,7 +121,8 @@ fn woken_gcs_preempts_lower_gcs() {
     // At that moment tau6 still holds SG1: its V(SG1) is later.
     let tau6_unlock = tr
         .find(|e| {
-            e.job == tau6 && matches!(e.kind, EventKind::Unlocked { resource } if resource == ex.sg1)
+            e.job == tau6
+                && matches!(e.kind, EventKind::Unlocked { resource } if resource == ex.sg1)
         })
         .expect("tau6 releases SG1")
         .time;

@@ -21,12 +21,16 @@ fn example4_key_events_are_pinned() {
         .events()
         .iter()
         .filter_map(|e| match e.kind {
-            EventKind::LockGranted { resource } => {
-                Some((e.time.ticks(), e.job.task.index() as u32, resource.index() as u32))
-            }
-            EventKind::HandedOff { resource, to } => {
-                Some((e.time.ticks(), to.task.index() as u32, resource.index() as u32))
-            }
+            EventKind::LockGranted { resource } => Some((
+                e.time.ticks(),
+                e.job.task.index() as u32,
+                resource.index() as u32,
+            )),
+            EventKind::HandedOff { resource, to } => Some((
+                e.time.ticks(),
+                to.task.index() as u32,
+                resource.index() as u32,
+            )),
             _ => None,
         })
         .collect();
@@ -40,19 +44,19 @@ fn example4_key_events_are_pinned() {
     assert_eq!(
         grants,
         vec![
-            (0, 1, s1),   // tau2 locks S1
-            (1, 1, sg0),  // tau2 enters its SG0 gcs
-            (1, 6, s3),   // tau7 locks S3 during tau5's suspension
-            (2, 5, sg1),  // tau6 enters its SG1 gcs
-            (4, 2, sg0),  // V(SG0) hands to tau3 (highest waiter)
-            (5, 0, s1),   // tau1 locks S1
-            (6, 3, sg0),  // handoff to tau4
-            (7, 4, sg0),  // handoff to tau5 (first to arrive, served last)
-            (8, 1, s1),   // tau2 relocks S1
-            (9, 3, sg1),  // handoff of SG1 to tau4
-            (12, 4, s2),  // tau5 locks S2 after the ceiling block clears
-            (13, 4, s3),  // tau5 locks S3
-            (14, 5, s2),  // tau6 finally locks S2
+            (0, 1, s1),  // tau2 locks S1
+            (1, 1, sg0), // tau2 enters its SG0 gcs
+            (1, 6, s3),  // tau7 locks S3 during tau5's suspension
+            (2, 5, sg1), // tau6 enters its SG1 gcs
+            (4, 2, sg0), // V(SG0) hands to tau3 (highest waiter)
+            (5, 0, s1),  // tau1 locks S1
+            (6, 3, sg0), // handoff to tau4
+            (7, 4, sg0), // handoff to tau5 (first to arrive, served last)
+            (8, 1, s1),  // tau2 relocks S1
+            (9, 3, sg1), // handoff of SG1 to tau4
+            (12, 4, s2), // tau5 locks S2 after the ceiling block clears
+            (13, 4, s3), // tau5 locks S3
+            (14, 5, s2), // tau6 finally locks S2
         ]
     );
     let _ = (Time::ZERO, sg1);

@@ -108,8 +108,11 @@ fn collapsing_cures_the_deadlock() {
     let bounds = mpcp_bounds(&collapsed).expect("collapsed system analyzes");
     assert!(bounds.iter().any(|b| !b.blocking().is_zero()));
 
-    let mut sim =
-        Simulator::with_config(&collapsed, ProtocolKind::Mpcp.build(), SimConfig::until(500));
+    let mut sim = Simulator::with_config(
+        &collapsed,
+        ProtocolKind::Mpcp.build(),
+        SimConfig::until(500),
+    );
     sim.run();
     assert!(
         sim.records().len() >= 8,

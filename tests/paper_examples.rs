@@ -44,7 +44,12 @@ fn example2_blocking_scaling() {
     for c1 in [10u64, 20, 40] {
         let (sys, ex) = paper::example2(c1);
         pip.push(measured_blocking(&sys, ProtocolKind::Pip, 500, ex.tau3));
-        direct.push(measured_blocking(&sys, ProtocolKind::DirectPcp, 500, ex.tau3));
+        direct.push(measured_blocking(
+            &sys,
+            ProtocolKind::DirectPcp,
+            500,
+            ex.tau3,
+        ));
         mpcp.push(measured_blocking(&sys, ProtocolKind::Mpcp, 500, ex.tau3));
     }
     assert_eq!(pip[1] - pip[0], Dur::new(10));
@@ -84,7 +89,11 @@ fn dhall_effect_for_growing_m() {
 fn all_protocols_complete_the_examples() {
     use mpcp::sim::Simulator;
     for kind in ProtocolKind::ALL {
-        for sys in [paper::example1(10).0, paper::example2(10).0, paper::example3().0] {
+        for sys in [
+            paper::example1(10).0,
+            paper::example2(10).0,
+            paper::example3().0,
+        ] {
             let mut sim = Simulator::new(&sys, kind.build());
             sim.run_until(900);
             assert!(

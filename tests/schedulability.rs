@@ -3,13 +3,13 @@
 //! comparison.
 
 use mpcp::analysis::{
-    breakdown_scale, dpcp_bounds, liu_layland_bound, mpcp_bounds, response_times,
-    rta_schedulable, scale_system, theorem3,
+    breakdown_scale, dpcp_bounds, liu_layland_bound, mpcp_bounds, response_times, rta_schedulable,
+    scale_system, theorem3,
 };
 use mpcp::model::Dur;
 use mpcp::taskgen::{generate, WorkloadConfig};
 use mpcp_bench::experiments::sched_fraction;
-use proptest::prelude::*;
+use mpcp_prop::cases;
 
 #[test]
 fn liu_layland_bound_is_monotone_to_ln2() {
@@ -23,65 +23,87 @@ fn liu_layland_bound_is_monotone_to_ln2() {
     assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// RTA accepts everything Theorem 3 accepts (it is exact for
-    /// synchronous fixed-priority uniprocessors, Theorem 3 is
-    /// sufficient-only).
-    #[test]
-    fn rta_dominates_theorem3(seed in 0u64..10_000, util in 0.2f64..0.8) {
+/// RTA accepts everything Theorem 3 accepts (it is exact for
+/// synchronous fixed-priority uniprocessors, Theorem 3 is
+/// sufficient-only).
+#[test]
+fn rta_dominates_theorem3() {
+    cases(32, 0xE9_01, |rng| {
+        let seed = rng.range_u64(0, 9_999);
+        let util = rng.range_f64(0.2, 0.8);
         let cfg = WorkloadConfig::default()
             .utilization(util)
             .resources(1, 2)
             .sections(0, 2);
         let sys = generate(&cfg, seed);
-        let Ok(bounds) = mpcp_bounds(&sys) else { return Ok(()); };
-        let blocking: Vec<Dur> = bounds.iter().map(|b| b.total()).collect();
+        let Ok(bounds) = mpcp_bounds(&sys) else {
+            return;
+        };
+        let blocking: Vec<Dur> = bounds
+            .iter()
+            .map(mpcp::analysis::BlockingBreakdown::total)
+            .collect();
         if theorem3(&sys, &blocking).schedulable() {
-            prop_assert!(rta_schedulable(&sys, &blocking));
+            assert!(rta_schedulable(&sys, &blocking), "seed {seed}");
         }
-    }
+    });
+}
 
-    /// Scaling computation up can only hurt schedulability.
-    #[test]
-    fn schedulability_is_antitone_in_scale(seed in 0u64..10_000) {
-        let cfg = WorkloadConfig::default().utilization(0.4).resources(1, 2).sections(0, 2);
+/// Scaling computation up can only hurt schedulability.
+#[test]
+fn schedulability_is_antitone_in_scale() {
+    cases(32, 0xE9_02, |rng| {
+        let seed = rng.range_u64(0, 9_999);
+        let cfg = WorkloadConfig::default()
+            .utilization(0.4)
+            .resources(1, 2)
+            .sections(0, 2);
         let sys = generate(&cfg, seed);
         let check = |s: &mpcp::model::System| -> bool {
-            mpcp_bounds(s)
-                .map(|b| {
-                    let blocking: Vec<Dur> = b.iter().map(|x| x.total()).collect();
-                    rta_schedulable(s, &blocking)
-                })
-                .unwrap_or(false)
+            mpcp_bounds(s).is_ok_and(|b| {
+                let blocking: Vec<Dur> = b
+                    .iter()
+                    .map(mpcp::analysis::BlockingBreakdown::total)
+                    .collect();
+                rta_schedulable(s, &blocking)
+            })
         };
         let bigger = scale_system(&sys, 3, 2);
         if !check(&sys) {
-            prop_assert!(!check(&bigger), "scaling up cannot make an unschedulable system schedulable");
+            assert!(
+                !check(&bigger),
+                "seed {seed}: scaling up cannot make an unschedulable system schedulable"
+            );
         }
-    }
+    });
+}
 
-    /// The breakdown scale is consistent: the system scaled to the found
-    /// factor is schedulable.
-    #[test]
-    fn breakdown_scale_point_is_schedulable(seed in 0u64..1_000) {
-        let cfg = WorkloadConfig::default().utilization(0.2).resources(1, 1).sections(0, 1);
+/// The breakdown scale is consistent: the system scaled to the found
+/// factor is schedulable.
+#[test]
+fn breakdown_scale_point_is_schedulable() {
+    cases(16, 0xE9_03, |rng| {
+        let seed = rng.range_u64(0, 999);
+        let cfg = WorkloadConfig::default()
+            .utilization(0.2)
+            .resources(1, 1)
+            .sections(0, 1);
         let sys = generate(&cfg, seed);
         let check = |s: &mpcp::model::System| -> bool {
-            mpcp_bounds(s)
-                .map(|b| {
-                    let blocking: Vec<Dur> = b.iter().map(|x| x.total()).collect();
-                    rta_schedulable(s, &blocking)
-                })
-                .unwrap_or(false)
+            mpcp_bounds(s).is_ok_and(|b| {
+                let blocking: Vec<Dur> = b
+                    .iter()
+                    .map(mpcp::analysis::BlockingBreakdown::total)
+                    .collect();
+                rta_schedulable(s, &blocking)
+            })
         };
         let f = breakdown_scale(&sys, 10.0, check);
         if f >= 0.002 {
             let at = scale_system(&sys, (f * 1000.0) as u64, 1000);
-            prop_assert!(check(&at), "f={f}");
+            assert!(check(&at), "seed {seed}: f={f}");
         }
-    }
+    });
 }
 
 /// The schedulable fraction decreases with utilization, and the ideal
@@ -155,8 +177,14 @@ fn jitter_rta_is_no_worse_than_crude_deferred_penalty() {
             .section_len(0.02, 0.1);
         let sys = generate(&cfg, 70_000 + seed);
         let Ok(b) = mpcp_bounds(&sys) else { continue };
-        let total: Vec<Dur> = b.iter().map(|x| x.total()).collect();
-        let factors: Vec<Dur> = b.iter().map(|x| x.blocking()).collect();
+        let total: Vec<Dur> = b
+            .iter()
+            .map(mpcp::analysis::BlockingBreakdown::total)
+            .collect();
+        let factors: Vec<Dur> = b
+            .iter()
+            .map(mpcp::analysis::BlockingBreakdown::blocking)
+            .collect();
         if rta_schedulable(&sys, &total) {
             crude += 1;
         }

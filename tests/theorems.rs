@@ -4,7 +4,7 @@ use mpcp::model::{Body, Dur, JobId, System, TaskDef};
 use mpcp::protocols::ProtocolKind;
 use mpcp::sim::{EventKind, Simulator};
 use mpcp_bench::experiments::theorem1_point;
-use proptest::prelude::*;
+use mpcp_prop::cases;
 
 /// Theorem 1: a job that suspends `n` times is blocked by at most `n+1`
 /// lower-priority critical sections.
@@ -25,7 +25,10 @@ fn theorem1_suspension_blocking_bound() {
 fn theorem1_blocking_grows_with_suspensions() {
     let b0 = theorem1_point(0).0;
     let b4 = theorem1_point(4).0;
-    assert!(b4 >= b0, "blocking with 4 suspensions ({b4}) < with 0 ({b0})");
+    assert!(
+        b4 >= b0,
+        "blocking with 4 suspensions ({b4}) < with 0 ({b0})"
+    );
     assert!(b4 > Dur::ZERO, "the workload must actually block");
 }
 
@@ -46,9 +49,12 @@ fn theorem2_system(boost: bool, c_med: u64) -> (System, JobId) {
             .offset(1)
             .body(Body::builder().compute(c_med).build()),
     );
-    b.add_task(TaskDef::new("holder", p[0]).period(1_000).priority(2).body(
-        Body::builder().critical(s, |c| c.compute(4)).build(),
-    ));
+    b.add_task(
+        TaskDef::new("holder", p[0])
+            .period(1_000)
+            .priority(2)
+            .body(Body::builder().critical(s, |c| c.compute(4)).build()),
+    );
     b.add_task(
         TaskDef::new("remote", p[1])
             .period(1_000)
@@ -62,15 +68,14 @@ fn theorem2_system(boost: bool, c_med: u64) -> (System, JobId) {
     (sys, remote)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Theorem 2, forward direction: when the gcs cannot be preempted by
-    /// non-critical code (MPCP), the remote waiting time is a function of
-    /// critical sections only — it does not change as the medium task's
-    /// execution time grows.
-    #[test]
-    fn theorem2_boosted_gcs_gives_cs_only_blocking(c_med in 1u64..60) {
+/// Theorem 2, forward direction: when the gcs cannot be preempted by
+/// non-critical code (MPCP), the remote waiting time is a function of
+/// critical sections only — it does not change as the medium task's
+/// execution time grows.
+#[test]
+fn theorem2_boosted_gcs_gives_cs_only_blocking() {
+    cases(16, 0x7E_01, |rng| {
+        let c_med = rng.range_u64(1, 59);
         let (sys, remote) = theorem2_system(true, c_med);
         let mut sim = Simulator::new(&sys, ProtocolKind::Mpcp.build());
         sim.run_until(500);
@@ -82,13 +87,16 @@ proptest! {
             .measured_blocking();
         // Exactly the remainder of the holder's section: 3 ticks
         // (requested at t=1, section runs 0..4).
-        prop_assert_eq!(blocked, Dur::new(3));
-    }
+        assert_eq!(blocked, Dur::new(3), "c_med={c_med}");
+    });
+}
 
-    /// Theorem 2, converse: if the gcs can be preempted by non-critical
-    /// code (direct PCP), remote blocking grows with that code's length.
-    #[test]
-    fn theorem2_unboosted_gcs_leaks_execution_time(c_med in 10u64..60) {
+/// Theorem 2, converse: if the gcs can be preempted by non-critical
+/// code (direct PCP), remote blocking grows with that code's length.
+#[test]
+fn theorem2_unboosted_gcs_leaks_execution_time() {
+    cases(16, 0x7E_02, |rng| {
+        let c_med = rng.range_u64(10, 59);
         let (sys, remote) = theorem2_system(false, c_med);
         let mut sim = Simulator::new(&sys, ProtocolKind::DirectPcp.build());
         sim.run_until(500);
@@ -99,8 +107,11 @@ proptest! {
             .expect("remote completed")
             .measured_blocking();
         // The medium task's entire execution sits inside the wait.
-        prop_assert!(blocked >= Dur::new(c_med));
-    }
+        assert!(
+            blocked >= Dur::new(c_med),
+            "c_med={c_med}, blocked={blocked}"
+        );
+    });
 }
 
 /// Structural form of Theorem 2 on the Example 3 schedule: whenever a
