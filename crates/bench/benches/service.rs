@@ -1,0 +1,93 @@
+//! Serving benchmark: end-to-end throughput and latency of the
+//! admission-control server under a load-generated submission stream.
+//!
+//! Two phases, each against a fresh in-process server so the cache
+//! counters are per-phase:
+//!
+//! - `uncached`: every request submits a distinct system — all misses,
+//!   measuring raw analysis throughput through the full stack
+//!   (TCP, JSON, worker pool, lint + bounds + Theorem 3).
+//! - `cached`: the same request count cycling 8 distinct systems — laps
+//!   two onward are answered from the analysis cache.
+//!
+//! Prints one JSON document; `BENCH_service.json` at the repo root is a
+//! checked-in release-mode run of this binary.
+
+use mpcp_service::json::Value;
+use mpcp_service::{loadgen, spawn, LoadReport, LoadgenConfig, ServerConfig};
+use mpcp_taskgen::WorkloadConfig;
+use std::time::Duration;
+
+const REQUESTS: usize = 512;
+const CONNECTIONS: usize = 4;
+const WORKERS: usize = 4;
+
+fn workload() -> WorkloadConfig {
+    WorkloadConfig::default()
+        .processors(4)
+        .tasks_per_processor(4)
+        .utilization(0.4)
+        .resources(1, 2)
+        .sections(0, 2)
+}
+
+fn phase(unique: usize, seed: u64) -> LoadReport {
+    let server = spawn(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: WORKERS,
+        queue_cap: 64,
+        deadline: Duration::from_millis(5000),
+        cache_capacity: 4096,
+    })
+    .expect("bind bench server");
+    let report = loadgen::run(&LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        requests: REQUESTS,
+        connections: CONNECTIONS,
+        rate: 0,
+        unique,
+        workload: workload(),
+        seed,
+    })
+    .expect("drive bench server");
+    server.shutdown();
+    report
+}
+
+fn main() {
+    // Substring filter, as the other harness=false benches take
+    // (cargo's own flags such as --bench are ignored).
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    if let Some(f) = &filter {
+        if !"service/serving".contains(f.as_str()) {
+            return;
+        }
+    }
+
+    let uncached = phase(REQUESTS, 1_000);
+    let cached = phase(8, 1);
+
+    let doc = Value::obj([
+        ("bench", Value::str("service/serving")),
+        (
+            "config",
+            Value::obj([
+                ("requests", Value::from(REQUESTS)),
+                ("connections", Value::from(CONNECTIONS)),
+                ("workers", Value::from(WORKERS)),
+                ("workload", Value::str("4 procs x 4 tasks, util 0.4")),
+            ]),
+        ),
+        ("uncached", uncached.render_json()),
+        ("cached", cached.render_json()),
+    ]);
+    println!("{}", doc.encode());
+
+    assert_eq!(uncached.errors, 0, "uncached phase saw transport errors");
+    assert_eq!(cached.errors, 0, "cached phase saw transport errors");
+    let (hits, _, _) = cached.cache.expect("cache stats in query");
+    assert!(
+        hits as usize >= REQUESTS - 8,
+        "repeated stream should be served from cache (hits = {hits})"
+    );
+}

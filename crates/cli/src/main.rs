@@ -8,16 +8,21 @@
 //! mpcp allocate [opts]            task allocation study
 //! mpcp lint [opts] [--json]       static checks of a system configuration
 //! mpcp verify [opts] [--json]     exhaustive small-scope model checking
+//! mpcp serve [opts]               online admission-control server
+//! mpcp loadgen [opts]             drive a server with a submission stream
 //! ```
 
 use mpcp_alloc::{allocate, Heuristic};
 use mpcp_analysis as analysis;
 use mpcp_model::{Dur, Time};
 use mpcp_protocols::ProtocolKind;
+use mpcp_service::{LoadgenConfig, ServerConfig};
 use mpcp_sim::{SimConfig, Simulator};
 use mpcp_taskgen::{generate, WorkloadConfig};
 use std::collections::HashMap;
+use std::io::Write;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +30,13 @@ fn main() -> ExitCode {
         print!("{}", usage());
         return ExitCode::SUCCESS;
     };
-    let flags = parse_flags(&args[1..]);
+    let flags = match parse_flags(&args[1..]) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
     match cmd.as_str() {
         "exp" => {
             let Some(id) = args.get(1) else {
@@ -230,6 +241,66 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
+        "serve" => {
+            let config = ServerConfig {
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| format!("127.0.0.1:{}", flag_u64(&flags, "port", 7171))),
+                workers: flag_u64(&flags, "workers", ServerConfig::default().workers as u64)
+                    as usize,
+                queue_cap: flag_u64(&flags, "queue", 64) as usize,
+                deadline: Duration::from_millis(flag_u64(&flags, "deadline-ms", 1000)),
+                cache_capacity: flag_u64(&flags, "cache", 4096) as usize,
+            };
+            match mpcp_service::spawn(&config) {
+                Ok(handle) => {
+                    // The smoke script and tests parse this exact line to
+                    // learn the ephemeral port, so flush it eagerly.
+                    println!("mpcp-service listening on {}", handle.local_addr());
+                    let _ = std::io::stdout().flush();
+                    handle.join();
+                    println!("mpcp-service stopped");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("serve: cannot bind {}: {e}", config.addr);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "loadgen" => {
+            let config = LoadgenConfig {
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| format!("127.0.0.1:{}", flag_u64(&flags, "port", 7171))),
+                requests: flag_u64(&flags, "requests", 200) as usize,
+                connections: flag_u64(&flags, "connections", 4) as usize,
+                rate: flag_u64(&flags, "rate", 0),
+                unique: flag_u64(&flags, "unique", 8) as usize,
+                workload: workload_config(&flags),
+                seed: flag_u64(&flags, "seed", 42),
+            };
+            match mpcp_service::loadgen::run(&config) {
+                Ok(report) => {
+                    if flags.contains_key("json") {
+                        println!("{}", report.render_json().encode());
+                    } else {
+                        print!("{}", report.render_text());
+                    }
+                    if report.errors > 0 {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("loadgen: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             ExitCode::SUCCESS
@@ -252,6 +323,24 @@ fn usage() -> String {
      \x20 mpcp allocate [opts]        compare allocation heuristics\n\
      \x20 mpcp lint [opts]            static checks; nonzero exit on errors\n\
      \x20 mpcp verify [opts]          lints + exhaustive small-scope model check\n\
+     \x20 mpcp serve [opts]           online admission-control server (NDJSON/TCP)\n\
+     \x20 mpcp loadgen [opts]         drive a server with a submission stream\n\
+     \n\
+     serve options:\n\
+     \x20 --port N       (default 7171; 0 picks an ephemeral port)\n\
+     \x20 --addr A       full bind address (overrides --port)\n\
+     \x20 --workers N    analysis worker threads (default: CPU count)\n\
+     \x20 --queue N      pending-request bound (default 64)\n\
+     \x20 --deadline-ms N  per-request deadline (default 1000)\n\
+     \x20 --cache N      analysis-cache entries (default 4096)\n\
+     \n\
+     loadgen options:\n\
+     \x20 --port N / --addr A         server to drive\n\
+     \x20 --requests N   (default 200)  --connections N (default 4)\n\
+     \x20 --rate R       target req/s, 0 = unpaced (default 0)\n\
+     \x20 --unique N     distinct systems to cycle (default 8)\n\
+     \x20 --json         machine-readable report\n\
+     \x20 plus the random-system options below\n\
      \n\
      lint/verify options:\n\
      \x20 --example X    paper example 1|2|3, or `deadlock` (a broken demo)\n\
@@ -272,24 +361,28 @@ fn usage() -> String {
         .to_owned()
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Flags that stand alone; every other `--flag` requires a value.
+const BOOL_FLAGS: &[&str] = &["json", "gantt", "csv", "no-blocking-check"];
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .filter(|v| !v.starts_with("--"))
-                .cloned()
-                .unwrap_or_default();
-            if !value.is_empty() {
-                i += 1;
+            match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                Some(value) => {
+                    flags.insert(name.to_owned(), value.clone());
+                    i += 1;
+                }
+                None if BOOL_FLAGS.contains(&name) => {
+                    flags.insert(name.to_owned(), String::new());
+                }
+                None => return Err(format!("flag --{name} requires a value")),
             }
-            flags.insert(name.to_owned(), value);
         }
         i += 1;
     }
-    flags
+    Ok(flags)
 }
 
 fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> u64 {
@@ -359,9 +452,8 @@ fn deadlock_demo() -> mpcp_model::System {
     b.build().expect("demo system is structurally valid")
 }
 
-fn build_system(flags: &HashMap<String, String>) -> (mpcp_model::System, u64) {
-    let seed = flag_u64(flags, "seed", 1);
-    let cfg = WorkloadConfig::default()
+fn workload_config(flags: &HashMap<String, String>) -> WorkloadConfig {
+    WorkloadConfig::default()
         .processors(flag_u64(flags, "procs", 4) as usize)
         .tasks_per_processor(flag_u64(flags, "tasks", 4) as usize)
         .utilization(flag_f64(flags, "util", 0.4))
@@ -369,6 +461,10 @@ fn build_system(flags: &HashMap<String, String>) -> (mpcp_model::System, u64) {
             flag_u64(flags, "locals", 1) as usize,
             flag_u64(flags, "globals", 2) as usize,
         )
-        .sections(0, 2);
-    (generate(&cfg, seed), seed)
+        .sections(0, 2)
+}
+
+fn build_system(flags: &HashMap<String, String>) -> (mpcp_model::System, u64) {
+    let seed = flag_u64(flags, "seed", 1);
+    (generate(&workload_config(flags), seed), seed)
 }

@@ -2,12 +2,20 @@
 //! spin briefly on the semaphore flag ("spin on the other's cache entry"),
 //! then enqueue in a **priority-ordered** wait queue; release hands the
 //! lock directly to the highest-priority waiter.
+//!
+//! Poisoning: a thread that panics inside its critical section must not
+//! brick the semaphore for every later requester (the admission server
+//! runs analyses on a shared worker pool, where one poisoned lock would
+//! otherwise cascade). All internal `std::sync::Mutex` acquisitions
+//! recover from poison via [`PoisonError::into_inner`]; the gate state
+//! is a token queue that stays consistent because the guard's `Drop`
+//! (which runs during unwind) performs the hand-off.
 
 use mpcp_core::PrioQueue;
 use mpcp_model::Priority;
 use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 #[derive(Debug)]
 struct Gate {
@@ -78,7 +86,7 @@ impl<T> MpcpMutex<T> {
     }
 
     fn try_enter(&self) -> bool {
-        let mut g = self.gate.lock().unwrap();
+        let mut g = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
         if !g.held {
             debug_assert!(g.granted.is_none());
             g.held = true;
@@ -93,7 +101,7 @@ impl<T> MpcpMutex<T> {
         if self.try_enter() {
             Some(MpcpMutexGuard {
                 lock: self,
-                data: Some(self.data.lock().unwrap()),
+                data: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
             })
         } else {
             None
@@ -108,12 +116,12 @@ impl<T> MpcpMutex<T> {
             if self.try_enter() {
                 return MpcpMutexGuard {
                     lock: self,
-                    data: Some(self.data.lock().unwrap()),
+                    data: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
                 };
             }
             std::hint::spin_loop();
         }
-        let mut g = self.gate.lock().unwrap();
+        let mut g = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
         if !g.held {
             g.held = true;
         } else {
@@ -121,7 +129,7 @@ impl<T> MpcpMutex<T> {
             g.next_token += 1;
             g.queue.push(priority, token);
             loop {
-                g = self.cv.wait(g).unwrap();
+                g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
                 if g.granted == Some(token) {
                     g.granted = None;
                     break;
@@ -132,18 +140,24 @@ impl<T> MpcpMutex<T> {
         drop(g);
         MpcpMutexGuard {
             lock: self,
-            data: Some(self.data.lock().unwrap()),
+            data: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 
     /// Number of queued waiters (racy; for tests and metrics).
     pub fn queue_len(&self) -> usize {
-        self.gate.lock().unwrap().queue.len()
+        self.gate
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.data.into_inner().unwrap()
+        self.data
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -171,7 +185,11 @@ impl<T> Drop for MpcpMutexGuard<'_, T> {
         // Release the data before the gate so the next holder never
         // contends on the data mutex.
         self.data = None;
-        let mut g = self.lock.gate.lock().unwrap();
+        let mut g = self
+            .lock
+            .gate
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         match g.queue.pop() {
             Some(token) => {
                 g.granted = Some(token);
@@ -226,7 +244,7 @@ impl<T> FifoMutex<T> {
     /// Acquires the lock; contended requests are served first-come
     /// first-served.
     pub fn lock(&self) -> FifoMutexGuard<'_, T> {
-        let mut g = self.gate.lock().unwrap();
+        let mut g = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
         if !g.held {
             g.held = true;
         } else {
@@ -234,7 +252,7 @@ impl<T> FifoMutex<T> {
             g.next_token += 1;
             g.queue.push_back(token);
             loop {
-                g = self.cv.wait(g).unwrap();
+                g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
                 if g.granted == Some(token) {
                     g.granted = None;
                     break;
@@ -244,7 +262,7 @@ impl<T> FifoMutex<T> {
         drop(g);
         FifoMutexGuard {
             lock: self,
-            data: Some(self.data.lock().unwrap()),
+            data: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 }
@@ -265,7 +283,11 @@ impl<T> DerefMut for FifoMutexGuard<'_, T> {
 impl<T> Drop for FifoMutexGuard<'_, T> {
     fn drop(&mut self) {
         self.data = None;
-        let mut g = self.lock.gate.lock().unwrap();
+        let mut g = self
+            .lock
+            .gate
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         match g.queue.pop_front() {
             Some(token) => {
                 g.granted = Some(token);
@@ -372,6 +394,63 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), vec![7, 9, 8]);
+    }
+
+    #[test]
+    fn panicked_holder_does_not_brick_the_mutex() {
+        let m = Arc::new(MpcpMutex::new(0u32));
+        let mc = Arc::clone(&m);
+        let joined = thread::spawn(move || {
+            let _g = mc.lock(Priority::task(1));
+            panic!("holder dies in its critical section");
+        })
+        .join();
+        assert!(joined.is_err(), "holder must have panicked");
+        // The poisoned mutex must still grant, mutate and release.
+        {
+            let mut g = m.lock(Priority::task(2));
+            *g += 1;
+        }
+        assert!(m.try_lock().is_some());
+        assert_eq!(
+            Arc::try_unwrap(m).expect("no other holders").into_inner(),
+            1
+        );
+
+        let f = Arc::new(FifoMutex::new(0u32));
+        let fc = Arc::clone(&f);
+        let _ = thread::spawn(move || {
+            let _g = fc.lock();
+            panic!("boom");
+        })
+        .join();
+        *f.lock() += 1;
+        assert_eq!(*f.lock(), 1);
+    }
+
+    #[test]
+    fn panicked_holder_hands_off_to_queued_waiter() {
+        let m = Arc::new(MpcpMutex::with_spin(0u32, 0));
+        let mc = Arc::clone(&m);
+        let holder = thread::spawn(move || {
+            let _g = mc.lock(Priority::task(1));
+            // Panic only once a waiter is queued, so the unwind path
+            // exercises the hand-off (not the uncontended release).
+            while mc.queue_len() == 0 {
+                thread::sleep(Duration::from_millis(1));
+            }
+            panic!("die holding the lock with a waiter queued");
+        });
+        let waiter = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                let mut g = m.lock(Priority::task(2));
+                *g += 1;
+            })
+        };
+        assert!(holder.join().is_err());
+        waiter.join().expect("waiter must acquire after the panic");
+        assert_eq!(*m.lock(Priority::task(0)), 1);
     }
 
     #[test]

@@ -1,0 +1,558 @@
+//! A small self-contained JSON value type, parser and encoder.
+//!
+//! The workspace builds fully offline (no `serde`), and PR 1 already
+//! ships a JSON *renderer* in `mpcp_verify::diag`. The wire protocol of
+//! the admission-control server needs the other direction too, so this
+//! module provides both: a recursive-descent parser hardened for
+//! network input (depth cap, byte cap) and an encoder whose output the
+//! parser round-trips bit-for-bit.
+//!
+//! Objects preserve insertion order (a `Vec` of pairs, not a map), so
+//! `encode(parse(s)) == encode(v)` is deterministic and suitable for
+//! golden tests and canonical hashing.
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by [`parse`]; deeper input is
+/// rejected rather than risking a stack overflow on hostile requests.
+pub const MAX_DEPTH: usize = 128;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. Stored as `f64`; integers up to 2^53 are exact, and
+    /// integral values encode without a decimal point.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order. Duplicate keys are kept as-is;
+    /// [`Value::get`] returns the first.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// First value under `key`, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line encoding (no extra whitespace), parseable by
+    /// [`parse`].
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => write_num(*n, out),
+            Value::Str(s) => write_str(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Num(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf; degrade explicitly.
+    } else if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure, with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON value; trailing non-whitespace input is an error.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending byte for
+/// malformed input, nesting beyond [`MAX_DEPTH`], or trailing garbage.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.checked_sub(0xDC00).unwrap_or(0x10000));
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                            continue; // hex4 advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // remainder is valid UTF-8; find the char boundary).
+                    let rest = &self.bytes[self.pos..];
+                    let len = match rest[0] {
+                        b if b < 0x80 => {
+                            if b < 0x20 {
+                                return Err(self.err("unescaped control character"));
+                            }
+                            1
+                        }
+                        b if b >> 5 == 0b110 => 2,
+                        b if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    out.push_str(std::str::from_utf8(&rest[..len]).expect("input is valid UTF-8"));
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok())
+            .ok_or_else(|| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(hex)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Num(42.0));
+        assert_eq!(parse("-1.5e2").unwrap(), Value::Num(-150.0));
+        assert_eq!(parse(r#""hi""#).unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
+        let arr = v.get("a").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].get("b"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn encode_parse_round_trips() {
+        let v = Value::obj([
+            ("n", Value::Num(7.0)),
+            ("f", Value::Num(0.25)),
+            ("s", Value::str("a\"b\\c\nd")),
+            ("l", Value::Arr(vec![Value::Null, Value::Bool(false)])),
+            ("o", Value::obj([("k", Value::str("v"))])),
+        ]);
+        let text = v.encode();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let cases = [r#""é""#, r#""😀""#, r#""tab\there""#];
+        for c in cases {
+            let v = parse(c).unwrap();
+            assert_eq!(parse(&v.encode()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a"}"#,
+            "tru",
+            "1 2",
+            r#""unterminated"#,
+            "{]",
+            "nul",
+            r#"{"a":}"#,
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("deep"));
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = parse(r#"{"a": nope}"#).unwrap_err();
+        assert_eq!(err.offset, 6);
+        assert!(err.to_string().contains("byte 6"));
+    }
+
+    #[test]
+    fn integral_floats_encode_without_point() {
+        assert_eq!(Value::Num(100.0).encode(), "100");
+        assert_eq!(Value::Num(-3.0).encode(), "-3");
+        assert_eq!(Value::Num(0.5).encode(), "0.5");
+    }
+
+    #[test]
+    fn verify_diag_json_is_parseable() {
+        use mpcp_verify::{Diagnostic, Report, Severity};
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new("V999", "demo", Severity::Error, "msg with \"quotes\"")
+                .with_tasks(["tau1".into()])
+                .with_hint("fix it"),
+        );
+        let v = parse(&r.render_json()).unwrap();
+        assert_eq!(v.get("errors").and_then(Value::as_u64), Some(1));
+        let diags = v.get("diagnostics").and_then(Value::as_arr).unwrap();
+        assert_eq!(diags[0].get("code").and_then(Value::as_str), Some("V999"));
+    }
+}

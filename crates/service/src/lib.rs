@@ -1,0 +1,50 @@
+//! mpcp-service: an online admission-control server for MPCP task
+//! systems.
+//!
+//! The repo's analyses ([`mpcp_analysis::mpcp_bounds`], Theorem 3 via
+//! [`mpcp_analysis::theorem3`], the [`mpcp_verify`] lints and the
+//! [`mpcp_alloc`] partitioner) are batch tools: one system in, one
+//! verdict out. This crate turns them into a long-running *service* —
+//! the operational shape admission control actually has in Rajkumar's
+//! setting, where task arrivals are online events and the analysis
+//! must answer "can this task set be admitted *now*" under load.
+//!
+//! The pieces:
+//!
+//! - [`json`]: a dependency-free JSON parser/encoder (the repo policy
+//!   is zero external crates), the inverse of `mpcp_verify`'s
+//!   `render_json`.
+//! - [`wire`]: the JSON ⇄ [`mpcp_model::System`] mapping
+//!   ([`wire::SystemSpec`]) plus canonical hashing for cache keys.
+//! - [`proto`]: request/response schema with stable error codes.
+//! - [`session`]: named live systems and the pure
+//!   [`session::analyze`] admission pipeline
+//!   (allocate? → lint → blocking bounds → Theorem 3).
+//! - [`cache`]: sharded memoization of analyses with hit/miss
+//!   counters.
+//! - [`pool`]: bounded worker pool — overload sheds, never stalls.
+//! - [`server`]: the TCP accept loop and dispatch, plus a small
+//!   blocking [`server::Client`].
+//! - [`loadgen`]: a submission-stream load generator reporting
+//!   throughput and latency percentiles.
+//!
+//! Run it with `mpcp serve` and drive it with `mpcp loadgen`.
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod json;
+pub mod loadgen;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use cache::{AnalysisCache, CacheStats};
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use pool::{Overloaded, WorkerPool};
+pub use proto::{AllocDirective, ErrorCode, Request};
+pub use server::{spawn, Client, ServerConfig, ServerHandle};
+pub use session::{analyze, AdmissionResult, Session, SessionMap, TaskVerdict};
+pub use wire::{SegSpec, SystemSpec, TaskSpec};

@@ -1,0 +1,309 @@
+//! Load generator: drives taskgen-generated submission streams at a
+//! target rate and reports throughput and latency percentiles.
+//!
+//! Each connection thread owns its own session (so sessions do not
+//! contend) and takes request indices round-robin. Requests cycle
+//! through `unique` distinct systems, so a repeated stream exercises the
+//! server's analysis cache: the second and later laps should be answered
+//! from memory, which the final `query` makes visible via hit counters.
+
+use crate::json::Value;
+use crate::server::Client;
+use crate::wire::SystemSpec;
+use mpcp_taskgen::WorkloadConfig;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Total requests to send.
+    pub requests: usize,
+    /// Concurrent connections (each with its own session).
+    pub connections: usize,
+    /// Target request rate in requests/second across all connections;
+    /// 0 means unpaced (as fast as the server answers).
+    pub rate: u64,
+    /// Number of distinct systems to cycle through (controls cache
+    /// friendliness: requests beyond this repeat earlier systems).
+    pub unique: usize,
+    /// Workload shape passed to the task-set generator.
+    pub workload: WorkloadConfig,
+    /// Base seed for the generator.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7171".to_owned(),
+            requests: 200,
+            connections: 4,
+            rate: 0,
+            unique: 8,
+            workload: WorkloadConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated outcome of a load-generation run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub requests: usize,
+    /// Responses with `"ok":true`.
+    pub ok: usize,
+    /// Admissions (`verdict == "admit"`).
+    pub admitted: usize,
+    /// Rejections (`verdict == "reject"`).
+    pub rejected: usize,
+    /// Explicit `overloaded` shed responses.
+    pub overloaded: usize,
+    /// Other errors (transport or protocol).
+    pub errors: usize,
+    /// Wall-clock time of the whole run in seconds.
+    pub elapsed_s: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Latency percentiles in microseconds: (p50, p90, p99, max).
+    pub latency_us: (u64, u64, u64, u64),
+    /// Server cache counters after the run: (hits, misses, entries).
+    pub cache: Option<(u64, u64, u64)>,
+}
+
+impl LoadReport {
+    /// The report as a JSON object (the shape checked into
+    /// `BENCH_service.json`).
+    pub fn render_json(&self) -> Value {
+        let mut pairs = vec![
+            ("requests".to_owned(), Value::from(self.requests)),
+            ("ok".to_owned(), Value::from(self.ok)),
+            ("admitted".to_owned(), Value::from(self.admitted)),
+            ("rejected".to_owned(), Value::from(self.rejected)),
+            ("overloaded".to_owned(), Value::from(self.overloaded)),
+            ("errors".to_owned(), Value::from(self.errors)),
+            ("elapsed_s".to_owned(), Value::Num(self.elapsed_s)),
+            ("throughput_rps".to_owned(), Value::Num(self.throughput_rps)),
+            (
+                "latency_us".to_owned(),
+                Value::obj([
+                    ("p50", Value::from(self.latency_us.0)),
+                    ("p90", Value::from(self.latency_us.1)),
+                    ("p99", Value::from(self.latency_us.2)),
+                    ("max", Value::from(self.latency_us.3)),
+                ]),
+            ),
+        ];
+        if let Some((hits, misses, entries)) = self.cache {
+            pairs.push((
+                "cache".to_owned(),
+                Value::obj([
+                    ("hits", Value::from(hits)),
+                    ("misses", Value::from(misses)),
+                    ("entries", Value::from(entries)),
+                ]),
+            ));
+        }
+        Value::Obj(pairs)
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "requests   {}\nok         {}\nadmitted   {}\nrejected   {}\noverloaded {}\nerrors     {}\nelapsed    {:.3} s\nthroughput {:.1} req/s\nlatency    p50 {} us | p90 {} us | p99 {} us | max {} us\n",
+            self.requests,
+            self.ok,
+            self.admitted,
+            self.rejected,
+            self.overloaded,
+            self.errors,
+            self.elapsed_s,
+            self.throughput_rps,
+            self.latency_us.0,
+            self.latency_us.1,
+            self.latency_us.2,
+            self.latency_us.3,
+        );
+        if let Some((hits, misses, entries)) = self.cache {
+            out.push_str(&format!(
+                "cache      {hits} hits | {misses} misses | {entries} entries\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Per-thread tallies merged into the final report.
+#[derive(Debug, Default)]
+struct Tally {
+    ok: usize,
+    admitted: usize,
+    rejected: usize,
+    overloaded: usize,
+    errors: usize,
+    latencies_us: Vec<u64>,
+}
+
+/// Runs a submission stream against a live server and aggregates the
+/// outcome.
+///
+/// # Errors
+///
+/// An [`io::Error`] if no connection could be established at all;
+/// per-request transport failures are counted in
+/// [`LoadReport::errors`] instead.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
+    let total = config.requests;
+    let connections = config.connections.max(1);
+    let unique = config.unique.max(1);
+
+    // Pre-render the distinct submission lines once; worker threads
+    // only index into them.
+    let lines: Vec<String> = (0..unique)
+        .map(|i| {
+            let system = mpcp_taskgen::generate(&config.workload, config.seed + i as u64);
+            let spec = SystemSpec::from_system(&system);
+            Value::obj([
+                ("op", Value::str("submit")),
+                ("session", Value::str(format!("loadgen-{i}"))),
+                ("system", spec.to_json()),
+            ])
+            .encode()
+        })
+        .collect();
+    let lines = Arc::new(lines);
+
+    let next = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let rate = config.rate;
+    let addr = config.addr.clone();
+    let mut handles = Vec::new();
+    for _ in 0..connections {
+        let lines = Arc::clone(&lines);
+        let next = Arc::clone(&next);
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || -> io::Result<Tally> {
+            let mut client = Client::connect(addr.as_str())?;
+            let mut tally = Tally::default();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= total {
+                    return Ok(tally);
+                }
+                // Global pacing: request i is due at start + i/rate.
+                // rate == 0 (unpaced) makes checked_div skip the sleep.
+                if let Some(due_us) = (i as u64 * 1_000_000).checked_div(rate) {
+                    let due = start + Duration::from_micros(due_us);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                }
+                let line = &lines[i % lines.len()];
+                let t0 = Instant::now();
+                match client.request_raw(line) {
+                    Err(_) => {
+                        tally.errors += 1;
+                        // Transport died; try a fresh connection.
+                        client = Client::connect(addr.as_str())?;
+                    }
+                    Ok(text) => {
+                        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        tally.latencies_us.push(us);
+                        match crate::json::parse(&text) {
+                            Err(_) => tally.errors += 1,
+                            Ok(v) => classify(&v, &mut tally),
+                        }
+                    }
+                }
+            }
+        }));
+    }
+
+    let mut merged = Tally::default();
+    let mut connect_err: Option<io::Error> = None;
+    let mut any_ran = false;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(t)) => {
+                any_ran = true;
+                merged.ok += t.ok;
+                merged.admitted += t.admitted;
+                merged.rejected += t.rejected;
+                merged.overloaded += t.overloaded;
+                merged.errors += t.errors;
+                merged.latencies_us.extend(t.latencies_us);
+            }
+            Ok(Err(e)) => connect_err = Some(e),
+            Err(_) => {
+                merged.errors += 1;
+            }
+        }
+    }
+    if !any_ran {
+        return Err(
+            connect_err.unwrap_or_else(|| io::Error::other("no load-generator thread completed"))
+        );
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    merged.latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if merged.latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((merged.latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        merged.latencies_us[idx]
+    };
+
+    let mut report = LoadReport {
+        requests: total,
+        ok: merged.ok,
+        admitted: merged.admitted,
+        rejected: merged.rejected,
+        overloaded: merged.overloaded,
+        errors: merged.errors,
+        elapsed_s: elapsed,
+        throughput_rps: if elapsed > 0.0 {
+            merged.latencies_us.len() as f64 / elapsed
+        } else {
+            0.0
+        },
+        latency_us: (pct(0.50), pct(0.90), pct(0.99), pct(1.0)),
+        cache: None,
+    };
+
+    // One final query for the server-side cache counters.
+    if let Ok(mut client) = Client::connect(addr.as_str()) {
+        if let Ok(v) = client.request(&Value::obj([("op", Value::str("query"))])) {
+            if let Some(c) = v.get("cache") {
+                report.cache = Some((
+                    c.get("hits").and_then(Value::as_u64).unwrap_or(0),
+                    c.get("misses").and_then(Value::as_u64).unwrap_or(0),
+                    c.get("entries").and_then(Value::as_u64).unwrap_or(0),
+                ));
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn classify(v: &Value, tally: &mut Tally) {
+    if v.get("ok").and_then(Value::as_bool) == Some(true) {
+        tally.ok += 1;
+        match v.get("verdict").and_then(Value::as_str) {
+            Some("admit") => tally.admitted += 1,
+            Some("reject") => tally.rejected += 1,
+            _ => {}
+        }
+    } else if v.get("code").and_then(Value::as_str) == Some("overloaded") {
+        tally.overloaded += 1;
+    } else {
+        tally.errors += 1;
+    }
+}

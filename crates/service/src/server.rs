@@ -1,0 +1,576 @@
+//! The admission-control server: TCP accept loop, connection handlers,
+//! request dispatch onto the worker pool, per-request deadlines.
+//!
+//! One thread accepts connections; each connection gets a reader
+//! thread; *analysis* work (`ping`, `submit`, `add-task`,
+//! `remove-task`) is dispatched to the shared [`WorkerPool`] so a
+//! bounded number of analyses run regardless of connection count.
+//! `query` and `shutdown` are answered inline — introspection must keep
+//! working while the pool is saturated.
+//!
+//! Overload and deadlines: if the pool queue is full the client gets an
+//! `overloaded` error immediately; if the pooled job does not finish
+//! within [`ServerConfig::deadline`], the handler stops waiting and
+//! answers `deadline` (the stale result is discarded when it finally
+//! arrives).
+
+use crate::cache::AnalysisCache;
+use crate::json::{self, Value};
+use crate::pool::WorkerPool;
+use crate::proto::{error_response, ErrorCode, Request};
+use crate::session::{analyze, AdmissionResult, SessionMap};
+use crate::wire::SystemSpec;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum accepted request-line length; longer lines are answered
+/// with a `parse` error and the connection is closed.
+pub const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (port 0 picks an ephemeral
+    /// port; see [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads running analyses.
+    pub workers: usize,
+    /// Bounded queue depth in front of the workers.
+    pub queue_cap: usize,
+    /// Per-request deadline, measured from enqueue to completion.
+    pub deadline: Duration,
+    /// Analysis-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7171".to_owned(),
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            queue_cap: 64,
+            deadline: Duration::from_millis(1000),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Counters exposed through `query`.
+#[derive(Debug, Default)]
+struct ServerStats {
+    requests: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_misses: AtomicU64,
+}
+
+struct ServerState {
+    sessions: SessionMap,
+    cache: AnalysisCache,
+    pool: WorkerPool,
+    stats: ServerStats,
+    shutting_down: AtomicBool,
+    deadline: Duration,
+    local_addr: std::net::SocketAddr,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] or send a `shutdown` request.
+pub struct ServerHandle {
+    local_addr: std::net::SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests shutdown and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the server shuts down (via a `shutdown` request).
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds and starts the server; returns once the listener is live.
+///
+/// # Errors
+///
+/// Any [`io::Error`] from binding the listener.
+pub fn spawn(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        sessions: SessionMap::new(),
+        cache: AnalysisCache::new(config.cache_capacity),
+        pool: WorkerPool::new(config.workers, config.queue_cap),
+        stats: ServerStats::default(),
+        shutting_down: AtomicBool::new(false),
+        deadline: config.deadline,
+        local_addr,
+    });
+    let accept_state = Arc::clone(&state);
+    let acceptor = std::thread::Builder::new()
+        .name("mpcp-acceptor".to_owned())
+        .spawn(move || accept_loop(&listener, &accept_state))?;
+    Ok(ServerHandle {
+        local_addr,
+        acceptor: Some(acceptor),
+        state,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(state);
+        let _ = std::thread::Builder::new()
+            .name("mpcp-conn".to_owned())
+            .spawn(move || {
+                let _ = serve_connection(stream, &state);
+            });
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .by_ref()
+            .take(MAX_LINE_BYTES as u64 + 1)
+            .read_line(&mut line)?;
+        if n == 0 {
+            return Ok(()); // client closed
+        }
+        if n > MAX_LINE_BYTES {
+            respond(
+                &mut writer,
+                &error_response(ErrorCode::Parse, "request line too long"),
+            )?;
+            return Ok(());
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, initiate_shutdown) = handle_line(line.trim(), state);
+        respond(&mut writer, &response)?;
+        if initiate_shutdown {
+            // Only after the requester has its reply on the wire: stop
+            // the acceptor (a throwaway connection unblocks accept()).
+            state.shutting_down.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(state.local_addr);
+            return Ok(());
+        }
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+fn respond(writer: &mut TcpStream, v: &Value) -> io::Result<()> {
+    let mut text = v.encode();
+    text.push('\n');
+    writer.write_all(text.as_bytes())?;
+    writer.flush()
+}
+
+/// Handles one request line; the boolean asks the caller to initiate
+/// server shutdown *after* the response has been written (responding
+/// first guarantees the requester sees its acknowledgment before the
+/// process exits).
+fn handle_line(line: &str, state: &Arc<ServerState>) -> (Value, bool) {
+    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let parsed = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (error_response(ErrorCode::Parse, &e.to_string()), false),
+    };
+    let request = match Request::from_json(&parsed) {
+        Ok(r) => r,
+        Err((code, msg)) => return (error_response(code, &msg), false),
+    };
+    match request {
+        // Introspection and control stay inline: they must answer even
+        // when the pool is saturated.
+        Request::Query { session } => (query_response(state, session.as_deref()), false),
+        Request::Shutdown => (
+            Value::obj([("ok", Value::Bool(true)), ("op", Value::str("shutdown"))]),
+            true,
+        ),
+        pooled => (dispatch_pooled(pooled, state), false),
+    }
+}
+
+/// Runs an analysis-class request on the worker pool, waiting at most
+/// the configured deadline for its result.
+fn dispatch_pooled(request: Request, state: &Arc<ServerState>) -> Value {
+    if state.shutting_down.load(Ordering::SeqCst) {
+        return error_response(ErrorCode::ShuttingDown, "server is shutting down");
+    }
+    let (tx, rx) = mpsc::sync_channel::<Value>(1);
+    let job_state = Arc::clone(state);
+    let enqueued = state.pool.try_execute(move || {
+        let response = run_pooled(&request, &job_state);
+        let _ = tx.send(response); // receiver may have given up: fine
+    });
+    if enqueued.is_err() {
+        state.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+        return error_response(
+            ErrorCode::Overloaded,
+            "request queue full; retry with backoff",
+        );
+    }
+    match rx.recv_timeout(state.deadline) {
+        Ok(v) => v,
+        Err(_) => {
+            state.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            error_response(ErrorCode::Deadline, "request missed its deadline")
+        }
+    }
+}
+
+fn run_pooled(request: &Request, state: &Arc<ServerState>) -> Value {
+    match request {
+        Request::Ping { delay_ms } => {
+            if *delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(*delay_ms));
+            }
+            Value::obj([("ok", Value::Bool(true)), ("op", Value::str("ping"))])
+        }
+        Request::Submit {
+            session,
+            system,
+            allocate,
+        } => {
+            let key = AnalysisCache::key(system, *allocate);
+            let (result, cache_hit) = state
+                .cache
+                .get_or_compute(key, || analyze(system, *allocate));
+            if result.admitted {
+                let entry = state.sessions.get_or_create(session);
+                let mut s = entry.lock().unwrap_or_else(PoisonError::into_inner);
+                s.spec = result.analyzed.clone();
+                s.last = Some(Arc::clone(&result));
+            }
+            admission_response("submit", session, &result, cache_hit)
+        }
+        Request::AddTask { session, task } => {
+            let Some(entry) = state.sessions.get(session) else {
+                return unknown_session(session);
+            };
+            // Hold the session lock across analyze-then-commit so the
+            // check and the commit are one atomic step per session.
+            let mut s = entry.lock().unwrap_or_else(PoisonError::into_inner);
+            let candidate = s.with_task(task.clone());
+            let key = AnalysisCache::key(&candidate, None);
+            let (result, cache_hit) = state
+                .cache
+                .get_or_compute(key, || analyze(&candidate, None));
+            if result.admitted {
+                s.spec = result.analyzed.clone();
+                s.last = Some(Arc::clone(&result));
+            }
+            admission_response("add-task", session, &result, cache_hit)
+        }
+        Request::RemoveTask { session, task } => {
+            let Some(entry) = state.sessions.get(session) else {
+                return unknown_session(session);
+            };
+            let mut s = entry.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(candidate) = s.without_task(task) else {
+                return error_response(
+                    ErrorCode::UnknownTask,
+                    &format!("no task {task:?} in session {session:?}"),
+                );
+            };
+            let key = AnalysisCache::key(&candidate, None);
+            let (result, cache_hit) = state
+                .cache
+                .get_or_compute(key, || analyze(&candidate, None));
+            // Withdrawal always commits; the verdict reports the state
+            // the session is now in.
+            s.spec = result.analyzed.clone();
+            s.last = Some(Arc::clone(&result));
+            admission_response("remove-task", session, &result, cache_hit)
+        }
+        Request::Query { .. } | Request::Shutdown => unreachable!("handled inline"),
+    }
+}
+
+fn unknown_session(session: &str) -> Value {
+    error_response(
+        ErrorCode::UnknownSession,
+        &format!("no session {session:?}; submit a system first"),
+    )
+}
+
+fn admission_response(
+    op: &'static str,
+    session: &str,
+    result: &AdmissionResult,
+    cache_hit: bool,
+) -> Value {
+    let mut pairs: Vec<(String, Value)> = vec![
+        ("ok".into(), Value::Bool(true)),
+        ("op".into(), Value::str(op)),
+        ("session".into(), Value::str(session)),
+        (
+            "verdict".into(),
+            Value::str(if result.admitted { "admit" } else { "reject" }),
+        ),
+        ("schedulable".into(), Value::Bool(result.schedulable)),
+        (
+            "cache".into(),
+            Value::str(if cache_hit { "hit" } else { "miss" }),
+        ),
+        (
+            "lint".into(),
+            Value::obj([
+                ("errors", Value::from(result.lint_errors)),
+                ("warnings", Value::from(result.lint_warnings)),
+            ]),
+        ),
+        (
+            "reasons".into(),
+            Value::Arr(result.reasons.iter().map(Value::str).collect()),
+        ),
+        (
+            "tasks".into(),
+            Value::Arr(
+                result
+                    .tasks
+                    .iter()
+                    .map(|t| {
+                        Value::obj([
+                            ("name", Value::str(t.name.clone())),
+                            ("processor", Value::str(t.processor.clone())),
+                            ("period", Value::from(t.period)),
+                            ("wcet", Value::from(t.wcet)),
+                            ("blocking", Value::from(t.blocking)),
+                            ("demand", Value::from(t.demand)),
+                            ("bound", Value::from(t.bound)),
+                            ("ok", Value::Bool(t.ok)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(a) = &result.allocation {
+        pairs.push((
+            "allocation".into(),
+            Value::obj([
+                ("heuristic", Value::str(a.heuristic)),
+                (
+                    "per_processor_utilization",
+                    Value::Arr(
+                        a.per_processor_utilization
+                            .iter()
+                            .map(|u| Value::Num(*u))
+                            .collect(),
+                    ),
+                ),
+                ("global_resources", Value::from(a.global_resources)),
+            ]),
+        ));
+    }
+    Value::Obj(pairs)
+}
+
+fn query_response(state: &Arc<ServerState>, session: Option<&str>) -> Value {
+    let cache = state.cache.stats();
+    let mut pairs: Vec<(String, Value)> = vec![
+        ("ok".into(), Value::Bool(true)),
+        ("op".into(), Value::str("query")),
+        ("sessions".into(), Value::from(state.sessions.len())),
+        (
+            "cache".into(),
+            Value::obj([
+                ("hits", Value::from(cache.hits)),
+                ("misses", Value::from(cache.misses)),
+                ("entries", Value::from(cache.entries)),
+            ]),
+        ),
+        (
+            "server".into(),
+            Value::obj([
+                (
+                    "requests",
+                    Value::from(state.stats.requests.load(Ordering::Relaxed)),
+                ),
+                (
+                    "overloaded",
+                    Value::from(state.stats.overloaded.load(Ordering::Relaxed)),
+                ),
+                (
+                    "deadline_misses",
+                    Value::from(state.stats.deadline_misses.load(Ordering::Relaxed)),
+                ),
+                ("workers", Value::from(state.pool.workers())),
+                ("queue_cap", Value::from(state.pool.queue_cap())),
+            ]),
+        ),
+    ];
+    if let Some(name) = session {
+        match state.sessions.get(name) {
+            None => return unknown_session(name),
+            Some(entry) => {
+                let s = entry.lock().unwrap_or_else(PoisonError::into_inner);
+                pairs.push((
+                    "session".into(),
+                    Value::obj([
+                        ("name", Value::str(name)),
+                        ("tasks", Value::from(s.spec.tasks.len())),
+                        ("processors", Value::from(s.spec.processors.len())),
+                        (
+                            "verdict",
+                            match &s.last {
+                                Some(r) if r.admitted => Value::str("admit"),
+                                Some(_) => Value::str("reject"),
+                                None => Value::Null,
+                            },
+                        ),
+                        ("system", SystemSpec::to_json(&s.spec)),
+                    ]),
+                ));
+            }
+        }
+    }
+    Value::Obj(pairs)
+}
+
+/// A small blocking client for tests, the load generator and scripted
+/// probes: one connection, one request per call.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from connecting.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` if the connection closed mid-reply.
+    pub fn request_raw(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_owned())
+    }
+
+    /// Sends a JSON request and parses the JSON response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` when the response is not JSON.
+    pub fn request(&mut self, v: &Value) -> io::Result<Value> {
+        let text = self.request_raw(&v.encode())?;
+        json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server(workers: usize, queue: usize, deadline_ms: u64) -> ServerHandle {
+        spawn(&ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            queue_cap: queue,
+            deadline: Duration::from_millis(deadline_ms),
+            cache_capacity: 128,
+        })
+        .expect("bind test server")
+    }
+
+    #[test]
+    fn ping_and_malformed_line() {
+        let server = test_server(2, 8, 2000);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let pong = c
+            .request(&Value::obj([("op", Value::str("ping"))]))
+            .unwrap();
+        assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+        let err = c.request_raw("this is not json").unwrap();
+        let err = json::parse(&err).unwrap();
+        assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(err.get("code").and_then(Value::as_str), Some("parse"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_reports_pool_shape() {
+        let server = test_server(3, 7, 2000);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let q = c
+            .request(&Value::obj([("op", Value::str("query"))]))
+            .unwrap();
+        let srv = q.get("server").unwrap();
+        assert_eq!(srv.get("workers").and_then(Value::as_u64), Some(3));
+        assert_eq!(srv.get("queue_cap").and_then(Value::as_u64), Some(7));
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_miss_is_reported() {
+        let server = test_server(1, 4, 50);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let v = c
+            .request(&Value::obj([
+                ("op", Value::str("ping")),
+                ("delay_ms", Value::from(500u64)),
+            ]))
+            .unwrap();
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("deadline"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,402 @@
+//! Admission analysis and named system sessions.
+//!
+//! [`analyze`] is the online form of the repo's offline pipeline: lint
+//! (`mpcp-verify` V001–V009), optional allocation (`mpcp-alloc`),
+//! blocking bounds (`analysis::mpcp_bounds`, §5.1) and Theorem 3, all
+//! folded into one [`AdmissionResult`] with a per-task breakdown. The
+//! result is a pure function of `(spec, allocate)`, which is what makes
+//! it cacheable (see [`cache`](crate::cache)).
+//!
+//! A [`Session`] is a named, live task system. Incremental updates
+//! (`add-task`) are *transactional*: the candidate system is analyzed
+//! and committed only when admitted, so a rejected change leaves the
+//! session exactly as it was.
+
+use crate::proto::AllocDirective;
+use crate::wire::{SystemSpec, TaskSpec};
+use mpcp_analysis as analysis;
+use mpcp_model::System;
+use mpcp_verify::Severity;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Per-task admission breakdown: the Theorem 3 inequality inputs plus
+/// the §5.1 blocking bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskVerdict {
+    /// Task name.
+    pub name: String,
+    /// Processor name it is bound to.
+    pub processor: String,
+    /// Period in ticks.
+    pub period: u64,
+    /// WCET in ticks.
+    pub wcet: u64,
+    /// Worst-case blocking `B_i` (five factors + deferred penalty).
+    pub blocking: u64,
+    /// Theorem 3 left-hand side for this task.
+    pub demand: f64,
+    /// Liu & Layland bound for its rank.
+    pub bound: f64,
+    /// Whether the inequality holds.
+    pub ok: bool,
+}
+
+/// Summary of an allocation step run before analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocSummary {
+    /// Heuristic name.
+    pub heuristic: &'static str,
+    /// Per-processor utilization after rebinding.
+    pub per_processor_utilization: Vec<f64>,
+    /// Semaphores that stayed global after rebinding.
+    pub global_resources: usize,
+}
+
+/// Outcome of analyzing one submission. Immutable and shared via `Arc`
+/// once computed (possibly from the cache).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionResult {
+    /// The verdict: admit only if the lints are clean (no errors), the
+    /// §5.1 analysis accepts the structure, and Theorem 3 holds.
+    pub admitted: bool,
+    /// Whether Theorem 3 held (false also when analysis was impossible).
+    pub schedulable: bool,
+    /// Error-severity lint findings.
+    pub lint_errors: usize,
+    /// Warning-severity lint findings.
+    pub lint_warnings: usize,
+    /// Why the submission was rejected (empty when admitted).
+    pub reasons: Vec<String>,
+    /// Per-task breakdown (empty if the system never reached analysis).
+    pub tasks: Vec<TaskVerdict>,
+    /// Allocation summary, when an [`AllocDirective`] was given.
+    pub allocation: Option<AllocSummary>,
+    /// The system as analyzed — rebound by allocation if requested,
+    /// otherwise the submitted spec. This is what a session commits.
+    pub analyzed: SystemSpec,
+}
+
+/// Runs the full admission pipeline on one submission.
+///
+/// An empty task set is trivially admitted (a session being drained).
+pub fn analyze(spec: &SystemSpec, allocate: Option<AllocDirective>) -> AdmissionResult {
+    if spec.tasks.is_empty() {
+        return AdmissionResult {
+            admitted: true,
+            schedulable: true,
+            lint_errors: 0,
+            lint_warnings: 0,
+            reasons: Vec::new(),
+            tasks: Vec::new(),
+            allocation: None,
+            analyzed: spec.clone(),
+        };
+    }
+
+    let reject = |reasons: Vec<String>| AdmissionResult {
+        admitted: false,
+        schedulable: false,
+        lint_errors: 0,
+        lint_warnings: 0,
+        reasons,
+        tasks: Vec::new(),
+        allocation: None,
+        analyzed: spec.clone(),
+    };
+
+    let system = match spec.to_system() {
+        Ok(s) => s,
+        Err(e) => return reject(vec![e.0]),
+    };
+
+    let (system, allocation) = match allocate {
+        None => (system, None),
+        Some(d) => match mpcp_alloc::allocate(&system, d.processors, d.heuristic) {
+            Ok(a) => {
+                let summary = AllocSummary {
+                    heuristic: d.heuristic.name(),
+                    per_processor_utilization: a.per_processor_utilization.clone(),
+                    global_resources: a.global_resources,
+                };
+                (a.system, Some(summary))
+            }
+            Err(e) => return reject(vec![format!("allocation failed: {e}")]),
+        },
+    };
+
+    let analyzed = SystemSpec::from_system(&system);
+    let lint = mpcp_verify::lint_system(&system);
+    let lint_errors = lint.count(Severity::Error);
+    let lint_warnings = lint.count(Severity::Warning);
+    let mut reasons: Vec<String> = lint
+        .diagnostics()
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| format!("{}: {}", d.code, d.message))
+        .collect();
+
+    let (schedulable, tasks) = match analysis::mpcp_bounds(&system) {
+        Ok(bounds) => {
+            let blocking: Vec<_> = bounds
+                .iter()
+                .map(analysis::BlockingBreakdown::total)
+                .collect();
+            let sched = analysis::theorem3(&system, &blocking);
+            let tasks = per_task_verdicts(&system, &blocking, &sched, &mut reasons);
+            (sched.schedulable(), tasks)
+        }
+        Err(e) => {
+            reasons.push(format!("analysis rejected the system: {e}"));
+            (false, Vec::new())
+        }
+    };
+
+    AdmissionResult {
+        admitted: lint_errors == 0 && schedulable,
+        schedulable,
+        lint_errors,
+        lint_warnings,
+        reasons,
+        tasks,
+        allocation,
+        analyzed,
+    }
+}
+
+fn per_task_verdicts(
+    system: &System,
+    blocking: &[mpcp_model::Dur],
+    sched: &analysis::SchedReport,
+    reasons: &mut Vec<String>,
+) -> Vec<TaskVerdict> {
+    system
+        .tasks()
+        .iter()
+        .map(|t| {
+            let s = sched.task(t.id());
+            if !s.ok {
+                reasons.push(format!(
+                    "theorem3: task {} demand {:.3} exceeds bound {:.3}",
+                    t.name(),
+                    s.demand,
+                    s.bound
+                ));
+            }
+            TaskVerdict {
+                name: t.name().to_owned(),
+                processor: system.processor(t.processor()).name().to_owned(),
+                period: t.period().ticks(),
+                wcet: t.wcet().ticks(),
+                blocking: blocking[t.id().index()].ticks(),
+                demand: s.demand,
+                bound: s.bound,
+                ok: s.ok,
+            }
+        })
+        .collect()
+}
+
+/// One live session: the currently committed system and its last
+/// admission result.
+#[derive(Debug, Default)]
+pub struct Session {
+    /// The committed system description.
+    pub spec: SystemSpec,
+    /// Result of the last committed analysis.
+    pub last: Option<Arc<AdmissionResult>>,
+}
+
+impl Session {
+    /// Spec with `task` appended (the `add-task` candidate).
+    pub fn with_task(&self, task: TaskSpec) -> SystemSpec {
+        let mut spec = self.spec.clone();
+        spec.tasks.push(task);
+        spec
+    }
+
+    /// Spec with the named task removed, or `None` if absent.
+    pub fn without_task(&self, name: &str) -> Option<SystemSpec> {
+        let mut spec = self.spec.clone();
+        let before = spec.tasks.len();
+        spec.tasks.retain(|t| t.name != name);
+        (spec.tasks.len() < before).then_some(spec)
+    }
+}
+
+/// The named-session table. Each session carries its own lock so
+/// check-then-commit sequences (`add-task`) are atomic per session
+/// while different sessions proceed in parallel on the worker pool.
+#[derive(Debug, Default)]
+pub struct SessionMap {
+    inner: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+}
+
+impl SessionMap {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SessionMap::default()
+    }
+
+    /// The session named `name`, if it exists.
+    pub fn get(&self, name: &str) -> Option<Arc<Mutex<Session>>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// The session named `name`, created empty if absent.
+    pub fn get_or_create(&self, name: &str) -> Arc<Mutex<Session>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no session exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::SegSpec;
+
+    /// Two tasks sharing one global semaphore; comfortably schedulable.
+    fn light_spec() -> SystemSpec {
+        SystemSpec {
+            processors: vec!["P0".into(), "P1".into()],
+            resources: vec!["SG".into()],
+            tasks: vec![
+                TaskSpec {
+                    name: "a".into(),
+                    processor: 0,
+                    period: 100,
+                    deadline: None,
+                    offset: 0,
+                    priority: None,
+                    body: vec![
+                        SegSpec::Compute(10),
+                        SegSpec::Critical(0, vec![SegSpec::Compute(2)]),
+                    ],
+                },
+                TaskSpec {
+                    name: "b".into(),
+                    processor: 1,
+                    period: 200,
+                    deadline: None,
+                    offset: 0,
+                    priority: None,
+                    body: vec![
+                        SegSpec::Compute(20),
+                        SegSpec::Critical(0, vec![SegSpec::Compute(5)]),
+                    ],
+                },
+            ],
+        }
+    }
+
+    /// A task whose WCET equals its period: fails Theorem 3 instantly.
+    fn saturating_task(processor: usize, name: &str) -> TaskSpec {
+        TaskSpec {
+            name: name.into(),
+            processor,
+            period: 50,
+            deadline: None,
+            offset: 0,
+            priority: None,
+            body: vec![SegSpec::Compute(50)],
+        }
+    }
+
+    #[test]
+    fn light_system_is_admitted_with_breakdown() {
+        let r = analyze(&light_spec(), None);
+        assert!(r.admitted, "{:?}", r.reasons);
+        assert!(r.schedulable);
+        assert_eq!(r.tasks.len(), 2);
+        assert!(r.tasks.iter().all(|t| t.ok));
+        assert!(r.tasks[0].blocking > 0, "a shares SG and must wait");
+        assert_eq!(r.lint_errors, 0);
+    }
+
+    #[test]
+    fn overloaded_system_is_rejected_with_reason() {
+        let mut spec = light_spec();
+        spec.tasks.push(saturating_task(0, "hog"));
+        let r = analyze(&spec, None);
+        assert!(!r.admitted);
+        assert!(r.reasons.iter().any(|m| m.contains("theorem3")));
+    }
+
+    #[test]
+    fn empty_spec_is_vacuously_admitted() {
+        let r = analyze(&SystemSpec::default(), None);
+        assert!(r.admitted);
+        assert!(r.tasks.is_empty());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_not_panicked() {
+        let mut spec = light_spec();
+        spec.tasks[0].period = 0;
+        let r = analyze(&spec, None);
+        assert!(!r.admitted);
+        assert!(r.reasons[0].contains("invalid system"));
+    }
+
+    #[test]
+    fn allocation_rebinds_before_analysis() {
+        let spec = light_spec();
+        let r = analyze(
+            &spec,
+            Some(AllocDirective {
+                processors: 1,
+                heuristic: mpcp_alloc::Heuristic::FirstFitDecreasing,
+            }),
+        );
+        let a = r.allocation.expect("allocation summary");
+        assert_eq!(a.per_processor_utilization.len(), 1);
+        assert_eq!(r.analyzed.processors.len(), 1);
+        // Co-located sharers: SG becomes local, so no global blocking.
+        assert_eq!(a.global_resources, 0);
+    }
+
+    #[test]
+    fn session_candidates_do_not_mutate() {
+        let s = Session {
+            spec: light_spec(),
+            ..Session::default()
+        };
+        let grown = s.with_task(saturating_task(0, "new"));
+        assert_eq!(grown.tasks.len(), 3);
+        assert_eq!(s.spec.tasks.len(), 2, "candidate is a copy");
+        assert!(s.without_task("nope").is_none());
+        assert_eq!(s.without_task("a").unwrap().tasks.len(), 1);
+    }
+
+    #[test]
+    fn session_map_creates_and_counts() {
+        let m = SessionMap::new();
+        assert!(m.is_empty());
+        assert!(m.get("x").is_none());
+        let s = m.get_or_create("x");
+        s.lock().unwrap().spec = light_spec();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("x").unwrap().lock().unwrap().spec.tasks.len(), 2);
+    }
+}

@@ -1,0 +1,556 @@
+//! Wire format: a plain-data system description that maps JSON ⇄
+//! [`mpcp_model::System`].
+//!
+//! [`SystemSpec`] mirrors what [`mpcp_model::SystemBuilder`] consumes
+//! (it is the serializable counterpart of a list of
+//! [`mpcp_model::TaskDef`]s): processor and resource name tables plus
+//! task definitions whose bodies are segment trees. A spec converts
+//! both ways — [`SystemSpec::from_system`] / [`SystemSpec::to_system`]
+//! — and encodes to the canonical JSON shape documented in DESIGN.md's
+//! wire-protocol section:
+//!
+//! ```json
+//! {"processors":["P0","P1"],
+//!  "resources":["SA"],
+//!  "tasks":[{"name":"t0","processor":0,"period":100,
+//!            "body":[{"compute":4},{"critical":0,"body":[{"compute":2}]}]}]}
+//! ```
+//!
+//! The canonical encoding also drives the admission cache:
+//! [`SystemSpec::canonical_hash`] is a 64-bit FNV-1a over the encoded
+//! spec, so equal submissions hash equally regardless of how the client
+//! formatted its JSON.
+
+use crate::json::Value;
+use mpcp_model::{Body, Segment, System, TaskDef};
+use std::fmt;
+
+/// A wire-format error: what was wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError(msg.into()))
+}
+
+/// The priority levels the builder assigns when none are given:
+/// rate-monotonic order, descending unique levels `n..1`.
+fn rm_default_levels(system: &System) -> Vec<u32> {
+    let order =
+        mpcp_model::rate_monotonic_order(system.tasks().iter().map(mpcp_model::Task::period));
+    let n = system.tasks().len() as u32;
+    let mut levels = vec![0u32; system.tasks().len()];
+    for (rank, &idx) in order.iter().enumerate() {
+        levels[idx] = n - rank as u32;
+    }
+    levels
+}
+
+/// One body segment on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegSpec {
+    /// `{"compute": ticks}`
+    Compute(u64),
+    /// `{"suspend": ticks}`
+    Suspend(u64),
+    /// `{"critical": resource_index, "body": [...]}`
+    Critical(usize, Vec<SegSpec>),
+}
+
+/// One task definition on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Task name (unique within a system by convention, not enforced).
+    pub name: String,
+    /// Index into [`SystemSpec::processors`].
+    pub processor: usize,
+    /// Period in ticks.
+    pub period: u64,
+    /// Relative deadline; defaults to the period.
+    pub deadline: Option<u64>,
+    /// Release offset of the first job.
+    pub offset: u64,
+    /// Explicit priority level (all tasks or none, as the builder
+    /// enforces).
+    pub priority: Option<u32>,
+    /// The job body.
+    pub body: Vec<SegSpec>,
+}
+
+/// A full system on the wire.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SystemSpec {
+    /// Processor names; tasks reference them by index.
+    pub processors: Vec<String>,
+    /// Resource (semaphore) names; critical sections reference them by
+    /// index.
+    pub resources: Vec<String>,
+    /// The task set.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl SystemSpec {
+    /// Extracts the wire description of a built system.
+    ///
+    /// Priorities are emitted only when they differ from the builder's
+    /// rate-monotonic default assignment. Keeping default priorities
+    /// *implicit* on the wire matters for incremental admission: a
+    /// session committed from such a spec can grow by a priority-less
+    /// `add-task` (the builder re-derives the defaults), whereas an
+    /// all-explicit spec would reject it as mixed priorities.
+    pub fn from_system(system: &System) -> SystemSpec {
+        let rm_default = rm_default_levels(system);
+        let explicit = system
+            .tasks()
+            .iter()
+            .enumerate()
+            .any(|(i, t)| t.priority().level() != rm_default[i]);
+        SystemSpec {
+            processors: system
+                .processors()
+                .iter()
+                .map(|p| p.name().to_owned())
+                .collect(),
+            resources: system
+                .resources()
+                .iter()
+                .map(|r| r.name().to_owned())
+                .collect(),
+            tasks: system
+                .tasks()
+                .iter()
+                .map(|t| TaskSpec {
+                    name: t.name().to_owned(),
+                    processor: t.processor().index(),
+                    period: t.period().ticks(),
+                    deadline: (t.deadline() != t.period()).then(|| t.deadline().ticks()),
+                    offset: t.offset().ticks(),
+                    priority: explicit.then(|| t.priority().level()),
+                    body: segs_from_body(t.body().segments()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds and validates the [`System`] this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`] for out-of-range processor/resource indices or
+    /// any [`mpcp_model::ModelError`] from the builder.
+    pub fn to_system(&self) -> Result<System, WireError> {
+        let mut b = System::builder();
+        for name in &self.processors {
+            b.add_processor(name.clone());
+        }
+        let resources: Vec<_> = self
+            .resources
+            .iter()
+            .map(|name| b.add_resource(name.clone()))
+            .collect();
+        for t in &self.tasks {
+            if t.processor >= self.processors.len() {
+                return err(format!(
+                    "task {:?}: processor index {} out of range ({} processors)",
+                    t.name,
+                    t.processor,
+                    self.processors.len()
+                ));
+            }
+            // The builder hands out dense ids in insertion order, so the
+            // wire index is exactly the processor id.
+            let mut def = TaskDef::new(
+                t.name.clone(),
+                mpcp_model::ProcessorId::from_index(t.processor as u32),
+            )
+            .period(t.period)
+            .offset(t.offset);
+            if let Some(d) = t.deadline {
+                def = def.deadline(d);
+            }
+            if let Some(p) = t.priority {
+                def = def.priority(p);
+            }
+            let body = Body::from_segments(segs_to_model(&t.name, &t.body, resources.len())?);
+            b.add_task(def.body(body));
+        }
+        b.build()
+            .map_err(|e| WireError(format!("invalid system: {e}")))
+    }
+
+    /// Canonical JSON encoding of this spec.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            (
+                "processors",
+                Value::Arr(
+                    self.processors
+                        .iter()
+                        .map(|n| Value::str(n.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "resources",
+                Value::Arr(
+                    self.resources
+                        .iter()
+                        .map(|n| Value::str(n.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "tasks",
+                Value::Arr(self.tasks.iter().map(task_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a spec out of a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`] naming the missing or ill-typed field.
+    pub fn from_json(v: &Value) -> Result<SystemSpec, WireError> {
+        let processors = name_list(v, "processors")?;
+        let resources = name_list(v, "resources")?;
+        let tasks = match v.get("tasks") {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(task_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return err("\"tasks\" must be an array"),
+            None => Vec::new(),
+        };
+        Ok(SystemSpec {
+            processors,
+            resources,
+            tasks,
+        })
+    }
+
+    /// 64-bit FNV-1a hash of the canonical encoding. Equal specs hash
+    /// equally however the client formatted its JSON; this keys the
+    /// admission cache.
+    pub fn canonical_hash(&self) -> u64 {
+        fnv1a(self.to_json().encode().as_bytes())
+    }
+}
+
+/// FNV-1a over a byte string.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn segs_from_body(segments: &[Segment]) -> Vec<SegSpec> {
+    segments
+        .iter()
+        .map(|s| match s {
+            Segment::Compute(d) => SegSpec::Compute(d.ticks()),
+            Segment::Suspend(d) => SegSpec::Suspend(d.ticks()),
+            Segment::Critical(r, body) => SegSpec::Critical(r.index(), segs_from_body(body)),
+        })
+        .collect()
+}
+
+fn segs_to_model(
+    task: &str,
+    segs: &[SegSpec],
+    resources: usize,
+) -> Result<Vec<Segment>, WireError> {
+    segs.iter()
+        .map(|s| match s {
+            SegSpec::Compute(d) => Ok(Segment::Compute(mpcp_model::Dur::new(*d))),
+            SegSpec::Suspend(d) => Ok(Segment::Suspend(mpcp_model::Dur::new(*d))),
+            SegSpec::Critical(r, body) => {
+                if *r >= resources {
+                    return err(format!(
+                        "task {task:?}: resource index {r} out of range ({resources} resources)"
+                    ));
+                }
+                Ok(Segment::Critical(
+                    mpcp_model::ResourceId::from_index(*r as u32),
+                    segs_to_model(task, body, resources)?,
+                ))
+            }
+        })
+        .collect()
+}
+
+fn seg_to_json(s: &SegSpec) -> Value {
+    match s {
+        SegSpec::Compute(d) => Value::obj([("compute", Value::from(*d))]),
+        SegSpec::Suspend(d) => Value::obj([("suspend", Value::from(*d))]),
+        SegSpec::Critical(r, body) => Value::obj([
+            ("critical", Value::from(*r)),
+            ("body", Value::Arr(body.iter().map(seg_to_json).collect())),
+        ]),
+    }
+}
+
+fn seg_from_json(v: &Value) -> Result<SegSpec, WireError> {
+    if let Some(d) = v.get("compute") {
+        return d
+            .as_u64()
+            .map(SegSpec::Compute)
+            .ok_or_else(|| WireError("\"compute\" must be a non-negative integer".into()));
+    }
+    if let Some(d) = v.get("suspend") {
+        return d
+            .as_u64()
+            .map(SegSpec::Suspend)
+            .ok_or_else(|| WireError("\"suspend\" must be a non-negative integer".into()));
+    }
+    if let Some(r) = v.get("critical") {
+        let r = r
+            .as_u64()
+            .ok_or_else(|| WireError("\"critical\" must be a resource index".into()))?;
+        let body = match v.get("body") {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(seg_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return err("critical \"body\" must be an array"),
+            None => Vec::new(),
+        };
+        return Ok(SegSpec::Critical(r as usize, body));
+    }
+    err("segment must have \"compute\", \"suspend\" or \"critical\"")
+}
+
+fn task_to_json(t: &TaskSpec) -> Value {
+    let mut pairs: Vec<(String, Value)> = vec![
+        ("name".into(), Value::str(t.name.clone())),
+        ("processor".into(), Value::from(t.processor)),
+        ("period".into(), Value::from(t.period)),
+    ];
+    if let Some(d) = t.deadline {
+        pairs.push(("deadline".into(), Value::from(d)));
+    }
+    if t.offset != 0 {
+        pairs.push(("offset".into(), Value::from(t.offset)));
+    }
+    if let Some(p) = t.priority {
+        pairs.push(("priority".into(), Value::from(u64::from(p))));
+    }
+    pairs.push((
+        "body".into(),
+        Value::Arr(t.body.iter().map(seg_to_json).collect()),
+    ));
+    Value::Obj(pairs)
+}
+
+/// Parses one task out of its JSON object. Public because `add-task`
+/// requests carry a bare task, not a whole system.
+pub fn task_from_json(v: &Value) -> Result<TaskSpec, WireError> {
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WireError("task needs a string \"name\"".into()))?
+        .to_owned();
+    let processor = v
+        .get("processor")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| WireError(format!("task {name:?} needs a \"processor\" index")))?
+        as usize;
+    let period = v
+        .get("period")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| WireError(format!("task {name:?} needs an integer \"period\"")))?;
+    let deadline = match v.get("deadline") {
+        None => None,
+        Some(d) => Some(
+            d.as_u64()
+                .ok_or_else(|| WireError(format!("task {name:?}: bad \"deadline\"")))?,
+        ),
+    };
+    let offset = match v.get("offset") {
+        None => 0,
+        Some(o) => o
+            .as_u64()
+            .ok_or_else(|| WireError(format!("task {name:?}: bad \"offset\"")))?,
+    };
+    let priority = match v.get("priority") {
+        None => None,
+        Some(p) => Some(
+            p.as_u64()
+                .and_then(|p| u32::try_from(p).ok())
+                .ok_or_else(|| WireError(format!("task {name:?}: bad \"priority\"")))?,
+        ),
+    };
+    let body = match v.get("body") {
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(seg_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return err(format!("task {name:?}: \"body\" must be an array")),
+        None => Vec::new(),
+    };
+    Ok(TaskSpec {
+        name,
+        processor,
+        period,
+        deadline,
+        offset,
+        priority,
+        body,
+    })
+}
+
+fn name_list(v: &Value, key: &str) -> Result<Vec<String>, WireError> {
+    match v.get(key) {
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|i| {
+                i.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| WireError(format!("{key:?} entries must be strings")))
+            })
+            .collect(),
+        Some(_) => err(format!("{key:?} must be an array of names")),
+        None => Ok(Vec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> SystemSpec {
+        SystemSpec {
+            processors: vec!["P0".into(), "P1".into()],
+            resources: vec!["SG0".into()],
+            tasks: vec![
+                TaskSpec {
+                    name: "a".into(),
+                    processor: 0,
+                    period: 100,
+                    deadline: Some(80),
+                    offset: 5,
+                    priority: Some(2),
+                    body: vec![
+                        SegSpec::Compute(10),
+                        SegSpec::Critical(0, vec![SegSpec::Compute(2)]),
+                        SegSpec::Suspend(1),
+                    ],
+                },
+                TaskSpec {
+                    name: "b".into(),
+                    processor: 1,
+                    period: 200,
+                    deadline: None,
+                    offset: 0,
+                    priority: Some(1),
+                    body: vec![SegSpec::Compute(20)],
+                },
+            ],
+        }
+    }
+
+    /// `sample()` with the rate-monotonic order inverted, so its
+    /// priorities cannot be elided as builder defaults.
+    fn sample_inverted() -> SystemSpec {
+        let mut spec = sample();
+        spec.tasks[0].priority = Some(1);
+        spec.tasks[1].priority = Some(2);
+        spec
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let spec = sample();
+        let text = spec.to_json().encode();
+        let back = SystemSpec::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json().encode(), text);
+    }
+
+    #[test]
+    fn system_round_trip_preserves_structure() {
+        let spec = sample();
+        let sys = spec.to_system().unwrap();
+        assert_eq!(sys.tasks().len(), 2);
+        assert_eq!(sys.tasks()[0].deadline().ticks(), 80);
+        assert_eq!(sys.tasks()[0].wcet().ticks(), 12);
+        let back = SystemSpec::from_system(&sys);
+        // sample()'s explicit priorities coincide with the builder's
+        // rate-monotonic defaults, so extraction normalizes them away.
+        let mut expected = spec;
+        for t in &mut expected.tasks {
+            t.priority = None;
+        }
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn non_default_priorities_survive_extraction() {
+        let spec = sample_inverted();
+        let sys = spec.to_system().unwrap();
+        assert_eq!(sys.tasks()[0].priority().level(), 1);
+        assert_eq!(sys.tasks()[1].priority().level(), 2);
+        let back = SystemSpec::from_system(&sys);
+        assert_eq!(back, spec, "explicit non-RM priorities must round-trip");
+    }
+
+    #[test]
+    fn canonical_hash_ignores_client_formatting() {
+        let spec = sample();
+        let reparsed = SystemSpec::from_json(
+            &json::parse(&format!("  {}  ", spec.to_json().encode())).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(spec.canonical_hash(), reparsed.canonical_hash());
+        let mut other = sample();
+        other.tasks[0].period += 1;
+        assert_ne!(spec.canonical_hash(), other.canonical_hash());
+    }
+
+    #[test]
+    fn bad_indices_are_reported() {
+        let mut spec = sample();
+        spec.tasks[0].processor = 9;
+        assert!(spec.to_system().unwrap_err().0.contains("processor index"));
+        let mut spec = sample();
+        spec.tasks[0].body = vec![SegSpec::Critical(7, vec![])];
+        assert!(spec.to_system().unwrap_err().0.contains("resource index"));
+    }
+
+    #[test]
+    fn builder_errors_surface() {
+        let spec = SystemSpec {
+            processors: vec!["P0".into()],
+            resources: vec![],
+            tasks: vec![TaskSpec {
+                name: "z".into(),
+                processor: 0,
+                period: 0, // zero period → ModelError
+                deadline: None,
+                offset: 0,
+                priority: None,
+                body: vec![],
+            }],
+        };
+        assert!(spec.to_system().unwrap_err().0.contains("invalid system"));
+    }
+
+    #[test]
+    fn missing_fields_are_named() {
+        let v = json::parse(r#"{"tasks":[{"processor":0}]}"#).unwrap();
+        let e = SystemSpec::from_json(&v).unwrap_err();
+        assert!(e.0.contains("name"));
+    }
+}

@@ -31,6 +31,8 @@
 
 mod gen;
 mod rng;
+mod stream;
 
 pub use gen::{generate, poisson_arrivals, WorkloadConfig};
 pub use rng::{uunifast, Rng};
+pub use stream::SubmissionStream;

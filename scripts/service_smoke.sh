@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Smoke-test the admission-control service end to end:
+#   1. start `mpcp serve` on an ephemeral port,
+#   2. run a short `mpcp loadgen` burst against it (must report 0 errors),
+#   3. probe it with one malformed request line (must answer a structured
+#      parse error, not hang or drop the connection silently),
+#   4. shut it down over the wire and require a clean exit.
+# Uses bash /dev/tcp redirections so no netcat/curl is needed.
+set -euo pipefail
+
+MPCP_BIN=${MPCP_BIN:-target/release/mpcp}
+OUT=$(mktemp)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$OUT"' EXIT
+
+"$MPCP_BIN" serve --port 0 --workers 2 --queue 32 >"$OUT" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$OUT" && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: server died at startup"; cat "$OUT"; exit 1; }
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^mpcp-service listening on //p' "$OUT")
+[ -n "$ADDR" ] || { echo "FAIL: no listening banner"; cat "$OUT"; exit 1; }
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+echo "serving on $HOST:$PORT"
+
+echo "--- loadgen burst"
+REPORT=$("$MPCP_BIN" loadgen --addr "$ADDR" --requests 100 --connections 2 \
+    --unique 5 --procs 2 --tasks 3 --json)
+echo "$REPORT"
+case "$REPORT" in
+    *'"errors":0'*) ;;
+    *) echo "FAIL: loadgen reported errors"; exit 1 ;;
+esac
+case "$REPORT" in
+    *'"cache"'*) ;;
+    *) echo "FAIL: loadgen report lacks cache stats"; exit 1 ;;
+esac
+
+echo "--- malformed request probe"
+exec 3<>"/dev/tcp/$HOST/$PORT"
+printf 'this is { not json\n' >&3
+# The response must arrive promptly as a structured error line.
+REPLY=$(timeout 10 head -n1 <&3) || { echo "FAIL: malformed probe hung"; exit 1; }
+echo "$REPLY"
+case "$REPLY" in
+    *'"ok":false'*'"code":"parse"'*) ;;
+    *) echo "FAIL: expected a structured parse error, got: $REPLY"; exit 1 ;;
+esac
+exec 3<&-
+
+echo "--- shutdown"
+exec 3<>"/dev/tcp/$HOST/$PORT"
+printf '{"op":"shutdown"}\n' >&3
+REPLY=$(timeout 10 head -n1 <&3) || { echo "FAIL: shutdown hung"; exit 1; }
+echo "$REPLY"
+exec 3<&-
+for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server still running after shutdown request"
+    exit 1
+fi
+wait "$SERVER_PID"
+echo "service smoke test passed"

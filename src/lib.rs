@@ -18,6 +18,7 @@
 //! | [`alloc`] | task-to-processor allocation heuristics |
 //! | [`runtime`] | threaded MPCP runtime and lock primitives |
 //! | [`verify`] | static lints and small-scope model checking |
+//! | [`service`] | online admission-control server, wire protocol, load generator |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use mpcp_core as core;
 pub use mpcp_model as model;
 pub use mpcp_protocols as protocols;
 pub use mpcp_runtime as runtime;
+pub use mpcp_service as service;
 pub use mpcp_sim as sim;
 pub use mpcp_taskgen as taskgen;
 pub use mpcp_verify as verify;

@@ -1,0 +1,66 @@
+//! Property tests for the service wire format: encode → parse → encode
+//! must be the identity on random generated systems, and the JSON the
+//! verify crate renders must be parseable by the service's parser.
+
+use mpcp::service::json;
+use mpcp::service::wire::SystemSpec;
+use mpcp::taskgen::{generate, WorkloadConfig};
+use mpcp_prop::cases;
+
+fn random_config(rng: &mut mpcp_prop::Rng) -> WorkloadConfig {
+    let locals = rng.range_usize(0, 2);
+    let globals = rng.range_usize(0, 3);
+    // The generator requires resources when sections are requested.
+    let max_sections = if locals + globals == 0 {
+        0
+    } else {
+        rng.range_usize(1, 3)
+    };
+    WorkloadConfig::default()
+        .processors(rng.range_usize(1, 4))
+        .tasks_per_processor(rng.range_usize(1, 5))
+        .utilization(rng.range_f64(0.2, 0.6))
+        .resources(locals, globals)
+        .sections(0, max_sections)
+}
+
+#[test]
+fn encode_parse_encode_is_identity() {
+    cases(48, 0x57A6_1E55, |rng| {
+        let sys = generate(&random_config(rng), rng.next_u64());
+        let spec = SystemSpec::from_system(&sys);
+
+        let text = spec.to_json().encode();
+        let parsed =
+            json::parse(&text).unwrap_or_else(|e| panic!("own encoding must parse: {e}\n{text}"));
+        let spec2 = SystemSpec::from_json(&parsed).expect("decoded spec");
+        assert_eq!(spec, spec2, "parse must invert encode");
+        assert_eq!(text, spec2.to_json().encode(), "encoding is canonical");
+
+        // The wire form carries enough to rebuild an equivalent system:
+        // rebuilding and re-extracting is also a fixed point.
+        let sys2 = spec.to_system().expect("spec came from a valid system");
+        assert_eq!(spec, SystemSpec::from_system(&sys2));
+        assert_eq!(
+            spec.canonical_hash(),
+            spec2.canonical_hash(),
+            "hash is a function of the canonical encoding"
+        );
+    });
+}
+
+#[test]
+fn verify_render_json_is_parseable_by_service_parser() {
+    cases(24, 0xD1A6, |rng| {
+        let sys = generate(&random_config(rng), rng.next_u64());
+        let report = mpcp::verify::lint_system(&sys);
+        let text = report.render_json();
+        let v =
+            json::parse(&text).unwrap_or_else(|e| panic!("render_json must parse: {e}\n{text}"));
+        let diags = v
+            .get("diagnostics")
+            .and_then(json::Value::as_arr)
+            .expect("diagnostics array");
+        assert_eq!(diags.len(), report.diagnostics().len());
+    });
+}

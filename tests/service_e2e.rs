@@ -1,0 +1,287 @@
+//! End-to-end tests of the admission-control service over real TCP:
+//! admit/reject verdicts with blocking-bound breakdowns, transactional
+//! add-task/remove-task, explicit overload shedding, cache visibility,
+//! and structured errors for malformed input.
+
+use mpcp::service::json::{self, Value};
+use mpcp::service::{spawn, Client, ServerConfig};
+use std::time::{Duration, Instant};
+
+fn server(workers: usize, queue: usize, deadline_ms: u64) -> mpcp::service::ServerHandle {
+    spawn(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_cap: queue,
+        deadline: Duration::from_millis(deadline_ms),
+        cache_capacity: 256,
+    })
+    .expect("bind test server")
+}
+
+/// Two tasks on two processors sharing one global semaphore;
+/// comfortably schedulable under Theorem 3.
+fn light_system() -> &'static str {
+    concat!(
+        r#"{"processors":["P0","P1"],"resources":["SG"],"tasks":["#,
+        r#"{"name":"a","processor":0,"period":100,"body":[{"compute":10},{"critical":0,"body":[{"compute":2}]}]},"#,
+        r#"{"name":"b","processor":1,"period":200,"body":[{"compute":20},{"critical":0,"body":[{"compute":5}]}]}"#,
+        r#"]}"#
+    )
+}
+
+/// A task whose WCET equals its period — fails Theorem 3 on sight.
+fn saturating_task() -> &'static str {
+    r#"{"name":"hog","processor":0,"period":50,"body":[{"compute":50}]}"#
+}
+
+fn submit_line(session: &str, system: &str) -> String {
+    format!(r#"{{"op":"submit","session":"{session}","system":{system}}}"#)
+}
+
+#[test]
+fn schedulable_system_is_admitted_with_breakdown() {
+    let srv = server(2, 16, 5000);
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let v = json::parse(&c.request_raw(&submit_line("s1", light_system())).unwrap()).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v:?}");
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("admit"));
+    assert_eq!(v.get("schedulable").and_then(Value::as_bool), Some(true));
+    let tasks = v.get("tasks").and_then(Value::as_arr).unwrap();
+    assert_eq!(tasks.len(), 2);
+    for t in tasks {
+        assert_eq!(t.get("ok").and_then(Value::as_bool), Some(true));
+        let demand = t.get("demand").and_then(Value::as_f64).unwrap();
+        let bound = t.get("bound").and_then(Value::as_f64).unwrap();
+        assert!(demand > 0.0 && demand <= bound, "{t:?}");
+    }
+    // Task "a" shares SG with a remote task, so its §5.1 blocking bound
+    // must be nonzero in the per-task breakdown.
+    let a = &tasks[0];
+    assert_eq!(a.get("name").and_then(Value::as_str), Some("a"));
+    assert!(a.get("blocking").and_then(Value::as_u64).unwrap() > 0);
+
+    // The admitted system is committed: query sees the session.
+    let q = c
+        .request(&Value::obj([
+            ("op", Value::str("query")),
+            ("session", Value::str("s1")),
+        ]))
+        .unwrap();
+    let s = q.get("session").unwrap();
+    assert_eq!(s.get("tasks").and_then(Value::as_u64), Some(2));
+    assert_eq!(s.get("verdict").and_then(Value::as_str), Some("admit"));
+    srv.shutdown();
+}
+
+#[test]
+fn unschedulable_system_is_rejected_and_not_committed() {
+    let srv = server(2, 16, 5000);
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let overloaded = format!(
+        r#"{{"processors":["P0"],"resources":[],"tasks":[{},{}]}}"#,
+        r#"{"name":"x","processor":0,"period":50,"body":[{"compute":40}]}"#,
+        r#"{"name":"y","processor":0,"period":100,"body":[{"compute":60}]}"#
+    );
+    let v = json::parse(&c.request_raw(&submit_line("bad", &overloaded)).unwrap()).unwrap();
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("reject"));
+    assert_eq!(v.get("schedulable").and_then(Value::as_bool), Some(false));
+    let reasons = v.get("reasons").and_then(Value::as_arr).unwrap();
+    assert!(
+        reasons
+            .iter()
+            .any(|r| r.as_str().is_some_and(|s| s.contains("theorem3"))),
+        "{reasons:?}"
+    );
+    // Rejected submissions must not create the session.
+    let q = c
+        .request(&Value::obj([
+            ("op", Value::str("query")),
+            ("session", Value::str("bad")),
+        ]))
+        .unwrap();
+    assert_eq!(
+        q.get("code").and_then(Value::as_str),
+        Some("unknown-session")
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn add_task_past_theorem3_rejects_and_leaves_session_unchanged() {
+    let srv = server(2, 16, 5000);
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let v = json::parse(&c.request_raw(&submit_line("grow", light_system())).unwrap()).unwrap();
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("admit"));
+
+    // Growing past Theorem 3 must be rejected...
+    let line = format!(
+        r#"{{"op":"add-task","session":"grow","task":{}}}"#,
+        saturating_task()
+    );
+    let v = json::parse(&c.request_raw(&line).unwrap()).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v:?}");
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("reject"));
+
+    // ...and the session must still hold the previously admitted pair.
+    let q = c
+        .request(&Value::obj([
+            ("op", Value::str("query")),
+            ("session", Value::str("grow")),
+        ]))
+        .unwrap();
+    let s = q.get("session").unwrap();
+    assert_eq!(s.get("tasks").and_then(Value::as_u64), Some(2));
+    assert_eq!(s.get("verdict").and_then(Value::as_str), Some("admit"));
+
+    // A modest compatible task is admitted and committed.
+    let line = r#"{"op":"add-task","session":"grow","task":{"name":"c","processor":1,"period":400,"body":[{"compute":4}]}}"#;
+    let v = json::parse(&c.request_raw(line).unwrap()).unwrap();
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("admit"));
+    let q = c
+        .request(&Value::obj([
+            ("op", Value::str("query")),
+            ("session", Value::str("grow")),
+        ]))
+        .unwrap();
+    assert_eq!(
+        q.get("session")
+            .unwrap()
+            .get("tasks")
+            .and_then(Value::as_u64),
+        Some(3)
+    );
+
+    // remove-task always commits and reports the fresh verdict.
+    let v = c
+        .request(&Value::obj([
+            ("op", Value::str("remove-task")),
+            ("session", Value::str("grow")),
+            ("task", Value::str("c")),
+        ]))
+        .unwrap();
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("admit"));
+    let q = c
+        .request(&Value::obj([
+            ("op", Value::str("query")),
+            ("session", Value::str("grow")),
+        ]))
+        .unwrap();
+    assert_eq!(
+        q.get("session")
+            .unwrap()
+            .get("tasks")
+            .and_then(Value::as_u64),
+        Some(2)
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_with_explicit_overload_response() {
+    // One worker, one queue slot: two slow pings occupy both; the third
+    // request must be answered `overloaded` immediately — well within
+    // the per-request deadline — not stalled behind the backlog.
+    let srv = server(1, 1, 10_000);
+    let addr = srv.local_addr();
+    let slow = |label: &'static str| {
+        let mut c = Client::connect(addr).unwrap();
+        std::thread::spawn(move || {
+            let v = c
+                .request(&Value::obj([
+                    ("op", Value::str("ping")),
+                    ("delay_ms", Value::from(1500u64)),
+                ]))
+                .unwrap();
+            (label, v)
+        })
+    };
+    let h1 = slow("first");
+    std::thread::sleep(Duration::from_millis(300)); // worker busy
+    let h2 = slow("second");
+    std::thread::sleep(Duration::from_millis(300)); // queue full
+
+    let mut c = Client::connect(addr).unwrap();
+    let t0 = Instant::now();
+    let v = c
+        .request(&Value::obj([("op", Value::str("ping"))]))
+        .unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{v:?}");
+    assert_eq!(v.get("code").and_then(Value::as_str), Some("overloaded"));
+    assert!(
+        elapsed < Duration::from_millis(1000),
+        "shedding took {elapsed:?}; it must not wait for the backlog"
+    );
+
+    // Introspection stays live while the pool is saturated.
+    let q = c
+        .request(&Value::obj([("op", Value::str("query"))]))
+        .unwrap();
+    let srv_stats = q.get("server").unwrap();
+    assert!(srv_stats.get("overloaded").and_then(Value::as_u64).unwrap() >= 1);
+
+    for h in [h1, h2] {
+        let (label, v) = h.join().unwrap();
+        assert_eq!(
+            v.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{label} ping failed: {v:?}"
+        );
+    }
+    srv.shutdown();
+}
+
+#[test]
+fn repeat_submissions_hit_the_analysis_cache() {
+    let srv = server(2, 16, 5000);
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let v = json::parse(&c.request_raw(&submit_line("c1", light_system())).unwrap()).unwrap();
+    assert_eq!(v.get("cache").and_then(Value::as_str), Some("miss"));
+    // Same system, different session, different whitespace: same
+    // canonical submission, so the analysis is served from memory.
+    let reformatted = light_system().replace(',', " , ");
+    let v = json::parse(&c.request_raw(&submit_line("c2", &reformatted)).unwrap()).unwrap();
+    assert_eq!(v.get("cache").and_then(Value::as_str), Some("hit"));
+
+    let q = c
+        .request(&Value::obj([("op", Value::str("query"))]))
+        .unwrap();
+    let cache = q.get("cache").unwrap();
+    assert!(cache.get("hits").and_then(Value::as_u64).unwrap() >= 1);
+    assert!(cache.get("misses").and_then(Value::as_u64).unwrap() >= 1);
+    assert_eq!(q.get("sessions").and_then(Value::as_u64), Some(2));
+    srv.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_not_hangs() {
+    let srv = server(2, 16, 5000);
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    for (line, code, needle) in [
+        ("{not json at all", "parse", ""),
+        (r#"{"op":"warp"}"#, "bad-request", "unknown op"),
+        (r#"{"op":"submit","session":"s"}"#, "bad-request", "system"),
+        (
+            r#"{"op":"submit","session":"s","system":{"tasks":[{"name":"t"}]}}"#,
+            "bad-request",
+            "processor",
+        ),
+        (
+            r#"{"op":"add-task","session":"nope","task":{"name":"t","processor":0,"period":10}}"#,
+            "unknown-session",
+            "nope",
+        ),
+    ] {
+        let v = json::parse(&c.request_raw(line).unwrap()).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{line}");
+        assert_eq!(v.get("code").and_then(Value::as_str), Some(code), "{line}");
+        let msg = v.get("error").and_then(Value::as_str).unwrap();
+        assert!(msg.contains(needle), "{line}: {msg}");
+    }
+    // The connection survives all of the above.
+    let pong = c
+        .request(&Value::obj([("op", Value::str("ping"))]))
+        .unwrap();
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    srv.shutdown();
+}
