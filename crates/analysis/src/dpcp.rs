@@ -115,7 +115,15 @@ pub fn dpcp_bounds_with(
 }
 
 /// Factor 4′: for each semaphore `S` the task uses, sections of
-/// higher-ceiling semaphores hosted on `host(S)` can delay the request.
+/// equal-or-higher-ceiling semaphores hosted on `host(S)` can delay the
+/// request.
+///
+/// Equal ceilings must be included: agents execute on the host at their
+/// semaphore's ceiling priority, and an in-progress equal-ceiling
+/// section cannot be preempted by the arriving request, so it delays it
+/// just like a higher-ceiling one. (Found by the sweep oracle: with a
+/// strict `>` here, a lower-priority task's equal-ceiling section
+/// produced measured blocking above the bound.)
 fn host_ceiling_gcs(
     facts: &Facts,
     i: &TaskFacts,
@@ -133,7 +141,7 @@ fn host_ceiling_gcs(
                 .filter(|cs| {
                     cs.resource != s
                         && host(cs.resource) == p
-                        && facts.ceilings.ceiling(cs.resource) > ceiling
+                        && facts.ceilings.ceiling(cs.resource) >= ceiling
                 })
                 .map(|cs| cs.duration)
                 .sum();

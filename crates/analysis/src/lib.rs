@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod blocking;
+mod bounds;
 mod collapse;
 mod counts;
 mod deadlock;
@@ -60,12 +61,14 @@ mod sched;
 mod server;
 
 pub use blocking::{mpcp_bounds, mpcp_bounds_with, BlockingBreakdown, BlockingConfig};
+pub use bounds::{mpcp_bound_set, BoundSet, TaskBounds};
 pub use collapse::{collapse_nested_globals, LockGroup};
 pub use deadlock::{global_nesting_edges, lock_order_cycle, validate_lock_ordering};
 pub use dpcp::{default_hosts, dpcp_bounds, dpcp_bounds_with, DpcpBreakdown};
 pub use error::AnalysisError;
 pub use sched::{
-    breakdown_scale, liu_layland_bound, response_times, response_times_with_jitter,
-    rta_schedulable, rta_with_jitter_schedulable, scale_system, theorem3, SchedReport, TaskSched,
+    breakdown_scale, liu_layland_bound, response_times, response_times_suspension_aware,
+    response_times_with_jitter, rta_schedulable, rta_with_jitter_schedulable, scale_system,
+    theorem3, SchedReport, TaskSched,
 };
 pub use server::{aperiodic_response_bound, PollingServer};

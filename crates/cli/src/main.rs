@@ -10,6 +10,7 @@
 //! mpcp verify [opts] [--json]     exhaustive small-scope model checking
 //! mpcp serve [opts]               online admission-control server
 //! mpcp loadgen [opts]             drive a server with a submission stream
+//! mpcp sweep [opts]               differential analysis-vs-simulation sweep
 //! ```
 
 use mpcp_alloc::{allocate, Heuristic};
@@ -81,7 +82,13 @@ fn main() -> ExitCode {
         }
         "sim" => {
             let (sys, seed) = build_system(&flags);
-            let kind = flag_protocol(&flags);
+            let kind = match flag_protocol(&flags) {
+                Ok(kind) => kind,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let until = flag_u64(&flags, "until", 100_000);
             let mut sim = Simulator::with_config(
                 &sys,
@@ -301,6 +308,52 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "sweep" => {
+            let mut config = mpcp_sweep::SweepConfig::default();
+            config.workload = WorkloadConfig::default()
+                .processors(flag_u64(&flags, "procs", 4) as usize)
+                .tasks_per_processor(flag_u64(&flags, "tasks", 3) as usize)
+                .resources(
+                    flag_u64(&flags, "locals", 1) as usize,
+                    flag_u64(&flags, "globals", 2) as usize,
+                )
+                .sections(0, 2);
+            config.scenarios = flag_u64(&flags, "scenarios", 1000) as usize;
+            config.seed = flag_u64(&flags, "seed", 42);
+            config.jobs = flag_u64(&flags, "jobs", 1) as usize;
+            config.horizon_cap = flag_u64(&flags, "horizon", config.horizon_cap);
+            config.util_lo = flag_f64(&flags, "util-lo", config.util_lo);
+            config.util_hi = flag_f64(&flags, "util-hi", config.util_hi);
+            config.util_steps = flag_u64(&flags, "util-steps", config.util_steps as u64) as usize;
+            config.shrink = !flags.contains_key("no-shrink");
+            config.check_response = flags.contains_key("check-response");
+            if let Some(p) = flags.get("protocol") {
+                match p.parse::<ProtocolKind>() {
+                    Ok(kind) => config.protocols = vec![kind],
+                    Err(_) => {
+                        eprintln!(
+                            "unknown protocol {p:?}: expected mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let report = mpcp_sweep::run(&config);
+            if flags.contains_key("json") {
+                println!("{}", report.to_json().encode());
+            } else if flags.contains_key("csv") {
+                print!("{}", report.csv());
+            } else {
+                print!("{}", report.render_text());
+            }
+            eprintln!("report hash: {:016x}", report.hash());
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("sweep: {} oracle violation(s)", report.violations.len());
+                ExitCode::FAILURE
+            }
+        }
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             ExitCode::SUCCESS
@@ -325,6 +378,17 @@ fn usage() -> String {
      \x20 mpcp verify [opts]          lints + exhaustive small-scope model check\n\
      \x20 mpcp serve [opts]           online admission-control server (NDJSON/TCP)\n\
      \x20 mpcp loadgen [opts]         drive a server with a submission stream\n\
+     \x20 mpcp sweep [opts]           differential analysis-vs-simulation sweep\n\
+     \n\
+     sweep options:\n\
+     \x20 --scenarios N  (default 1000)  --seed N (default 42)\n\
+     \x20 --jobs N       worker threads (default 1; report is identical for any value)\n\
+     \x20 --util-lo U / --util-hi U / --util-steps N   utilization grid (0.30..0.75 by 10)\n\
+     \x20 --horizon T    per-scenario simulation cap (default 20000)\n\
+     \x20 --protocol P   restrict to one protocol (default: mpcp dpcp pip nonpreemptive raw)\n\
+     \x20 --no-shrink    skip counterexample minimization\n\
+     \x20 --check-response  treat the (advisory) RTA response comparison as a hard oracle\n\
+     \x20 --json / --csv machine-readable report; nonzero exit on oracle violations\n\
      \n\
      serve options:\n\
      \x20 --port N       (default 7171; 0 picks an ephemeral port)\n\
@@ -362,7 +426,14 @@ fn usage() -> String {
 }
 
 /// Flags that stand alone; every other `--flag` requires a value.
-const BOOL_FLAGS: &[&str] = &["json", "gantt", "csv", "no-blocking-check"];
+const BOOL_FLAGS: &[&str] = &[
+    "json",
+    "gantt",
+    "csv",
+    "no-blocking-check",
+    "no-shrink",
+    "check-response",
+];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -399,11 +470,13 @@ fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-fn flag_protocol(flags: &HashMap<String, String>) -> ProtocolKind {
-    flags
-        .get("protocol")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(ProtocolKind::Mpcp)
+fn flag_protocol(flags: &HashMap<String, String>) -> Result<ProtocolKind, String> {
+    match flags.get("protocol") {
+        None => Ok(ProtocolKind::Mpcp),
+        Some(v) => v.parse().map_err(|_| {
+            format!("unknown protocol {v:?}: expected mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp")
+        }),
+    }
 }
 
 /// System under `lint`/`verify`: `--example 1|2|3` picks a paper

@@ -1,0 +1,107 @@
+//! Property tests for the analysis layer, driven by the seeded case
+//! runner: structural facts that must hold for *every* generated
+//! system, not just the paper's worked examples.
+
+use mpcp_analysis::{mpcp_bounds_with, scale_system, theorem3, BlockingBreakdown, BlockingConfig};
+use mpcp_model::{Dur, Segment, System, TaskDef};
+use mpcp_prop::cases;
+use mpcp_taskgen::{generate, WorkloadConfig};
+
+fn workload(rng: &mut mpcp_prop::Rng) -> (System, u64) {
+    let seed = rng.range_u64(0, 99_999);
+    let cfg = WorkloadConfig::default()
+        .processors(rng.range_usize(2, 4))
+        .tasks_per_processor(rng.range_usize(2, 3))
+        .resources(1, rng.range_usize(1, 2))
+        .sections(0, 2)
+        .utilization(rng.range_f64(0.3, 0.7));
+    (generate(&cfg, seed), seed)
+}
+
+/// Rebuilds `system` with every critical-section compute lengthened by
+/// `extra` ticks.
+fn lengthen_cs(system: &System, extra: u64) -> System {
+    fn map(segments: &[Segment], in_cs: bool, extra: u64) -> Vec<Segment> {
+        segments
+            .iter()
+            .map(|s| match s {
+                Segment::Compute(d) if in_cs => Segment::Compute(Dur::new(d.ticks() + extra)),
+                Segment::Critical(r, nested) => Segment::Critical(*r, map(nested, true, extra)),
+                other => other.clone(),
+            })
+            .collect()
+    }
+    let mut b = System::builder();
+    for p in system.processors() {
+        b.add_processor(p.name());
+    }
+    for r in system.resources() {
+        b.add_resource(r.name());
+    }
+    for task in system.tasks() {
+        b.add_task(
+            TaskDef::new(task.name(), task.processor())
+                .period(task.period().ticks())
+                .deadline(task.deadline().ticks())
+                .offset(task.offset().ticks())
+                .priority(task.priority().level())
+                .body(mpcp_model::Body::from_segments(map(
+                    task.body().segments(),
+                    false,
+                    extra,
+                ))),
+        );
+    }
+    b.build()
+        .expect("lengthening sections keeps the system valid")
+}
+
+/// Lengthening any critical section never *decreases* any task's §5.1
+/// blocking bound: every factor is a sum/max of section durations with
+/// duration-independent instance counts, so `B_i` is monotone in them.
+#[test]
+fn blocking_bounds_are_monotone_in_section_length() {
+    cases(40, 0x5EEB01, |rng| {
+        let (sys, seed) = workload(rng);
+        let extra = rng.range_u64(1, 50);
+        let longer = lengthen_cs(&sys, extra);
+        let before = mpcp_bounds_with(&sys, BlockingConfig::sound()).unwrap();
+        let after = mpcp_bounds_with(&longer, BlockingConfig::sound()).unwrap();
+        for (b, a) in before.iter().zip(&after) {
+            assert!(
+                a.total() >= b.total() && a.blocking() >= b.blocking(),
+                "seed {seed}, +{extra}: B_{:?} dropped from {} to {}",
+                b.task,
+                b.total(),
+                a.total()
+            );
+        }
+    });
+}
+
+/// Theorem 3 is anti-monotone in utilization: if it accepts a system at
+/// some compute scale, it must also accept it at every *smaller* scale
+/// (this is what makes the breakdown-utilization search well-defined).
+#[test]
+fn theorem3_is_anti_monotone_in_utilization() {
+    cases(40, 0x5EEB02, |rng| {
+        let (sys, seed) = workload(rng);
+        let lo = rng.range_u64(5, 10); // scale lo/10 <= hi/10
+        let hi = rng.range_u64(lo, 14);
+        let verdict = |num: u64| {
+            let scaled = scale_system(&sys, num, 10);
+            let blocking: Vec<Dur> = mpcp_bounds_with(&scaled, BlockingConfig::sound())
+                .unwrap()
+                .iter()
+                .map(BlockingBreakdown::total)
+                .collect();
+            theorem3(&scaled, &blocking).schedulable()
+        };
+        if verdict(hi) {
+            assert!(
+                verdict(lo),
+                "seed {seed}: accepted at scale {hi}/10 but rejected at {lo}/10"
+            );
+        }
+    });
+}

@@ -54,6 +54,7 @@ mod event;
 pub mod export;
 mod job;
 mod metrics;
+mod observe;
 mod op;
 mod policy;
 mod trace;
@@ -62,6 +63,7 @@ pub use engine::{Binding, SimConfig, Simulator};
 pub use event::{EventKind, TraceEvent};
 pub use job::{ExecState, JobState, Jobs};
 pub use metrics::{JobRecord, Metrics, TaskMetrics};
+pub use observe::ObservedBlocking;
 pub use op::{Op, Program};
 pub use policy::{Ctx, LockResult, Protocol};
 pub use trace::{task_symbol, Band, Slice, Trace};

@@ -1,0 +1,95 @@
+//! Sweep configuration.
+
+use mpcp_protocols::ProtocolKind;
+use mpcp_taskgen::{ScenarioStream, WorkloadConfig};
+
+/// Everything a sweep run needs: the workload template, the scenario
+/// budget, the worker count and the oracle switches.
+///
+/// The defaults match the CI smoke configuration: 4 processors × 3
+/// tasks, one local resource pool and two global semaphores, with the
+/// per-processor utilization swept over `[0.30, 0.75]`.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Workload template; its utilization field is overridden by the
+    /// sweep grid.
+    pub workload: WorkloadConfig,
+    /// Number of scenarios to evaluate.
+    pub scenarios: usize,
+    /// Base seed; scenario `i` uses `seed + i`.
+    pub seed: u64,
+    /// Worker threads. The report is identical for any value ≥ 1.
+    pub jobs: usize,
+    /// Protocols to simulate per scenario.
+    pub protocols: Vec<ProtocolKind>,
+    /// Simulation horizon: `min(2 × hyperperiod, horizon_cap)` ticks.
+    pub horizon_cap: u64,
+    /// Lowest per-processor utilization in the sweep grid.
+    pub util_lo: f64,
+    /// Highest per-processor utilization in the sweep grid.
+    pub util_hi: f64,
+    /// Number of grid points between `util_lo` and `util_hi`.
+    pub util_steps: usize,
+    /// Also treat the RTA response-time comparison as a hard oracle.
+    ///
+    /// **Advisory by default.** The sweep itself demonstrated that every
+    /// RTA recurrence this repo implements — plain, blocking-as-jitter
+    /// and the suspension-aware `J_h = R_h − C_h` variant — is exceeded
+    /// by observed MPCP responses on a small fraction of scenarios
+    /// (9/1000 at seed 42; e.g. system seed 257 measures 1394 against a
+    /// fixed point of 1370). This matches the published finding that
+    /// suspension-aware RTA analyses of this class are flawed, so the
+    /// comparison is reported via the `rta_accepted` curve statistic
+    /// instead of failing the run. Enable for research runs hunting
+    /// sharper recurrences.
+    pub check_response: bool,
+    /// Shrink oracle violations to minimal reproducing scenarios.
+    pub shrink: bool,
+    /// Budget of oracle re-evaluations per shrink.
+    pub max_shrink_evals: usize,
+    /// At most this many violations are shrunk into fixtures.
+    pub max_fixtures: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            workload: WorkloadConfig::default()
+                .processors(4)
+                .tasks_per_processor(3)
+                .resources(1, 2)
+                .sections(0, 2),
+            scenarios: 1000,
+            seed: 42,
+            jobs: 1,
+            protocols: vec![
+                ProtocolKind::Mpcp,
+                ProtocolKind::Dpcp,
+                ProtocolKind::Pip,
+                ProtocolKind::NonPreemptive,
+                ProtocolKind::Raw,
+            ],
+            horizon_cap: 20_000,
+            util_lo: 0.30,
+            util_hi: 0.75,
+            util_steps: 10,
+            check_response: false,
+            shrink: true,
+            max_shrink_evals: 200,
+            max_fixtures: 4,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The scenario stream this configuration describes.
+    pub fn stream(&self) -> ScenarioStream {
+        ScenarioStream::over_utilizations(
+            self.workload.clone(),
+            self.seed,
+            self.util_lo,
+            self.util_hi,
+            self.util_steps,
+        )
+    }
+}

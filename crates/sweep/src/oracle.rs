@@ -1,0 +1,411 @@
+//! The differential oracle: one scenario, every protocol, analysis vs
+//! simulation.
+//!
+//! For each generated system the oracle runs a bounded-horizon
+//! simulation per protocol with trace recording on, checks the
+//! structural trace invariants that protocol promises (mirroring
+//! `mpcp_verify`'s invariant profiles), and then cross-checks the
+//! analytical results against observed behaviour:
+//!
+//! * **Blocking bound** — every task's measured blocking must stay
+//!   within its §5.1 bound `B_i` (carry-in variant) under MPCP, and
+//!   within the DPCP bound under DPCP. Compared only when that
+//!   protocol's run missed no deadlines: the bounds' instance counts
+//!   presume a deadline-respecting job stream (at most one carry-in job
+//!   per task), and an overloaded run violates that — backlogged jobs
+//!   of a single lower-priority task can each acquire a semaphore in
+//!   turn and preempt a higher-priority task more often than any static
+//!   count admits. (Found by the sweep itself: workload seed 1956 at
+//!   utilization 0.50 backlogs two jobs of one task onto the same
+//!   global semaphore.)
+//! * **Acceptance** — if Theorem 3 accepts the system, the simulation
+//!   must not miss a deadline within the horizon.
+//! * **Response bound** (advisory, off by default) — if the RTA
+//!   recurrence converges for a task, its observed response times must
+//!   stay within the fixed point (MPCP). Off by default because the
+//!   sweep itself showed all three RTA variants (plain, jitter = `B_h`,
+//!   jitter = `R_h − C_h`) are exceeded under deferred execution — see
+//!   [`SweepConfig::check_response`]. RTA convergence still feeds the
+//!   `rta_accepted` acceptance-ratio curves.
+//! * **Trace accounting** — the engine's per-job `blocked_global`
+//!   bookkeeping must equal the waiting time re-derived independently
+//!   from the event trace ([`ObservedBlocking`]).
+
+use crate::config::SweepConfig;
+use mpcp_analysis::{default_hosts, dpcp_bounds_with, mpcp_bound_set, theorem3, BlockingConfig};
+use mpcp_model::{Dur, System};
+use mpcp_protocols::ProtocolKind;
+use mpcp_sim::{check, ObservedBlocking, SimConfig, Simulator};
+use mpcp_taskgen::Scenario;
+
+/// One oracle violation, with enough detail to reproduce and rank it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A structural trace invariant failed.
+    Invariant {
+        /// Protocol under simulation.
+        protocol: &'static str,
+        /// Name of the failed checker.
+        check: &'static str,
+        /// The checker's message.
+        message: String,
+    },
+    /// A task's measured blocking exceeded its analytical bound.
+    BlockingBound {
+        /// Protocol under simulation.
+        protocol: &'static str,
+        /// Task index.
+        task: usize,
+        /// Observed worst-case blocking (ticks).
+        measured: u64,
+        /// Analytical bound (ticks).
+        bound: u64,
+    },
+    /// The analysis accepted the system but the simulation missed a
+    /// deadline.
+    AcceptedButMissed {
+        /// Protocol under simulation.
+        protocol: &'static str,
+        /// Deadline misses observed within the horizon.
+        misses: u64,
+    },
+    /// A task's observed response time exceeded the converged RTA
+    /// fixed point.
+    ResponseBound {
+        /// Protocol under simulation.
+        protocol: &'static str,
+        /// Task index.
+        task: usize,
+        /// Observed worst-case response (ticks).
+        measured: u64,
+        /// RTA fixed point (ticks).
+        bound: u64,
+    },
+    /// Trace-derived global waiting disagrees with the engine's own
+    /// accounting for a completed job.
+    TraceAccounting {
+        /// Protocol under simulation.
+        protocol: &'static str,
+        /// Task index.
+        task: usize,
+        /// Job instance.
+        instance: u32,
+        /// Waiting re-derived from the trace (ticks).
+        trace: u64,
+        /// Waiting accounted by the engine (ticks).
+        engine: u64,
+    },
+}
+
+impl ViolationKind {
+    /// Stable identity of the violation *class*, independent of the
+    /// concrete task/values: the shrinker preserves this code while
+    /// minimizing, and reports group by it.
+    pub fn code(&self) -> String {
+        match self {
+            ViolationKind::Invariant {
+                protocol, check, ..
+            } => format!("{protocol}/invariant:{check}"),
+            ViolationKind::BlockingBound { protocol, .. } => format!("{protocol}/blocking-bound"),
+            ViolationKind::AcceptedButMissed { protocol, .. } => {
+                format!("{protocol}/accepted-but-missed")
+            }
+            ViolationKind::ResponseBound { protocol, .. } => format!("{protocol}/response-bound"),
+            ViolationKind::TraceAccounting { protocol, .. } => {
+                format!("{protocol}/trace-accounting")
+            }
+        }
+    }
+
+    /// Human-readable description including the concrete values.
+    pub fn detail(&self) -> String {
+        match self {
+            ViolationKind::Invariant { message, .. } => message.clone(),
+            ViolationKind::BlockingBound {
+                task,
+                measured,
+                bound,
+                ..
+            } => format!("task {task}: measured blocking {measured} > bound {bound}"),
+            ViolationKind::AcceptedButMissed { misses, .. } => {
+                format!("analysis accepted but simulation missed {misses} deadline(s)")
+            }
+            ViolationKind::ResponseBound {
+                task,
+                measured,
+                bound,
+                ..
+            } => format!("task {task}: measured response {measured} > RTA bound {bound}"),
+            ViolationKind::TraceAccounting {
+                task,
+                instance,
+                trace,
+                engine,
+                ..
+            } => format!(
+                "job {task}.{instance}: trace-derived wait {trace} != engine accounting {engine}"
+            ),
+        }
+    }
+}
+
+/// Per-protocol result of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolOutcome {
+    /// The protocol simulated.
+    pub protocol: ProtocolKind,
+    /// Deadline misses within the horizon.
+    pub misses: u64,
+    /// Jobs completed within the horizon.
+    pub completed: u64,
+    /// Whether the protocol's analytical test (Theorem 3 over its
+    /// blocking bounds) accepted the system; `None` when no analytical
+    /// test applies.
+    pub analysis_accepted: Option<bool>,
+    /// Whether the RTA recurrence converged for every task (MPCP only).
+    pub rta_accepted: Option<bool>,
+    /// Oracle violations observed under this protocol.
+    pub violations: Vec<ViolationKind>,
+}
+
+/// Everything the sweep records about one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Stream position.
+    pub index: u64,
+    /// Generator seed of the system.
+    pub system_seed: u64,
+    /// Per-processor utilization target.
+    pub utilization: f64,
+    /// Whether the MPCP bound computation applied to the system.
+    pub analyzable: bool,
+    /// Per-protocol results, in configuration order.
+    pub protocols: Vec<ProtocolOutcome>,
+}
+
+impl ScenarioOutcome {
+    /// All violations across protocols.
+    pub fn violations(&self) -> impl Iterator<Item = &ViolationKind> {
+        self.protocols.iter().flat_map(|p| p.violations.iter())
+    }
+}
+
+/// Simulation horizon for `system`: two hyperperiods, capped.
+pub fn horizon_for(system: &System, cap: u64) -> u64 {
+    system.hyperperiod().ticks().saturating_mul(2).min(cap)
+}
+
+/// Evaluates the full oracle for one scenario.
+pub fn evaluate(scenario: &Scenario, cfg: &SweepConfig) -> ScenarioOutcome {
+    let (analyzable, protocols) = evaluate_system(&scenario.system, cfg);
+    ScenarioOutcome {
+        index: scenario.index,
+        system_seed: scenario.system_seed,
+        utilization: scenario.utilization,
+        analyzable,
+        protocols,
+    }
+}
+
+/// Oracle core, independent of stream metadata (reused by the
+/// shrinker on rebuilt systems).
+pub fn evaluate_system(system: &System, cfg: &SweepConfig) -> (bool, Vec<ProtocolOutcome>) {
+    let horizon = horizon_for(system, cfg.horizon_cap);
+    let mpcp = mpcp_bound_set(system, BlockingConfig::sound()).ok();
+    let dpcp = dpcp_bounds_with(system, &default_hosts(system), BlockingConfig::sound()).ok();
+    let dpcp_totals: Option<Vec<Dur>> =
+        dpcp.map(|b| b.iter().map(mpcp_analysis::DpcpBreakdown::total).collect());
+
+    let outcomes = cfg
+        .protocols
+        .iter()
+        .map(|&kind| {
+            let mut sim = Simulator::with_config(
+                system,
+                kind.build(),
+                SimConfig {
+                    record_trace: true,
+                    ..SimConfig::until(horizon)
+                },
+            );
+            sim.run();
+            let metrics = sim.metrics();
+            let mut violations = Vec::new();
+
+            // Structural invariants, mirroring verify's profiles.
+            let trace = sim.trace();
+            let proto = kind.name();
+            let mut checks: Vec<(&'static str, Result<(), check::CheckError>)> = vec![
+                ("mutual_exclusion", check::mutual_exclusion(trace)),
+                ("single_occupancy", check::single_occupancy(trace, system)),
+            ];
+            if kind != ProtocolKind::Raw {
+                checks.push((
+                    "priority_ordered_handoffs",
+                    check::priority_ordered_handoffs(trace, system),
+                ));
+            }
+            if kind == ProtocolKind::Mpcp {
+                checks.push((
+                    "gcs_preemption_discipline",
+                    check::gcs_preemption_discipline(trace, system),
+                ));
+                checks.push(("priority_floor", check::priority_floor(trace, system)));
+            }
+            for (name, result) in checks {
+                if let Err(e) = result {
+                    violations.push(ViolationKind::Invariant {
+                        protocol: proto,
+                        check: name,
+                        message: e.to_string(),
+                    });
+                }
+            }
+
+            let mut analysis_accepted = None;
+            let mut rta_accepted = None;
+            // Bound comparisons presume the run respected the periodic
+            // task model (no backlog): see the module docs.
+            let within_model = sim.misses() == 0;
+            match kind {
+                ProtocolKind::Mpcp => {
+                    if let Some(set) = &mpcp {
+                        analysis_accepted = Some(set.theorem3_schedulable());
+                        rta_accepted = Some(set.rta_schedulable());
+                        for t in system.tasks() {
+                            let tb = set.task(t.id());
+                            let m = metrics.task(t.id());
+                            if within_model && m.max_blocking > tb.blocking {
+                                violations.push(ViolationKind::BlockingBound {
+                                    protocol: proto,
+                                    task: t.id().index(),
+                                    measured: m.max_blocking.ticks(),
+                                    bound: tb.blocking.ticks(),
+                                });
+                            }
+                            if cfg.check_response && within_model {
+                                if let Some(bound) = tb.response {
+                                    if m.max_response > bound {
+                                        violations.push(ViolationKind::ResponseBound {
+                                            protocol: proto,
+                                            task: t.id().index(),
+                                            measured: m.max_response.ticks(),
+                                            bound: bound.ticks(),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        if set.theorem3_schedulable() && sim.misses() > 0 {
+                            violations.push(ViolationKind::AcceptedButMissed {
+                                protocol: proto,
+                                misses: sim.misses(),
+                            });
+                        }
+                    }
+                    // Differential accounting check: engine vs trace.
+                    let observed = ObservedBlocking::from_trace(sim.trace(), system);
+                    for r in sim.records() {
+                        if let Some(derived) = observed.settled(r.id) {
+                            if derived != r.blocked_global {
+                                violations.push(ViolationKind::TraceAccounting {
+                                    protocol: proto,
+                                    task: r.id.task.index(),
+                                    instance: r.id.instance,
+                                    trace: derived.ticks(),
+                                    engine: r.blocked_global.ticks(),
+                                });
+                            }
+                        }
+                    }
+                }
+                ProtocolKind::Dpcp => {
+                    if let Some(totals) = &dpcp_totals {
+                        analysis_accepted = Some(theorem3(system, totals).schedulable());
+                        for t in system.tasks() {
+                            let m = metrics.task(t.id());
+                            let bound = totals[t.id().index()];
+                            if within_model && m.max_blocking > bound {
+                                violations.push(ViolationKind::BlockingBound {
+                                    protocol: proto,
+                                    task: t.id().index(),
+                                    measured: m.max_blocking.ticks(),
+                                    bound: bound.ticks(),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+
+            let completed = metrics.per_task().iter().map(|m| m.completed).sum();
+            ProtocolOutcome {
+                protocol: kind,
+                misses: sim.misses(),
+                completed,
+                analysis_accepted,
+                rta_accepted,
+                violations,
+            }
+        })
+        .collect();
+    (mpcp.is_some(), outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_taskgen::{generate, WorkloadConfig};
+
+    fn small_cfg() -> SweepConfig {
+        SweepConfig {
+            scenarios: 4,
+            horizon_cap: 5_000,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_scenario_produces_no_violations() {
+        let cfg = small_cfg();
+        let sys = generate(
+            &WorkloadConfig::default()
+                .processors(2)
+                .tasks_per_processor(2)
+                .utilization(0.3)
+                .resources(1, 1)
+                .sections(0, 1),
+            7,
+        );
+        let (analyzable, protocols) = evaluate_system(&sys, &cfg);
+        assert!(analyzable);
+        assert_eq!(protocols.len(), cfg.protocols.len());
+        for p in &protocols {
+            assert!(
+                p.violations.is_empty(),
+                "{}: {:?}",
+                p.protocol,
+                p.violations
+            );
+        }
+    }
+
+    #[test]
+    fn violation_codes_are_stable_classes() {
+        let v = ViolationKind::BlockingBound {
+            protocol: "mpcp",
+            task: 3,
+            measured: 10,
+            bound: 5,
+        };
+        let w = ViolationKind::BlockingBound {
+            protocol: "mpcp",
+            task: 1,
+            measured: 99,
+            bound: 98,
+        };
+        assert_eq!(v.code(), w.code());
+        assert_ne!(v.detail(), w.detail());
+    }
+}

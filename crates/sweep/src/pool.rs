@@ -1,0 +1,168 @@
+//! Deterministic work-stealing index pool.
+//!
+//! [`run_indexed`] evaluates `f(0) .. f(n-1)` on a fixed-size worker
+//! pool and returns the results in index order. The index space is
+//! split into one contiguous range per worker, each packed into a
+//! single `AtomicU64` (`lo` in the high half, `hi` in the low half):
+//! the owner claims indices from the front with a CAS, idle workers
+//! steal from the back of the fullest remaining range. Because `f` is
+//! a pure function of the index and results are re-ordered by index
+//! afterwards, the output is byte-identical for every worker count —
+//! only wall-clock time changes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Claims the front index of the range, if any.
+fn claim_front(range: &AtomicU64) -> Option<usize> {
+    let mut cur = range.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        match range.compare_exchange_weak(
+            cur,
+            pack(lo + 1, hi),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some(lo as usize),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Steals the back index of the range, if any.
+fn steal_back(range: &AtomicU64) -> Option<usize> {
+    let mut cur = range.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        match range.compare_exchange_weak(
+            cur,
+            pack(lo, hi - 1),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some((hi - 1) as usize),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn remaining(range: &AtomicU64) -> u32 {
+    let (lo, hi) = unpack(range.load(Ordering::Acquire));
+    hi.saturating_sub(lo)
+}
+
+/// Evaluates `f` at every index in `0..n` using `jobs` worker threads
+/// and returns the results in index order, independent of scheduling.
+///
+/// # Panics
+///
+/// Panics if `n` exceeds `u32::MAX` or if a worker thread panics.
+pub fn run_indexed<T: Send>(n: usize, jobs: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    assert!(u32::try_from(n).is_ok(), "index space too large");
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    // Contiguous ranges, remainder spread over the first few workers.
+    let base = n / jobs;
+    let extra = n % jobs;
+    let mut ranges = Vec::with_capacity(jobs);
+    let mut lo = 0usize;
+    for w in 0..jobs {
+        let len = base + usize::from(w < extra);
+        ranges.push(AtomicU64::new(pack(lo as u32, (lo + len) as u32)));
+        lo += len;
+    }
+
+    let worker = |w: usize| -> Vec<(usize, T)> {
+        let mut out = Vec::with_capacity(base + 1);
+        loop {
+            if let Some(i) = claim_front(&ranges[w]) {
+                out.push((i, f(i)));
+                continue;
+            }
+            // Own range drained: steal from the back of the fullest
+            // remaining range.
+            let victim = (0..jobs)
+                .filter(|&v| v != w)
+                .max_by_key(|&v| remaining(&ranges[v]))
+                .filter(|&v| remaining(&ranges[v]) > 0);
+            match victim.and_then(|v| steal_back(&ranges[v])) {
+                Some(i) => out.push((i, f(i))),
+                None if (0..jobs).all(|v| remaining(&ranges[v]) == 0) => break,
+                None => thread::yield_now(),
+            }
+        }
+        out
+    };
+
+    let worker = &worker;
+    let collected: Vec<Vec<(usize, T)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs).map(|w| s.spawn(move || worker(w))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, v) in collected.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} evaluated twice");
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.unwrap_or_else(|| panic!("index {i} never evaluated")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_index_order_for_any_worker_count() {
+        let f = |i: usize| i * i;
+        let reference: Vec<usize> = (0..257).map(f).collect();
+        for jobs in [1, 2, 3, 8, 300] {
+            assert_eq!(run_indexed(257, jobs, f), reference, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn every_index_is_evaluated_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = run_indexed(1000, 8, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i), vec![0]);
+        assert_eq!(run_indexed(3, 16, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -58,6 +58,110 @@ impl Iterator for SubmissionStream {
     }
 }
 
+/// One generated test scenario: a system plus the settings that
+/// produced it, addressable by index.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Position in the stream.
+    pub index: u64,
+    /// The generator seed that produced [`Scenario::system`].
+    pub system_seed: u64,
+    /// The per-processor utilization target of this scenario.
+    pub utilization: f64,
+    /// The full workload settings used.
+    pub config: WorkloadConfig,
+    /// The generated system.
+    pub system: System,
+}
+
+/// A reproducible stream of sweep scenarios: seeds advance linearly
+/// while the per-processor utilization cycles through a fixed grid, so
+/// a single stream covers a whole schedulability curve.
+///
+/// Unlike [`SubmissionStream`] (which cycles a small set of *identical*
+/// systems to exercise caches), every scenario here is distinct:
+/// scenario `i` uses seed `base_seed + i` and utilization
+/// `grid[i % grid.len()]`. Random access via
+/// [`ScenarioStream::scenario_at`] is independent of iteration state,
+/// which lets parallel workers claim arbitrary indices.
+#[derive(Debug, Clone)]
+pub struct ScenarioStream {
+    base: WorkloadConfig,
+    base_seed: u64,
+    grid: Vec<f64>,
+    next: u64,
+}
+
+impl ScenarioStream {
+    /// Creates a stream over an explicit utilization grid. An empty
+    /// grid degenerates to the base config's own utilization.
+    pub fn new(base: WorkloadConfig, base_seed: u64, grid: Vec<f64>) -> Self {
+        let grid = if grid.is_empty() {
+            vec![base.utilization_per_processor]
+        } else {
+            grid
+        };
+        ScenarioStream {
+            base,
+            base_seed,
+            grid,
+            next: 0,
+        }
+    }
+
+    /// Creates a stream over `steps` evenly spaced utilizations in
+    /// `[lo, hi]` (inclusive; `steps` is forced to at least 1).
+    pub fn over_utilizations(
+        base: WorkloadConfig,
+        base_seed: u64,
+        lo: f64,
+        hi: f64,
+        steps: usize,
+    ) -> Self {
+        let steps = steps.max(1);
+        let grid = (0..steps)
+            .map(|k| {
+                if steps == 1 {
+                    lo
+                } else {
+                    lo + (hi - lo) * k as f64 / (steps - 1) as f64
+                }
+            })
+            .collect();
+        ScenarioStream::new(base, base_seed, grid)
+    }
+
+    /// The utilization grid the stream cycles through.
+    pub fn grid(&self) -> &[f64] {
+        &self.grid
+    }
+
+    /// The scenario at stream position `i`, independent of iteration
+    /// state.
+    pub fn scenario_at(&self, i: u64) -> Scenario {
+        let utilization = self.grid[(i % self.grid.len() as u64) as usize];
+        let config = self.base.clone().utilization(utilization);
+        let system_seed = self.base_seed + i;
+        Scenario {
+            index: i,
+            system_seed,
+            utilization,
+            system: generate(&config, system_seed),
+            config,
+        }
+    }
+}
+
+impl Iterator for ScenarioStream {
+    type Item = Scenario;
+
+    fn next(&mut self) -> Option<Scenario> {
+        let item = self.scenario_at(self.next);
+        self.next += 1;
+        Some(item)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +203,45 @@ mod tests {
             .tasks_per_processor(1);
         let stream = SubmissionStream::new(cfg, 1, 0);
         assert_eq!(stream.unique(), 1);
+    }
+
+    #[test]
+    fn scenario_stream_cycles_the_grid_and_advances_seeds() {
+        let cfg = WorkloadConfig::default()
+            .processors(2)
+            .tasks_per_processor(2);
+        let stream = ScenarioStream::over_utilizations(cfg, 10, 0.2, 0.6, 3);
+        assert_eq!(stream.grid(), &[0.2, 0.4, 0.6]);
+        let s0 = stream.scenario_at(0);
+        let s3 = stream.scenario_at(3);
+        assert_eq!(s0.utilization, s3.utilization);
+        assert_eq!(s0.system_seed, 10);
+        assert_eq!(s3.system_seed, 13);
+        // Same grid point, different seed: different systems.
+        assert_ne!(s0.system, s3.system);
+    }
+
+    #[test]
+    fn scenario_random_access_matches_iteration() {
+        let cfg = WorkloadConfig::default()
+            .processors(1)
+            .tasks_per_processor(2);
+        let stream = ScenarioStream::over_utilizations(cfg, 5, 0.3, 0.5, 2);
+        for (i, sc) in stream.clone().take(5).enumerate() {
+            let direct = stream.scenario_at(i as u64);
+            assert_eq!(sc.index, direct.index);
+            assert_eq!(sc.system_seed, direct.system_seed);
+            assert_eq!(sc.system, direct.system);
+        }
+    }
+
+    #[test]
+    fn empty_grid_falls_back_to_base_utilization() {
+        let cfg = WorkloadConfig::default().utilization(0.45);
+        let stream = ScenarioStream::new(cfg, 0, vec![]);
+        assert_eq!(stream.grid(), &[0.45]);
+        // A single-step range pins to `lo`.
+        let one = ScenarioStream::over_utilizations(WorkloadConfig::default(), 0, 0.7, 0.9, 1);
+        assert_eq!(one.grid(), &[0.7]);
     }
 }

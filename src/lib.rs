@@ -19,6 +19,7 @@
 //! | [`runtime`] | threaded MPCP runtime and lock primitives |
 //! | [`verify`] | static lints and small-scope model checking |
 //! | [`service`] | online admission-control server, wire protocol, load generator |
+//! | [`sweep`] | deterministic multi-threaded scenario sweeps with a differential oracle |
 //!
 //! # Quickstart
 //!
@@ -57,5 +58,6 @@ pub use mpcp_protocols as protocols;
 pub use mpcp_runtime as runtime;
 pub use mpcp_service as service;
 pub use mpcp_sim as sim;
+pub use mpcp_sweep as sweep;
 pub use mpcp_taskgen as taskgen;
 pub use mpcp_verify as verify;

@@ -165,3 +165,85 @@ fn sim_and_runtime_agree_on_handoff_order() {
     assert_eq!(log.completions(), sys.tasks().len());
     log.assert_priority_ordered_handoffs();
 }
+
+/// Regression: DPCP factor 4′ must count *equal*-ceiling sections
+/// hosted on the request's host processor, not just strictly higher
+/// ones.
+///
+/// This system is the sweep oracle's shrunk counterexample (workload
+/// seed 108): `t1.1`'s G1 request is served on G1's host while an
+/// in-progress, equal-ceiling G0 agent of a lower-priority task runs
+/// there — both boosted to the same ceiling priority, so the arriving
+/// request cannot preempt it. With a strict `>` ceiling filter the
+/// analysis bounded `t1.1`'s blocking at 5 ticks while the simulation
+/// measured 142.
+#[test]
+fn dpcp_equal_ceiling_agents_are_counted() {
+    use mpcp::analysis::{default_hosts, dpcp_bounds_with, BlockingConfig};
+    use mpcp::model::{Body, System, TaskDef};
+
+    let sys = {
+        let mut b = System::builder();
+        let p = b.add_processors(4);
+        let g0 = b.add_resource("G0");
+        let g1 = b.add_resource("G1");
+        b.add_task(
+            TaskDef::new("t1.1", p[1]).period(7700).priority(2).body(
+                Body::builder()
+                    .compute(521)
+                    .critical(g1, |c| c.compute(22))
+                    .compute(522)
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("t2.2", p[2]).period(538).priority(9).body(
+                Body::builder()
+                    .compute(1)
+                    .critical(g0, |c| c.compute(1))
+                    .compute(1)
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("t3.0", p[3]).period(400).priority(11).body(
+                Body::builder()
+                    .compute(1)
+                    .critical(g0, |c| c.compute(1))
+                    .compute(1)
+                    .critical(g1, |c| c.compute(1))
+                    .compute(1)
+                    .build(),
+            ),
+        );
+        b.build().unwrap()
+    };
+
+    let hosts = default_hosts(&sys);
+    let bounds = dpcp_bounds_with(&sys, &hosts, BlockingConfig::sound()).unwrap();
+    // The equal-ceiling G0 sections hosted alongside G1 now contribute.
+    assert!(
+        bounds[0].host_ceiling_gcs > Dur::ZERO,
+        "factor 4' ignores equal-ceiling sections again: {:?}",
+        bounds[0]
+    );
+
+    let mut sim = Simulator::with_config(
+        &sys,
+        ProtocolKind::Dpcp.build(),
+        SimConfig {
+            record_trace: true,
+            ..SimConfig::until(20_000)
+        },
+    );
+    sim.run();
+    for t in sys.tasks() {
+        let measured = sim.metrics().task(t.id()).max_blocking;
+        let bound = bounds[t.id().index()].total();
+        assert!(
+            measured <= bound,
+            "{}: measured blocking {measured} exceeds DPCP bound {bound}",
+            t.name()
+        );
+    }
+}

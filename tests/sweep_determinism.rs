@@ -1,0 +1,42 @@
+//! The sweep's headline guarantee: the report is a pure function of the
+//! configuration — independent of worker count and stable across
+//! re-runs — so a violation found on a 64-core CI box replays exactly
+//! on a laptop with `--jobs 1`.
+
+use mpcp::sweep::{run, SweepConfig};
+
+fn small() -> SweepConfig {
+    SweepConfig {
+        scenarios: 30,
+        seed: 7,
+        horizon_cap: 5_000,
+        ..SweepConfig::default()
+    }
+}
+
+#[test]
+fn report_is_identical_for_any_worker_count() {
+    let reference = run(&small());
+    let ref_bytes = reference.canonical_json().encode();
+    for jobs in [2, 4, 13] {
+        let report = run(&SweepConfig { jobs, ..small() });
+        assert_eq!(
+            report.hash(),
+            reference.hash(),
+            "hash differs at jobs={jobs}"
+        );
+        assert_eq!(
+            report.canonical_json().encode(),
+            ref_bytes,
+            "canonical report differs at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn report_is_stable_across_reruns() {
+    let a = run(&small());
+    let b = run(&small());
+    assert_eq!(a.hash(), b.hash());
+    assert_eq!(a.canonical_json().encode(), b.canonical_json().encode());
+}
