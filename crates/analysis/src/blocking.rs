@@ -113,7 +113,7 @@ pub fn mpcp_bounds_with(
 
 /// Factor 1: `(NC_i + n_susp + 1)` local critical sections of
 /// lower-priority local jobs whose semaphore ceiling reaches `P_i`.
-pub(crate) fn factor1(facts: &Facts, i: &TaskFacts) -> Dur {
+pub(crate) fn factor1(facts: &Facts<'_>, i: &TaskFacts<'_>) -> Dur {
     let opportunities = (i.nc + i.n_susp + 1) as u64;
     let longest = facts
         .lower_local(i)
@@ -132,7 +132,7 @@ pub(crate) fn factor1(facts: &Facts, i: &TaskFacts) -> Dur {
 
 /// Factor 2: per global request of `i`, the longest gcs on the same
 /// semaphore among lower-priority tasks (any processor).
-pub(crate) fn factor2(facts: &Facts, i: &TaskFacts) -> Dur {
+pub(crate) fn factor2(facts: &Facts<'_>, i: &TaskFacts<'_>) -> Dur {
     i.gcs
         .iter()
         .map(|request| {
@@ -151,7 +151,7 @@ pub(crate) fn factor2(facts: &Facts, i: &TaskFacts) -> Dur {
 
 /// Factor 3: gcs's of higher-priority remote tasks on semaphores `i`
 /// uses, `⌈T_i/T_h⌉` instances each.
-pub(crate) fn factor3(facts: &Facts, i: &TaskFacts, config: BlockingConfig) -> Dur {
+pub(crate) fn factor3(facts: &Facts<'_>, i: &TaskFacts<'_>, config: BlockingConfig) -> Dur {
     facts
         .tasks
         .iter()
@@ -171,10 +171,10 @@ pub(crate) fn factor3(facts: &Facts, i: &TaskFacts, config: BlockingConfig) -> D
 /// Factor 4: on each blocking processor (home of a lower-priority task
 /// that can directly block `i` through a shared global semaphore),
 /// higher-priority gcs's of other tasks extend the blocker's section.
-pub(crate) fn factor4(facts: &Facts, i: &TaskFacts, config: BlockingConfig) -> Dur {
+pub(crate) fn factor4(facts: &Facts<'_>, i: &TaskFacts<'_>, config: BlockingConfig) -> Dur {
     let mut total = Dur::ZERO;
     // Direct blockers grouped by their (remote) processor.
-    let blockers: Vec<&TaskFacts> = facts
+    let blockers: Vec<&TaskFacts<'_>> = facts
         .tasks
         .iter()
         .filter(|l| l.prio < i.prio && l.proc != i.proc && facts.share_global(i, l))
@@ -218,7 +218,7 @@ pub(crate) fn factor4(facts: &Facts, i: &TaskFacts, config: BlockingConfig) -> D
 /// Factor 5: gcs's of lower-priority local jobs run in the global band
 /// and preempt `i`; per such job at most
 /// `min(NC_i + n_susp + 1, instances · NC_l)` sections.
-pub(crate) fn factor5(facts: &Facts, i: &TaskFacts, _config: BlockingConfig) -> Dur {
+pub(crate) fn factor5(facts: &Facts<'_>, i: &TaskFacts<'_>, _config: BlockingConfig) -> Dur {
     facts
         .lower_local(i)
         .filter(|l| l.nc > 0)
@@ -245,7 +245,7 @@ pub(crate) fn factor5(facts: &Facts, i: &TaskFacts, _config: BlockingConfig) -> 
 /// Deferred-execution penalty: each higher-priority local task that can
 /// self-suspend (on a global semaphore or explicitly) may interfere with
 /// one additional execution within `T_i`.
-pub(crate) fn deferred_penalty(facts: &Facts, i: &TaskFacts) -> Dur {
+pub(crate) fn deferred_penalty(facts: &Facts<'_>, i: &TaskFacts<'_>) -> Dur {
     facts
         .higher_local(i)
         .filter(|h| h.nc > 0 || h.n_susp > 0)

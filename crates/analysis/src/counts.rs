@@ -1,14 +1,16 @@
 //! Derived per-task facts shared by the blocking analyses.
 
+use crate::depgraph::DirtySet;
 use crate::error::AnalysisError;
 use mpcp_core::{CeilingTable, GcsPriorities};
 use mpcp_model::{
     CriticalSection, Dur, Priority, ProcessorId, ResourceId, Segment, System, TaskId,
 };
 
-/// Facts about one task used by the §5.1 factors.
+/// Facts about one task used by the §5.1 factors. Section lists borrow
+/// from the system's cached [`mpcp_model::SystemInfo`].
 #[derive(Debug, Clone)]
-pub(crate) struct TaskFacts {
+pub(crate) struct TaskFacts<'a> {
     pub id: TaskId,
     pub proc: ProcessorId,
     pub prio: Priority,
@@ -19,41 +21,65 @@ pub(crate) struct TaskFacts {
     /// Number of explicit self-suspensions per job.
     pub n_susp: usize,
     /// Outermost global critical sections.
-    pub gcs: Vec<CriticalSection>,
+    pub gcs: &'a [CriticalSection],
     /// Outermost local critical sections.
-    pub lcs: Vec<CriticalSection>,
-    /// Global resources used (deduplicated).
-    pub global_resources: Vec<ResourceId>,
+    pub lcs: &'a [CriticalSection],
+    /// Global resources used (sorted, deduplicated).
+    pub global_resources: &'a [ResourceId],
 }
 
 /// Precomputed facts for a whole system.
 #[derive(Debug, Clone)]
-pub(crate) struct Facts {
-    pub tasks: Vec<TaskFacts>,
+pub(crate) struct Facts<'a> {
+    pub tasks: Vec<TaskFacts<'a>>,
     pub ceilings: CeilingTable,
     pub gcs_pri: GcsPriorities,
 }
 
-impl Facts {
+impl<'a> Facts<'a> {
     /// Computes facts, validating the base-protocol assumptions (§4.2:
     /// non-nested gcs's; suspensions outside critical sections).
-    pub fn compute(system: &System) -> Result<Facts, AnalysisError> {
-        let info = system.info();
-        if info.has_nested_global_sections(system) {
-            let task = system
-                .tasks()
-                .iter()
-                .find(|t| {
-                    t.body().critical_sections().iter().any(|cs| {
-                        info.scope(cs.resource).is_global()
-                            && (!cs.nested.is_empty() || !cs.enclosing.is_empty())
-                    })
-                })
-                .map(mpcp_model::Task::id)
-                .expect("some task exhibits the nesting");
-            return Err(AnalysisError::NestedGlobalSections { task });
+    pub fn compute(system: &'a System) -> Result<Facts<'a>, AnalysisError> {
+        Facts::compute_inner(system, None)
+    }
+
+    /// [`Facts::compute`], but validating only the tasks `dirty` names
+    /// (all of them when `dirty.full`). Sound when every other task was
+    /// validated in a previous successful compute and is structurally
+    /// unchanged — which is exactly what a [`DirtySet`] certifies —
+    /// and then returns the same result (including the same first
+    /// offender) the full validation would.
+    pub fn compute_assuming_clean(
+        system: &'a System,
+        dirty: &DirtySet,
+    ) -> Result<Facts<'a>, AnalysisError> {
+        if dirty.full {
+            Facts::compute_inner(system, None)
+        } else {
+            Facts::compute_inner(system, Some(dirty))
         }
-        for t in system.tasks() {
+    }
+
+    fn compute_inner(
+        system: &'a System,
+        validate_only: Option<&DirtySet>,
+    ) -> Result<Facts<'a>, AnalysisError> {
+        let info = system.info();
+        // Two ordered passes, filtered the same way, so the first
+        // error reported matches a full validation byte for byte:
+        // clean tasks cannot offend, and within each class the first
+        // offender by id is found either way.
+        let validated =
+            |t: &mpcp_model::Task| validate_only.is_none_or(|d| d.tasks.contains(t.name()));
+        for t in system.tasks().iter().filter(|t| validated(t)) {
+            if info.task_use(t.id()).sections.iter().any(|cs| {
+                info.scope(cs.resource).is_global()
+                    && (!cs.nested.is_empty() || !cs.enclosing.is_empty())
+            }) {
+                return Err(AnalysisError::NestedGlobalSections { task: t.id() });
+            }
+        }
+        for t in system.tasks().iter().filter(|t| validated(t)) {
             if suspends_inside_cs(t.body().segments(), false) {
                 return Err(AnalysisError::SuspensionInCriticalSection { task: t.id() });
             }
@@ -63,10 +89,6 @@ impl Facts {
             .iter()
             .map(|t| {
                 let tu = info.task_use(t.id());
-                let mut global_resources: Vec<ResourceId> =
-                    tu.global_sections.iter().map(|cs| cs.resource).collect();
-                global_resources.sort_unstable();
-                global_resources.dedup();
                 TaskFacts {
                     id: t.id(),
                     proc: t.processor(),
@@ -74,10 +96,10 @@ impl Facts {
                     period: t.period(),
                     wcet: t.wcet(),
                     nc: tu.gcs_count(),
-                    n_susp: t.body().suspension_count(),
-                    gcs: tu.global_sections.clone(),
-                    lcs: tu.local_sections.clone(),
-                    global_resources,
+                    n_susp: tu.suspension_count,
+                    gcs: &tu.global_sections,
+                    lcs: &tu.local_sections,
+                    global_resources: &tu.global_resources,
                 }
             })
             .collect();
@@ -91,26 +113,32 @@ impl Facts {
     /// Number of job instances of `other` that can run within one period
     /// of `of`: the paper's `⌈T_i / T_h⌉`, plus one carry-in instance when
     /// `carry_in` is set (the sound variant used by the validation tests).
-    pub fn instances(&self, of: &TaskFacts, other: &TaskFacts, carry_in: bool) -> u64 {
+    pub fn instances(&self, of: &TaskFacts<'_>, other: &TaskFacts<'_>, carry_in: bool) -> u64 {
         other.period.div_ceil_of(of.period) + u64::from(carry_in)
     }
 
     /// Lower-priority tasks on the same processor as `i`.
-    pub fn lower_local<'a>(&'a self, i: &'a TaskFacts) -> impl Iterator<Item = &'a TaskFacts> {
+    pub fn lower_local<'b>(
+        &'b self,
+        i: &'b TaskFacts<'a>,
+    ) -> impl Iterator<Item = &'b TaskFacts<'a>> {
         self.tasks
             .iter()
             .filter(move |t| t.proc == i.proc && t.prio < i.prio)
     }
 
     /// Higher-priority tasks on the same processor as `i`.
-    pub fn higher_local<'a>(&'a self, i: &'a TaskFacts) -> impl Iterator<Item = &'a TaskFacts> {
+    pub fn higher_local<'b>(
+        &'b self,
+        i: &'b TaskFacts<'a>,
+    ) -> impl Iterator<Item = &'b TaskFacts<'a>> {
         self.tasks
             .iter()
             .filter(move |t| t.proc == i.proc && t.prio > i.prio)
     }
 
     /// Whether `a` and `b` share at least one global resource.
-    pub fn share_global(&self, a: &TaskFacts, b: &TaskFacts) -> bool {
+    pub fn share_global(&self, a: &TaskFacts<'_>, b: &TaskFacts<'_>) -> bool {
         a.global_resources
             .iter()
             .any(|r| b.global_resources.contains(r))

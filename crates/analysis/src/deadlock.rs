@@ -14,9 +14,9 @@ use mpcp_model::{ResourceId, System};
 pub fn global_nesting_edges(system: &System) -> Vec<(ResourceId, ResourceId)> {
     let info = system.info();
     let mut edges = Vec::new();
-    for task in system.tasks() {
-        for cs in task.body().critical_sections() {
-            if !info.scope(cs.resource).is_global() {
+    for tu in info.all_task_use() {
+        for cs in &tu.sections {
+            if cs.enclosing.is_empty() || !info.scope(cs.resource).is_global() {
                 continue;
             }
             for outer in &cs.enclosing {

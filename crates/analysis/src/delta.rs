@@ -1,0 +1,430 @@
+//! Incremental recomputation of the §5.1 blocking breakdowns and the
+//! Theorem 3 rows, driven by a [`DirtySet`].
+//!
+//! [`DeltaBounds`] caches, keyed by *task name* (ids shift under
+//! edits, names do not), the six per-task blocking durations and the
+//! per-task Theorem 3 row. [`DeltaBounds::update`] recomputes only the
+//! tasks and processors a [`dirty_set`](crate::dirty_set) names and
+//! reuses everything else verbatim, so the merged result is
+//! bit-identical to a from-scratch [`mpcp_bounds_with`] +
+//! [`theorem3`](crate::theorem3) run — cached rows are copied, not
+//! re-derived, and recomputed rows run the exact same code over the
+//! exact same inputs. That identity is what `mpcp audit` and the
+//! in-server sampled audit certify.
+
+use crate::blocking::{deferred_penalty, factor1, factor2, factor3, factor4, factor5};
+use crate::counts::Facts;
+use crate::depgraph::DirtySet;
+use crate::error::AnalysisError;
+use crate::sched::theorem3_rows;
+use crate::{BlockingBreakdown, BlockingConfig, SchedReport, TaskSched};
+use mpcp_model::{Dur, System};
+use std::collections::BTreeMap;
+
+/// The six cached blocking durations of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FactorSet {
+    local_cs: Dur,
+    lower_gcs_same_sem: Dur,
+    higher_remote_gcs: Dur,
+    blocking_processor_gcs: Dur,
+    lower_local_gcs: Dur,
+    deferred_penalty: Dur,
+}
+
+impl FactorSet {
+    fn total(&self) -> Dur {
+        self.local_cs
+            + self.lower_gcs_same_sem
+            + self.higher_remote_gcs
+            + self.blocking_processor_gcs
+            + self.lower_local_gcs
+            + self.deferred_penalty
+    }
+}
+
+/// The cached Theorem 3 row of one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SchedRow {
+    demand: f64,
+    bound: f64,
+    ok: bool,
+}
+
+/// What one [`DeltaBounds::update`] actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Updates applied (full or incremental).
+    pub updates: u64,
+    /// Tasks whose blocking factors were recomputed.
+    pub tasks_recomputed: u64,
+    /// Tasks whose cached factors were reused.
+    pub tasks_reused: u64,
+    /// Processors whose Theorem 3 rows were recomputed.
+    pub processors_recomputed: u64,
+    /// Processors whose cached rows were reused.
+    pub processors_reused: u64,
+}
+
+impl DeltaStats {
+    fn absorb(&mut self, other: DeltaStats) {
+        self.updates += other.updates;
+        self.tasks_recomputed += other.tasks_recomputed;
+        self.tasks_reused += other.tasks_reused;
+        self.processors_recomputed += other.processors_recomputed;
+        self.processors_reused += other.processors_reused;
+    }
+}
+
+/// Name-keyed cache of blocking breakdowns and Theorem 3 rows,
+/// updated incrementally.
+#[derive(Debug, Clone)]
+pub struct DeltaBounds {
+    config: BlockingConfig,
+    factors: BTreeMap<String, FactorSet>,
+    sched: BTreeMap<String, SchedRow>,
+    stats: DeltaStats,
+}
+
+impl DeltaBounds {
+    /// Computes the full caches for `system` under the paper's counts.
+    ///
+    /// # Errors
+    ///
+    /// Same preconditions as [`crate::mpcp_bounds`].
+    pub fn full(system: &System) -> Result<DeltaBounds, AnalysisError> {
+        DeltaBounds::full_with(system, BlockingConfig::paper())
+    }
+
+    /// [`DeltaBounds::full`] with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same preconditions as [`crate::mpcp_bounds`].
+    pub fn full_with(
+        system: &System,
+        config: BlockingConfig,
+    ) -> Result<DeltaBounds, AnalysisError> {
+        let mut this = DeltaBounds {
+            config,
+            factors: BTreeMap::new(),
+            sched: BTreeMap::new(),
+            stats: DeltaStats::default(),
+        };
+        this.update(system, &DirtySet::full())?;
+        Ok(this)
+    }
+
+    /// Merges `system` into the caches, recomputing only what `dirty`
+    /// names (plus anything not cached yet) and dropping entries for
+    /// tasks that no longer exist. On error the caches are unchanged
+    /// and must be considered stale — rebuild with
+    /// [`DeltaBounds::full_with`] once the system is analyzable again.
+    ///
+    /// # Errors
+    ///
+    /// Same preconditions as [`crate::mpcp_bounds`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if two tasks share a name (name-keyed caching is
+    /// meaningless then; [`dirty_set`](crate::dirty_set) reports such
+    /// systems as full, and callers are expected to not build a
+    /// [`DeltaBounds`] for them at all).
+    pub fn update(
+        &mut self,
+        system: &System,
+        dirty: &DirtySet,
+    ) -> Result<DeltaStats, AnalysisError> {
+        let facts = Facts::compute_assuming_clean(system, dirty)?;
+        let mut stats = DeltaStats {
+            updates: 1,
+            ..DeltaStats::default()
+        };
+        if dirty.full {
+            self.factors.clear();
+            self.sched.clear();
+        }
+
+        // Tasks to recompute. An uncached (added) task is always in
+        // `dirty.tasks` — the graph diff flags tasks present in only
+        // one version — so when the dirty set is partial, walking its
+        // names alone visits every stale entry without probing the
+        // cache once per task.
+        let recompute = |this: &mut Self, idx: usize, stats: &mut DeltaStats| {
+            stats.tasks_recomputed += 1;
+            let i = &facts.tasks[idx];
+            let set = FactorSet {
+                local_cs: factor1(&facts, i),
+                lower_gcs_same_sem: factor2(&facts, i),
+                higher_remote_gcs: factor3(&facts, i, this.config),
+                blocking_processor_gcs: factor4(&facts, i, this.config),
+                lower_local_gcs: factor5(&facts, i, this.config),
+                deferred_penalty: deferred_penalty(&facts, i),
+            };
+            this.factors
+                .insert(system.tasks()[idx].name().to_string(), set);
+        };
+        if dirty.full {
+            for idx in 0..system.tasks().len() {
+                recompute(self, idx, &mut stats);
+            }
+        } else {
+            for name in &dirty.tasks {
+                if let Some(idx) = system.task_index_by_name(name) {
+                    recompute(self, idx, &mut stats);
+                }
+            }
+        }
+        stats.tasks_reused = system.tasks().len() as u64 - stats.tasks_recomputed;
+        assert!(
+            self.factors.len() >= system.tasks().len(),
+            "duplicate task name defeats name-keyed caching"
+        );
+
+        for proc in system.processors() {
+            // Uncached tasks are always dirty, and the dirty-set rules
+            // put every dirty task's processor in `dirty.processors`,
+            // so the processor set alone decides freshness.
+            if dirty.full || dirty.processors.contains(proc.name()) {
+                stats.processors_recomputed += 1;
+                let rows = theorem3_rows(system, proc.id(), &|t| {
+                    self.factors[system.task(t).name()].total()
+                });
+                for row in rows {
+                    let name = system.task(row.task).name().to_string();
+                    self.sched.insert(
+                        name,
+                        SchedRow {
+                            demand: row.demand,
+                            bound: row.bound,
+                            ok: row.ok,
+                        },
+                    );
+                }
+            } else {
+                stats.processors_reused += 1;
+            }
+        }
+
+        // Entries for removed (or renamed) tasks: the maps hold every
+        // current name after the loops above, so a length excess is the
+        // only way stale keys can hide.
+        if self.factors.len() > system.tasks().len() || self.sched.len() > system.tasks().len() {
+            let names: std::collections::BTreeSet<&str> =
+                system.tasks().iter().map(mpcp_model::Task::name).collect();
+            self.factors.retain(|k, _| names.contains(k.as_str()));
+            self.sched.retain(|k, _| names.contains(k.as_str()));
+        }
+
+        self.stats.absorb(stats);
+        Ok(stats)
+    }
+
+    /// The blocking breakdowns for `system`, in [`mpcp_model::TaskId`]
+    /// order — equal to what [`crate::mpcp_bounds_with`] returns for
+    /// the same system and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was not updated for exactly this system.
+    pub fn breakdowns(&self, system: &System) -> Vec<BlockingBreakdown> {
+        system
+            .tasks()
+            .iter()
+            .map(|t| {
+                let f = self.factors[t.name()];
+                BlockingBreakdown {
+                    task: t.id(),
+                    local_cs: f.local_cs,
+                    lower_gcs_same_sem: f.lower_gcs_same_sem,
+                    higher_remote_gcs: f.higher_remote_gcs,
+                    blocking_processor_gcs: f.blocking_processor_gcs,
+                    lower_local_gcs: f.lower_local_gcs,
+                    deferred_penalty: f.deferred_penalty,
+                }
+            })
+            .collect()
+    }
+
+    /// The Theorem 3 report for `system` (using total blocking,
+    /// factors plus deferred penalty) — equal to
+    /// `theorem3(system, totals)` on the same system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was not updated for exactly this system.
+    pub fn sched_report(&self, system: &System) -> SchedReport {
+        let per_task: Vec<TaskSched> = system
+            .tasks()
+            .iter()
+            .map(|t| {
+                let row = self.sched[t.name()];
+                TaskSched {
+                    task: t.id(),
+                    processor: t.processor(),
+                    demand: row.demand,
+                    bound: row.bound,
+                    ok: row.ok,
+                }
+            })
+            .collect();
+        SchedReport::from_rows(per_task)
+    }
+
+    /// Cumulative counters over every update applied so far.
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depgraph::{dirty_set, DepGraph, Edit};
+    use crate::{mpcp_bounds, theorem3};
+    use mpcp_model::{Body, System, TaskDef};
+
+    fn sample(with_extra: bool, extra_period: u64) -> System {
+        let mut b = System::builder();
+        let p = b.add_processors(3);
+        let sg = b.add_resource("SG");
+        let sh = b.add_resource("SH");
+        let sl = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("hi", p[0]).period(100).priority(5).body(
+                Body::builder()
+                    .compute(1)
+                    .critical(sl, |c| c.compute(2))
+                    .critical(sg, |c| c.compute(3))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("lo", p[0]).period(400).priority(1).body(
+                Body::builder()
+                    .critical(sl, |c| c.compute(5))
+                    .critical(sg, |c| c.compute(4))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("mid", p[1])
+                .period(200)
+                .priority(3)
+                .body(Body::builder().critical(sg, |c| c.compute(6)).build()),
+        );
+        b.add_task(
+            TaskDef::new("aside", p[2])
+                .period(300)
+                .priority(2)
+                .body(Body::builder().critical(sh, |c| c.compute(2)).build()),
+        );
+        b.add_task(
+            TaskDef::new("peer", p[1])
+                .period(500)
+                .priority(4)
+                .body(Body::builder().compute(1).build()),
+        );
+        if with_extra {
+            b.add_task(
+                TaskDef::new("extra", p[1])
+                    .period(extra_period)
+                    .priority(6)
+                    .body(Body::builder().critical(sg, |c| c.compute(2)).build()),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn assert_matches_full(delta: &DeltaBounds, system: &System) {
+        let full = mpcp_bounds(system).unwrap();
+        assert_eq!(delta.breakdowns(system), full);
+        let totals: Vec<_> = full.iter().map(BlockingBreakdown::total).collect();
+        let full_sched = theorem3(system, &totals);
+        let delta_sched = delta.sched_report(system);
+        assert_eq!(delta_sched.schedulable(), full_sched.schedulable());
+        for (a, b) in delta_sched.per_task().iter().zip(full_sched.per_task()) {
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.demand.to_bits(), b.demand.to_bits(), "{:?}", a.task);
+            assert_eq!(a.bound.to_bits(), b.bound.to_bits());
+            assert_eq!(a.ok, b.ok);
+        }
+    }
+
+    #[test]
+    fn incremental_add_remove_modify_match_full() {
+        let base = sample(false, 0);
+        let mut delta = DeltaBounds::full(&base).unwrap();
+        assert_matches_full(&delta, &base);
+
+        let added = sample(true, 150);
+        let d = dirty_set(
+            &DepGraph::build(&base),
+            &DepGraph::build(&added),
+            &Edit::AddTask("extra".into()),
+        );
+        assert!(!d.full);
+        delta.update(&added, &d).unwrap();
+        assert_matches_full(&delta, &added);
+
+        let modified = sample(true, 90);
+        let d = dirty_set(
+            &DepGraph::build(&added),
+            &DepGraph::build(&modified),
+            &Edit::ModifyTask("extra".into()),
+        );
+        delta.update(&modified, &d).unwrap();
+        assert_matches_full(&delta, &modified);
+
+        let d = dirty_set(
+            &DepGraph::build(&modified),
+            &DepGraph::build(&base),
+            &Edit::RemoveTask("extra".into()),
+        );
+        delta.update(&base, &d).unwrap();
+        assert_matches_full(&delta, &base);
+    }
+
+    #[test]
+    fn clean_tasks_are_reused() {
+        let base = sample(false, 0);
+        let mut delta = DeltaBounds::full(&base).unwrap();
+        let added = sample(true, 150);
+        let d = dirty_set(
+            &DepGraph::build(&base),
+            &DepGraph::build(&added),
+            &Edit::AddTask("extra".into()),
+        );
+        // "aside" on P2 shares nothing with the edited processor P1 or
+        // the semaphore SG: it must stay clean and be reused.
+        assert!(!d.tasks.contains("aside"), "{d:?}");
+        let stats = delta.update(&added, &d).unwrap();
+        assert!(stats.tasks_reused >= 1, "{stats:?}");
+        assert!(stats.processors_reused >= 1, "{stats:?}");
+        assert_matches_full(&delta, &added);
+    }
+
+    #[test]
+    fn update_propagates_analysis_errors() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let sg = b.add_resource("SG");
+        let sl = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("a", p[0]).period(10).priority(2).body(
+                Body::builder()
+                    .critical(sl, |c| c.critical(sg, |c| c.compute(1)))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(20)
+                .priority(1)
+                .body(Body::builder().critical(sg, |c| c.compute(1)).build()),
+        );
+        let sys = b.build().unwrap();
+        assert!(DeltaBounds::full(&sys).is_err());
+    }
+}

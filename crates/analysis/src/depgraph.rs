@@ -1,0 +1,900 @@
+//! Explicit dependency graph over a task system, and dirty-set
+//! computation for incremental re-analysis.
+//!
+//! The §5.1 blocking factors and Theorem 3 are per-processor,
+//! per-semaphore computations with a small, enumerable set of
+//! cross-task dependencies: a task's bound depends on its processor
+//! mates, on the users of the global semaphores those mates touch, and
+//! — through the gcs execution priorities — on the highest-priority
+//! *remote* user of each shared semaphore. [`DepGraph`] materializes
+//! exactly those edges (task → processor → semaphore → ceiling scope,
+//! plus the DPCP host edge per global semaphore), and [`dirty_set`]
+//! closes an edit over them: the result names every task, resource and
+//! processor whose analysis output can differ between the old and new
+//! system. Everything *not* named is guaranteed byte-identical, which
+//! is what lets [`DeltaBounds`](crate::DeltaBounds) reuse cached
+//! results.
+//!
+//! # Dirty-set rules
+//!
+//! Let `C` be the *changed* tasks: tasks named by the edit, tasks
+//! present in only one of the two systems, tasks whose structural
+//! fingerprint (processor, period, deadline, offset, body) differs,
+//! and every user of a resource whose scope flipped (local ↔ global ↔
+//! unused). Then, in **both** the old and new graph:
+//!
+//! * every task on a changed task's processor is dirty (factors 1 and
+//!   5, the deferred-execution penalty, and the Theorem 3 rows of that
+//!   processor all read processor-mate state);
+//! * every user of every global semaphore touched by those
+//!   processor-mates is dirty (factors 2-4 read sharer state, and a
+//!   changed task can join or leave the *blocking processor* set of a
+//!   remote task it shares nothing with) — **unless** the changed task
+//!   has no global sections in that graph: such a task enters no
+//!   remote task's bound (factors 2-4 involve it only through global
+//!   sections; its suspensions feed only local mates' deferred
+//!   penalty), so its blast radius stops at its own processor's tasks
+//!   and rows. Scope flips it could cause are promoted to `C` before
+//!   this rule applies, and a flipped resource is global in the graph
+//!   where the rule would have mattered;
+//! * a global semaphore whose remote-argmax signature changed — the
+//!   per-user identity of the highest-priority remote user, which
+//!   determines the gcs execution priority — additionally dirties the
+//!   users of every global semaphore touched from the processors of
+//!   its users (factor 4 compares gcs priorities *across* semaphores);
+//!   the signature is compared by task *name*, and a signature whose
+//!   argmax task is itself changed counts as changed, because relative
+//!   priority order against a changed task is not preserved.
+//!
+//! Priorities never enter the cached values themselves — the analysis
+//! only ever *compares* them — and the implicit rate-monotonic
+//! relabeling performed on add/remove preserves the relative order of
+//! surviving tasks. `dirty_set` verifies that order preservation
+//! explicitly and falls back to a full recompute when it does not hold
+//! (e.g. explicit-priority systems edited in ways that reorder
+//! untouched tasks), as well as when processor or resource tables
+//! differ or task names are ambiguous.
+
+use crate::dpcp::default_hosts;
+use mpcp_model::{Segment, System};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One session edit, by name. `dirty_set` detects added, removed and
+/// structurally modified tasks on its own; naming the task here is
+/// still required for edits fingerprints cannot see (an explicit
+/// priority change) and documents intent for the ones they can.
+/// [`Edit::RehostResource`] widens the dirty set for the DPCP host
+/// edge, which is not part of any task's fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edit {
+    /// A task was added.
+    AddTask(String),
+    /// A task was removed.
+    RemoveTask(String),
+    /// A task's parameters or body changed.
+    ModifyTask(String),
+    /// A global semaphore's host processor changed (DPCP).
+    RehostResource(String),
+}
+
+impl Edit {
+    /// The task named by the edit, if any.
+    pub fn task_name(&self) -> Option<&str> {
+        match self {
+            Edit::AddTask(n) | Edit::RemoveTask(n) | Edit::ModifyTask(n) => Some(n),
+            Edit::RehostResource(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Edit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edit::AddTask(n) => write!(f, "add-task {n}"),
+            Edit::RemoveTask(n) => write!(f, "remove-task {n}"),
+            Edit::ModifyTask(n) => write!(f, "modify-task {n}"),
+            Edit::RehostResource(r) => write!(f, "rehost-resource {r}"),
+        }
+    }
+}
+
+/// Names of everything an edit can have invalidated. When
+/// [`DirtySet::full`] is set the name sets are meaningless and the
+/// caller must recompute everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtySet {
+    /// The closure rules could not bound the edit; recompute all.
+    pub full: bool,
+    /// Tasks whose blocking factors or task-scope lints may differ.
+    pub tasks: BTreeSet<String>,
+    /// Resources whose resource-scope lints may differ.
+    pub resources: BTreeSet<String>,
+    /// Processors whose Theorem 3 rows or processor-scope lints may
+    /// differ.
+    pub processors: BTreeSet<String>,
+}
+
+impl DirtySet {
+    /// A dirty set demanding a full recompute.
+    pub fn full() -> Self {
+        DirtySet {
+            full: true,
+            ..DirtySet::default()
+        }
+    }
+
+    /// Whether nothing needs recomputation.
+    pub fn is_empty(&self) -> bool {
+        !self.full
+            && self.tasks.is_empty()
+            && self.resources.is_empty()
+            && self.processors.is_empty()
+    }
+}
+
+/// How a resource's users are spread, keyed so it compares across
+/// systems (processors by index; the processor tables must match).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeKey {
+    Local(usize),
+    Global,
+    Unused,
+}
+
+#[derive(Debug, Clone)]
+struct TaskNode {
+    name: String,
+    proc: usize,
+    /// Resources the task has sections on (deduplicated, id order).
+    resources: Vec<usize>,
+    /// The global subset of `resources`.
+    globals: Vec<usize>,
+    /// Structural fingerprint: processor, period, deadline, offset and
+    /// body — everything the analysis reads except the priority, which
+    /// is order-compared separately.
+    fingerprint: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ResNode {
+    name: String,
+    scope: ScopeKey,
+    /// Task indices with sections on this resource, in decreasing
+    /// priority order (as [`mpcp_model::ResourceUsage::users`]).
+    users: Vec<usize>,
+    /// DPCP host edge: processor of the highest-priority user.
+    host: Option<usize>,
+    /// For a global resource: per user (by name), the name of the
+    /// highest-priority *remote* user — the task whose priority sets
+    /// the user's gcs execution priority. Ties broken by smallest
+    /// name so the signature is stable across id relabelings.
+    argmax: Vec<(String, Option<String>)>,
+}
+
+/// The dependency graph of one system. Build once per system version;
+/// [`dirty_set`] consumes the versions before and after an edit.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    proc_names: Vec<String>,
+    resources: Vec<ResNode>,
+    tasks: Vec<TaskNode>,
+    /// Task indices per processor, in decreasing priority order.
+    proc_tasks: Vec<Vec<usize>>,
+    /// Task indices in decreasing global priority order (ties by
+    /// insertion order). Ranks are what the analysis compares;
+    /// absolute priority levels never enter cached values.
+    by_prio: Vec<usize>,
+    /// Task indices sorted by name, for O(log n) name lookup.
+    by_name: Vec<usize>,
+    duplicate_tasks: bool,
+}
+
+impl DepGraph {
+    /// Builds the graph for `system`.
+    pub fn build(system: &System) -> DepGraph {
+        let info = system.info();
+        let hosts = default_hosts(system);
+        let proc_names: Vec<String> = system
+            .processors()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+
+        let tasks: Vec<TaskNode> = system
+            .tasks()
+            .iter()
+            .map(|t| {
+                let mut resources: Vec<usize> = info
+                    .task_use(t.id())
+                    .sections
+                    .iter()
+                    .map(|cs| cs.resource.index())
+                    .collect();
+                resources.sort_unstable();
+                resources.dedup();
+                let globals = resources
+                    .iter()
+                    .copied()
+                    .filter(|&ri| info.all_usage()[ri].scope.is_global())
+                    .collect();
+                TaskNode {
+                    name: t.name().to_string(),
+                    proc: t.processor().index(),
+                    resources,
+                    globals,
+                    fingerprint: fingerprint(t),
+                }
+            })
+            .collect();
+
+        // Orders "highest priority first; among ties, smallest name" —
+        // the tied tasks are interchangeable for comparisons.
+        let beats = |a: usize, b: usize| {
+            let (ta, tb) = (&system.tasks()[a], &system.tasks()[b]);
+            (ta.priority(), std::cmp::Reverse(ta.name()))
+                > (tb.priority(), std::cmp::Reverse(tb.name()))
+        };
+        let resources: Vec<ResNode> = info
+            .all_usage()
+            .iter()
+            .map(|u| {
+                let users: Vec<usize> = u.users.iter().map(|t| t.index()).collect();
+                let scope = match u.scope {
+                    mpcp_model::Scope::Local(p) => ScopeKey::Local(p.index()),
+                    mpcp_model::Scope::Global => ScopeKey::Global,
+                    mpcp_model::Scope::Unused => ScopeKey::Unused,
+                };
+                let argmax = if scope == ScopeKey::Global {
+                    // Per user, the best user on another processor. The
+                    // winner is the globally best user `b1` for everyone
+                    // except `b1`'s own processor mates, who get the
+                    // best user bound elsewhere — an O(users) scan
+                    // instead of the quadratic per-user max.
+                    let mut b1: Option<usize> = None;
+                    for &v in &users {
+                        if b1.is_none_or(|b| beats(v, b)) {
+                            b1 = Some(v);
+                        }
+                    }
+                    let mut b2: Option<usize> = None;
+                    for &v in &users {
+                        if Some(tasks[v].proc) != b1.map(|b| tasks[b].proc)
+                            && b2.is_none_or(|b| beats(v, b))
+                        {
+                            b2 = Some(v);
+                        }
+                    }
+                    users
+                        .iter()
+                        .map(|&ui| {
+                            let best = if Some(tasks[ui].proc) == b1.map(|b| tasks[b].proc) {
+                                b2
+                            } else {
+                                b1
+                            };
+                            (tasks[ui].name.clone(), best.map(|v| tasks[v].name.clone()))
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                ResNode {
+                    name: system.resource(u.resource).name().to_string(),
+                    scope,
+                    users,
+                    host: hosts[u.resource.index()].map(mpcp_model::ProcessorId::index),
+                    argmax,
+                }
+            })
+            .collect();
+
+        let mut proc_tasks: Vec<Vec<usize>> = vec![Vec::new(); proc_names.len()];
+        for (i, t) in tasks.iter().enumerate() {
+            proc_tasks[t.proc].push(i);
+        }
+        for v in &mut proc_tasks {
+            v.sort_by_key(|&i| std::cmp::Reverse(system.tasks()[i].priority()));
+        }
+
+        let mut by_name: Vec<usize> = (0..tasks.len()).collect();
+        by_name.sort_unstable_by(|&a, &b| tasks[a].name.cmp(&tasks[b].name));
+        let duplicate_tasks = by_name
+            .windows(2)
+            .any(|w| tasks[w[0]].name == tasks[w[1]].name);
+
+        let mut by_prio: Vec<usize> = (0..tasks.len()).collect();
+        by_prio.sort_by_key(|&i| std::cmp::Reverse(system.tasks()[i].priority()));
+
+        DepGraph {
+            proc_names,
+            resources,
+            tasks,
+            proc_tasks,
+            by_prio,
+            by_name,
+            duplicate_tasks,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Number of processors.
+    pub fn processor_count(&self) -> usize {
+        self.proc_names.len()
+    }
+
+    /// Whether two tasks share a name, defeating name-keyed caching.
+    pub fn has_duplicate_task_names(&self) -> bool {
+        self.duplicate_tasks
+    }
+
+    /// The DPCP host processor of `resource`, if it is used.
+    pub fn host_of(&self, resource: &str) -> Option<&str> {
+        let r = self.resources.iter().find(|r| r.name == resource)?;
+        r.host.map(|p| self.proc_names[p].as_str())
+    }
+
+    fn task_idx(&self, name: &str) -> Option<usize> {
+        self.by_name
+            .binary_search_by(|&i| self.tasks[i].name.as_str().cmp(name))
+            .ok()
+            .map(|pos| self.by_name[pos])
+    }
+
+    fn res_idx(&self, name: &str) -> Option<usize> {
+        self.resources.iter().position(|r| r.name == name)
+    }
+
+    /// Tasks in decreasing priority order (ties by insertion order),
+    /// restricted to names not in `skip` — the order-preservation
+    /// witness compared across graph versions.
+    fn priority_order<'a>(
+        &'a self,
+        skip: &'a BTreeSet<String>,
+    ) -> impl Iterator<Item = &'a str> + 'a {
+        self.by_prio
+            .iter()
+            .map(|&i| self.tasks[i].name.as_str())
+            .filter(|n| !skip.contains(*n))
+    }
+}
+
+/// Per-graph dirty flags by index, converted to names once at the end
+/// of [`dirty_set`]. Index 0 is the old graph, 1 the new.
+struct Marks {
+    tasks: [Vec<bool>; 2],
+    /// Doubles as a visited guard: a marked processor has had all its
+    /// mates and their global co-users marked already.
+    procs: [Vec<bool>; 2],
+    /// Visited guard: the users of this resource are already marked.
+    res_users: [Vec<bool>; 2],
+    /// Visited guard for [`Marks::mark_processor`]'s global cascade,
+    /// kept separate from `procs` because a processor can first be
+    /// marked rows-only (a changed task with no global sections) and
+    /// later need the full cascade for another changed task.
+    cascaded: [Vec<bool>; 2],
+}
+
+impl Marks {
+    fn new(old: &DepGraph, new: &DepGraph) -> Marks {
+        Marks {
+            tasks: [vec![false; old.tasks.len()], vec![false; new.tasks.len()]],
+            procs: [
+                vec![false; old.proc_names.len()],
+                vec![false; new.proc_names.len()],
+            ],
+            res_users: [
+                vec![false; old.resources.len()],
+                vec![false; new.resources.len()],
+            ],
+            cascaded: [
+                vec![false; old.proc_names.len()],
+                vec![false; new.proc_names.len()],
+            ],
+        }
+    }
+
+    /// Marks processor `p` of graph `gi` and every task on it —
+    /// enough for a changed task with no global sections, which can
+    /// alter only its mates' local factors (1, 5, the deferred
+    /// penalty) and its own processor's Theorem 3 rows.
+    fn mark_mates(&mut self, g: &DepGraph, gi: usize, p: usize) {
+        self.procs[gi][p] = true;
+        for &mate in &g.proc_tasks[p] {
+            self.tasks[gi][mate] = true;
+        }
+    }
+
+    /// Marks processor `p` of graph `gi`, every task on it, and every
+    /// user of every global semaphore those tasks touch — the shared
+    /// inner rule of both the changed-task and the gcs-repriority
+    /// closures.
+    fn mark_processor(&mut self, g: &DepGraph, gi: usize, p: usize) {
+        if std::mem::replace(&mut self.cascaded[gi][p], true) {
+            return;
+        }
+        self.mark_mates(g, gi, p);
+        for &mate in &g.proc_tasks[p] {
+            for &r in &g.tasks[mate].globals {
+                if !std::mem::replace(&mut self.res_users[gi][r], true) {
+                    for &u in &g.resources[r].users {
+                        self.tasks[gi][u] = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Closes `edit` over the dependency edges of the `old` and `new`
+/// graphs, naming everything whose analysis output can differ. See the
+/// module docs for the rules; any configuration the rules cannot bound
+/// yields [`DirtySet::full`].
+pub fn dirty_set(old: &DepGraph, new: &DepGraph, edit: &Edit) -> DirtySet {
+    if old.duplicate_tasks || new.duplicate_tasks {
+        return DirtySet::full();
+    }
+    if old.proc_names != new.proc_names {
+        return DirtySet::full();
+    }
+    let old_res: Vec<&str> = old.resources.iter().map(|r| r.name.as_str()).collect();
+    let new_res: Vec<&str> = new.resources.iter().map(|r| r.name.as_str()).collect();
+    if old_res != new_res {
+        return DirtySet::full();
+    }
+
+    // Changed tasks: named by the edit, present in only one version,
+    // or structurally different. Both `by_name` orders are sorted, so
+    // a lockstep merge finds the differences in one pass.
+    let mut changed: BTreeSet<String> = BTreeSet::new();
+    if let Some(n) = edit.task_name() {
+        changed.insert(n.to_string());
+    }
+    let (mut oi, mut ni) = (0, 0);
+    while oi < old.by_name.len() || ni < new.by_name.len() {
+        let ot = (oi < old.by_name.len()).then(|| &old.tasks[old.by_name[oi]]);
+        let nt = (ni < new.by_name.len()).then(|| &new.tasks[new.by_name[ni]]);
+        match (ot, nt) {
+            (Some(o), Some(n)) => match o.name.cmp(&n.name) {
+                std::cmp::Ordering::Equal => {
+                    if o.fingerprint != n.fingerprint {
+                        changed.insert(o.name.clone());
+                    }
+                    oi += 1;
+                    ni += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    changed.insert(o.name.clone());
+                    oi += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    changed.insert(n.name.clone());
+                    ni += 1;
+                }
+            },
+            (Some(o), None) => {
+                changed.insert(o.name.clone());
+                oi += 1;
+            }
+            (None, Some(n)) => {
+                changed.insert(n.name.clone());
+                ni += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+
+    // Relative priority order among unchanged tasks must be preserved,
+    // or cached comparisons (which is all the analysis does with
+    // priorities) are invalid.
+    if !old
+        .priority_order(&changed)
+        .eq(new.priority_order(&changed))
+    {
+        return DirtySet::full();
+    }
+
+    let mut dirty = DirtySet::default();
+    // Per-graph dirty marks by index; converted to names at the end.
+    // The closure loops below revisit the same tasks many times over
+    // (every mate of every changed task, every user of every shared
+    // semaphore), so set-of-name insertion would allocate thousands of
+    // strings per edit where a flag test costs nothing.
+    let mut marks = Marks::new(old, new);
+
+    // Scope flips promote every user (in either version) to changed.
+    for (ri, o) in old.resources.iter().enumerate() {
+        let n = &new.resources[ri];
+        if o.scope != n.scope {
+            dirty.resources.insert(o.name.clone());
+            for &u in &o.users {
+                changed.insert(old.tasks[u].name.clone());
+            }
+            for &u in &n.users {
+                changed.insert(new.tasks[u].name.clone());
+            }
+        }
+    }
+
+    // Per changed task, in both versions: its processor mates, the
+    // users of every global semaphore those mates touch, and its own
+    // resources.
+    for c in &changed {
+        for (gi, g) in [old, new].into_iter().enumerate() {
+            let Some(ti) = g.task_idx(c) else { continue };
+            let t = &g.tasks[ti];
+            if t.globals.is_empty() {
+                // A task with no global sections enters no remote
+                // task's bound (factors 2-4 involve it only through
+                // global sections, and suspensions feed the deferred
+                // penalty of *local* mates only): its processor's
+                // tasks and rows are the entire blast radius. Scope
+                // flips this task could cause were already promoted
+                // above, and then its globals are non-empty in the
+                // graph where the resource is global.
+                marks.mark_mates(g, gi, t.proc);
+            } else {
+                marks.mark_processor(g, gi, t.proc);
+            }
+            for &r in &t.resources {
+                dirty.resources.insert(g.resources[r].name.clone());
+            }
+        }
+    }
+
+    // Gcs-priority propagation: a global semaphore whose remote-argmax
+    // signature changed (or whose argmax is itself a changed task)
+    // invalidates factor-4 comparisons on the processors of its users.
+    let mut candidates: BTreeSet<&str> = BTreeSet::new();
+    for c in &changed {
+        for g in [old, new] {
+            if let Some(ti) = g.task_idx(c) {
+                for &r in &g.tasks[ti].globals {
+                    candidates.insert(g.resources[r].name.as_str());
+                }
+            }
+        }
+    }
+    let mut repri: BTreeSet<String> = BTreeSet::new();
+    for rn in candidates {
+        let (Some(oi), Some(ni)) = (old.res_idx(rn), new.res_idx(rn)) else {
+            continue;
+        };
+        let (o, n) = (&old.resources[oi], &new.resources[ni]);
+        if o.scope != ScopeKey::Global || n.scope != ScopeKey::Global {
+            continue; // flips are already fully promoted above
+        }
+        let touched = o.argmax != n.argmax
+            || o.argmax
+                .iter()
+                .chain(&n.argmax)
+                .any(|(_, best)| best.as_deref().is_some_and(|b| changed.contains(b)));
+        if touched {
+            repri.insert(rn.to_string());
+        }
+    }
+    for rn in &repri {
+        for (gi, g) in [old, new].into_iter().enumerate() {
+            let Some(ri) = g.res_idx(rn) else { continue };
+            for &u in &g.resources[ri].users {
+                marks.mark_processor(g, gi, g.tasks[u].proc);
+            }
+        }
+    }
+
+    // DPCP host edge: rehosting dirties the semaphore's users and both
+    // host processors' tasks and hosted sections.
+    if let Edit::RehostResource(rn) = edit {
+        dirty.resources.insert(rn.clone());
+        for g in [old, new] {
+            let Some(ri) = g.res_idx(rn) else { continue };
+            for &u in &g.resources[ri].users {
+                dirty.tasks.insert(g.tasks[u].name.clone());
+            }
+        }
+        let hosts: Vec<usize> = [old, new]
+            .iter()
+            .filter_map(|g| g.res_idx(rn).and_then(|ri| g.resources[ri].host))
+            .collect();
+        for g in [old, new] {
+            for &h in &hosts {
+                for &t in &g.proc_tasks[h] {
+                    dirty.tasks.insert(g.tasks[t].name.clone());
+                }
+                for r in &g.resources {
+                    if r.host == Some(h) {
+                        for &u in &r.users {
+                            dirty.tasks.insert(g.tasks[u].name.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Convert index marks to names (deduplicating across versions).
+    for (gi, g) in [old, new].into_iter().enumerate() {
+        for (ti, &m) in marks.tasks[gi].iter().enumerate() {
+            if m {
+                dirty.tasks.insert(g.tasks[ti].name.clone());
+            }
+        }
+        for (pi, &m) in marks.procs[gi].iter().enumerate() {
+            if m {
+                dirty.processors.insert(g.proc_names[pi].clone());
+            }
+        }
+    }
+
+    // Theorem 3 rows live per processor: every dirty task's processor
+    // (in both versions) must be re-rowed.
+    for t in dirty.tasks.iter().cloned().collect::<Vec<_>>() {
+        for g in [old, new] {
+            if let Some(ti) = g.task_idx(&t) {
+                dirty
+                    .processors
+                    .insert(g.proc_names[g.tasks[ti].proc].clone());
+            }
+        }
+    }
+
+    dirty
+}
+
+/// FNV-1a over the analysis-relevant shape of a task.
+fn fingerprint(t: &mpcp_model::Task) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut put = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    put(t.processor().index() as u64);
+    put(t.period().ticks());
+    put(t.deadline().ticks());
+    put(t.offset().ticks());
+    fn segs(put: &mut impl FnMut(u64), ss: &[Segment]) {
+        for s in ss {
+            match s {
+                Segment::Compute(d) => {
+                    put(1);
+                    put(d.ticks());
+                }
+                Segment::Suspend(d) => {
+                    put(2);
+                    put(d.ticks());
+                }
+                Segment::Critical(r, body) => {
+                    put(3);
+                    put(r.index() as u64);
+                    segs(put, body);
+                    put(4);
+                }
+            }
+        }
+    }
+    segs(&mut put, t.body().segments());
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::{Body, System, TaskDef};
+
+    /// P0: t0 (pri 3, SG). P1: t1 (pri 2, SG). P2: t2 (pri 1, SL).
+    fn base() -> System {
+        let mut b = System::builder();
+        let p = b.add_processors(3);
+        let sg = b.add_resource("SG");
+        let sl = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("t0", p[0])
+                .period(100)
+                .priority(3)
+                .body(Body::builder().critical(sg, |c| c.compute(2)).build()),
+        );
+        b.add_task(
+            TaskDef::new("t1", p[1])
+                .period(200)
+                .priority(2)
+                .body(Body::builder().critical(sg, |c| c.compute(3)).build()),
+        );
+        b.add_task(
+            TaskDef::new("t2", p[2])
+                .period(300)
+                .priority(1)
+                .body(Body::builder().critical(sl, |c| c.compute(1)).build()),
+        );
+        b.build().unwrap()
+    }
+
+    /// `base()` plus t3 (pri 0... use 4) on P1 sharing SG.
+    fn with_t3() -> System {
+        let mut b = System::builder();
+        let p = b.add_processors(3);
+        let sg = b.add_resource("SG");
+        let sl = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("t0", p[0])
+                .period(100)
+                .priority(3)
+                .body(Body::builder().critical(sg, |c| c.compute(2)).build()),
+        );
+        b.add_task(
+            TaskDef::new("t1", p[1])
+                .period(200)
+                .priority(2)
+                .body(Body::builder().critical(sg, |c| c.compute(3)).build()),
+        );
+        b.add_task(
+            TaskDef::new("t2", p[2])
+                .period(300)
+                .priority(1)
+                .body(Body::builder().critical(sl, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("t3", p[1])
+                .period(400)
+                .priority(4)
+                .body(Body::builder().critical(sg, |c| c.compute(5)).build()),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn add_task_dirties_sharers_but_not_bystanders() {
+        let old = DepGraph::build(&base());
+        let new = DepGraph::build(&with_t3());
+        let d = dirty_set(&old, &new, &Edit::AddTask("t3".into()));
+        assert!(!d.full);
+        for t in ["t0", "t1", "t3"] {
+            assert!(d.tasks.contains(t), "{t} should be dirty: {d:?}");
+        }
+        assert!(!d.tasks.contains("t2"), "bystander went dirty: {d:?}");
+        assert!(d.processors.contains("P0") && d.processors.contains("P1"));
+        assert!(!d.processors.contains("P2"));
+        assert!(d.resources.contains("SG"));
+        assert!(!d.resources.contains("SL"));
+    }
+
+    #[test]
+    fn removal_is_detected_without_the_edit_naming_it() {
+        let old = DepGraph::build(&with_t3());
+        let new = DepGraph::build(&base());
+        // Mislabel the edit entirely; the fingerprint diff still finds t3.
+        let d = dirty_set(&old, &new, &Edit::ModifyTask("t1".into()));
+        assert!(!d.full);
+        assert!(d.tasks.contains("t3"));
+        assert!(d.tasks.contains("t0"));
+        assert!(!d.tasks.contains("t2"));
+    }
+
+    #[test]
+    fn scope_flip_promotes_every_user() {
+        // SL is local to P2 (only t2). A new P0 task touching SL flips
+        // it global: t2 must go dirty even though nothing else about
+        // it changed.
+        let mut b = System::builder();
+        let p = b.add_processors(3);
+        let sg = b.add_resource("SG");
+        let sl = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("t0", p[0])
+                .period(100)
+                .priority(3)
+                .body(Body::builder().critical(sg, |c| c.compute(2)).build()),
+        );
+        b.add_task(
+            TaskDef::new("t1", p[1])
+                .period(200)
+                .priority(2)
+                .body(Body::builder().critical(sg, |c| c.compute(3)).build()),
+        );
+        b.add_task(
+            TaskDef::new("t2", p[2])
+                .period(300)
+                .priority(1)
+                .body(Body::builder().critical(sl, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("t4", p[0])
+                .period(500)
+                .priority(4)
+                .body(Body::builder().critical(sl, |c| c.compute(2)).build()),
+        );
+        let new = b.build().unwrap();
+        let old = DepGraph::build(&base());
+        let new = DepGraph::build(&new);
+        let d = dirty_set(&old, &new, &Edit::AddTask("t4".into()));
+        assert!(!d.full);
+        assert!(d.tasks.contains("t2"), "flipped resource user stayed clean");
+        assert!(d.resources.contains("SL"));
+        assert!(d.processors.contains("P2"));
+    }
+
+    #[test]
+    fn structural_mismatches_force_full() {
+        let two = {
+            let mut b = System::builder();
+            let p = b.add_processors(2);
+            let s = b.add_resource("SG");
+            b.add_task(
+                TaskDef::new("a", p[0])
+                    .period(10)
+                    .priority(2)
+                    .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+            );
+            b.add_task(
+                TaskDef::new("b", p[1])
+                    .period(20)
+                    .priority(1)
+                    .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+            );
+            b.build().unwrap()
+        };
+        let old = DepGraph::build(&base());
+        let new = DepGraph::build(&two);
+        assert!(dirty_set(&old, &new, &Edit::ModifyTask("a".into())).full);
+    }
+
+    #[test]
+    fn priority_reorder_of_untouched_tasks_forces_full() {
+        let make = |pa: u32, pb: u32| {
+            let mut b = System::builder();
+            let p = b.add_processors(2);
+            let s = b.add_resource("SG");
+            b.add_task(
+                TaskDef::new("a", p[0])
+                    .period(10)
+                    .priority(pa)
+                    .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+            );
+            b.add_task(
+                TaskDef::new("b", p[1])
+                    .period(20)
+                    .priority(pb)
+                    .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+            );
+            b.add_task(
+                TaskDef::new("c", p[0])
+                    .period(30)
+                    .priority(1)
+                    .body(Body::builder().compute(1).build()),
+            );
+            b.build().unwrap()
+        };
+        let old = DepGraph::build(&make(3, 2));
+        let new = DepGraph::build(&make(2, 3));
+        // The edit names only c; a and b swapped order behind its back.
+        assert!(dirty_set(&old, &new, &Edit::ModifyTask("c".into())).full);
+    }
+
+    #[test]
+    fn rehost_dirties_both_host_processors() {
+        let sys = with_t3();
+        let g = DepGraph::build(&sys);
+        // Host of SG is the processor of its highest-priority user t3 (P1).
+        assert_eq!(g.host_of("SG"), Some("P1"));
+        let d = dirty_set(&g, &g, &Edit::RehostResource("SG".into()));
+        assert!(!d.full);
+        for t in ["t0", "t1", "t3"] {
+            assert!(d.tasks.contains(t), "{t} should be dirty: {d:?}");
+        }
+        assert!(d.resources.contains("SG"));
+        // An identity edit on a task leaves nothing dirty.
+        let d = dirty_set(&g, &g, &Edit::ModifyTask("t2".into()));
+        assert!(d.tasks.contains("t2"));
+        assert!(!d.tasks.contains("t0"));
+    }
+}

@@ -125,13 +125,13 @@ pub fn dpcp_bounds_with(
 /// strict `>` here, a lower-priority task's equal-ceiling section
 /// produced measured blocking above the bound.)
 fn host_ceiling_gcs(
-    facts: &Facts,
-    i: &TaskFacts,
+    facts: &Facts<'_>,
+    i: &TaskFacts<'_>,
     host: &impl Fn(ResourceId) -> ProcessorId,
     config: BlockingConfig,
 ) -> Dur {
     let mut total = Dur::ZERO;
-    for &s in &i.global_resources {
+    for &s in i.global_resources {
         let p = host(s);
         let ceiling = facts.ceilings.ceiling(s);
         for k in facts.tasks.iter().filter(|k| k.id != i.id) {
@@ -155,8 +155,8 @@ fn host_ceiling_gcs(
 /// processor execute there at ceiling priority. Higher-priority local
 /// tasks' sections are ordinary interference and are excluded.
 fn agent_interference(
-    facts: &Facts,
-    i: &TaskFacts,
+    facts: &Facts<'_>,
+    i: &TaskFacts<'_>,
     host: &impl Fn(ResourceId) -> ProcessorId,
     config: BlockingConfig,
 ) -> Dur {

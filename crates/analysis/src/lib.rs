@@ -54,6 +54,8 @@ mod bounds;
 mod collapse;
 mod counts;
 mod deadlock;
+mod delta;
+mod depgraph;
 mod dpcp;
 mod error;
 pub mod report;
@@ -64,6 +66,8 @@ pub use blocking::{mpcp_bounds, mpcp_bounds_with, BlockingBreakdown, BlockingCon
 pub use bounds::{mpcp_bound_set, BoundSet, TaskBounds};
 pub use collapse::{collapse_nested_globals, LockGroup};
 pub use deadlock::{global_nesting_edges, lock_order_cycle, validate_lock_ordering};
+pub use delta::{DeltaBounds, DeltaStats};
+pub use depgraph::{dirty_set, DepGraph, DirtySet, Edit};
 pub use dpcp::{default_hosts, dpcp_bounds, dpcp_bounds_with, DpcpBreakdown};
 pub use error::AnalysisError;
 pub use sched::{

@@ -44,6 +44,17 @@ pub struct SchedReport {
 }
 
 impl SchedReport {
+    /// Assembles a report from per-task rows in [`TaskId`] order,
+    /// deriving the verdict. Shared by [`theorem3`] and the
+    /// incremental engine so both produce bit-identical reports.
+    pub(crate) fn from_rows(per_task: Vec<TaskSched>) -> SchedReport {
+        let schedulable = per_task.iter().all(|t| t.ok);
+        SchedReport {
+            per_task,
+            schedulable,
+        }
+    }
+
     /// Whether every task passed.
     pub fn schedulable(&self) -> bool {
         self.schedulable
@@ -79,31 +90,45 @@ pub fn theorem3(system: &System, blocking: &[Dur]) -> SchedReport {
     assert_eq!(blocking.len(), system.tasks().len());
     let mut per_task: Vec<Option<TaskSched>> = vec![None; system.tasks().len()];
     for proc in system.processors() {
-        let local = system.tasks_on(proc.id()); // decreasing priority
-        let mut util_sum = 0.0;
-        for (rank, task) in local.iter().enumerate() {
-            util_sum += task.utilization();
-            let b = blocking[task.id().index()];
-            let demand = util_sum + b.ratio(task.period());
-            let bound = liu_layland_bound(rank + 1);
-            per_task[task.id().index()] = Some(TaskSched {
-                task: task.id(),
-                processor: proc.id(),
-                demand,
-                bound,
-                ok: demand <= bound + 1e-12,
-            });
+        for row in theorem3_rows(system, proc.id(), &|t| blocking[t.index()]) {
+            per_task[row.task.index()] = Some(row);
         }
     }
     let per_task: Vec<TaskSched> = per_task
         .into_iter()
         .map(|t| t.expect("every task is bound to a processor"))
         .collect();
-    let schedulable = per_task.iter().all(|t| t.ok);
-    SchedReport {
-        per_task,
-        schedulable,
-    }
+    SchedReport::from_rows(per_task)
+}
+
+/// The Theorem 3 rows of one processor, in decreasing priority order.
+/// The utilization accumulation order is fixed by `tasks_on`, so
+/// recomputing a single processor reproduces [`theorem3`]'s floats
+/// bit-for-bit — the property the incremental engine certifies.
+pub(crate) fn theorem3_rows(
+    system: &System,
+    proc: ProcessorId,
+    blocking: &dyn Fn(TaskId) -> Dur,
+) -> Vec<TaskSched> {
+    let local = system.tasks_on(proc); // decreasing priority
+    let mut util_sum = 0.0;
+    local
+        .iter()
+        .enumerate()
+        .map(|(rank, task)| {
+            util_sum += task.utilization();
+            let b = blocking(task.id());
+            let demand = util_sum + b.ratio(task.period());
+            let bound = liu_layland_bound(rank + 1);
+            TaskSched {
+                task: task.id(),
+                processor: proc,
+                demand,
+                bound,
+                ok: demand <= bound + 1e-12,
+            }
+        })
+        .collect()
 }
 
 /// Exact response-time analysis with blocking (a tighter, post-1990

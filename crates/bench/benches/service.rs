@@ -1,8 +1,10 @@
 //! Serving benchmark: end-to-end throughput and latency of the
-//! admission-control server under a load-generated submission stream.
+//! admission-control server under a load-generated submission stream,
+//! plus the incremental-vs-full admission comparison for session
+//! transactions.
 //!
-//! Two phases, each against a fresh in-process server so the cache
-//! counters are per-phase:
+//! `service/serving` runs two phases, each against a fresh in-process
+//! server so the cache counters are per-phase:
 //!
 //! - `uncached`: every request submits a distinct system — all misses,
 //!   measuring raw analysis throughput through the full stack
@@ -10,13 +12,25 @@
 //! - `cached`: the same request count cycling 8 distinct systems — laps
 //!   two onward are answered from the analysis cache.
 //!
+//! `service/incremental` measures the two admission paths a live
+//! session's `add-task`/`remove-task` can take — a full
+//! [`analyze`](mpcp_service::analyze) of the candidate vs the
+//! dependency-aware [`analyze_incremental`](mpcp_service::analyze_incremental)
+//! replay against the session's cached engine — at 8-, 32- and
+//! 64-processor sessions, asserting the verdicts are identical before
+//! timing them.
+//!
 //! Prints one JSON document; `BENCH_service.json` at the repo root is a
 //! checked-in release-mode run of this binary.
 
+use mpcp_analysis::Edit;
 use mpcp_service::json::Value;
-use mpcp_service::{loadgen, spawn, LoadReport, LoadgenConfig, ServerConfig};
-use mpcp_taskgen::WorkloadConfig;
-use std::time::Duration;
+use mpcp_service::{
+    analyze, analyze_incremental, engine_for, loadgen, spawn, LoadReport, LoadgenConfig,
+    ServerConfig, SystemSpec,
+};
+use mpcp_taskgen::{generate, WorkloadConfig};
+use std::time::{Duration, Instant};
 
 const REQUESTS: usize = 512;
 const CONNECTIONS: usize = 4;
@@ -38,6 +52,8 @@ fn phase(unique: usize, seed: u64) -> LoadReport {
         queue_cap: 64,
         deadline: Duration::from_millis(5000),
         cache_capacity: 4096,
+        incremental: true,
+        audit_every: 64,
     })
     .expect("bind bench server");
     let report = loadgen::run(&LoadgenConfig {
@@ -54,40 +70,145 @@ fn phase(unique: usize, seed: u64) -> LoadReport {
     report
 }
 
+/// Per-op microseconds of `f` over enough iterations to smooth noise.
+fn time_us<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    // One warm-up call outside the clock.
+    let _ = f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+}
+
+/// A pure-compute task pinned to the first processor — the cheap common
+/// session edit: no critical sections, so its dirty blast radius is one
+/// processor, not the cluster.
+fn local_task(name: &str) -> mpcp_service::TaskSpec {
+    mpcp_service::TaskSpec {
+        name: name.to_owned(),
+        processor: 0,
+        period: 10_000,
+        deadline: None,
+        offset: 0,
+        priority: None,
+        body: vec![mpcp_service::SegSpec::Compute(50)],
+    }
+}
+
+/// Incremental-vs-full admission at one session size: a committed
+/// session of `procs × 80 + 1` tasks, one `add-task` candidate and one
+/// `remove-task` candidate (both local-only tasks, the realistic cheap
+/// edit), verdict-checked against the full path before timing.
+fn delta_phase(procs: usize, iters: u32) -> Value {
+    let sys = generate(
+        &WorkloadConfig::default()
+            .processors(procs)
+            .tasks_per_processor(80)
+            .utilization(0.4)
+            .resources(1, 3)
+            .sections(1, 4)
+            .global_access(0.7)
+            .section_len(0.01, 0.05)
+            .clusters(2),
+        4_242,
+    );
+    let mut committed = SystemSpec::from_system(&sys);
+    committed.tasks.push(local_task("incoming"));
+    let engine = engine_for(&committed).expect("session engine builds");
+
+    let added = local_task("incoming2");
+    let mut add_candidate = committed.clone();
+    add_candidate.tasks.push(added.clone());
+    let add_edit = Edit::AddTask(added.name);
+
+    let mut remove_candidate = committed.clone();
+    let removed = remove_candidate.tasks.pop().expect("committed incoming");
+    let remove_edit = Edit::RemoveTask(removed.name);
+
+    let row = |label: &str, candidate: &SystemSpec, edit: &Edit| {
+        let (delta, _) =
+            analyze_incremental(&engine, candidate, edit).expect("incremental path applies");
+        let full = analyze(candidate, None);
+        assert_eq!(
+            delta, full,
+            "{label} at {procs} processors: incremental admission diverged from full"
+        );
+        let full_us = time_us(iters, || analyze(candidate, None));
+        let delta_us = time_us(iters, || analyze_incremental(&engine, candidate, edit));
+        Value::obj([
+            ("full_us", Value::from(full_us)),
+            ("delta_us", Value::from(delta_us)),
+            ("speedup", Value::from(full_us / delta_us)),
+        ])
+    };
+
+    let add = row("add-task", &add_candidate, &add_edit);
+    let remove = row("remove-task", &remove_candidate, &remove_edit);
+    Value::obj([
+        ("processors", Value::from(procs)),
+        ("tasks", Value::from(committed.tasks.len())),
+        ("add", add),
+        ("remove", remove),
+    ])
+}
+
 fn main() {
     // Substring filter, as the other harness=false benches take
     // (cargo's own flags such as --bench are ignored).
     let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-    if let Some(f) = &filter {
-        if !"service/serving".contains(f.as_str()) {
-            return;
-        }
+    let enabled = |name: &str| filter.as_ref().is_none_or(|f| name.contains(f.as_str()));
+
+    let mut docs = Vec::new();
+    if enabled("service/serving") {
+        let uncached = phase(REQUESTS, 1_000);
+        let cached = phase(8, 1);
+
+        let doc = Value::obj([
+            ("bench", Value::str("service/serving")),
+            (
+                "config",
+                Value::obj([
+                    ("requests", Value::from(REQUESTS)),
+                    ("connections", Value::from(CONNECTIONS)),
+                    ("workers", Value::from(WORKERS)),
+                    ("workload", Value::str("4 procs x 4 tasks, util 0.4")),
+                ]),
+            ),
+            ("uncached", uncached.render_json()),
+            ("cached", cached.render_json()),
+        ]);
+        docs.push(doc);
+
+        assert_eq!(uncached.errors, 0, "uncached phase saw transport errors");
+        assert_eq!(cached.errors, 0, "cached phase saw transport errors");
+        let (hits, _, _) = cached.cache.expect("cache stats in query");
+        assert!(
+            hits as usize >= REQUESTS - 8,
+            "repeated stream should be served from cache (hits = {hits})"
+        );
     }
-
-    let uncached = phase(REQUESTS, 1_000);
-    let cached = phase(8, 1);
-
-    let doc = Value::obj([
-        ("bench", Value::str("service/serving")),
-        (
-            "config",
-            Value::obj([
-                ("requests", Value::from(REQUESTS)),
-                ("connections", Value::from(CONNECTIONS)),
-                ("workers", Value::from(WORKERS)),
-                ("workload", Value::str("4 procs x 4 tasks, util 0.4")),
-            ]),
-        ),
-        ("uncached", uncached.render_json()),
-        ("cached", cached.render_json()),
-    ]);
-    println!("{}", doc.encode());
-
-    assert_eq!(uncached.errors, 0, "uncached phase saw transport errors");
-    assert_eq!(cached.errors, 0, "cached phase saw transport errors");
-    let (hits, _, _) = cached.cache.expect("cache stats in query");
-    assert!(
-        hits as usize >= REQUESTS - 8,
-        "repeated stream should be served from cache (hits = {hits})"
-    );
+    if enabled("service/incremental") {
+        let sessions: Vec<Value> = [(8usize, 40u32), (32, 25), (64, 10)]
+            .into_iter()
+            .map(|(procs, iters)| delta_phase(procs, iters))
+            .collect();
+        docs.push(Value::obj([
+            ("bench", Value::str("service/incremental")),
+            (
+                "config",
+                Value::obj([
+                    ("tasks_per_processor", Value::from(80usize)),
+                    ("utilization", Value::from(0.4)),
+                    ("clusters", Value::from(2usize)),
+                    ("edit", Value::str("local-only task add/remove")),
+                    ("seed", Value::from(4_242usize)),
+                ]),
+            ),
+            ("sessions", Value::Arr(sessions)),
+        ]));
+    }
+    for doc in docs {
+        println!("{}", doc.encode());
+    }
 }

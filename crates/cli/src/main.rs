@@ -259,6 +259,8 @@ fn main() -> ExitCode {
                 queue_cap: flag_u64(&flags, "queue", 64) as usize,
                 deadline: Duration::from_millis(flag_u64(&flags, "deadline-ms", 1000)),
                 cache_capacity: flag_u64(&flags, "cache", 4096) as usize,
+                incremental: !flags.contains_key("no-incremental"),
+                audit_every: flag_u64(&flags, "audit-every", 64),
             };
             match mpcp_service::spawn(&config) {
                 Ok(handle) => {
@@ -354,6 +356,17 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        "audit" => {
+            let (sys, label) = match lint_target(&flags) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let steps = flag_u64(&flags, "steps", sys.tasks().len() as u64) as usize;
+            run_audit(&sys, &label, steps)
+        }
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             ExitCode::SUCCESS
@@ -362,6 +375,147 @@ fn main() -> ExitCode {
             eprintln!("unknown command {other:?}\n{}", usage());
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `mpcp audit`: drive the incremental analysis engine through a
+/// deterministic edit script (scale each task's period, remove it,
+/// re-add it) and byte-compare its snapshot against an independent full
+/// recompute after every step. Any divergence is a hard failure.
+fn run_audit(sys: &mpcp_model::System, label: &str, steps: usize) -> ExitCode {
+    use mpcp_verify::{full_snapshot_json, IncrementalAnalysis};
+    use std::time::Instant;
+
+    let mut engine = match IncrementalAnalysis::new(sys.clone()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("audit: cannot build incremental engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names: Vec<String> = sys
+        .tasks()
+        .iter()
+        .take(steps)
+        .map(|t| t.name().to_owned())
+        .collect();
+    eprintln!(
+        "auditing {label}: {} tasks, {} edit(s)",
+        sys.tasks().len(),
+        names.len() * 3
+    );
+
+    let mut incremental_ns = 0u128;
+    let mut full_ns = 0u128;
+    let mut edits = 0usize;
+    let mut divergences = 0usize;
+
+    let check = |engine: &mut IncrementalAnalysis,
+                 next: mpcp_model::System,
+                 edit: analysis::Edit,
+                 incremental_ns: &mut u128,
+                 full_ns: &mut u128,
+                 divergences: &mut usize| {
+        let t0 = Instant::now();
+        engine.apply(next, &edit);
+        let got = engine.snapshot_json();
+        *incremental_ns += t0.elapsed().as_nanos();
+        let t1 = Instant::now();
+        let want = full_snapshot_json(engine.system());
+        *full_ns += t1.elapsed().as_nanos();
+        if got != want {
+            *divergences += 1;
+            let diff = got
+                .lines()
+                .zip(want.lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b);
+            eprintln!("audit: DIVERGENCE after {edit}");
+            if let Some((n, (a, b))) = diff {
+                eprintln!("  line {}: incremental: {a}", n + 1);
+                eprintln!("  line {}: full:        {b}", n + 1);
+            } else {
+                eprintln!("  (snapshots differ in length only)");
+            }
+        }
+    };
+
+    for name in &names {
+        let committed = engine.system().clone();
+        // 1. Double the period (a modify-task edit).
+        let scaled = match mpcp_verify::with_scaled_period(&committed, name, 2) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("audit: scaling {name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        check(
+            &mut engine,
+            scaled,
+            analysis::Edit::ModifyTask(name.clone()),
+            &mut incremental_ns,
+            &mut full_ns,
+            &mut divergences,
+        );
+        edits += 1;
+        // 2./3. Remove the task and re-add it (skipped for the last
+        // task standing: an empty system has no incremental story).
+        if engine.system().tasks().len() > 1 {
+            let before_removal = engine.system().clone();
+            let removed = match mpcp_verify::without_task(&before_removal, name) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("audit: removing {name} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            check(
+                &mut engine,
+                removed,
+                analysis::Edit::RemoveTask(name.clone()),
+                &mut incremental_ns,
+                &mut full_ns,
+                &mut divergences,
+            );
+            edits += 1;
+            let readded = match mpcp_verify::with_task_from(engine.system(), &before_removal, name)
+            {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("audit: re-adding {name} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            check(
+                &mut engine,
+                readded,
+                analysis::Edit::AddTask(name.clone()),
+                &mut incremental_ns,
+                &mut full_ns,
+                &mut divergences,
+            );
+            edits += 1;
+        }
+    }
+
+    let stats = engine.stats();
+    println!(
+        "audit {label}: {edits} edits, {divergences} divergence(s)\n\
+         incremental: {:>10.1} µs total   full recompute: {:>10.1} µs total ({:.1}x)\n\
+         reuse: {} lint units, {} task bounds, {} theorem-3 processors",
+        incremental_ns as f64 / 1e3,
+        full_ns as f64 / 1e3,
+        full_ns as f64 / incremental_ns.max(1) as f64,
+        stats.lint_units_reused,
+        stats.tasks_reused,
+        stats.processors_reused,
+    );
+    if divergences == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("audit: {divergences} divergence(s) — incremental analysis is WRONG");
+        ExitCode::FAILURE
     }
 }
 
@@ -376,6 +530,7 @@ fn usage() -> String {
      \x20 mpcp allocate [opts]        compare allocation heuristics\n\
      \x20 mpcp lint [opts]            static checks; nonzero exit on errors\n\
      \x20 mpcp verify [opts]          lints + exhaustive small-scope model check\n\
+     \x20 mpcp audit [opts]           certify incremental analysis against full recompute\n\
      \x20 mpcp serve [opts]           online admission-control server (NDJSON/TCP)\n\
      \x20 mpcp loadgen [opts]         drive a server with a submission stream\n\
      \x20 mpcp sweep [opts]           differential analysis-vs-simulation sweep\n\
@@ -397,6 +552,13 @@ fn usage() -> String {
      \x20 --queue N      pending-request bound (default 64)\n\
      \x20 --deadline-ms N  per-request deadline (default 1000)\n\
      \x20 --cache N      analysis-cache entries (default 4096)\n\
+     \x20 --no-incremental  full analysis for every add-task/remove-task\n\
+     \x20 --audit-every N   audit every Nth incremental result (default 64, 0 = off)\n\
+     \n\
+     audit options:\n\
+     \x20 --example X    paper example 1|2|3 (or the random-system options)\n\
+     \x20 --steps N      tasks to cycle through the edit script (default: all)\n\
+     \x20 exit is nonzero if any incremental snapshot differs from the full one\n\
      \n\
      loadgen options:\n\
      \x20 --port N / --addr A         server to drive\n\
@@ -433,6 +595,7 @@ const BOOL_FLAGS: &[&str] = &[
     "no-blocking-check",
     "no-shrink",
     "check-response",
+    "no-incremental",
 ];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {

@@ -56,6 +56,14 @@ pub struct TaskResourceUse {
     /// Critical sections on **local** resources (outermost only), in lock
     /// order.
     pub local_sections: Vec<CriticalSection>,
+    /// Every critical section of the task (nested included), in lock
+    /// order — the cached result of
+    /// [`Body::critical_sections`](crate::Body::critical_sections).
+    pub sections: Vec<CriticalSection>,
+    /// Global resources the task uses, sorted by id, deduplicated.
+    pub global_resources: Vec<ResourceId>,
+    /// Number of explicit self-suspensions per job.
+    pub suspension_count: usize,
 }
 
 impl TaskResourceUse {
@@ -89,6 +97,12 @@ impl TaskResourceUse {
 pub struct SystemInfo {
     usage: Vec<ResourceUsage>,
     task_use: Vec<TaskResourceUse>,
+    /// Task indices sorted by task name (ties in declaration order).
+    pub(crate) tasks_by_name: Vec<u32>,
+    /// Resource indices sorted by resource name.
+    pub(crate) resources_by_name: Vec<u32>,
+    /// Processor indices sorted by processor name.
+    pub(crate) processors_by_name: Vec<u32>,
 }
 
 impl SystemInfo {
@@ -97,8 +111,16 @@ impl SystemInfo {
         let mut users: Vec<Vec<TaskId>> = vec![Vec::new(); n_res];
         let mut longest: Vec<Dur> = vec![Dur::ZERO; n_res];
 
-        for task in system.tasks() {
-            for cs in task.body().critical_sections() {
+        // Walk each body exactly once; the resulting section lists are
+        // cached in `task_use` so downstream passes never re-walk.
+        let per_task: Vec<Vec<CriticalSection>> = system
+            .tasks()
+            .iter()
+            .map(|task| task.body().critical_sections())
+            .collect();
+
+        for (task, sections) in system.tasks().iter().zip(&per_task) {
+            for cs in sections {
                 let ri = cs.resource.index();
                 if !users[ri].contains(&task.id()) {
                     users[ri].push(task.id());
@@ -133,30 +155,55 @@ impl SystemInfo {
         let task_use = system
             .tasks()
             .iter()
-            .map(|task| {
+            .zip(per_task)
+            .map(|(task, sections)| {
                 let mut global_sections = Vec::new();
                 let mut local_sections = Vec::new();
-                for cs in task.body().critical_sections() {
+                for cs in &sections {
                     // Only outermost sections count towards NC_i; a nested
                     // section is part of its outermost section's duration.
                     if !cs.is_outermost() {
                         continue;
                     }
                     match usage[cs.resource.index()].scope {
-                        Scope::Global => global_sections.push(cs),
-                        Scope::Local(_) => local_sections.push(cs),
+                        Scope::Global => global_sections.push(cs.clone()),
+                        Scope::Local(_) => local_sections.push(cs.clone()),
                         Scope::Unused => unreachable!("used resource marked unused"),
                     }
                 }
+                let mut global_resources: Vec<ResourceId> =
+                    global_sections.iter().map(|cs| cs.resource).collect();
+                global_resources.sort_unstable();
+                global_resources.dedup();
                 TaskResourceUse {
                     task: task.id(),
                     global_sections,
                     local_sections,
+                    sections,
+                    global_resources,
+                    suspension_count: task.body().suspension_count(),
                 }
             })
             .collect();
 
-        SystemInfo { usage, task_use }
+        fn sorted_by<'a>(n: usize, name: impl Fn(usize) -> &'a str) -> Vec<u32> {
+            let mut v: Vec<u32> = (0..n as u32).collect();
+            v.sort_by_key(|&i| name(i as usize));
+            v
+        }
+        let tasks_by_name = sorted_by(system.tasks().len(), |i| system.tasks()[i].name());
+        let resources_by_name =
+            sorted_by(system.resources().len(), |i| system.resources()[i].name());
+        let processors_by_name =
+            sorted_by(system.processors().len(), |i| system.processors()[i].name());
+
+        SystemInfo {
+            usage,
+            task_use,
+            tasks_by_name,
+            resources_by_name,
+            processors_by_name,
+        }
     }
 
     /// Scope of `resource`.
@@ -221,8 +268,9 @@ impl SystemInfo {
     /// another critical section, or nesting another critical section —
     /// ruled out by the base protocol's assumption (§4.2).
     pub fn has_nested_global_sections(&self, system: &System) -> bool {
-        for task in system.tasks() {
-            for cs in task.body().critical_sections() {
+        let _ = system;
+        for tu in &self.task_use {
+            for cs in &tu.sections {
                 let is_global = self.scope(cs.resource).is_global();
                 if is_global && (!cs.nested.is_empty() || !cs.enclosing.is_empty()) {
                     return true;

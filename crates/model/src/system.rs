@@ -8,6 +8,7 @@ use crate::rm::rate_monotonic_order;
 use crate::segment::Body;
 use crate::task::Task;
 use crate::time::{Dur, Time};
+use std::sync::{Arc, OnceLock};
 
 /// A processing element with its own local memory (Figure 4-1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -275,6 +276,7 @@ impl SystemBuilder {
             processors: self.processors,
             resources: self.resources,
             tasks,
+            info: Arc::new(OnceLock::new()),
         })
     }
 }
@@ -284,11 +286,22 @@ impl SystemBuilder {
 /// Create one with [`System::builder`]. All cross-references have been
 /// checked, every task has a unique task-band priority, and derived
 /// structure is available through [`System::info`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct System {
     processors: Vec<Processor>,
     resources: Vec<Resource>,
     tasks: Vec<Task>,
+    /// Lazily computed [`SystemInfo`], shared by clones. Purely derived
+    /// from the three fields above, so it is excluded from equality.
+    info: Arc<OnceLock<SystemInfo>>,
+}
+
+impl PartialEq for System {
+    fn eq(&self, other: &Self) -> bool {
+        self.processors == other.processors
+            && self.resources == other.resources
+            && self.tasks == other.tasks
+    }
 }
 
 impl System {
@@ -399,10 +412,38 @@ impl System {
         Dur::new(l)
     }
 
-    /// Computes derived structure: resource scopes, usage maps and
-    /// per-task critical-section facts.
-    pub fn info(&self) -> SystemInfo {
-        SystemInfo::compute(self)
+    /// Derived structure: resource scopes, usage maps and per-task
+    /// critical-section facts. Computed once per system (clones share
+    /// the cache).
+    pub fn info(&self) -> &SystemInfo {
+        self.info.get_or_init(|| SystemInfo::compute(self))
+    }
+
+    /// Index of the task named `name` (the first in declaration order
+    /// when names collide), via the cached name-sorted index.
+    pub fn task_index_by_name(&self, name: &str) -> Option<usize> {
+        let order = &self.info().tasks_by_name;
+        let pos = order.partition_point(|&i| self.tasks[i as usize].name() < name);
+        let i = *order.get(pos)? as usize;
+        (self.tasks[i].name() == name).then_some(i)
+    }
+
+    /// Index of the resource named `name`, via the cached name-sorted
+    /// index.
+    pub fn resource_index_by_name(&self, name: &str) -> Option<usize> {
+        let order = &self.info().resources_by_name;
+        let pos = order.partition_point(|&i| self.resources[i as usize].name() < name);
+        let i = *order.get(pos)? as usize;
+        (self.resources[i].name() == name).then_some(i)
+    }
+
+    /// Index of the processor named `name`, via the cached name-sorted
+    /// index.
+    pub fn processor_index_by_name(&self, name: &str) -> Option<usize> {
+        let order = &self.info().processors_by_name;
+        let pos = order.partition_point(|&i| self.processors[i as usize].name() < name);
+        let i = *order.get(pos)? as usize;
+        (self.processors[i].name() == name).then_some(i)
     }
 
     /// Whether any task's body nests one critical section inside another.

@@ -1,0 +1,124 @@
+//! Differential property for the incremental analysis engine: after
+//! *every* edit of a random edit script, the engine's snapshot must be
+//! byte-identical with a from-scratch recompute of the same system.
+//! This is the property the `mpcp audit` command and the sweep's
+//! `delta/divergence` oracle arm spot-check; here it is driven with
+//! randomized interleavings of add / remove / modify edits.
+
+use mpcp_analysis::Edit;
+use mpcp_model::System;
+use mpcp_prop::cases;
+use mpcp_taskgen::{generate, WorkloadConfig};
+use mpcp_verify::{
+    full_snapshot_json, with_scaled_period, with_task_from, without_task, IncrementalAnalysis,
+};
+
+fn workload(rng: &mut mpcp_prop::Rng) -> (System, u64) {
+    let seed = rng.range_u64(0, 99_999);
+    let cfg = WorkloadConfig::default()
+        .processors(rng.range_usize(2, 4))
+        .tasks_per_processor(rng.range_usize(2, 3))
+        .resources(1, rng.range_usize(1, 2))
+        .sections(0, 2)
+        .utilization(rng.range_f64(0.3, 0.7));
+    (generate(&cfg, seed), seed)
+}
+
+#[test]
+fn random_edit_scripts_stay_certified() {
+    cases(25, 0xDE17A, |rng| {
+        let (sys, seed) = workload(rng);
+        let mut engine =
+            IncrementalAnalysis::new(sys.clone()).expect("generated task names are unique");
+        // Tasks removed so far, each paired with a system that still
+        // contains it (the donor an add-task edit copies it back from).
+        let mut removed: Vec<(String, System)> = Vec::new();
+        let steps = rng.range_usize(8, 16);
+        for step in 0..steps {
+            let current = engine.system().clone();
+            let names: Vec<String> = current
+                .tasks()
+                .iter()
+                .map(|t| t.name().to_owned())
+                .collect();
+            let kind = rng.range_usize(0, 2);
+            let (next, edit) = if kind == 1 && names.len() > 1 {
+                let name = rng.choice(&names).clone();
+                let next = without_task(&current, &name).expect("name came from the system");
+                removed.push((name.clone(), current.clone()));
+                (next, Edit::RemoveTask(name))
+            } else if kind == 2 && !removed.is_empty() {
+                let (name, donor) = removed.remove(rng.range_usize(0, removed.len() - 1));
+                let next = with_task_from(&current, &donor, &name)
+                    .expect("removed task stays addable: names and priorities were unique");
+                (next, Edit::AddTask(name))
+            } else {
+                let name = rng.choice(&names).clone();
+                let factor = rng.range_u64(2, 3);
+                let next = with_scaled_period(&current, &name, factor)
+                    .expect("scaling a period keeps the system valid");
+                (next, Edit::ModifyTask(name))
+            };
+            engine.apply(next, &edit);
+            let got = engine.snapshot_json();
+            let want = full_snapshot_json(engine.system());
+            assert_eq!(
+                got, want,
+                "seed {seed}, step {step}: snapshot diverged after {edit}"
+            );
+        }
+    });
+}
+
+/// The engine must also recover from systems the analysis rejects (for
+/// example when an edit pushes a section layout the bounds refuse):
+/// drive the script through an engine whose underlying analysis errors
+/// round-trip, and require certification to hold there too. Scaling
+/// periods only ever *relaxes* the system, so this variant instead
+/// certifies long remove-until-singleton then re-add-everything sweeps,
+/// where the dirty set repeatedly collapses and regrows.
+#[test]
+fn drain_and_refill_scripts_stay_certified() {
+    cases(10, 0xDE17B, |rng| {
+        let (sys, seed) = workload(rng);
+        let original = sys.clone();
+        let mut engine = IncrementalAnalysis::new(sys).expect("generated task names are unique");
+        let mut names: Vec<String> = engine
+            .system()
+            .tasks()
+            .iter()
+            .map(|t| t.name().to_owned())
+            .collect();
+        let check = |engine: &IncrementalAnalysis, step: &str| {
+            assert_eq!(
+                engine.snapshot_json(),
+                full_snapshot_json(engine.system()),
+                "seed {seed}: snapshot diverged after {step}"
+            );
+        };
+        // Drain to a single task…
+        while names.len() > 1 {
+            let name = names.swap_remove(rng.range_usize(0, names.len() - 1));
+            let next = without_task(engine.system(), &name).expect("name is present");
+            engine.apply(next, &Edit::RemoveTask(name.clone()));
+            check(&engine, &format!("remove-task {name}"));
+        }
+        // …then refill from the original system.
+        for t in original.tasks() {
+            let name = t.name().to_owned();
+            if names.contains(&name) {
+                continue;
+            }
+            let next = with_task_from(engine.system(), &original, &name)
+                .expect("original task re-adds cleanly");
+            engine.apply(next, &Edit::AddTask(name.clone()));
+            check(&engine, &format!("add-task {name}"));
+            names.push(name);
+        }
+        assert_eq!(
+            engine.system().tasks().len(),
+            original.tasks().len(),
+            "seed {seed}: refill restored every task"
+        );
+    });
+}

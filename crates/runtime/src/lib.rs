@@ -16,6 +16,17 @@
 //!   hand-offs. Executions produce an [`RtLog`] with machine-checkable
 //!   protocol invariants.
 //!
+//! # Concurrency checking
+//!
+//! This crate is all safe Rust (`forbid(unsafe_code)`), but its whole
+//! point is cross-thread hand-off, so CI additionally runs its test
+//! suite (and the service crate's) under **ThreadSanitizer**
+//! (`RUSTFLAGS=-Zsanitizer=thread` on nightly; see
+//! `.github/workflows/sanitizers.yml`) to catch data races that the
+//! type system cannot, e.g. in the spin/queue hand-off windows. Debug
+//! builds also enforce a lock-order discipline for ceiling-tagged
+//! mutexes — see [`MpcpMutex::with_ceiling`].
+//!
 //! # Example
 //!
 //! ```

@@ -17,6 +17,58 @@ use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
+/// Debug-build lock-order checking for ceiling-tagged mutexes.
+///
+/// MPCP forbids nested *global* critical sections outright, and the
+/// ceiling discipline makes any nesting that does happen safe only when
+/// semaphores are acquired in **strictly increasing ceiling order** —
+/// out-of-order acquisition is exactly the shape that deadlocks two
+/// tasks on two semaphores. A [`MpcpMutex`] built with
+/// [`MpcpMutex::with_ceiling`] participates in a per-thread held-ceiling
+/// stack; acquiring one whose ceiling is not strictly above every
+/// ceiling already held panics in debug builds (release builds skip the
+/// bookkeeping entirely). Untagged mutexes ([`MpcpMutex::new`]) opt out.
+#[cfg(debug_assertions)]
+mod lockdep {
+    use mpcp_model::Priority;
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<Priority>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Panics if acquiring `ceiling` would violate the ordered-
+    /// acquisition discipline on this thread.
+    pub fn check(ceiling: Priority) {
+        HELD.with(|h| {
+            if let Some(&top) = h.borrow().iter().max() {
+                assert!(
+                    ceiling > top,
+                    "lock-order violation: acquiring a semaphore with ceiling \
+                     {ceiling:?} while already holding one with ceiling {top:?}; \
+                     ceiling-tagged mutexes must be acquired in strictly \
+                     increasing ceiling order (this shape can deadlock)"
+                );
+            }
+        });
+    }
+
+    /// Records a successful acquisition.
+    pub fn acquired(ceiling: Priority) {
+        HELD.with(|h| h.borrow_mut().push(ceiling));
+    }
+
+    /// Records a release.
+    pub fn released(ceiling: Priority) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(pos) = h.iter().rposition(|&c| c == ceiling) {
+                h.remove(pos);
+            }
+        });
+    }
+}
+
 #[derive(Debug)]
 struct Gate {
     held: bool,
@@ -53,6 +105,9 @@ pub struct MpcpMutex<T> {
     cv: Condvar,
     data: Mutex<T>,
     spin: u32,
+    /// Priority ceiling for debug-build lock-order checking; `None`
+    /// opts out (see [`MpcpMutex::with_ceiling`]).
+    ceiling: Option<Priority>,
 }
 
 /// RAII guard for [`MpcpMutex`]; releases (with priority-ordered
@@ -82,6 +137,38 @@ impl<T> MpcpMutex<T> {
             cv: Condvar::new(),
             data: Mutex::new(value),
             spin,
+            ceiling: None,
+        }
+    }
+
+    /// Creates the mutex tagged with its priority ceiling (normally the
+    /// highest priority of any task that locks it; use
+    /// [`Priority::global`] levels for global semaphores per §4.4).
+    ///
+    /// Tagged mutexes participate in debug-build lock-order checking:
+    /// a thread acquiring one while already holding a tagged mutex with
+    /// an **equal or higher** ceiling panics, because only strictly
+    /// increasing ceiling order rules out cross-thread deadlock (and
+    /// MPCP forbids nesting global sections at all). Release builds do
+    /// no checking. See the [`lockdep`] module docs.
+    pub fn with_ceiling(value: T, ceiling: Priority) -> Self {
+        MpcpMutex {
+            ceiling: Some(ceiling),
+            ..Self::new(value)
+        }
+    }
+
+    /// Builds the guard after the gate was won, recording the
+    /// acquisition with the debug lock-order checker.
+    fn make_guard(&self) -> MpcpMutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        if let Some(c) = self.ceiling {
+            lockdep::check(c);
+            lockdep::acquired(c);
+        }
+        MpcpMutexGuard {
+            lock: self,
+            data: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 
@@ -99,10 +186,7 @@ impl<T> MpcpMutex<T> {
     /// Attempts the lock without waiting.
     pub fn try_lock(&self) -> Option<MpcpMutexGuard<'_, T>> {
         if self.try_enter() {
-            Some(MpcpMutexGuard {
-                lock: self,
-                data: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
-            })
+            Some(self.make_guard())
         } else {
             None
         }
@@ -111,13 +195,16 @@ impl<T> MpcpMutex<T> {
     /// Acquires the lock; contended requests wait in priority order keyed
     /// by `priority` (the caller's assigned priority, per rule 6).
     pub fn lock(&self, priority: Priority) -> MpcpMutexGuard<'_, T> {
+        // Flag an ordering violation *before* waiting: the wait that
+        // never ends is precisely what the discipline rules out.
+        #[cfg(debug_assertions)]
+        if let Some(c) = self.ceiling {
+            lockdep::check(c);
+        }
         // §5.4: bounded busy-wait before joining the queue.
         for _ in 0..self.spin {
             if self.try_enter() {
-                return MpcpMutexGuard {
-                    lock: self,
-                    data: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
-                };
+                return self.make_guard();
             }
             std::hint::spin_loop();
         }
@@ -138,10 +225,7 @@ impl<T> MpcpMutex<T> {
             debug_assert!(g.held, "hand-off keeps the semaphore held");
         }
         drop(g);
-        MpcpMutexGuard {
-            lock: self,
-            data: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
-        }
+        self.make_guard()
     }
 
     /// Number of queued waiters (racy; for tests and metrics).
@@ -182,6 +266,10 @@ impl<T> DerefMut for MpcpMutexGuard<'_, T> {
 
 impl<T> Drop for MpcpMutexGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        if let Some(c) = self.lock.ceiling {
+            lockdep::released(c);
+        }
         // Release the data before the gate so the next holder never
         // contends on the data mutex.
         self.data = None;
@@ -451,6 +539,52 @@ mod tests {
         assert!(holder.join().is_err());
         waiter.join().expect("waiter must acquire after the panic");
         assert_eq!(*m.lock(Priority::task(0)), 1);
+    }
+
+    #[test]
+    fn ceiling_ordered_nesting_is_allowed() {
+        let low = MpcpMutex::with_ceiling(0u32, Priority::task(3));
+        let high = MpcpMutex::with_ceiling(0u32, Priority::global(1));
+        {
+            let _a = low.lock(Priority::task(1));
+            let mut b = high.lock(Priority::task(1));
+            *b += 1;
+        }
+        // After release the stack is empty again: re-acquiring the low
+        // ceiling must not trip over stale bookkeeping.
+        let _a = low.lock(Priority::task(1));
+        drop(_a);
+        assert_eq!(high.into_inner(), 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn out_of_order_ceiling_acquisition_panics_in_debug() {
+        let high = MpcpMutex::with_ceiling((), Priority::global(2));
+        let low = MpcpMutex::with_ceiling((), Priority::global(1));
+        let _g = high.lock(Priority::task(1));
+        // Ceiling 1 is not strictly above the held ceiling 2: the shape
+        // that deadlocks when a second thread nests the other way.
+        let _h = low.lock(Priority::task(1));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn equal_ceiling_nesting_panics_in_debug() {
+        let a = MpcpMutex::with_ceiling((), Priority::task(5));
+        let b = MpcpMutex::with_ceiling((), Priority::task(5));
+        let _g = a.lock(Priority::task(1));
+        let _h = b.try_lock();
+    }
+
+    #[test]
+    fn untagged_mutexes_skip_lock_order_checking() {
+        let a = MpcpMutex::new(());
+        let b = MpcpMutex::new(());
+        let _g = a.lock(Priority::task(2));
+        let _h = b.lock(Priority::task(1));
     }
 
     #[test]

@@ -46,5 +46,7 @@ pub use loadgen::{LoadReport, LoadgenConfig};
 pub use pool::{Overloaded, WorkerPool};
 pub use proto::{AllocDirective, ErrorCode, Request};
 pub use server::{spawn, Client, ServerConfig, ServerHandle};
-pub use session::{analyze, AdmissionResult, Session, SessionMap, TaskVerdict};
+pub use session::{
+    analyze, analyze_incremental, engine_for, AdmissionResult, Session, SessionMap, TaskVerdict,
+};
 pub use wire::{SegSpec, SystemSpec, TaskSpec};

@@ -31,6 +31,9 @@ pub enum ErrorCode {
     Deadline,
     /// The server is shutting down.
     ShuttingDown,
+    /// A sampled audit caught the incremental analysis diverging from a
+    /// full recompute; the request was not committed.
+    AuditDivergence,
 }
 
 impl ErrorCode {
@@ -45,6 +48,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Deadline => "deadline",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::AuditDivergence => "audit-divergence",
         }
     }
 }

@@ -18,8 +18,9 @@ use crate::cache::AnalysisCache;
 use crate::json::{self, Value};
 use crate::pool::WorkerPool;
 use crate::proto::{error_response, ErrorCode, Request};
-use crate::session::{analyze, AdmissionResult, SessionMap};
+use crate::session::{analyze, analyze_incremental, engine_for, AdmissionResult, SessionMap};
 use crate::wire::SystemSpec;
+use mpcp_analysis::Edit;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,6 +47,14 @@ pub struct ServerConfig {
     pub deadline: Duration,
     /// Analysis-cache capacity (entries).
     pub cache_capacity: usize,
+    /// Serve `add-task`/`remove-task` from the per-session incremental
+    /// engine (falling back to full analysis when a session has no
+    /// incremental story). `submit` always takes the full path.
+    pub incremental: bool,
+    /// Audit every Nth incrementally-served request against a full
+    /// recompute; a divergence is answered with an `audit-divergence`
+    /// error and nothing is committed. `0` disables sampling.
+    pub audit_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +65,8 @@ impl Default for ServerConfig {
             queue_cap: 64,
             deadline: Duration::from_millis(1000),
             cache_capacity: 4096,
+            incremental: true,
+            audit_every: 64,
         }
     }
 }
@@ -66,6 +77,12 @@ struct ServerStats {
     requests: AtomicU64,
     overloaded: AtomicU64,
     deadline_misses: AtomicU64,
+    /// Requests served by the incremental engine (cache `"delta"`).
+    delta: AtomicU64,
+    /// Sampled incremental-vs-full audits run.
+    audits: AtomicU64,
+    /// Audits that caught a divergence (should stay zero forever).
+    audit_failures: AtomicU64,
 }
 
 struct ServerState {
@@ -75,6 +92,8 @@ struct ServerState {
     stats: ServerStats,
     shutting_down: AtomicBool,
     deadline: Duration,
+    incremental: bool,
+    audit_every: u64,
     local_addr: std::net::SocketAddr,
 }
 
@@ -125,6 +144,8 @@ pub fn spawn(config: &ServerConfig) -> io::Result<ServerHandle> {
         stats: ServerStats::default(),
         shutting_down: AtomicBool::new(false),
         deadline: config.deadline,
+        incremental: config.incremental,
+        audit_every: config.audit_every,
         local_addr,
     });
     let accept_state = Arc::clone(&state);
@@ -274,8 +295,15 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> Value {
                 let mut s = entry.lock().unwrap_or_else(PoisonError::into_inner);
                 s.spec = result.analyzed.clone();
                 s.last = Some(Arc::clone(&result));
+                // A full-path commit invalidates any incremental state.
+                s.engine = None;
             }
-            admission_response("submit", session, &result, cache_hit)
+            admission_response(
+                "submit",
+                session,
+                &result,
+                if cache_hit { "hit" } else { "miss" },
+            )
         }
         Request::AddTask { session, task } => {
             let Some(entry) = state.sessions.get(session) else {
@@ -285,6 +313,26 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> Value {
             // check and the commit are one atomic step per session.
             let mut s = entry.lock().unwrap_or_else(PoisonError::into_inner);
             let candidate = s.with_task(task.clone());
+            if state.incremental {
+                if s.engine.is_none() {
+                    s.engine = engine_for(&s.spec);
+                }
+                if let Some(engine) = s.engine.as_ref() {
+                    let edit = Edit::AddTask(task.name.clone());
+                    if let Some((result, next)) = analyze_incremental(engine, &candidate, &edit) {
+                        if let Some(divergence) = sampled_audit(state, &candidate, &result) {
+                            return divergence;
+                        }
+                        let result = Arc::new(result);
+                        if result.admitted {
+                            s.spec = result.analyzed.clone();
+                            s.last = Some(Arc::clone(&result));
+                            s.engine = Some(next);
+                        }
+                        return admission_response("add-task", session, &result, "delta");
+                    }
+                }
+            }
             let key = AnalysisCache::key(&candidate, None);
             let (result, cache_hit) = state
                 .cache
@@ -292,8 +340,14 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> Value {
             if result.admitted {
                 s.spec = result.analyzed.clone();
                 s.last = Some(Arc::clone(&result));
+                s.engine = None;
             }
-            admission_response("add-task", session, &result, cache_hit)
+            admission_response(
+                "add-task",
+                session,
+                &result,
+                if cache_hit { "hit" } else { "miss" },
+            )
         }
         Request::RemoveTask { session, task } => {
             let Some(entry) = state.sessions.get(session) else {
@@ -306,6 +360,26 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> Value {
                     &format!("no task {task:?} in session {session:?}"),
                 );
             };
+            if state.incremental {
+                if s.engine.is_none() {
+                    s.engine = engine_for(&s.spec);
+                }
+                if let Some(engine) = s.engine.as_ref() {
+                    let edit = Edit::RemoveTask(task.clone());
+                    if let Some((result, next)) = analyze_incremental(engine, &candidate, &edit) {
+                        if let Some(divergence) = sampled_audit(state, &candidate, &result) {
+                            return divergence;
+                        }
+                        let result = Arc::new(result);
+                        // Withdrawal always commits; the verdict reports
+                        // the state the session is now in.
+                        s.spec = result.analyzed.clone();
+                        s.last = Some(Arc::clone(&result));
+                        s.engine = Some(next);
+                        return admission_response("remove-task", session, &result, "delta");
+                    }
+                }
+            }
             let key = AnalysisCache::key(&candidate, None);
             let (result, cache_hit) = state
                 .cache
@@ -314,10 +388,41 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> Value {
             // the session is now in.
             s.spec = result.analyzed.clone();
             s.last = Some(Arc::clone(&result));
-            admission_response("remove-task", session, &result, cache_hit)
+            s.engine = None;
+            admission_response(
+                "remove-task",
+                session,
+                &result,
+                if cache_hit { "hit" } else { "miss" },
+            )
         }
         Request::Query { .. } | Request::Shutdown => unreachable!("handled inline"),
     }
+}
+
+/// Counts an incrementally-served request and, every
+/// [`ServerConfig::audit_every`]-th one, re-runs the full analysis and
+/// compares. `Some(error)` means a divergence was caught: the caller
+/// must answer it and commit nothing.
+fn sampled_audit(
+    state: &Arc<ServerState>,
+    candidate: &SystemSpec,
+    incremental: &AdmissionResult,
+) -> Option<Value> {
+    let served = state.stats.delta.fetch_add(1, Ordering::Relaxed);
+    if state.audit_every == 0 || !served.is_multiple_of(state.audit_every) {
+        return None;
+    }
+    state.stats.audits.fetch_add(1, Ordering::Relaxed);
+    let full = analyze(candidate, None);
+    if full == *incremental {
+        return None;
+    }
+    state.stats.audit_failures.fetch_add(1, Ordering::Relaxed);
+    Some(error_response(
+        ErrorCode::AuditDivergence,
+        "incremental analysis diverged from a full recompute; nothing committed",
+    ))
 }
 
 fn unknown_session(session: &str) -> Value {
@@ -331,7 +436,7 @@ fn admission_response(
     op: &'static str,
     session: &str,
     result: &AdmissionResult,
-    cache_hit: bool,
+    cache: &'static str,
 ) -> Value {
     let mut pairs: Vec<(String, Value)> = vec![
         ("ok".into(), Value::Bool(true)),
@@ -342,10 +447,7 @@ fn admission_response(
             Value::str(if result.admitted { "admit" } else { "reject" }),
         ),
         ("schedulable".into(), Value::Bool(result.schedulable)),
-        (
-            "cache".into(),
-            Value::str(if cache_hit { "hit" } else { "miss" }),
-        ),
+        ("cache".into(), Value::str(cache)),
         (
             "lint".into(),
             Value::obj([
@@ -428,6 +530,18 @@ fn query_response(state: &Arc<ServerState>, session: Option<&str>) -> Value {
                 (
                     "deadline_misses",
                     Value::from(state.stats.deadline_misses.load(Ordering::Relaxed)),
+                ),
+                (
+                    "delta",
+                    Value::from(state.stats.delta.load(Ordering::Relaxed)),
+                ),
+                (
+                    "audits",
+                    Value::from(state.stats.audits.load(Ordering::Relaxed)),
+                ),
+                (
+                    "audit_failures",
+                    Value::from(state.stats.audit_failures.load(Ordering::Relaxed)),
                 ),
                 ("workers", Value::from(state.pool.workers())),
                 ("queue_cap", Value::from(state.pool.queue_cap())),
@@ -528,6 +642,8 @@ mod tests {
             queue_cap: queue,
             deadline: Duration::from_millis(deadline_ms),
             cache_capacity: 128,
+            incremental: true,
+            audit_every: 1,
         })
         .expect("bind test server")
     }

@@ -15,9 +15,11 @@
 use crate::proto::AllocDirective;
 use crate::wire::{SystemSpec, TaskSpec};
 use mpcp_analysis as analysis;
+use mpcp_analysis::Edit;
 use mpcp_model::System;
-use mpcp_verify::Severity;
+use mpcp_verify::{IncrementalAnalysis, Severity};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Per-task admission breakdown: the Theorem 3 inequality inputs plus
@@ -199,12 +201,26 @@ fn per_task_verdicts(
 
 /// One live session: the currently committed system and its last
 /// admission result.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Session {
     /// The committed system description.
     pub spec: SystemSpec,
     /// Result of the last committed analysis.
     pub last: Option<Arc<AdmissionResult>>,
+    /// Incremental engine tracking the committed system. `None` until
+    /// an `add-task`/`remove-task` first needs it, and reset to `None`
+    /// whenever a full-path commit (e.g. `submit`) replaces the spec.
+    pub engine: Option<IncrementalAnalysis>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("spec", &self.spec)
+            .field("last", &self.last)
+            .field("engine", &self.engine.as_ref().map(|_| "..."))
+            .finish()
+    }
 }
 
 impl Session {
@@ -221,6 +237,93 @@ impl Session {
         let before = spec.tasks.len();
         spec.tasks.retain(|t| t.name != name);
         (spec.tasks.len() < before).then_some(spec)
+    }
+}
+
+fn has_duplicate_names(spec: &SystemSpec) -> bool {
+    let mut names: Vec<&str> = spec.tasks.iter().map(|t| t.name.as_str()).collect();
+    names.sort_unstable();
+    names.windows(2).any(|w| w[0] == w[1])
+}
+
+/// Builds an incremental engine for a committed spec, or `None` when
+/// the spec has no incremental story (empty, invalid, or duplicate task
+/// names) and callers must stay on the full path.
+pub fn engine_for(spec: &SystemSpec) -> Option<IncrementalAnalysis> {
+    if spec.tasks.is_empty() || has_duplicate_names(spec) {
+        return None;
+    }
+    let system = spec.to_system().ok()?;
+    IncrementalAnalysis::new(system).ok()
+}
+
+/// Incremental counterpart of [`analyze`] for the no-allocation session
+/// transactions (`add-task`/`remove-task`).
+///
+/// Applies `edit` to a *clone* of `engine` so the caller can commit the
+/// returned engine only when the verdict warrants it. Returns `None`
+/// when the candidate must take the full path instead (empty system,
+/// duplicate names, spec that fails to build); in every such case
+/// [`analyze`] produces the authoritative result. When `Some`, the
+/// result is field-for-field what [`analyze`]`(candidate, None)`
+/// returns — the audit mode exists to enforce exactly that.
+pub fn analyze_incremental(
+    engine: &IncrementalAnalysis,
+    candidate: &SystemSpec,
+    edit: &Edit,
+) -> Option<(AdmissionResult, IncrementalAnalysis)> {
+    if candidate.tasks.is_empty() || has_duplicate_names(candidate) {
+        return None;
+    }
+    let system = candidate.to_system().ok()?;
+    let mut next = engine.clone();
+    next.apply(system, edit);
+    let result = admission_from_engine(&next);
+    Some((result, next))
+}
+
+/// Renders an engine's cached state as an [`AdmissionResult`],
+/// replicating [`analyze`]'s reason strings and field values exactly.
+fn admission_from_engine(engine: &IncrementalAnalysis) -> AdmissionResult {
+    let system = engine.system();
+    let analyzed = SystemSpec::from_system(system);
+    let report = engine.report();
+    let lint_errors = report.count(Severity::Error);
+    let lint_warnings = report.count(Severity::Warning);
+    let mut reasons: Vec<String> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| format!("{}: {}", d.code, d.message))
+        .collect();
+
+    let (schedulable, tasks) = match (engine.breakdowns(), engine.sched()) {
+        (Some(bounds), Some(sched)) => {
+            let blocking: Vec<_> = bounds
+                .iter()
+                .map(analysis::BlockingBreakdown::total)
+                .collect();
+            let tasks = per_task_verdicts(system, &blocking, &sched, &mut reasons);
+            (sched.schedulable(), tasks)
+        }
+        _ => {
+            reasons.push(format!(
+                "analysis rejected the system: {}",
+                engine.analysis_error().unwrap_or("analysis unavailable")
+            ));
+            (false, Vec::new())
+        }
+    };
+
+    AdmissionResult {
+        admitted: lint_errors == 0 && schedulable,
+        schedulable,
+        lint_errors,
+        lint_warnings,
+        reasons,
+        tasks,
+        allocation: None,
+        analyzed,
     }
 }
 
@@ -387,6 +490,75 @@ mod tests {
         assert_eq!(s.spec.tasks.len(), 2, "candidate is a copy");
         assert!(s.without_task("nope").is_none());
         assert_eq!(s.without_task("a").unwrap().tasks.len(), 1);
+    }
+
+    #[test]
+    fn incremental_add_and_remove_match_full_analyze() {
+        let spec = light_spec();
+        let engine = engine_for(&spec).expect("engine builds for a valid spec");
+
+        // Admitted add: identical verdict, breakdown and reasons.
+        let extra = TaskSpec {
+            name: "c".into(),
+            processor: 0,
+            period: 400,
+            deadline: None,
+            offset: 0,
+            priority: None,
+            body: vec![
+                SegSpec::Compute(5),
+                SegSpec::Critical(0, vec![SegSpec::Compute(1)]),
+            ],
+        };
+        let session = Session {
+            spec: spec.clone(),
+            ..Session::default()
+        };
+        let grown = session.with_task(extra.clone());
+        let (inc, next) = analyze_incremental(&engine, &grown, &Edit::AddTask("c".into())).unwrap();
+        assert_eq!(inc, analyze(&grown, None));
+        assert!(inc.admitted);
+
+        // Rejected add: parity must hold on the reject path too.
+        let hogged = {
+            let mut c = grown.clone();
+            c.tasks.push(saturating_task(0, "hog"));
+            c
+        };
+        let (inc_bad, _) =
+            analyze_incremental(&next, &hogged, &Edit::AddTask("hog".into())).unwrap();
+        assert_eq!(inc_bad, analyze(&hogged, None));
+        assert!(!inc_bad.admitted);
+
+        // Remove from the committed (grown) state.
+        let shrunk = {
+            let mut c = grown.clone();
+            c.tasks.retain(|t| t.name != "a");
+            c
+        };
+        let (inc_rm, _) =
+            analyze_incremental(&next, &shrunk, &Edit::RemoveTask("a".into())).unwrap();
+        assert_eq!(inc_rm, analyze(&shrunk, None));
+    }
+
+    #[test]
+    fn incremental_path_declines_degenerate_specs() {
+        let spec = light_spec();
+        let engine = engine_for(&spec).unwrap();
+        // Empty candidate: the full path's vacuous admit applies.
+        let empty = SystemSpec {
+            processors: spec.processors.clone(),
+            resources: spec.resources.clone(),
+            tasks: Vec::new(),
+        };
+        assert!(analyze_incremental(&engine, &empty, &Edit::RemoveTask("a".into())).is_none());
+        // Duplicate names have no name-keyed story.
+        let mut dup = spec.clone();
+        let mut clone = dup.tasks[0].clone();
+        clone.processor = 1;
+        dup.tasks.push(clone);
+        assert!(analyze_incremental(&engine, &dup, &Edit::AddTask("a".into())).is_none());
+        assert!(engine_for(&dup).is_none());
     }
 
     #[test]

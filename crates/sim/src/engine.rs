@@ -123,7 +123,7 @@ impl<P: Protocol> Simulator<P> {
         let programs = system
             .tasks()
             .iter()
-            .map(|t| Program::flatten(t.body(), &config.machine, &info))
+            .map(|t| Program::flatten(t.body(), &config.machine, info))
             .collect();
         let next_release = system
             .tasks()

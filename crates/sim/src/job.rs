@@ -223,7 +223,7 @@ mod tests {
         let p = b.add_processor("P0");
         b.add_task(TaskDef::new("t", p).period(100).body(body.clone()));
         let sys = b.build().unwrap();
-        Program::flatten(&body, &Machine::new(), &sys.info())
+        Program::flatten(&body, &Machine::new(), sys.info())
     }
 
     fn job(body: Body) -> JobState {

@@ -122,7 +122,7 @@ mod tests {
             .build();
         let (sys, sl, sg) = system_with(body.clone());
         let info = sys.info();
-        let prog = Program::flatten(&body, &Machine::new(), &info);
+        let prog = Program::flatten(&body, &Machine::new(), info);
         assert_eq!(
             prog.ops(),
             &[
@@ -142,7 +142,7 @@ mod tests {
     fn zero_segments_are_dropped() {
         let body = Body::builder().compute(0).suspend(0).compute(1).build();
         let (sys, _, _) = system_with(body.clone());
-        let prog = Program::flatten(&body, &Machine::new(), &sys.info());
+        let prog = Program::flatten(&body, &Machine::new(), sys.info());
         assert_eq!(prog.ops(), &[Op::Compute(Dur::new(1))]);
         assert_eq!(prog.len(), 1);
         assert!(!prog.is_empty());
@@ -164,7 +164,7 @@ mod tests {
             .with_unlock_overhead(1)
             .with_bus_delay(2);
         let body = sys.tasks()[0].body().clone();
-        let prog = Program::flatten(&body, &machine, &sys.info());
+        let prog = Program::flatten(&body, &machine, sys.info());
         assert_eq!(
             prog.ops(),
             &[
@@ -186,7 +186,7 @@ mod tests {
     fn suspensions_survive_flattening() {
         let body = Body::builder().suspend(7).build();
         let (sys, _, _) = system_with(body.clone());
-        let prog = Program::flatten(&body, &Machine::new(), &sys.info());
+        let prog = Program::flatten(&body, &Machine::new(), sys.info());
         assert_eq!(prog.op(0), Some(Op::Suspend(Dur::new(7))));
         assert_eq!(prog.op(1), None);
     }

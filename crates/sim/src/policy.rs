@@ -259,7 +259,7 @@ mod tests {
         let sys = b.build().unwrap();
         let mut jobs = Jobs::new();
         for t in sys.tasks() {
-            let prog = Program::flatten(t.body(), &Machine::new(), &sys.info());
+            let prog = Program::flatten(t.body(), &Machine::new(), sys.info());
             jobs.insert(JobState::new(
                 JobId::first(t.id()),
                 t.processor(),

@@ -43,6 +43,13 @@ pub struct SweepConfig {
     /// instead of failing the run. Enable for research runs hunting
     /// sharper recurrences.
     pub check_response: bool,
+    /// Self-certify the incremental analysis engine on every scenario:
+    /// replay a small edit script through
+    /// `mpcp_verify::IncrementalAnalysis` and require its snapshot to
+    /// stay byte-identical with a from-scratch recompute after each
+    /// edit. Any divergence is a hard oracle violation
+    /// (`delta/divergence`).
+    pub audit: bool,
     /// Shrink oracle violations to minimal reproducing scenarios.
     pub shrink: bool,
     /// Budget of oracle re-evaluations per shrink.
@@ -74,6 +81,7 @@ impl Default for SweepConfig {
             util_hi: 0.75,
             util_steps: 10,
             check_response: false,
+            audit: true,
             shrink: true,
             max_shrink_evals: 200,
             max_fixtures: 4,

@@ -45,7 +45,8 @@ mod shrink;
 
 pub use config::SweepConfig;
 pub use oracle::{
-    evaluate, evaluate_system, horizon_for, ProtocolOutcome, ScenarioOutcome, ViolationKind,
+    audit_violations, evaluate, evaluate_system, horizon_for, ProtocolOutcome, ScenarioOutcome,
+    ViolationKind,
 };
 pub use pool::run_indexed;
 pub use report::{CurvePoint, SweepReport, ViolationReport};
@@ -83,7 +84,11 @@ pub fn run(cfg: &SweepConfig) -> SweepReport {
                 fixture: None,
                 shrink_evals: 0,
             };
-            if cfg.shrink && fixtures < cfg.max_fixtures {
+            // `delta/*` codes come from the audit arm, which the
+            // per-protocol shrink oracle does not re-evaluate; shrinking
+            // them would burn the eval budget without ever reproducing
+            // the violation.
+            if cfg.shrink && fixtures < cfg.max_fixtures && !code.starts_with("delta/") {
                 fixtures += 1;
                 let scenario = stream.scenario_at(o.index);
                 let shrunk = shrink::shrink(&scenario.system, cfg, &code);

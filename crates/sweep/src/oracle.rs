@@ -81,6 +81,16 @@ pub enum ViolationKind {
         /// RTA fixed point (ticks).
         bound: u64,
     },
+    /// The incremental analysis engine's snapshot diverged from a full
+    /// recompute after an edit (protocol-independent; caught by the
+    /// self-certification arm, see [`SweepConfig::audit`]).
+    DeltaDivergence {
+        /// The edit after which the snapshots differed.
+        edit: String,
+        /// First differing snapshot line (1-based; 0 when the
+        /// snapshots differ only in length).
+        line: usize,
+    },
     /// Trace-derived global waiting disagrees with the engine's own
     /// accounting for a completed job.
     TraceAccounting {
@@ -111,6 +121,7 @@ impl ViolationKind {
                 format!("{protocol}/accepted-but-missed")
             }
             ViolationKind::ResponseBound { protocol, .. } => format!("{protocol}/response-bound"),
+            ViolationKind::DeltaDivergence { .. } => "delta/divergence".to_owned(),
             ViolationKind::TraceAccounting { protocol, .. } => {
                 format!("{protocol}/trace-accounting")
             }
@@ -136,6 +147,10 @@ impl ViolationKind {
                 bound,
                 ..
             } => format!("task {task}: measured response {measured} > RTA bound {bound}"),
+            ViolationKind::DeltaDivergence { edit, line } => format!(
+                "incremental analysis diverged from a full recompute after {edit} \
+                 (first differing snapshot line {line})"
+            ),
             ViolationKind::TraceAccounting {
                 task,
                 instance,
@@ -181,12 +196,19 @@ pub struct ScenarioOutcome {
     pub analyzable: bool,
     /// Per-protocol results, in configuration order.
     pub protocols: Vec<ProtocolOutcome>,
+    /// Protocol-independent violations from the incremental-analysis
+    /// self-certification arm (empty when [`SweepConfig::audit`] is
+    /// off).
+    pub audit: Vec<ViolationKind>,
 }
 
 impl ScenarioOutcome {
-    /// All violations across protocols.
+    /// All violations: per-protocol oracles, then the audit arm.
     pub fn violations(&self) -> impl Iterator<Item = &ViolationKind> {
-        self.protocols.iter().flat_map(|p| p.violations.iter())
+        self.protocols
+            .iter()
+            .flat_map(|p| p.violations.iter())
+            .chain(self.audit.iter())
     }
 }
 
@@ -198,13 +220,88 @@ pub fn horizon_for(system: &System, cap: u64) -> u64 {
 /// Evaluates the full oracle for one scenario.
 pub fn evaluate(scenario: &Scenario, cfg: &SweepConfig) -> ScenarioOutcome {
     let (analyzable, protocols) = evaluate_system(&scenario.system, cfg);
+    let audit = if cfg.audit {
+        audit_violations(&scenario.system)
+    } else {
+        Vec::new()
+    };
     ScenarioOutcome {
         index: scenario.index,
         system_seed: scenario.system_seed,
         utilization: scenario.utilization,
         analyzable,
         protocols,
+        audit,
     }
+}
+
+/// How many tasks the audit arm edits per scenario. Each audited task
+/// costs three edits (modify, remove, re-add), and every edit runs one
+/// incremental update *and* one full recompute, so this bounds the
+/// arm's overhead per scenario.
+const AUDIT_TASKS: usize = 2;
+
+/// The self-certification arm: replays a deterministic edit script
+/// (double a task's period, remove it, re-add it — for the first
+/// [`AUDIT_TASKS`] tasks) through [`mpcp_verify::IncrementalAnalysis`]
+/// and compares its snapshot byte-for-byte with
+/// [`mpcp_verify::full_snapshot_json`] after every edit.
+pub fn audit_violations(system: &System) -> Vec<ViolationKind> {
+    use mpcp_analysis::Edit;
+    use mpcp_verify::{
+        full_snapshot_json, with_scaled_period, with_task_from, without_task, IncrementalAnalysis,
+    };
+
+    let mut engine = match IncrementalAnalysis::new(system.clone()) {
+        Ok(e) => e,
+        // Duplicate task names: the incremental engine declines such
+        // systems by contract, so there is nothing to certify.
+        Err(_) => return Vec::new(),
+    };
+    let mut violations = Vec::new();
+    let names: Vec<String> = system
+        .tasks()
+        .iter()
+        .take(AUDIT_TASKS)
+        .map(|t| t.name().to_owned())
+        .collect();
+
+    let mut check = |engine: &mut IncrementalAnalysis, next: System, edit: Edit| {
+        engine.apply(next, &edit);
+        let got = engine.snapshot_json();
+        let want = full_snapshot_json(engine.system());
+        if got != want {
+            let line = got
+                .lines()
+                .zip(want.lines())
+                .position(|(a, b)| a != b)
+                .map_or(0, |n| n + 1);
+            violations.push(ViolationKind::DeltaDivergence {
+                edit: edit.to_string(),
+                line,
+            });
+        }
+    };
+
+    for name in &names {
+        let committed = engine.system().clone();
+        let Ok(scaled) = with_scaled_period(&committed, name, 2) else {
+            continue;
+        };
+        check(&mut engine, scaled, Edit::ModifyTask(name.clone()));
+        if engine.system().tasks().len() > 1 {
+            let before_removal = engine.system().clone();
+            let Ok(removed) = without_task(&before_removal, name) else {
+                continue;
+            };
+            check(&mut engine, removed, Edit::RemoveTask(name.clone()));
+            let Ok(readded) = with_task_from(engine.system(), &before_removal, name) else {
+                continue;
+            };
+            check(&mut engine, readded, Edit::AddTask(name.clone()));
+        }
+    }
+    violations
 }
 
 /// Oracle core, independent of stream metadata (reused by the
@@ -388,6 +485,23 @@ mod tests {
                 p.protocol,
                 p.violations
             );
+        }
+    }
+
+    #[test]
+    fn audit_arm_certifies_generated_systems() {
+        for seed in [1, 9, 23] {
+            let sys = generate(
+                &WorkloadConfig::default()
+                    .processors(3)
+                    .tasks_per_processor(3)
+                    .utilization(0.4)
+                    .resources(1, 2)
+                    .sections(0, 2),
+                seed,
+            );
+            let violations = audit_violations(&sys);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
         }
     }
 

@@ -359,6 +359,7 @@ mod tests {
                 rta_accepted: Some(true),
                 violations: Vec::new(),
             }],
+            audit: Vec::new(),
         }
     }
 

@@ -41,6 +41,14 @@ pub struct WorkloadConfig {
     /// range instead of log-uniformly (harmonic sets reach 100%%
     /// utilization under rate-monotonic scheduling).
     pub harmonic_periods: bool,
+    /// Semaphore locality: `0` (the default) creates one system-wide
+    /// pool of [`WorkloadConfig::global_resources`] semaphores; `w > 0`
+    /// groups processors into contiguous clusters of `w` and creates
+    /// that many global semaphores *per cluster*, touched only from
+    /// inside the cluster. Clustered sharing models sessions whose
+    /// coupling is local — an edit then only perturbs its own cluster,
+    /// which is what makes incremental re-analysis pay off.
+    pub cluster_width: usize,
 }
 
 impl Default for WorkloadConfig {
@@ -58,6 +66,7 @@ impl Default for WorkloadConfig {
             suspension_prob: 0.0,
             nested_global_prob: 0.0,
             harmonic_periods: false,
+            cluster_width: 0,
         }
     }
 }
@@ -129,6 +138,13 @@ impl WorkloadConfig {
         self.harmonic_periods = yes;
         self
     }
+
+    /// Groups processors into clusters of `width` with per-cluster
+    /// global semaphore pools (`0` restores one system-wide pool).
+    pub fn clusters(mut self, width: usize) -> Self {
+        self.cluster_width = width;
+        self
+    }
 }
 
 /// Generates a system from `config`, deterministically from `seed`.
@@ -166,11 +182,22 @@ pub fn generate(config: &WorkloadConfig, seed: u64) -> System {
                 .collect(),
         );
     }
-    let global_pool: Vec<ResourceId> = (0..config.global_resources)
-        .map(|i| b.add_resource(format!("G{i}")))
-        .collect();
+    let global_pools: Vec<Vec<ResourceId>> = if config.cluster_width == 0 {
+        vec![(0..config.global_resources)
+            .map(|i| b.add_resource(format!("G{i}")))
+            .collect()]
+    } else {
+        (0..config.processors.div_ceil(config.cluster_width))
+            .map(|c| {
+                (0..config.global_resources)
+                    .map(|i| b.add_resource(format!("G{c}.{i}")))
+                    .collect()
+            })
+            .collect()
+    };
 
     for (pi, &proc) in procs.iter().enumerate() {
+        let global_pool = &global_pools[pi.checked_div(config.cluster_width).unwrap_or(0)];
         let utils = uunifast(
             &mut rng,
             config.tasks_per_processor,
@@ -185,7 +212,7 @@ pub fn generate(config: &WorkloadConfig, seed: u64) -> System {
                 rng.log_uniform(config.period_range.0, config.period_range.1)
             };
             let wcet = ((u * period as f64).round() as u64).max(1);
-            let body = build_body(&mut rng, config, wcet, &local_pools[pi], &global_pool);
+            let body = build_body(&mut rng, config, wcet, &local_pools[pi], global_pool);
             b.add_task(
                 TaskDef::new(format!("t{pi}.{ti}"), proc)
                     .period(period)
@@ -432,6 +459,35 @@ mod tests {
             .max()
             .unwrap();
         assert_eq!(sys.hyperperiod(), max);
+    }
+
+    #[test]
+    fn clustered_globals_stay_inside_their_cluster() {
+        let cfg = WorkloadConfig::default()
+            .processors(8)
+            .resources(1, 2)
+            .sections(1, 3)
+            .global_access(0.8)
+            .clusters(2);
+        let sys = generate(&cfg, 11);
+        let info = sys.info();
+        let mut clustered = 0;
+        for (i, u) in info.all_usage().iter().enumerate() {
+            let name = sys.resources()[i].name();
+            let Some(rest) = name.strip_prefix('G') else {
+                continue;
+            };
+            let cluster: usize = rest.split('.').next().unwrap().parse().unwrap();
+            for &t in &u.users {
+                let p = sys.task(t).processor().index();
+                assert_eq!(p / 2, cluster, "{name} used from outside its cluster");
+            }
+            clustered += u.users.is_empty() as usize ^ 1;
+        }
+        assert!(
+            clustered >= 2,
+            "expected used global semaphores per cluster"
+        );
     }
 
     #[test]

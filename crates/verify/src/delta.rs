@@ -1,0 +1,619 @@
+//! Incremental ("delta") analysis with differential self-certification.
+//!
+//! [`IncrementalAnalysis`] keeps a lint report, the §5.1 blocking
+//! factors and the Theorem 3 rows cached per named unit (task, resource
+//! or processor). Applying an [`Edit`] consults the dependency graph
+//! ([`mpcp_analysis::dirty_set`]) and recomputes only the units the
+//! edit can affect, merging the fresh findings into the cached report.
+//!
+//! The merged state renders to a canonical snapshot
+//! ([`IncrementalAnalysis::snapshot_json`], format `mpcp-audit-v1`)
+//! that is **byte-identical** to the one an independent full recompute
+//! produces ([`full_snapshot_json`]). Audit mode — the CLI's
+//! `mpcp audit`, the sweep's differential arm and the service's sampled
+//! in-flight checks — runs both paths and treats any difference as a
+//! hard error, so a wrong dirty rule cannot silently ship a stale
+//! admission verdict.
+//!
+//! Reused lint findings are cloned from the cache, reused blocking
+//! factors and schedulability rows are reused verbatim, and recomputed
+//! rows run the exact code the full pass runs, in the same order —
+//! which is what makes byte-for-byte comparison a meaningful oracle.
+
+use crate::diag::{json_str, Diagnostic, Report};
+use crate::lint::{default_lints, unit_count, LintContext, LintScope};
+use mpcp_analysis::{
+    dirty_set, mpcp_bounds, theorem3, BlockingBreakdown, DeltaBounds, DeltaStats, DepGraph, Edit,
+    SchedReport,
+};
+use mpcp_model::{ModelError, System, TaskDef};
+use std::collections::BTreeMap;
+
+/// Counters describing how much work incremental updates avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Edits applied to the engine.
+    pub updates: u64,
+    /// Lint units (per-lint tasks/resources/processors) re-checked.
+    pub lint_units_recomputed: u64,
+    /// Lint units whose cached findings were reused.
+    pub lint_units_reused: u64,
+    /// Tasks whose blocking factors were recomputed.
+    pub tasks_recomputed: u64,
+    /// Tasks whose cached blocking factors were reused.
+    pub tasks_reused: u64,
+    /// Processors whose Theorem 3 rows were recomputed.
+    pub processors_recomputed: u64,
+    /// Processors whose cached rows were reused.
+    pub processors_reused: u64,
+}
+
+impl EngineStats {
+    fn absorb_bounds(&mut self, s: DeltaStats) {
+        self.tasks_recomputed += s.tasks_recomputed;
+        self.tasks_reused += s.tasks_reused;
+        self.processors_recomputed += s.processors_recomputed;
+        self.processors_reused += s.processors_reused;
+    }
+}
+
+/// Per-lint cache of findings keyed by unit name ([`LintScope::System`]
+/// uses the single key `""`). Units with no findings have no entry —
+/// clean systems keep the cache near-empty, so cloning an engine and
+/// merging a report stay cheap. The invariant making absence mean
+/// "checked, clean" is that the engine seeds the cache with a
+/// `DirtySet::full()` update and every later update covers all changed
+/// units (which a [`mpcp_analysis::dirty_set`] guarantees).
+#[derive(Clone)]
+struct LintCache {
+    per_lint: Vec<BTreeMap<String, Vec<Diagnostic>>>,
+}
+
+impl LintCache {
+    fn empty() -> LintCache {
+        LintCache {
+            per_lint: default_lints().iter().map(|_| BTreeMap::new()).collect(),
+        }
+    }
+
+    /// Re-lints the units named by `dirty` (all of them when
+    /// `dirty.full`), reusing cached findings for the rest, and returns
+    /// the merged report in full-pass order (lint order, then unit
+    /// order, as [`crate::lint_system`] emits them).
+    fn update(
+        &mut self,
+        system: &System,
+        dirty: &mpcp_analysis::DirtySet,
+        stats: &mut EngineStats,
+    ) -> Report {
+        let lints = default_lints();
+        let ctx = LintContext::new(system);
+        // Name -> unit index, via the system's cached name-sorted
+        // tables (building per-update maps here dominated the cost of
+        // small updates).
+        let unit_of = |scope: LintScope, name: &str| -> Option<usize> {
+            match scope {
+                LintScope::System => Some(0),
+                LintScope::Task => system.task_index_by_name(name),
+                LintScope::Resource => system.resource_index_by_name(name),
+                LintScope::Processor => system.processor_index_by_name(name),
+            }
+        };
+        let name_of = |scope: LintScope, unit: usize| -> &str {
+            match scope {
+                LintScope::System => "",
+                LintScope::Task => system.tasks()[unit].name(),
+                LintScope::Resource => system.resources()[unit].name(),
+                LintScope::Processor => system.processors()[unit].name(),
+            }
+        };
+        let mut diags = Vec::new();
+        for (i, lint) in lints.iter().enumerate() {
+            let scope = lint.scope();
+            let cache = &mut self.per_lint[i];
+            let units = unit_count(scope, system) as u64;
+            let recheck =
+                |cache: &mut BTreeMap<String, Vec<Diagnostic>>, key: &str, unit: usize| {
+                    let mut out = Vec::new();
+                    lint.check_unit(system, &ctx, unit, &mut out);
+                    if out.is_empty() {
+                        cache.remove(key);
+                    } else {
+                        cache.insert(key.to_string(), out);
+                    }
+                };
+            if scope == LintScope::System {
+                stats.lint_units_recomputed += 1;
+                recheck(cache, "", 0);
+            } else {
+                let names = match scope {
+                    LintScope::Task => &dirty.tasks,
+                    LintScope::Resource => &dirty.resources,
+                    LintScope::Processor => &dirty.processors,
+                    LintScope::System => unreachable!(),
+                };
+                // Entries for removed or renamed units.
+                cache.retain(|k, _| unit_of(scope, k).is_some());
+                let mut recomputed = 0u64;
+                if dirty.full {
+                    for unit in 0..units as usize {
+                        recheck(cache, name_of(scope, unit), unit);
+                    }
+                    recomputed = units;
+                } else {
+                    for name in names {
+                        if let Some(unit) = unit_of(scope, name) {
+                            recheck(cache, name, unit);
+                            recomputed += 1;
+                        }
+                    }
+                }
+                stats.lint_units_recomputed += recomputed;
+                stats.lint_units_reused += units - recomputed;
+            }
+            // Merge in unit order; the cache is keyed (and thus
+            // iterated) by name, so sort the few non-empty entries.
+            let mut entries: Vec<(usize, &Vec<Diagnostic>)> = cache
+                .iter()
+                .map(|(k, v)| (unit_of(scope, k).expect("cache retained to live units"), v))
+                .collect();
+            entries.sort_unstable_by_key(|e| e.0);
+            for (_, found) in entries {
+                diags.extend(found.iter().cloned());
+            }
+        }
+        Report::from_diagnostics(diags)
+    }
+}
+
+/// A lint report plus blocking/schedulability state kept up to date
+/// across [`Edit`]s, recomputing only what each edit can affect.
+///
+/// Cloning clones the caches, so a transactional caller can apply an
+/// edit to a copy and commit the copy only when the result is accepted.
+#[derive(Clone)]
+pub struct IncrementalAnalysis {
+    // Arc'd because `apply` replaces them wholesale and never mutates
+    // them in place: transactional clones of the engine share them.
+    system: std::sync::Arc<System>,
+    graph: std::sync::Arc<DepGraph>,
+    lint: LintCache,
+    report: Report,
+    bounds: Option<DeltaBounds>,
+    error: Option<String>,
+    stats: EngineStats,
+}
+
+impl IncrementalAnalysis {
+    /// Builds the engine with a full analysis of `system`.
+    ///
+    /// Returns `Err` if task names are not unique: the engine keys its
+    /// caches by name, so duplicate names have no incremental story
+    /// (callers should fall back to plain full analysis).
+    pub fn new(system: System) -> Result<IncrementalAnalysis, String> {
+        let graph = DepGraph::build(&system);
+        if graph.has_duplicate_task_names() {
+            return Err("duplicate task names; incremental analysis needs unique names".into());
+        }
+        let mut engine = IncrementalAnalysis {
+            system: std::sync::Arc::new(system),
+            graph: std::sync::Arc::new(graph),
+            lint: LintCache::empty(),
+            report: Report::new(),
+            bounds: None,
+            error: None,
+            stats: EngineStats::default(),
+        };
+        let full = mpcp_analysis::DirtySet::full();
+        engine.report = engine.lint.update(&engine.system, &full, &mut engine.stats);
+        match DeltaBounds::full(&engine.system) {
+            Ok(b) => {
+                engine.stats.absorb_bounds(b.stats());
+                engine.bounds = Some(b);
+            }
+            Err(e) => engine.error = Some(e.to_string()),
+        }
+        Ok(engine)
+    }
+
+    /// The system the cached state describes.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// The merged lint report.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// The Theorem 3 verdict, or `None` when the blocking analysis
+    /// rejected the system (see [`IncrementalAnalysis::analysis_error`]).
+    pub fn schedulable(&self) -> Option<bool> {
+        self.bounds
+            .as_ref()
+            .map(|b| b.sched_report(&self.system).schedulable())
+    }
+
+    /// Why the blocking analysis rejected the system, if it did.
+    pub fn analysis_error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    /// The cached §5.1 blocking breakdowns in task order, when the
+    /// blocking analysis succeeded.
+    pub fn breakdowns(&self) -> Option<Vec<BlockingBreakdown>> {
+        self.bounds.as_ref().map(|b| b.breakdowns(&self.system))
+    }
+
+    /// The cached Theorem 3 report, when the blocking analysis
+    /// succeeded.
+    pub fn sched(&self) -> Option<SchedReport> {
+        self.bounds.as_ref().map(|b| b.sched_report(&self.system))
+    }
+
+    /// Work counters accumulated since construction.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Replaces the system with `new_system`, recomputing only the
+    /// units `edit` can affect per the dependency graph. The edit is a
+    /// *hint*: misdeclared edits are caught by the graph diff and only
+    /// widen the dirty set (or force a full recompute), never shrink it.
+    pub fn apply(&mut self, new_system: System, edit: &Edit) {
+        let new_graph = DepGraph::build(&new_system);
+        let dirty = if new_graph.has_duplicate_task_names() {
+            mpcp_analysis::DirtySet::full()
+        } else {
+            dirty_set(&self.graph, &new_graph, edit)
+        };
+        self.stats.updates += 1;
+        if new_graph.has_duplicate_task_names() {
+            // Name-keyed caches cannot represent this system; degrade to
+            // an error the full path reproduces (see full_snapshot_json).
+            self.report = lint_report_full(&new_system);
+            self.bounds = None;
+            self.error = Some(DUP_NAMES_ERROR.into());
+        } else {
+            self.report = self.lint.update(&new_system, &dirty, &mut self.stats);
+            let refresh = match self.bounds.as_mut() {
+                Some(b) => b.update(&new_system, &dirty),
+                None => DeltaBounds::full(&new_system).map(|b| {
+                    let s = b.stats();
+                    self.bounds = Some(b);
+                    s
+                }),
+            };
+            match refresh {
+                Ok(s) => {
+                    self.stats.absorb_bounds(s);
+                    self.error = None;
+                }
+                Err(e) => {
+                    self.bounds = None;
+                    self.error = Some(e.to_string());
+                }
+            }
+        }
+        self.system = std::sync::Arc::new(new_system);
+        self.graph = std::sync::Arc::new(new_graph);
+    }
+
+    /// Canonical `mpcp-audit-v1` snapshot of the cached state; compare
+    /// with [`full_snapshot_json`] of the same system to certify the
+    /// incremental path.
+    pub fn snapshot_json(&self) -> String {
+        let rows = self
+            .bounds
+            .as_ref()
+            .map(|b| (b.breakdowns(&self.system), b.sched_report(&self.system)));
+        render_snapshot(&self.system, &self.report, self.error.as_deref(), rows)
+    }
+}
+
+const DUP_NAMES_ERROR: &str = "duplicate task names; incremental analysis needs unique names";
+
+fn lint_report_full(system: &System) -> Report {
+    crate::lint::lint_system(system)
+}
+
+/// Independent full recompute of the `mpcp-audit-v1` snapshot for
+/// `system`, sharing no cached state with any engine. The differential
+/// oracle: a correct incremental engine matches this byte for byte.
+pub fn full_snapshot_json(system: &System) -> String {
+    let report = lint_report_full(system);
+    let graph = DepGraph::build(system);
+    if graph.has_duplicate_task_names() {
+        return render_snapshot(system, &report, Some(DUP_NAMES_ERROR), None);
+    }
+    match mpcp_bounds(system) {
+        Ok(breakdowns) => {
+            let blocking: Vec<_> = breakdowns
+                .iter()
+                .map(mpcp_analysis::BlockingBreakdown::total)
+                .collect();
+            let sched = theorem3(system, &blocking);
+            render_snapshot(system, &report, None, Some((breakdowns, sched)))
+        }
+        Err(e) => render_snapshot(system, &report, Some(&e.to_string()), None),
+    }
+}
+
+fn render_snapshot(
+    system: &System,
+    report: &Report,
+    error: Option<&str>,
+    rows: Option<(Vec<BlockingBreakdown>, SchedReport)>,
+) -> String {
+    let mut out = String::from("{\n  \"format\": \"mpcp-audit-v1\",\n");
+    // render_json() yields a pretty object ending in "}\n"; re-indent it
+    // two spaces so the snapshot stays valid JSON.
+    let lint = report.render_json();
+    out.push_str("  \"lint\": ");
+    for (i, line) in lint.trim_end().lines().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.pop();
+    out.push_str(",\n");
+    out.push_str(&format!(
+        "  \"analysis_error\": {},\n",
+        error.map_or("null".into(), json_str)
+    ));
+    match rows {
+        None => out.push_str("  \"bounds\": null,\n  \"sched\": null,\n  \"schedulable\": null\n"),
+        Some((breakdowns, sched)) => {
+            out.push_str("  \"bounds\": [\n");
+            for (i, b) in breakdowns.iter().enumerate() {
+                let name = system.task(b.task).name();
+                out.push_str(&format!(
+                    "    {{\"task\": {}, \"local_cs\": {}, \"lower_gcs_same_sem\": {}, \
+                     \"higher_remote_gcs\": {}, \"blocking_processor_gcs\": {}, \
+                     \"lower_local_gcs\": {}, \"deferred_penalty\": {}, \"total\": {}}}{}\n",
+                    json_str(name),
+                    b.local_cs.ticks(),
+                    b.lower_gcs_same_sem.ticks(),
+                    b.higher_remote_gcs.ticks(),
+                    b.blocking_processor_gcs.ticks(),
+                    b.lower_local_gcs.ticks(),
+                    b.deferred_penalty.ticks(),
+                    b.total().ticks(),
+                    if i + 1 < breakdowns.len() { "," } else { "" },
+                ));
+            }
+            out.push_str("  ],\n  \"sched\": [\n");
+            let per_task = sched.per_task();
+            for (i, row) in per_task.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"task\": {}, \"processor\": {}, \"demand\": {:?}, \
+                     \"bound\": {:?}, \"ok\": {}}}{}\n",
+                    json_str(system.task(row.task).name()),
+                    json_str(system.processor(row.processor).name()),
+                    row.demand,
+                    row.bound,
+                    row.ok,
+                    if i + 1 < per_task.len() { "," } else { "" },
+                ));
+            }
+            out.push_str(&format!(
+                "  ],\n  \"schedulable\": {}\n",
+                sched.schedulable()
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Rebuilds `system` as a fresh [`System`], mapping each task through
+/// `f` (`None` drops the task). Processors and resources are copied in
+/// order, so ids and explicit priorities are preserved.
+fn rebuild(
+    system: &System,
+    mut f: impl FnMut(&mpcp_model::Task) -> Option<TaskDef>,
+) -> Result<System, ModelError> {
+    let mut b = System::builder();
+    for p in system.processors() {
+        b.add_processor(p.name());
+    }
+    for r in system.resources() {
+        b.add_resource(r.name());
+    }
+    for t in system.tasks() {
+        if let Some(def) = f(t) {
+            b.add_task(def);
+        }
+    }
+    b.build()
+}
+
+/// Captures `t` as a [`TaskDef`] with its priority made explicit, so a
+/// rebuilt system keeps the same priority assignment even where the
+/// original relied on rate-monotonic defaults.
+pub fn task_def_of(t: &mpcp_model::Task) -> TaskDef {
+    let mut def = TaskDef::new(t.name(), t.processor())
+        .period(t.period().ticks())
+        .deadline(t.deadline().ticks())
+        .offset(t.offset().ticks())
+        .priority(t.priority().level())
+        .body(t.body().clone());
+    if let Some(a) = t.arrivals() {
+        def = def.arrivals(a.iter().map(|x| x.ticks()));
+    }
+    def
+}
+
+/// `system` minus the task called `name` (a no-op clone if absent).
+pub fn without_task(system: &System, name: &str) -> Result<System, ModelError> {
+    rebuild(system, |t| {
+        if t.name() == name {
+            None
+        } else {
+            Some(task_def_of(t))
+        }
+    })
+}
+
+/// `system` plus a copy of `donor`'s task called `name`, appended after
+/// the existing tasks.
+///
+/// # Panics
+///
+/// Panics if `donor` has no task called `name`.
+pub fn with_task_from(system: &System, donor: &System, name: &str) -> Result<System, ModelError> {
+    let t = donor
+        .tasks()
+        .iter()
+        .find(|t| t.name() == name)
+        .unwrap_or_else(|| panic!("donor has no task {name}"));
+    let mut b = System::builder();
+    for p in system.processors() {
+        b.add_processor(p.name());
+    }
+    for r in system.resources() {
+        b.add_resource(r.name());
+    }
+    for existing in system.tasks() {
+        b.add_task(task_def_of(existing));
+    }
+    b.add_task(task_def_of(t));
+    b.build()
+}
+
+/// `system` with `name`'s period (and deadline, scaled identically)
+/// multiplied by `factor` — a modify-task edit that moves blocking
+/// bounds and Theorem 3 rows without touching the task's body.
+pub fn with_scaled_period(system: &System, name: &str, factor: u64) -> Result<System, ModelError> {
+    rebuild(system, |t| {
+        let mut def = task_def_of(t);
+        if t.name() == name {
+            def = def
+                .period(t.period().ticks() * factor)
+                .deadline(t.deadline().ticks() * factor);
+        }
+        Some(def)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::Body;
+
+    fn base() -> System {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let sg = b.add_resource("SG");
+        let sl = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("t0", p[0]).period(20).priority(4).body(
+                Body::builder()
+                    .compute(1)
+                    .critical(sg, |c| c.compute(2))
+                    .critical(sl, |c| c.compute(1))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("t1", p[0]).period(40).priority(3).body(
+                Body::builder()
+                    .compute(2)
+                    .critical(sl, |c| c.compute(1))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("r0", p[1]).period(50).priority(2).body(
+                Body::builder()
+                    .compute(3)
+                    .critical(sg, |c| c.compute(2))
+                    .build(),
+            ),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fresh_engine_matches_full_snapshot() {
+        let sys = base();
+        let engine = IncrementalAnalysis::new(sys.clone()).unwrap();
+        assert_eq!(engine.snapshot_json(), full_snapshot_json(&sys));
+    }
+
+    #[test]
+    fn edit_sequence_stays_certified() {
+        let sys = base();
+        let mut engine = IncrementalAnalysis::new(sys.clone()).unwrap();
+
+        let removed = without_task(&sys, "t1").unwrap();
+        engine.apply(removed.clone(), &Edit::RemoveTask("t1".into()));
+        assert_eq!(engine.snapshot_json(), full_snapshot_json(&removed));
+
+        let readded = with_task_from(&removed, &sys, "t1").unwrap();
+        engine.apply(readded.clone(), &Edit::AddTask("t1".into()));
+        assert_eq!(engine.snapshot_json(), full_snapshot_json(&readded));
+
+        let scaled = with_scaled_period(&readded, "r0", 2).unwrap();
+        engine.apply(scaled.clone(), &Edit::ModifyTask("r0".into()));
+        assert_eq!(engine.snapshot_json(), full_snapshot_json(&scaled));
+    }
+
+    #[test]
+    fn analysis_errors_round_trip_and_recover() {
+        let sys = base();
+        let mut engine = IncrementalAnalysis::new(sys.clone()).unwrap();
+
+        // Nested globals: the blocking analysis rejects the system but
+        // the lint report still renders, identically on both paths.
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let sa = b.add_resource("SG");
+        let sb = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("t0", p[0]).period(20).priority(3).body(
+                Body::builder()
+                    .critical(sa, |c| c.compute(1).critical(sb, |c| c.compute(1)))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("r0", p[1])
+                .period(50)
+                .priority(2)
+                .body(Body::builder().critical(sa, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("r1", p[1])
+                .period(80)
+                .priority(1)
+                .body(Body::builder().critical(sb, |c| c.compute(1)).build()),
+        );
+        let bad = b.build().unwrap();
+        engine.apply(bad.clone(), &Edit::ModifyTask("t0".into()));
+        assert!(engine.analysis_error().is_some());
+        assert_eq!(engine.snapshot_json(), full_snapshot_json(&bad));
+
+        // And recovery back to a clean system goes through a fresh full
+        // bounds computation.
+        engine.apply(sys.clone(), &Edit::ModifyTask("t0".into()));
+        assert!(engine.analysis_error().is_none());
+        assert_eq!(engine.snapshot_json(), full_snapshot_json(&sys));
+    }
+
+    #[test]
+    fn incremental_updates_reuse_work() {
+        let sys = base();
+        let mut engine = IncrementalAnalysis::new(sys.clone()).unwrap();
+        let before = engine.stats();
+        let scaled = with_scaled_period(&sys, "r0", 2).unwrap();
+        engine.apply(scaled, &Edit::ModifyTask("r0".into()));
+        let after = engine.stats();
+        assert!(
+            after.lint_units_reused > before.lint_units_reused,
+            "lint cache never reused: {after:?}"
+        );
+    }
+}

@@ -51,9 +51,14 @@
 
 pub mod checker;
 pub mod deadlock;
+pub mod delta;
 pub mod diag;
 pub mod lint;
 
 pub use checker::{CheckerConfig, Exploration, InvariantProfile, Violation};
+pub use delta::{
+    full_snapshot_json, task_def_of, with_scaled_period, with_task_from, without_task, EngineStats,
+    IncrementalAnalysis,
+};
 pub use diag::{Diagnostic, Report, Severity};
-pub use lint::{default_lints, lint_system, lint_system_with, Lint, LintContext};
+pub use lint::{default_lints, lint_system, lint_system_with, Lint, LintContext, LintScope};

@@ -17,6 +17,15 @@
 //! | V007 | `processor-overutilized` | error / warning |
 //! | V008 | `non-rm-priorities` | warning |
 //! | V009 | `gcs-exceeds-deadline` | error |
+//! | V010 | `uncontended-semaphore` | warning |
+//! | V011 | `mergeable-adjacent-sections` | warning |
+//! | V012 | `dead-ceiling` | warning |
+//!
+//! Every lint declares a [`LintScope`]: the granularity (whole system,
+//! task, resource or processor) at which its findings depend on the
+//! configuration. The incremental engine
+//! ([`crate::IncrementalAnalysis`]) uses the scope to re-run only the
+//! units a [`mpcp_analysis::DirtySet`] names.
 
 use crate::diag::{Diagnostic, Report, Severity};
 use mpcp_analysis::{liu_layland_bound, lock_order_cycle};
@@ -25,17 +34,43 @@ use std::collections::BTreeMap;
 
 /// Precomputed facts shared by all lints, so each lint does not have to
 /// re-derive the resource usage tables.
-pub struct LintContext {
+pub struct LintContext<'a> {
     /// Derived usage/scope information for the system under lint.
-    pub info: SystemInfo,
+    pub info: &'a SystemInfo,
 }
 
-impl LintContext {
-    /// Precomputes the shared facts for `system`.
-    pub fn new(system: &System) -> Self {
+impl<'a> LintContext<'a> {
+    /// Borrows the shared facts for `system` (computed once per system
+    /// and cached on it).
+    pub fn new(system: &'a System) -> Self {
         LintContext {
             info: system.info(),
         }
+    }
+}
+
+/// The granularity at which a lint's findings depend on the system:
+/// which *unit* of configuration, when unchanged, guarantees the
+/// lint's findings for that unit are unchanged too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintScope {
+    /// One unit: the whole system (always re-checked).
+    System,
+    /// One unit per task, in [`mpcp_model::TaskId`] order.
+    Task,
+    /// One unit per resource, in [`mpcp_model::ResourceId`] order.
+    Resource,
+    /// One unit per processor, in [`mpcp_model::ProcessorId`] order.
+    Processor,
+}
+
+/// Number of units `scope` splits `system` into.
+pub fn unit_count(scope: LintScope, system: &System) -> usize {
+    match scope {
+        LintScope::System => 1,
+        LintScope::Task => system.tasks().len(),
+        LintScope::Resource => system.resources().len(),
+        LintScope::Processor => system.processors().len(),
     }
 }
 
@@ -47,8 +82,24 @@ pub trait Lint {
     fn name(&self) -> &'static str;
     /// One-line description of what the lint enforces.
     fn description(&self) -> &'static str;
-    /// Runs the lint, appending any findings to `out`.
-    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>);
+    /// Dependency granularity of the lint's findings.
+    fn scope(&self) -> LintScope;
+    /// Runs the lint over one unit of its [`LintScope`] (a task,
+    /// resource or processor index; `0` for [`LintScope::System`]),
+    /// appending any findings to `out`.
+    fn check_unit(
+        &self,
+        system: &System,
+        ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    );
+    /// Runs the lint over every unit, in unit order.
+    fn check(&self, system: &System, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for unit in 0..unit_count(self.scope(), system) {
+            self.check_unit(system, ctx, unit, out);
+        }
+    }
 }
 
 /// The default lint set, in code order.
@@ -63,6 +114,9 @@ pub fn default_lints() -> Vec<Box<dyn Lint>> {
         Box::new(ProcessorOverutilized),
         Box::new(NonRmPriorities),
         Box::new(GcsExceedsDeadline),
+        Box::new(UncontendedSemaphore),
+        Box::new(MergeableAdjacentSections),
+        Box::new(DeadCeiling),
     ]
 }
 
@@ -104,7 +158,16 @@ impl Lint for LockOrderCycle {
     fn description(&self) -> &'static str {
         "nested global sections must follow a partial lock order (no cycles)"
     }
-    fn check(&self, system: &System, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+    fn scope(&self) -> LintScope {
+        LintScope::System
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        _ctx: &LintContext<'_>,
+        _unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
         if let Some(cycle) = lock_order_cycle(system) {
             let names: Vec<String> = cycle.iter().map(|&r| res_name(system, r)).collect();
             let mut path = names.clone();
@@ -147,52 +210,60 @@ impl Lint for MisscopedResource {
     fn description(&self) -> &'static str {
         "a resource is global only because of a single remote task"
     }
-    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
-        for usage in ctx.info.all_usage() {
-            if usage.scope != Scope::Global {
-                continue;
-            }
-            let mut by_proc: BTreeMap<usize, Vec<mpcp_model::TaskId>> = BTreeMap::new();
-            for &t in &usage.users {
-                by_proc
-                    .entry(system.task(t).processor().index())
-                    .or_default()
-                    .push(t);
-            }
-            if by_proc.len() != 2 {
-                continue;
-            }
-            let Some((_, lone)) = by_proc.iter().find(|(_, ts)| ts.len() == 1) else {
-                continue;
-            };
-            let Some((home, _)) = by_proc.iter().find(|(_, ts)| ts.len() > 1) else {
-                continue;
-            };
-            let lone = lone[0];
-            let home_name = system.processors()[*home].name().to_string();
-            out.push(
-                Diagnostic::new(
-                    self.code(),
-                    self.name(),
-                    Severity::Warning,
-                    format!(
-                        "{} is global only because {} uses it from {}",
-                        res_name(system, usage.resource),
-                        task_name(system, lone),
-                        system.processor(system.task(lone).processor()).name(),
-                    ),
-                )
-                .with_tasks([task_name(system, lone)])
-                .with_resources([res_name(system, usage.resource)])
-                .on_processor(home_name.clone())
-                .with_hint(format!(
-                    "moving {} to {} would make {} a local semaphore",
-                    task_name(system, lone),
-                    home_name,
-                    res_name(system, usage.resource),
-                )),
-            );
+    fn scope(&self) -> LintScope {
+        LintScope::Resource
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let usage = &ctx.info.all_usage()[unit];
+        if usage.scope != Scope::Global {
+            return;
         }
+        let mut by_proc: BTreeMap<usize, Vec<mpcp_model::TaskId>> = BTreeMap::new();
+        for &t in &usage.users {
+            by_proc
+                .entry(system.task(t).processor().index())
+                .or_default()
+                .push(t);
+        }
+        if by_proc.len() != 2 {
+            return;
+        }
+        let Some((_, lone)) = by_proc.iter().find(|(_, ts)| ts.len() == 1) else {
+            return;
+        };
+        let Some((home, _)) = by_proc.iter().find(|(_, ts)| ts.len() > 1) else {
+            return;
+        };
+        let lone = lone[0];
+        let home_name = system.processors()[*home].name().to_string();
+        out.push(
+            Diagnostic::new(
+                self.code(),
+                self.name(),
+                Severity::Warning,
+                format!(
+                    "{} is global only because {} uses it from {}",
+                    res_name(system, usage.resource),
+                    task_name(system, lone),
+                    system.processor(system.task(lone).processor()).name(),
+                ),
+            )
+            .with_tasks([task_name(system, lone)])
+            .with_resources([res_name(system, usage.resource)])
+            .on_processor(home_name.clone())
+            .with_hint(format!(
+                "moving {} to {} would make {} a local semaphore",
+                task_name(system, lone),
+                home_name,
+                res_name(system, usage.resource),
+            )),
+        );
     }
 }
 
@@ -209,23 +280,31 @@ impl Lint for UnusedResource {
     fn description(&self) -> &'static str {
         "a declared resource is never used by any task"
     }
-    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
-        for usage in ctx.info.all_usage() {
-            if usage.users.is_empty() {
-                out.push(
-                    Diagnostic::new(
-                        self.code(),
-                        self.name(),
-                        Severity::Warning,
-                        format!(
-                            "{} is declared but never used",
-                            res_name(system, usage.resource)
-                        ),
-                    )
-                    .with_resources([res_name(system, usage.resource)])
-                    .with_hint("remove the resource from the system definition"),
-                );
-            }
+    fn scope(&self) -> LintScope {
+        LintScope::Resource
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let usage = &ctx.info.all_usage()[unit];
+        if usage.users.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "{} is declared but never used",
+                        res_name(system, usage.resource)
+                    ),
+                )
+                .with_resources([res_name(system, usage.resource)])
+                .with_hint("remove the resource from the system definition"),
+            );
         }
     }
 }
@@ -247,42 +326,50 @@ impl Lint for MixedScopeNesting {
     fn description(&self) -> &'static str {
         "global and local critical sections must not nest inside each other"
     }
-    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
-        for task in system.tasks() {
-            for cs in task.body().critical_sections() {
-                let outer = ctx.info.scope(cs.resource);
-                for &inner in &cs.nested {
-                    let inner_scope = ctx.info.scope(inner);
-                    if outer == inner_scope {
-                        continue;
-                    }
-                    let (o, i) = match outer {
-                        Scope::Global => ("global", "local"),
-                        Scope::Local(_) => ("local", "global"),
-                        Scope::Unused => continue,
-                    };
-                    out.push(
-                        Diagnostic::new(
-                            self.code(),
-                            self.name(),
-                            Severity::Error,
-                            format!(
-                                "{} nests {} section {} inside {} section {}",
-                                task.name(),
-                                i,
-                                res_name(system, inner),
-                                o,
-                                res_name(system, cs.resource),
-                            ),
-                        )
-                        .with_tasks([task.name().to_string()])
-                        .with_resources([res_name(system, cs.resource), res_name(system, inner)])
-                        .with_hint(
-                            "split the outer section so both semaphores \
-                             are acquired at the same scope",
-                        ),
-                    );
+    fn scope(&self) -> LintScope {
+        LintScope::Task
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let task = &system.tasks()[unit];
+        for cs in &ctx.info.all_task_use()[unit].sections {
+            let outer = ctx.info.scope(cs.resource);
+            for &inner in &cs.nested {
+                let inner_scope = ctx.info.scope(inner);
+                if outer == inner_scope {
+                    continue;
                 }
+                let (o, i) = match outer {
+                    Scope::Global => ("global", "local"),
+                    Scope::Local(_) => ("local", "global"),
+                    Scope::Unused => continue,
+                };
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        self.name(),
+                        Severity::Error,
+                        format!(
+                            "{} nests {} section {} inside {} section {}",
+                            task.name(),
+                            i,
+                            res_name(system, inner),
+                            o,
+                            res_name(system, cs.resource),
+                        ),
+                    )
+                    .with_tasks([task.name().to_string()])
+                    .with_resources([res_name(system, cs.resource), res_name(system, inner)])
+                    .with_hint(
+                        "split the outer section so both semaphores \
+                         are acquired at the same scope",
+                    ),
+                );
             }
         }
     }
@@ -304,40 +391,48 @@ impl Lint for NestedGlobalSections {
     fn description(&self) -> &'static str {
         "nested global sections add remote blocking; consider a lock group"
     }
-    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
-        for task in system.tasks() {
-            let mut flagged: Vec<(String, String)> = Vec::new();
-            for cs in task.body().critical_sections() {
-                if ctx.info.scope(cs.resource) != Scope::Global {
-                    continue;
-                }
-                for &inner in &cs.nested {
-                    if ctx.info.scope(inner) == Scope::Global {
-                        flagged.push((res_name(system, cs.resource), res_name(system, inner)));
-                    }
+    fn scope(&self) -> LintScope {
+        LintScope::Task
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let task = &system.tasks()[unit];
+        let mut flagged: Vec<(String, String)> = Vec::new();
+        for cs in &ctx.info.all_task_use()[unit].sections {
+            if ctx.info.scope(cs.resource) != Scope::Global {
+                continue;
+            }
+            for &inner in &cs.nested {
+                if ctx.info.scope(inner) == Scope::Global {
+                    flagged.push((res_name(system, cs.resource), res_name(system, inner)));
                 }
             }
-            for (outer, inner) in flagged {
-                out.push(
-                    Diagnostic::new(
-                        self.code(),
-                        self.name(),
-                        Severity::Warning,
-                        format!(
-                            "{} holds global {} while acquiring global {}",
-                            task.name(),
-                            outer,
-                            inner,
-                        ),
-                    )
-                    .with_tasks([task.name().to_string()])
-                    .with_resources([outer, inner])
-                    .with_hint(
-                        "consider collapsing the nested semaphores into a \
-                         single lock group (see collapse_nested_globals)",
+        }
+        for (outer, inner) in flagged {
+            out.push(
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "{} holds global {} while acquiring global {}",
+                        task.name(),
+                        outer,
+                        inner,
                     ),
-                );
-            }
+                )
+                .with_tasks([task.name().to_string()])
+                .with_resources([outer, inner])
+                .with_hint(
+                    "consider collapsing the nested semaphores into a \
+                     single lock group (see collapse_nested_globals)",
+                ),
+            );
         }
     }
 }
@@ -366,27 +461,35 @@ impl Lint for SuspensionInCriticalSection {
     fn description(&self) -> &'static str {
         "a task must not self-suspend while holding a semaphore"
     }
-    fn check(&self, system: &System, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
-        for task in system.tasks() {
-            for seg in task.body().segments() {
-                if let Segment::Critical(res, inner) = seg {
-                    if has_suspension(inner) {
-                        out.push(
-                            Diagnostic::new(
-                                self.code(),
-                                self.name(),
-                                Severity::Error,
-                                format!(
-                                    "{} self-suspends while holding {}",
-                                    task.name(),
-                                    res_name(system, *res),
-                                ),
-                            )
-                            .with_tasks([task.name().to_string()])
-                            .with_resources([res_name(system, *res)])
-                            .with_hint("move the suspension outside the critical section"),
-                        );
-                    }
+    fn scope(&self) -> LintScope {
+        LintScope::Task
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        _ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let task = &system.tasks()[unit];
+        for seg in task.body().segments() {
+            if let Segment::Critical(res, inner) = seg {
+                if has_suspension(inner) {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            self.name(),
+                            Severity::Error,
+                            format!(
+                                "{} self-suspends while holding {}",
+                                task.name(),
+                                res_name(system, *res),
+                            ),
+                        )
+                        .with_tasks([task.name().to_string()])
+                        .with_resources([res_name(system, *res)])
+                        .with_hint("move the suspension outside the critical section"),
+                    );
                 }
             }
         }
@@ -409,44 +512,52 @@ impl Lint for ProcessorOverutilized {
     fn description(&self) -> &'static str {
         "a processor's utilization exceeds 1.0 or the Liu-Layland bound"
     }
-    fn check(&self, system: &System, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
-        for proc in system.processors() {
-            let n = system.tasks_on(proc.id()).len();
-            if n == 0 {
-                continue;
-            }
-            let util = system.utilization_on(proc.id());
-            let ll = liu_layland_bound(n);
-            if util > 1.0 {
-                out.push(
-                    Diagnostic::new(
-                        self.code(),
-                        self.name(),
-                        Severity::Error,
-                        format!("{} is overutilized: U = {util:.3} > 1.0", proc.name()),
-                    )
-                    .on_processor(proc.name().to_string())
-                    .with_hint("move tasks to another processor or lengthen periods"),
-                );
-            } else if util > ll {
-                out.push(
-                    Diagnostic::new(
-                        self.code(),
-                        self.name(),
-                        Severity::Warning,
-                        format!(
-                            "{} exceeds the Liu-Layland bound: U = {util:.3} > {ll:.3} \
+    fn scope(&self) -> LintScope {
+        LintScope::Processor
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        _ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let proc = &system.processors()[unit];
+        let n = system.tasks_on(proc.id()).len();
+        if n == 0 {
+            return;
+        }
+        let util = system.utilization_on(proc.id());
+        let ll = liu_layland_bound(n);
+        if util > 1.0 {
+            out.push(
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    Severity::Error,
+                    format!("{} is overutilized: U = {util:.3} > 1.0", proc.name()),
+                )
+                .on_processor(proc.name().to_string())
+                .with_hint("move tasks to another processor or lengthen periods"),
+            );
+        } else if util > ll {
+            out.push(
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "{} exceeds the Liu-Layland bound: U = {util:.3} > {ll:.3} \
                              for {n} tasks",
-                            proc.name(),
-                        ),
-                    )
-                    .on_processor(proc.name().to_string())
-                    .with_hint(
-                        "Theorem 3 cannot admit this processor before blocking \
-                         is even added; check the response-time analysis",
+                        proc.name(),
                     ),
-                );
-            }
+                )
+                .on_processor(proc.name().to_string())
+                .with_hint(
+                    "Theorem 3 cannot admit this processor before blocking \
+                         is even added; check the response-time analysis",
+                ),
+            );
         }
     }
 }
@@ -466,33 +577,41 @@ impl Lint for NonRmPriorities {
     fn description(&self) -> &'static str {
         "task priorities on a processor invert the rate-monotonic order"
     }
-    fn check(&self, system: &System, _ctx: &LintContext, out: &mut Vec<Diagnostic>) {
-        for proc in system.processors() {
-            let tasks = system.tasks_on(proc.id());
-            for a in &tasks {
-                for b in &tasks {
-                    if a.priority() > b.priority() && a.period() > b.period() {
-                        out.push(
-                            Diagnostic::new(
-                                self.code(),
-                                self.name(),
-                                Severity::Warning,
-                                format!(
-                                    "{} (period {}) outranks {} (period {})",
-                                    a.name(),
-                                    a.period(),
-                                    b.name(),
-                                    b.period(),
-                                ),
-                            )
-                            .with_tasks([a.name().to_string(), b.name().to_string()])
-                            .on_processor(proc.name().to_string())
-                            .with_hint(
-                                "assign rate-monotonic priorities (shorter period = \
-                                 higher priority) or re-derive the blocking bounds",
+    fn scope(&self) -> LintScope {
+        LintScope::Processor
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        _ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let proc = &system.processors()[unit];
+        let tasks = system.tasks_on(proc.id());
+        for a in &tasks {
+            for b in &tasks {
+                if a.priority() > b.priority() && a.period() > b.period() {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            self.name(),
+                            Severity::Warning,
+                            format!(
+                                "{} (period {}) outranks {} (period {})",
+                                a.name(),
+                                a.period(),
+                                b.name(),
+                                b.period(),
                             ),
-                        );
-                    }
+                        )
+                        .with_tasks([a.name().to_string(), b.name().to_string()])
+                        .on_processor(proc.name().to_string())
+                        .with_hint(
+                            "assign rate-monotonic priorities (shorter period = \
+                                 higher priority) or re-derive the blocking bounds",
+                        ),
+                    );
                 }
             }
         }
@@ -515,48 +634,259 @@ impl Lint for GcsExceedsDeadline {
     fn description(&self) -> &'static str {
         "another user's global section is as long as a task's deadline"
     }
-    fn check(&self, system: &System, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
-        for usage in ctx.info.all_usage() {
-            if usage.scope != Scope::Global {
-                continue;
-            }
-            for &t in &usage.users {
-                let task = system.task(t);
-                let longest_other = usage
-                    .users
+    fn scope(&self) -> LintScope {
+        LintScope::Resource
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let usage = &ctx.info.all_usage()[unit];
+        if usage.scope != Scope::Global {
+            return;
+        }
+        // Longest section per user, then the overall best and the best
+        // excluding the best's owner: "longest other user's section"
+        // falls out without the quadratic per-pair body walk.
+        let per_user: Vec<mpcp_model::Dur> = usage
+            .users
+            .iter()
+            .map(|&u| {
+                ctx.info
+                    .task_use(u)
+                    .sections
                     .iter()
-                    .filter(|&&u| u != t)
-                    .flat_map(|&u| {
-                        system
-                            .task(u)
-                            .body()
-                            .sections_of(usage.resource)
-                            .into_iter()
-                            .map(|cs| cs.duration)
-                    })
+                    .filter(|cs| cs.resource == usage.resource)
+                    .map(|cs| cs.duration)
                     .max()
-                    .unwrap_or(mpcp_model::Dur::ZERO);
-                if longest_other >= task.deadline() && !longest_other.is_zero() {
-                    out.push(
-                        Diagnostic::new(
-                            self.code(),
-                            self.name(),
-                            Severity::Error,
-                            format!(
-                                "waiting once for {} can cost {} {} ticks, at or past \
+                    .unwrap_or(mpcp_model::Dur::ZERO)
+            })
+            .collect();
+        let best = per_user
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, d)| d)
+            .map(|(i, &d)| (i, d));
+        let second = per_user
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i) != best.map(|b| b.0))
+            .map(|(_, &d)| d)
+            .max()
+            .unwrap_or(mpcp_model::Dur::ZERO);
+        for (ti, &t) in usage.users.iter().enumerate() {
+            let task = system.task(t);
+            let longest_other = match best {
+                Some((bi, bd)) if bi != ti => bd,
+                _ => second,
+            };
+            if longest_other >= task.deadline() && !longest_other.is_zero() {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        self.name(),
+                        Severity::Error,
+                        format!(
+                            "waiting once for {} can cost {} {} ticks, at or past \
                                  its deadline of {}",
-                                res_name(system, usage.resource),
-                                task.name(),
-                                longest_other.ticks(),
-                                task.deadline(),
-                            ),
-                        )
-                        .with_tasks([task.name().to_string()])
-                        .with_resources([res_name(system, usage.resource)])
-                        .with_hint("shorten the section or split the resource"),
-                    );
-                }
+                            res_name(system, usage.resource),
+                            task.name(),
+                            longest_other.ticks(),
+                            task.deadline(),
+                        ),
+                    )
+                    .with_tasks([task.name().to_string()])
+                    .with_resources([res_name(system, usage.resource)])
+                    .with_hint("shorten the section or split the resource"),
+                );
             }
         }
+    }
+}
+
+/// V010 — a semaphore with exactly one user serializes nothing: every
+/// wait operation is uncontended, yet under MPCP a single-user global
+/// semaphore still raises its user's effective priority and still
+/// contributes remote blocking to *other* tasks through factor 4.
+pub struct UncontendedSemaphore;
+
+impl Lint for UncontendedSemaphore {
+    fn code(&self) -> &'static str {
+        "V010"
+    }
+    fn name(&self) -> &'static str {
+        "uncontended-semaphore"
+    }
+    fn description(&self) -> &'static str {
+        "a semaphore has exactly one user and so never arbitrates"
+    }
+    fn scope(&self) -> LintScope {
+        LintScope::Resource
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let usage = &ctx.info.all_usage()[unit];
+        if usage.users.len() != 1 {
+            return;
+        }
+        let only = usage.users[0];
+        out.push(
+            Diagnostic::new(
+                self.code(),
+                self.name(),
+                Severity::Warning,
+                format!(
+                    "{} is only ever locked by {}; the semaphore arbitrates nothing",
+                    res_name(system, usage.resource),
+                    task_name(system, only),
+                ),
+            )
+            .with_tasks([task_name(system, only)])
+            .with_resources([res_name(system, usage.resource)])
+            .with_hint(
+                "drop the semaphore (inline the section as plain computation) \
+                 unless a future sharer is planned",
+            ),
+        );
+    }
+}
+
+/// V011 — two directly consecutive critical sections on the same
+/// semaphore. Each acquisition pays the full MPCP blocking term, so
+/// back-to-back sections on one semaphore double the worst-case wait
+/// for no added concurrency; merging them costs nothing a preemption
+/// point would not also cost.
+pub struct MergeableAdjacentSections;
+
+fn adjacent_same_resource(segments: &[Segment], hits: &mut Vec<mpcp_model::ResourceId>) {
+    let mut prev: Option<mpcp_model::ResourceId> = None;
+    for seg in segments {
+        match seg {
+            Segment::Critical(res, inner) => {
+                if prev == Some(*res) {
+                    hits.push(*res);
+                }
+                prev = Some(*res);
+                adjacent_same_resource(inner, hits);
+            }
+            _ => prev = None,
+        }
+    }
+}
+
+impl Lint for MergeableAdjacentSections {
+    fn code(&self) -> &'static str {
+        "V011"
+    }
+    fn name(&self) -> &'static str {
+        "mergeable-adjacent-sections"
+    }
+    fn description(&self) -> &'static str {
+        "back-to-back critical sections on one semaphore can be merged"
+    }
+    fn scope(&self) -> LintScope {
+        LintScope::Task
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        _ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let task = &system.tasks()[unit];
+        let mut hits = Vec::new();
+        adjacent_same_resource(task.body().segments(), &mut hits);
+        for res in hits {
+            out.push(
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    Severity::Warning,
+                    format!(
+                        "{} releases and immediately re-acquires {}",
+                        task.name(),
+                        res_name(system, res),
+                    ),
+                )
+                .with_tasks([task.name().to_string()])
+                .with_resources([res_name(system, res)])
+                .with_hint(
+                    "merge the adjacent sections into one to pay the \
+                     blocking term once instead of twice",
+                ),
+            );
+        }
+    }
+}
+
+/// V012 — a local resource whose priority-ceiling protection is dead
+/// weight: every one of its users also enters some global critical
+/// section, where MPCP already hoists it above every normal-priority
+/// task on the processor. The local ceiling then never changes which
+/// task runs, so the resource could be a plain (non-ceiling) lock.
+pub struct DeadCeiling;
+
+impl Lint for DeadCeiling {
+    fn code(&self) -> &'static str {
+        "V012"
+    }
+    fn name(&self) -> &'static str {
+        "dead-ceiling"
+    }
+    fn description(&self) -> &'static str {
+        "a local ceiling is dominated by its users' global sections"
+    }
+    fn scope(&self) -> LintScope {
+        LintScope::Resource
+    }
+    fn check_unit(
+        &self,
+        system: &System,
+        ctx: &LintContext<'_>,
+        unit: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let usage = &ctx.info.all_usage()[unit];
+        let proc = match usage.scope {
+            Scope::Local(p) => p,
+            _ => return,
+        };
+        if usage.users.is_empty()
+            || !usage
+                .users
+                .iter()
+                .all(|&u| ctx.info.task_use(u).gcs_count() > 0)
+        {
+            return;
+        }
+        let users: Vec<String> = usage.users.iter().map(|&u| task_name(system, u)).collect();
+        out.push(
+            Diagnostic::new(
+                self.code(),
+                self.name(),
+                Severity::Warning,
+                format!(
+                    "every user of local {} also enters a global section; its \
+                     ceiling never decides who runs",
+                    res_name(system, usage.resource),
+                ),
+            )
+            .with_tasks(users)
+            .with_resources([res_name(system, usage.resource)])
+            .on_processor(system.processor(proc).name().to_string())
+            .with_hint(
+                "the global-section priority boost already dominates the \
+                 local ceiling; a plain lock suffices here",
+            ),
+        );
     }
 }

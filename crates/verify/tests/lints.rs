@@ -267,6 +267,205 @@ fn v009_fires_when_a_remote_gcs_covers_a_deadline() {
 }
 
 #[test]
+fn v010_fires_on_single_user_semaphore_only() {
+    let mut b = System::builder();
+    let p = b.add_processor("P0");
+    let solo = b.add_resource("SOLO");
+    let shared = b.add_resource("SH");
+    b.add_task(
+        TaskDef::new("alone", p).period(20).priority(2).body(
+            Body::builder()
+                .critical(solo, |c| c.compute(1))
+                .compute(1)
+                .critical(shared, |c| c.compute(1))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("peer", p)
+            .period(40)
+            .priority(1)
+            .body(Body::builder().critical(shared, |c| c.compute(1)).build()),
+    );
+    let report = lint_system(&b.build().unwrap());
+    let fired: Vec<_> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == "V010")
+        .collect();
+    assert_eq!(fired.len(), 1, "only SOLO is uncontended");
+    assert_eq!(fired[0].severity, Severity::Warning);
+    assert!(fired[0].resources.contains(&"SOLO".to_string()));
+    assert!(fired[0].tasks.contains(&"alone".to_string()));
+}
+
+#[test]
+fn v011_fires_on_back_to_back_sections_even_nested() {
+    let mut b = System::builder();
+    let p = b.add_processor("P0");
+    let s = b.add_resource("S");
+    let outer = b.add_resource("OUTER");
+    // Adjacent at top level in "churn"; adjacent inside a nested body in
+    // "wrapped"; separated by compute in "fine" so it stays quiet.
+    b.add_task(
+        TaskDef::new("churn", p).period(30).priority(3).body(
+            Body::builder()
+                .critical(s, |c| c.compute(1))
+                .critical(s, |c| c.compute(1))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("wrapped", p).period(60).priority(2).body(
+            Body::builder()
+                .critical(outer, |c| {
+                    c.critical(s, |c| c.compute(1))
+                        .critical(s, |c| c.compute(1))
+                })
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("fine", p).period(120).priority(1).body(
+            Body::builder()
+                .critical(s, |c| c.compute(1))
+                .compute(1)
+                .critical(s, |c| c.compute(1))
+                .build(),
+        ),
+    );
+    let report = lint_system(&b.build().unwrap());
+    let tasks: Vec<_> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == "V011")
+        .flat_map(|d| d.tasks.clone())
+        .collect();
+    assert!(tasks.contains(&"churn".to_string()));
+    assert!(tasks.contains(&"wrapped".to_string()));
+    assert!(!tasks.contains(&"fine".to_string()));
+}
+
+#[test]
+fn v012_fires_only_when_every_user_has_a_global_section() {
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let sl = b.add_resource("SL");
+    let sg = b.add_resource("SG");
+    b.add_task(
+        TaskDef::new("t0", p[0]).period(20).priority(3).body(
+            Body::builder()
+                .critical(sl, |c| c.compute(1))
+                .critical(sg, |c| c.compute(1))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("t1", p[0]).period(40).priority(2).body(
+            Body::builder()
+                .critical(sl, |c| c.compute(1))
+                .critical(sg, |c| c.compute(1))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("remote", p[1])
+            .period(80)
+            .priority(1)
+            .body(Body::builder().critical(sg, |c| c.compute(1)).build()),
+    );
+    let report = lint_system(&b.build().unwrap());
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "V012")
+        .expect("V012 fired");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.resources.contains(&"SL".to_string()));
+
+    // Give t1 a purely-local profile: the ceiling now matters, no V012.
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let sl = b.add_resource("SL");
+    let sg = b.add_resource("SG");
+    b.add_task(
+        TaskDef::new("t0", p[0]).period(20).priority(3).body(
+            Body::builder()
+                .critical(sl, |c| c.compute(1))
+                .critical(sg, |c| c.compute(1))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("t1", p[0])
+            .period(40)
+            .priority(2)
+            .body(Body::builder().critical(sl, |c| c.compute(1)).build()),
+    );
+    b.add_task(
+        TaskDef::new("remote", p[1])
+            .period(80)
+            .priority(1)
+            .body(Body::builder().critical(sg, |c| c.compute(1)).build()),
+    );
+    let report = lint_system(&b.build().unwrap());
+    assert!(!codes(&report).contains(&"V012"));
+}
+
+/// A system tripping all three new advisory lints at once, golden-pinned
+/// so their JSON shape is a stable contract like the V001 snapshot.
+fn advisory_trifecta_system() -> System {
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let solo = b.add_resource("SOLO");
+    let sl = b.add_resource("SL");
+    let sg = b.add_resource("SG");
+    b.add_task(
+        TaskDef::new("t0", p[0]).period(20).priority(3).body(
+            Body::builder()
+                .critical(solo, |c| c.compute(1))
+                .critical(sl, |c| c.compute(1))
+                .critical(sl, |c| c.compute(1))
+                .critical(sg, |c| c.compute(1))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("t1", p[0]).period(40).priority(2).body(
+            Body::builder()
+                .critical(sl, |c| c.compute(1))
+                .compute(1)
+                .critical(sg, |c| c.compute(1))
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("remote", p[1])
+            .period(80)
+            .priority(1)
+            .body(Body::builder().critical(sg, |c| c.compute(1)).build()),
+    );
+    b.build().unwrap()
+}
+
+#[test]
+fn new_lints_json_matches_golden_snapshot() {
+    let report = lint_system(&advisory_trifecta_system());
+    let fired = codes(&report);
+    for code in ["V010", "V011", "V012"] {
+        assert!(fired.contains(&code), "{code} missing from {fired:?}");
+    }
+    let json = report.render_json();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/new_lints.json");
+        std::fs::write(path, &json).unwrap();
+        return;
+    }
+    let golden = include_str!("golden/new_lints.json");
+    assert_eq!(json, golden, "JSON diagnostics drifted:\n{json}");
+}
+
+#[test]
 fn paper_examples_produce_no_errors() {
     let (ex1, _) = mpcp_bench::paper::example1(40);
     let (ex2, _) = mpcp_bench::paper::example2(40);

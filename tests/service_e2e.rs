@@ -14,6 +14,8 @@ fn server(workers: usize, queue: usize, deadline_ms: u64) -> mpcp::service::Serv
         queue_cap: queue,
         deadline: Duration::from_millis(deadline_ms),
         cache_capacity: 256,
+        incremental: true,
+        audit_every: 1,
     })
     .expect("bind test server")
 }
