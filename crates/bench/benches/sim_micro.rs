@@ -1,0 +1,92 @@
+//! Simulator inner-loop microbenchmark: the engine step loop on a fixed
+//! 4 procs × 3 tasks/processor scenario (the sweep's workload shape),
+//! with trace recording off so the numbers isolate the hot path the
+//! sweep pays per protocol simulation.
+//!
+//! Prints one JSON document; `BENCH_sim.json` at the repo root is a
+//! checked-in release-mode run of this binary (with the pre-rewrite
+//! numbers preserved under `baseline`).
+
+use mpcp_protocols::ProtocolKind;
+use mpcp_service::json::Value;
+use mpcp_sim::{SimConfig, Simulator};
+use mpcp_taskgen::{generate, WorkloadConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+const HORIZON: u64 = 20_000;
+
+fn workload() -> WorkloadConfig {
+    WorkloadConfig::default()
+        .processors(4)
+        .tasks_per_processor(3)
+        .utilization(0.5)
+        .resources(1, 2)
+        .sections(0, 2)
+}
+
+fn main() {
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    if let Some(f) = &filter {
+        if !"sim/step_loop".contains(f.as_str()) {
+            return;
+        }
+    }
+
+    let sys = generate(&workload(), 42);
+    let mut points = Vec::new();
+    for kind in [ProtocolKind::Mpcp, ProtocolKind::Dpcp, ProtocolKind::Raw] {
+        let run_once = || {
+            let mut sim = Simulator::with_config(
+                &sys,
+                kind.build(),
+                SimConfig {
+                    record_trace: false,
+                    ..SimConfig::until(HORIZON)
+                },
+            );
+            let mut instants = 0u64;
+            while sim.step() {
+                instants += 1;
+            }
+            black_box(sim.records().len());
+            (instants, sim.records().len() as u64)
+        };
+
+        // Warm up, then calibrate the repetition count for ~300 ms.
+        let (instants, completed) = run_once();
+        let start = Instant::now();
+        run_once();
+        let once = start.elapsed().as_nanos().max(1);
+        let reps = (300_000_000 / once).clamp(1, 1 << 20) as u64;
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(run_once());
+        }
+        let ns_per_sim = start.elapsed().as_nanos() as u64 / reps;
+        points.push(Value::obj([
+            ("protocol", Value::str(kind.name())),
+            ("instants", Value::from(instants)),
+            ("completed_jobs", Value::from(completed)),
+            ("ns_per_sim", Value::from(ns_per_sim)),
+            ("ns_per_instant", Value::from(ns_per_sim / instants.max(1))),
+        ]));
+    }
+
+    let doc = Value::obj([
+        ("bench", Value::str("sim/step_loop")),
+        (
+            "config",
+            Value::obj([
+                (
+                    "workload",
+                    Value::str("4 procs x 3 tasks, util 0.50, seed 42"),
+                ),
+                ("horizon", Value::from(HORIZON)),
+                ("record_trace", Value::Bool(false)),
+            ]),
+        ),
+        ("points", Value::Arr(points)),
+    ]);
+    println!("{}", doc.encode());
+}

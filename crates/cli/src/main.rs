@@ -327,6 +327,8 @@ fn main() -> ExitCode {
             config.util_lo = flag_f64(&flags, "util-lo", config.util_lo);
             config.util_hi = flag_f64(&flags, "util-hi", config.util_hi);
             config.util_steps = flag_u64(&flags, "util-steps", config.util_steps as u64) as usize;
+            config.audit_stride =
+                flag_u64(&flags, "audit-stride", config.audit_stride as u64) as usize;
             config.shrink = !flags.contains_key("no-shrink");
             config.check_response = flags.contains_key("check-response");
             if let Some(p) = flags.get("protocol") {
@@ -542,6 +544,7 @@ fn usage() -> String {
      \x20 --horizon T    per-scenario simulation cap (default 20000)\n\
      \x20 --protocol P   restrict to one protocol (default: mpcp dpcp pip nonpreemptive raw)\n\
      \x20 --no-shrink    skip counterexample minimization\n\
+     \x20 --audit-stride N  audit every Nth scenario by index (default 8; --jobs-independent)\n\
      \x20 --check-response  treat the (advisory) RTA response comparison as a hard oracle\n\
      \x20 --json / --csv machine-readable report; nonzero exit on oracle violations\n\
      \n\

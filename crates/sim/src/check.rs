@@ -5,13 +5,28 @@
 //! any [`Trace`]. They are used by the property-based test suite to
 //! validate all six protocol implementations on randomly generated
 //! systems.
+//!
+//! Each event-based predicate is implemented as a small *streaming
+//! core* — a struct fed one event at a time that retains the first
+//! violation. The public post-hoc functions fold a recorded trace
+//! through the same core that a [`Monitor`](crate::Monitor) runs
+//! online, so the two paths cannot drift: a sweep's fast pass (no trace
+//! recorded) and its captured re-run check identical logic.
 
 use crate::event::EventKind;
-use crate::trace::Trace;
+use crate::trace::{Slice, Trace};
 use mpcp_model::{JobId, Priority, ResourceId, System, Time};
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+/// `res_global[r.index()]` — whether resource `r` is a global
+/// semaphore under `system`'s priority-ceiling classification.
+pub(crate) fn res_global_map(system: &System) -> Vec<bool> {
+    let info = system.info();
+    (0..system.resources().len())
+        .map(|i| info.scope(ResourceId::from_index(i as u32)).is_global())
+        .collect()
+}
 
 /// A violated invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +49,68 @@ fn err(time: Time, message: String) -> CheckError {
     CheckError { time, message }
 }
 
+/// Streaming core of [`mutual_exclusion`]. Indexed by resource, so a
+/// recycled instance performs no steady-state allocation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MutexCheck {
+    /// Current holder per `ResourceId::index()`.
+    holder: Vec<Option<JobId>>,
+    error: Option<CheckError>,
+}
+
+impl MutexCheck {
+    fn slot(&mut self, r: ResourceId) -> &mut Option<JobId> {
+        let i = r.index();
+        if i >= self.holder.len() {
+            self.holder.resize(i + 1, None);
+        }
+        &mut self.holder[i]
+    }
+
+    pub(crate) fn on_event(&mut self, time: Time, job: JobId, kind: &EventKind) {
+        if self.error.is_some() {
+            return;
+        }
+        match *kind {
+            EventKind::LockGranted { resource } | EventKind::HandedOff { resource, .. } => {
+                if let Some(prev) = self.slot(resource).replace(job) {
+                    self.error = Some(err(
+                        time,
+                        format!("{job} acquired {resource} while {prev} held it"),
+                    ));
+                }
+            }
+            EventKind::Unlocked { resource } => match self.slot(resource).take() {
+                Some(h) if h == job => {}
+                Some(h) => {
+                    self.error = Some(err(time, format!("{job} released {resource} held by {h}")));
+                }
+                None => {
+                    self.error = Some(err(
+                        time,
+                        format!("{job} released free semaphore {resource}"),
+                    ));
+                }
+            },
+            EventKind::Completed { .. } => {
+                if let Some(i) = self.holder.iter().position(|h| *h == Some(job)) {
+                    let r = ResourceId::from_index(i as u32);
+                    self.error = Some(err(time, format!("{job} completed while holding {r}")));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn error(&self) -> Option<&CheckError> {
+        self.error.as_ref()
+    }
+
+    fn into_result(self) -> Result<(), CheckError> {
+        self.error.map_or(Ok(()), Err)
+    }
+}
+
 /// No two jobs hold the same semaphore simultaneously, every release is
 /// by the holder, and lock/unlock pairs balance per job.
 ///
@@ -41,44 +118,11 @@ fn err(time: Time, message: String) -> CheckError {
 ///
 /// Returns the first violation found.
 pub fn mutual_exclusion(trace: &Trace) -> Result<(), CheckError> {
-    let mut holder: HashMap<ResourceId, JobId> = HashMap::new();
+    let mut core = MutexCheck::default();
     for e in trace.events() {
-        match e.kind {
-            EventKind::LockGranted { resource } | EventKind::HandedOff { resource, .. } => {
-                if let Some(prev) = holder.insert(resource, e.job) {
-                    return Err(err(
-                        e.time,
-                        format!("{} acquired {resource} while {prev} held it", e.job),
-                    ));
-                }
-            }
-            EventKind::Unlocked { resource } => match holder.remove(&resource) {
-                Some(h) if h == e.job => {}
-                Some(h) => {
-                    return Err(err(
-                        e.time,
-                        format!("{} released {resource} held by {h}", e.job),
-                    ))
-                }
-                None => {
-                    return Err(err(
-                        e.time,
-                        format!("{} released free semaphore {resource}", e.job),
-                    ))
-                }
-            },
-            EventKind::Completed { .. } => {
-                if let Some((r, _)) = holder.iter().find(|(_, j)| **j == e.job) {
-                    return Err(err(
-                        e.time,
-                        format!("{} completed while holding {r}", e.job),
-                    ));
-                }
-            }
-            _ => {}
-        }
+        core.on_event(e.time, e.job, &e.kind);
     }
-    Ok(())
+    core.into_result()
 }
 
 /// Each processor runs at most one job at a time and occupancy slices do
@@ -113,6 +157,125 @@ pub fn single_occupancy(trace: &Trace, system: &System) -> Result<(), CheckError
     Ok(())
 }
 
+/// Streaming tripwire for [`single_occupancy`]: watches the *unmerged*
+/// slice stream. The engine emits each processor's slices in start
+/// order, and contiguous-slice merging never merges an overlap away, so
+/// any overlap the post-hoc sorted check would find trips this core
+/// too.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OccupancyCheck {
+    /// Last slice seen per `ProcessorId::index()`.
+    last: Vec<Option<Slice>>,
+    error: Option<CheckError>,
+}
+
+impl OccupancyCheck {
+    pub(crate) fn on_slice(&mut self, slice: &Slice) {
+        if self.error.is_some() {
+            return;
+        }
+        let i = slice.processor.index();
+        if i >= self.last.len() {
+            self.last.resize(i + 1, None);
+        }
+        if let Some(prev) = self.last[i] {
+            if prev.start + prev.dur > slice.start {
+                self.error = Some(err(
+                    slice.start,
+                    format!(
+                        "overlapping slices on {}: {prev:?} and {slice:?}",
+                        slice.processor
+                    ),
+                ));
+                return;
+            }
+        }
+        self.last[i] = Some(*slice);
+    }
+
+    pub(crate) fn error(&self) -> Option<&CheckError> {
+        self.error.as_ref()
+    }
+}
+
+/// Streaming core of [`priority_ordered_handoffs`].
+#[derive(Debug, Clone)]
+pub(crate) struct HandoffCheck {
+    /// Assigned priority per `TaskId::index()`.
+    prios: Vec<Priority>,
+    /// Wait queue per `ResourceId::index()`, in blocking order.
+    waiting: Vec<Vec<JobId>>,
+    error: Option<CheckError>,
+}
+
+impl HandoffCheck {
+    pub(crate) fn new(system: &System) -> Self {
+        HandoffCheck {
+            prios: system
+                .tasks()
+                .iter()
+                .map(mpcp_model::Task::priority)
+                .collect(),
+            waiting: vec![Vec::new(); system.resources().len()],
+            error: None,
+        }
+    }
+
+    pub(crate) fn on_event(&mut self, time: Time, job: JobId, kind: &EventKind) {
+        if self.error.is_some() {
+            return;
+        }
+        match *kind {
+            EventKind::LockBlocked { resource, .. } => {
+                let i = resource.index();
+                if i >= self.waiting.len() {
+                    self.waiting.resize_with(i + 1, Vec::new);
+                }
+                self.waiting[i].push(job);
+            }
+            EventKind::Woken => {
+                // Local PCP retry: the job leaves every wait set (it will
+                // re-block if still refused).
+                for q in &mut self.waiting {
+                    q.retain(|j| *j != job);
+                }
+            }
+            EventKind::HandedOff { resource, to } => {
+                let i = resource.index();
+                if i >= self.waiting.len() {
+                    self.waiting.resize_with(i + 1, Vec::new);
+                }
+                let prios = &self.prios;
+                let q = &mut self.waiting[i];
+                let Some(pos) = q.iter().position(|j| *j == to) else {
+                    self.error = Some(err(time, format!("{resource} handed to non-waiter {to}")));
+                    return;
+                };
+                if let Some(best) = q.iter().map(|j| prios[j.task.index()]).max() {
+                    let handed = prios[to.task.index()];
+                    if handed < best {
+                        self.error = Some(err(
+                            time,
+                            format!("{resource} handed to {to} ({handed}) over a waiter at {best}"),
+                        ));
+                        return;
+                    }
+                }
+                q.remove(pos);
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn error(&self) -> Option<&CheckError> {
+        self.error.as_ref()
+    }
+
+    fn into_result(self) -> Result<(), CheckError> {
+        self.error.map_or(Ok(()), Err)
+    }
+}
+
 /// Hand-offs of a semaphore go to the highest-assigned-priority waiter
 /// queued at that moment (§5 rule 7). Protocols with FIFO queues (the
 /// raw baseline) legitimately fail this — that *is* the paper's point.
@@ -121,42 +284,72 @@ pub fn single_occupancy(trace: &Trace, system: &System) -> Result<(), CheckError
 ///
 /// Returns the first violation found.
 pub fn priority_ordered_handoffs(trace: &Trace, system: &System) -> Result<(), CheckError> {
-    let mut waiting: HashMap<ResourceId, Vec<JobId>> = HashMap::new();
-    let prio = |j: JobId| system.task(j.task).priority();
+    let mut core = HandoffCheck::new(system);
     for e in trace.events() {
-        match e.kind {
-            EventKind::LockBlocked { resource, .. } => {
-                waiting.entry(resource).or_default().push(e.job);
+        core.on_event(e.time, e.job, &e.kind);
+    }
+    core.into_result()
+}
+
+/// Streaming core of [`gcs_preemption_discipline`]. Holds a flat
+/// `(job, resource)` multiset — at most a handful of entries live at
+/// once, so linear scans beat a map and the buffer is reusable.
+#[derive(Debug, Clone)]
+pub(crate) struct GcsCheck {
+    res_global: Vec<bool>,
+    held: Vec<(JobId, ResourceId)>,
+    error: Option<CheckError>,
+}
+
+impl GcsCheck {
+    pub(crate) fn new(system: &System) -> Self {
+        GcsCheck {
+            res_global: res_global_map(system),
+            held: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn in_gcs(&self, j: JobId) -> bool {
+        self.held
+            .iter()
+            .any(|&(h, r)| h == j && self.res_global[r.index()])
+    }
+
+    pub(crate) fn on_event(&mut self, time: Time, job: JobId, kind: &EventKind) {
+        if self.error.is_some() {
+            return;
+        }
+        match *kind {
+            EventKind::LockGranted { resource } | EventKind::HandedOff { resource, .. } => {
+                self.held.push((job, resource));
             }
-            EventKind::Woken => {
-                // Local PCP retry: the job leaves every wait set (it will
-                // re-block if still refused).
-                for q in waiting.values_mut() {
-                    q.retain(|j| *j != e.job);
+            EventKind::Unlocked { resource } => {
+                if let Some(pos) = self
+                    .held
+                    .iter()
+                    .rposition(|&(h, r)| h == job && r == resource)
+                {
+                    self.held.swap_remove(pos);
                 }
             }
-            EventKind::HandedOff { resource, to } => {
-                let q = waiting.entry(resource).or_default();
-                let Some(pos) = q.iter().position(|j| *j == to) else {
-                    return Err(err(e.time, format!("{resource} handed to non-waiter {to}")));
-                };
-                if let Some(best) = q.iter().map(|j| prio(*j)).max() {
-                    if prio(to) < best {
-                        return Err(err(
-                            e.time,
-                            format!(
-                                "{resource} handed to {to} ({}) over a waiter at {best}",
-                                prio(to)
-                            ),
-                        ));
-                    }
-                }
-                q.remove(pos);
+            EventKind::Preempted { by, .. } if self.in_gcs(job) && !self.in_gcs(by) => {
+                self.error = Some(err(
+                    time,
+                    format!("gcs of {job} preempted by non-gcs job {by}"),
+                ));
             }
             _ => {}
         }
     }
-    Ok(())
+
+    pub(crate) fn error(&self) -> Option<&CheckError> {
+        self.error.as_ref()
+    }
+
+    fn into_result(self) -> Result<(), CheckError> {
+        self.error.map_or(Ok(()), Err)
+    }
 }
 
 /// Theorem 2's structural form: while a job holds a *global* semaphore,
@@ -167,34 +360,55 @@ pub fn priority_ordered_handoffs(trace: &Trace, system: &System) -> Result<(), C
 ///
 /// Returns the first violation found.
 pub fn gcs_preemption_discipline(trace: &Trace, system: &System) -> Result<(), CheckError> {
-    let info = system.info();
-    let mut held: HashMap<JobId, Vec<ResourceId>> = HashMap::new();
-    let in_gcs = |held: &HashMap<JobId, Vec<ResourceId>>, j: JobId| {
-        held.get(&j)
-            .is_some_and(|v| v.iter().any(|r| info.scope(*r).is_global()))
-    };
+    let mut core = GcsCheck::new(system);
     for e in trace.events() {
-        match e.kind {
-            EventKind::LockGranted { resource } | EventKind::HandedOff { resource, .. } => {
-                held.entry(e.job).or_default().push(resource);
-            }
-            EventKind::Unlocked { resource } => {
-                if let Some(v) = held.get_mut(&e.job) {
-                    if let Some(pos) = v.iter().rposition(|&r| r == resource) {
-                        v.remove(pos);
-                    }
-                }
-            }
-            EventKind::Preempted { by, .. } if in_gcs(&held, e.job) && !in_gcs(&held, by) => {
-                return Err(err(
-                    e.time,
-                    format!("gcs of {} preempted by non-gcs job {by}", e.job),
-                ));
-            }
-            _ => {}
+        core.on_event(e.time, e.job, &e.kind);
+    }
+    core.into_result()
+}
+
+/// Streaming core of [`priority_floor`].
+#[derive(Debug, Clone)]
+pub(crate) struct FloorCheck {
+    /// Assigned priority per `TaskId::index()`.
+    prios: Vec<Priority>,
+    error: Option<CheckError>,
+}
+
+impl FloorCheck {
+    pub(crate) fn new(system: &System) -> Self {
+        FloorCheck {
+            prios: system
+                .tasks()
+                .iter()
+                .map(mpcp_model::Task::priority)
+                .collect(),
+            error: None,
         }
     }
-    Ok(())
+
+    pub(crate) fn on_event(&mut self, time: Time, job: JobId, kind: &EventKind) {
+        if self.error.is_some() {
+            return;
+        }
+        if let EventKind::PriorityChanged { to, .. } = *kind {
+            let base = self.prios[job.task.index()];
+            if to < base {
+                self.error = Some(err(
+                    time,
+                    format!("{job} dropped to {to}, below its assigned {base}"),
+                ));
+            }
+        }
+    }
+
+    pub(crate) fn error(&self) -> Option<&CheckError> {
+        self.error.as_ref()
+    }
+
+    fn into_result(self) -> Result<(), CheckError> {
+        self.error.map_or(Ok(()), Err)
+    }
 }
 
 /// A job's priority never drops below its assigned priority.
@@ -203,18 +417,11 @@ pub fn gcs_preemption_discipline(trace: &Trace, system: &System) -> Result<(), C
 ///
 /// Returns the first violation found.
 pub fn priority_floor(trace: &Trace, system: &System) -> Result<(), CheckError> {
+    let mut core = FloorCheck::new(system);
     for e in trace.events() {
-        if let EventKind::PriorityChanged { to, .. } = e.kind {
-            let base: Priority = system.task(e.job.task).priority();
-            if to < base {
-                return Err(err(
-                    e.time,
-                    format!("{} dropped to {to}, below its assigned {base}", e.job),
-                ));
-            }
-        }
+        core.on_event(e.time, e.job, &e.kind);
     }
-    Ok(())
+    core.into_result()
 }
 
 /// Runs every invariant applicable to the shared-memory protocol.

@@ -7,14 +7,15 @@
 //! and preemption is immediate.
 
 use crate::event::EventKind;
-use crate::job::{ExecState, JobState, Jobs};
+use crate::job::{ExecState, Jobs};
 use crate::metrics::{JobRecord, Metrics};
+use crate::monitor::Monitor;
 use crate::op::{Op, Program};
 use crate::policy::{Ctx, LockResult, Protocol};
+use crate::queue::MinHeap;
 use crate::trace::{Band, Slice, Trace};
-use mpcp_model::{Dur, JobId, Machine, ProcessorId, System, TaskId, Time};
+use mpcp_model::{Dur, JobId, Machine, Priority, ProcessorId, System, TaskId, Time};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// How jobs are mapped to processors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,7 +72,30 @@ impl SimConfig {
     }
 }
 
+/// Per-processor scratch entry used by the static scheduler: the winning
+/// job's comparison key plus its id and arena slot.
+type BestEntry = ((Priority, bool, Reverse<Time>, Reverse<JobId>), JobId, u32);
+
+/// What [`Simulator::execute_one_instantaneous_op`] did this round.
+enum OpOutcome {
+    /// No runner had an actionable op: the fixpoint is reached.
+    Idle,
+    /// A zero-compute program-counter advance: no event, no change to
+    /// any input of the scheduler, so the next round may skip
+    /// rescheduling.
+    Invisible,
+    /// A lock, unlock or suspension: scheduler state may have changed.
+    Visible,
+}
+
 /// A discrete-event simulation of one [`System`] under one [`Protocol`].
+///
+/// The inner loop is allocation-free in the steady state: jobs live in a
+/// slot arena ([`Jobs`]), the time queues are index-based binary heaps
+/// with reusable storage, and per-instant scratch buffers are retained
+/// across instants. [`Simulator::reset`] re-targets an existing simulator
+/// at a new system, keeping every internal buffer's capacity — sweep
+/// workers recycle one simulator across their whole scenario range.
 #[derive(Debug)]
 pub struct Simulator<P> {
     system: System,
@@ -83,8 +107,24 @@ pub struct Simulator<P> {
     jobs: Jobs,
     trace: Trace,
     running: Vec<Option<JobId>>,
-    next_release: Vec<(Time, u32)>,
-    deadlines: BinaryHeap<Reverse<(Time, JobId)>>,
+    /// Arena slot of each runner (valid only where `running` is `Some`),
+    /// giving the hot paths O(1) access instead of an id binary search.
+    running_slot: Vec<u32>,
+    /// Pending releases as `(release time, task index, instance)`; the
+    /// next instance of a task is pushed when the previous one releases.
+    releases: MinHeap<(Time, u32, u32)>,
+    /// Self-suspended jobs as `(wake time, id)`.
+    sleeps: MinHeap<(Time, JobId)>,
+    /// Pending deadline checks as `(absolute deadline, id)`; entries for
+    /// jobs that completed early are pruned lazily.
+    deadlines: MinHeap<(Time, JobId)>,
+    /// Scratch: per-processor best-ready-job entry for the static
+    /// scheduler.
+    best_scratch: Vec<Option<BestEntry>>,
+    /// Scratch: completed jobs found by the current sweep.
+    done_scratch: Vec<JobId>,
+    /// Scratch: per-processor base priority of the current runner.
+    runner_base: Vec<Option<Priority>>,
     records: Vec<JobRecord>,
     misses: u64,
     finished: bool,
@@ -103,9 +143,53 @@ impl<P: Protocol> Simulator<P> {
     /// Panics if [`Binding::Dynamic`] is combined with a system that uses
     /// resources (dynamic binding is only provided for the resource-free
     /// Dhall-effect demonstration).
-    pub fn with_config(system: &System, mut protocol: P, config: SimConfig) -> Self {
+    pub fn with_config(system: &System, protocol: P, config: SimConfig) -> Self {
+        let mut sim = Simulator {
+            system: system.clone(),
+            config,
+            protocol,
+            res_global: Vec::new(),
+            programs: Vec::new(),
+            now: Time::ZERO,
+            jobs: Jobs::new(),
+            trace: Trace::new(),
+            running: Vec::new(),
+            running_slot: Vec::new(),
+            releases: MinHeap::new(),
+            sleeps: MinHeap::new(),
+            deadlines: MinHeap::new(),
+            best_scratch: Vec::new(),
+            done_scratch: Vec::new(),
+            runner_base: Vec::new(),
+            records: Vec::new(),
+            misses: 0,
+            finished: false,
+        };
+        sim.init_run();
+        sim
+    }
+
+    /// Re-targets this simulator at a new system, protocol and
+    /// configuration, reusing all internal buffer capacity. Behaviorally
+    /// identical to building a fresh simulator with
+    /// [`Simulator::with_config`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`Simulator::with_config`].
+    pub fn reset(&mut self, system: &System, protocol: P, config: SimConfig) {
+        self.system = system.clone();
+        self.protocol = protocol;
+        self.config = config;
+        self.init_run();
+    }
+
+    /// (Re)initializes every run-scoped structure from `self.system` and
+    /// `self.config`, retaining buffer capacity.
+    fn init_run(&mut self) {
+        let system = &self.system;
         let info = system.info();
-        if config.binding == Binding::Dynamic {
+        if self.config.binding == Binding::Dynamic {
             assert!(
                 system
                     .tasks()
@@ -114,42 +198,45 @@ impl<P: Protocol> Simulator<P> {
                 "dynamic binding supports only resource-free systems"
             );
         }
-        let res_global = (0..system.resources().len())
-            .map(|i| {
+        self.res_global.clear();
+        self.res_global
+            .extend((0..system.resources().len()).map(|i| {
                 info.scope(mpcp_model::ResourceId::from_index(i as u32))
                     .is_global()
-            })
-            .collect();
-        let programs = system
-            .tasks()
-            .iter()
-            .map(|t| Program::flatten(t.body(), &config.machine, info))
-            .collect();
-        let next_release = system
-            .tasks()
-            .iter()
-            .map(|t| (t.try_release_of(0).unwrap_or(Time::MAX), 0u32))
-            .collect();
-        let running = vec![None; system.processors().len()];
-        protocol.init(system);
-        let mut trace = Trace::new();
-        trace.set_enabled(config.record_trace);
-        Simulator {
-            system: system.clone(),
-            config,
-            protocol,
-            res_global,
-            programs,
-            now: Time::ZERO,
-            jobs: Jobs::new(),
-            trace,
-            running,
-            next_release,
-            deadlines: BinaryHeap::new(),
-            records: Vec::new(),
-            misses: 0,
-            finished: false,
+            }));
+        self.programs.clear();
+        let machine = &self.config.machine;
+        self.programs.extend(
+            system
+                .tasks()
+                .iter()
+                .map(|t| Program::flatten(t.body(), machine, info)),
+        );
+        self.releases.clear();
+        for (ti, task) in system.tasks().iter().enumerate() {
+            if let Some(t0) = task.try_release_of(0) {
+                self.releases.push((t0, ti as u32, 0));
+            }
         }
+        let procs = system.processors().len();
+        self.running.clear();
+        self.running.resize(procs, None);
+        self.running_slot.clear();
+        self.running_slot.resize(procs, 0);
+        self.best_scratch.clear();
+        self.best_scratch.resize(procs, None);
+        self.runner_base.clear();
+        self.runner_base.resize(procs, None);
+        self.done_scratch.clear();
+        self.now = Time::ZERO;
+        self.jobs.clear();
+        self.trace.reset_for_run(self.config.record_trace);
+        self.sleeps.clear();
+        self.deadlines.clear();
+        self.records.clear();
+        self.misses = 0;
+        self.finished = false;
+        self.protocol.init(system);
     }
 
     /// The current simulation time.
@@ -165,6 +252,19 @@ impl<P: Protocol> Simulator<P> {
     /// The recorded trace so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Attaches a streaming [`Monitor`] that observes every event and
+    /// occupancy slice of the current run, even with trace recording
+    /// disabled. A monitor is run-specific: [`Simulator::reset`] (and
+    /// construction) detaches it, so attach after resetting.
+    pub fn set_monitor(&mut self, monitor: Monitor) {
+        self.trace.set_monitor(monitor);
+    }
+
+    /// The attached streaming monitor, if any.
+    pub fn monitor(&self) -> Option<&Monitor> {
+        self.trace.monitor()
     }
 
     /// Per-job records of completed jobs.
@@ -233,60 +333,91 @@ impl<P: Protocol> Simulator<P> {
     }
 
     fn process_instant(&mut self) {
-        self.release_due_jobs();
-        self.wake_sleepers();
-        self.scheduling_fixpoint();
+        let released = self.release_due_jobs();
+        let woken = self.wake_sleepers();
+        // At an instant with no arrivals, the scheduler's inputs are
+        // exactly what they were after the previous instant's fixpoint
+        // (advancing time only consumed `remaining`), so the first
+        // reschedule is provably a no-op and the fixpoint may start
+        // without it. Completions pending from the previous instant are
+        // swept inside the fixpoint, which re-arms rescheduling itself.
+        self.scheduling_fixpoint(released || woken);
         self.check_deadlines();
     }
 
-    fn release_due_jobs(&mut self) {
-        for ti in 0..self.system.tasks().len() {
-            loop {
-                let (t_rel, instance) = self.next_release[ti];
-                if t_rel > self.now {
-                    break;
-                }
-                let task = &self.system.tasks()[ti];
-                let id = JobId::new(TaskId::from_index(ti as u32), instance);
-                let job = JobState::new(
-                    id,
-                    task.processor(),
-                    task.priority(),
-                    t_rel,
-                    t_rel + task.deadline(),
-                    self.programs[ti].clone(),
-                );
-                self.deadlines.push(Reverse((job.abs_deadline, id)));
-                self.jobs.insert(job);
-                self.trace.push(self.now, id, EventKind::Released);
-                let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
-                self.protocol.on_release(&mut ctx, id);
-                // Periodic tasks release forever; aperiodic tasks stop at
-                // the end of their arrival trace.
-                let next = task.try_release_of(instance + 1).unwrap_or(Time::MAX);
-                self.next_release[ti] = (next, instance + 1);
+    fn release_due_jobs(&mut self) -> bool {
+        // Due releases all have `t_rel == now` (the event queue never
+        // skips a release time), so the heap pops them in task order,
+        // instances in order within a task — the same order the old
+        // per-task scan produced.
+        let mut any = false;
+        while let Some(&(t_rel, ti, instance)) = self.releases.peek() {
+            if t_rel > self.now {
+                break;
             }
+            self.releases.pop();
+            let task = &self.system.tasks()[ti as usize];
+            let id = JobId::new(TaskId::from_index(ti), instance);
+            let abs_deadline = t_rel + task.deadline();
+            let home = task.processor();
+            let priority = task.priority();
+            // Periodic tasks release forever; aperiodic tasks stop at the
+            // end of their arrival trace.
+            if let Some(next) = task.try_release_of(instance + 1) {
+                self.releases.push((next, ti, instance + 1));
+            }
+            self.deadlines.push((abs_deadline, id));
+            self.jobs.release(
+                id,
+                home,
+                priority,
+                t_rel,
+                abs_deadline,
+                &self.programs[ti as usize],
+            );
+            if self.programs[ti as usize].is_empty() {
+                // Degenerate empty program: complete on release.
+                self.jobs.done_candidates.push(id);
+            }
+            self.trace.push(self.now, id, EventKind::Released);
+            let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
+            self.protocol.on_release(&mut ctx, id);
+            any = true;
         }
+        any
     }
 
-    fn wake_sleepers(&mut self) {
-        let now = self.now;
-        let mut woken = Vec::new();
-        for job in self.jobs.iter_mut() {
-            if let ExecState::Sleeping { until } = job.state {
-                if until <= now {
-                    job.state = ExecState::Ready;
-                    woken.push(job.id);
-                }
+    fn wake_sleepers(&mut self) -> bool {
+        // All due sleepers have `until == now` (wake times are event-queue
+        // stops), so heap order is id order — matching the old full-table
+        // scan.
+        let mut any = false;
+        while let Some(&(until, id)) = self.sleeps.peek() {
+            if until > self.now {
+                break;
             }
+            self.sleeps.pop();
+            let job = self.jobs.expect_mut(id);
+            debug_assert!(matches!(job.state, ExecState::Sleeping { .. }));
+            job.state = ExecState::Ready;
+            let complete = job.is_complete();
+            self.trace.push(self.now, id, EventKind::Woken);
+            if complete {
+                // Suspension was the job's last op; it completes now.
+                self.jobs.done_candidates.push(id);
+            }
+            any = true;
         }
-        for id in woken {
-            self.trace.push(now, id, EventKind::Woken);
-        }
+        any
     }
 
-    fn scheduling_fixpoint(&mut self) {
+    fn scheduling_fixpoint(&mut self, arrivals: bool) {
         let mut rounds = 0u32;
+        // Rescheduling is a pure function of job states, priorities and
+        // the current runner assignment. An invisible op (zero-compute
+        // pc advance) changes none of its inputs, so the reschedule it
+        // would trigger is provably a no-op and is skipped.
+        let mut need_resched = arrivals;
         loop {
             rounds += 1;
             assert!(
@@ -297,26 +428,45 @@ impl<P: Protocol> Simulator<P> {
             // A job whose last instruction has executed is done, whether
             // or not it still holds a processor — completion is free.
             if self.sweep_completions() {
+                need_resched = true;
                 continue;
             }
-            self.reschedule();
-            if !self.execute_one_instantaneous_op() {
-                break;
+            if need_resched {
+                self.reschedule();
+                need_resched = false;
+            }
+            match self.execute_one_instantaneous_op() {
+                OpOutcome::Idle => break,
+                OpOutcome::Invisible => {}
+                OpOutcome::Visible => need_resched = true,
             }
         }
     }
 
     fn sweep_completions(&mut self) -> bool {
-        let done: Vec<JobId> = self
-            .jobs
-            .iter()
-            .filter(|j| j.state == ExecState::Ready && j.is_complete())
-            .map(|j| j.id)
-            .collect();
-        if done.is_empty() {
+        if self.jobs.done_candidates.is_empty() {
             return false;
         }
-        for id in done {
+        // Candidates accrued since the last sweep are either the
+        // instant-start batch (releases then wakes, each delivered in id
+        // order) or a single op-path job, so sorting by id reproduces
+        // the completion order of the old full-table id-order scan.
+        std::mem::swap(&mut self.done_scratch, &mut self.jobs.done_candidates);
+        self.jobs.done_candidates.clear();
+        self.done_scratch.sort_unstable();
+        self.done_scratch.dedup();
+        let mut any = false;
+        for i in 0..self.done_scratch.len() {
+            let id = self.done_scratch[i];
+            // A candidate push is a hint, not a promise; re-check.
+            let done = self
+                .jobs
+                .get(id)
+                .is_some_and(|j| j.state == ExecState::Ready && j.is_complete());
+            if !done {
+                continue;
+            }
+            any = true;
             self.complete_job(id);
             for slot in &mut self.running {
                 if *slot == Some(id) {
@@ -324,7 +474,7 @@ impl<P: Protocol> Simulator<P> {
                 }
             }
         }
-        true
+        any
     }
 
     /// Picks runners on all processors, tracing preemptions and starts.
@@ -336,21 +486,37 @@ impl<P: Protocol> Simulator<P> {
     }
 
     fn reschedule_static(&mut self) {
-        for pi in 0..self.running.len() {
-            let proc = ProcessorId::from_index(pi as u32);
+        // One pass over the job table computes every processor's best
+        // ready job. The tuple key reproduces the old `max_by` chain
+        // (priority, currently-running tie-break, earlier release wins,
+        // lower id wins); keys are distinct for distinct jobs, so the
+        // unique maximum matches regardless of scan direction.
+        for best in &mut self.best_scratch {
+            *best = None;
+        }
+        for (slot, j) in self.jobs.iter_with_slots() {
+            if j.state != ExecState::Ready {
+                continue;
+            }
+            let pi = j.processor.index();
             let current = self.running[pi];
-            let chosen = self
-                .jobs
-                .on_processor(proc)
-                .filter(|j| j.state == ExecState::Ready)
-                .max_by(|a, b| {
-                    a.effective_priority
-                        .cmp(&b.effective_priority)
-                        .then_with(|| (Some(a.id) == current).cmp(&(Some(b.id) == current)))
-                        .then_with(|| b.release.cmp(&a.release))
-                        .then_with(|| b.id.cmp(&a.id))
-                })
-                .map(|j| j.id);
+            let key = (
+                j.effective_priority,
+                Some(j.id) == current,
+                Reverse(j.release),
+                Reverse(j.id),
+            );
+            let best = &mut self.best_scratch[pi];
+            let better = match best {
+                Some((k, _, _)) => key > *k,
+                None => true,
+            };
+            if better {
+                *best = Some((key, j.id, slot));
+            }
+        }
+        for pi in 0..self.running.len() {
+            let chosen = self.best_scratch[pi].map(|(_, id, slot)| (id, slot));
             self.install_runner(pi, chosen);
         }
     }
@@ -392,17 +558,22 @@ impl<P: Protocol> Simulator<P> {
             }
         }
         for (pi, chosen) in assignment.into_iter().enumerate() {
+            let chosen = chosen.map(|id| {
+                let slot = self.jobs.slot_of(id).expect("chosen job is active");
+                (id, slot)
+            });
             self.install_runner(pi, chosen);
         }
     }
 
-    fn install_runner(&mut self, pi: usize, chosen: Option<JobId>) {
+    fn install_runner(&mut self, pi: usize, chosen: Option<(JobId, u32)>) {
         let proc = ProcessorId::from_index(pi as u32);
         let current = self.running[pi];
-        if chosen == current {
+        let chosen_id = chosen.map(|(id, _)| id);
+        if chosen_id == current {
             return;
         }
-        if let (Some(old), Some(new)) = (current, chosen) {
+        if let (Some(old), Some((new, _))) = (current, chosen) {
             if self
                 .jobs
                 .get(old)
@@ -418,51 +589,62 @@ impl<P: Protocol> Simulator<P> {
                 );
             }
         }
-        if let Some(new) = chosen {
+        if let Some((new, slot)) = chosen {
             self.trace
                 .push(self.now, new, EventKind::Started { processor: proc });
+            self.running_slot[pi] = slot;
         }
-        self.running[pi] = chosen;
+        self.running[pi] = chosen_id;
     }
 
     /// Executes at most one instantaneous operation (lock, unlock,
     /// suspension, zero-compute skip, completion) on behalf of some
-    /// runner. Returns whether anything happened.
-    fn execute_one_instantaneous_op(&mut self) -> bool {
+    /// runner. Reports whether — and how visibly — anything happened.
+    fn execute_one_instantaneous_op(&mut self) -> OpOutcome {
         for pi in 0..self.running.len() {
             let Some(id) = self.running[pi] else { continue };
-            let job = self.jobs.expect(id);
+            let slot = self.running_slot[pi];
+            let job = self.jobs.by_slot(slot);
+            debug_assert_eq!(job.id, id);
             match job.current_op() {
                 None => {
                     unreachable!("{id} complete but not swept");
                 }
                 Some(Op::Compute(_)) => {
                     if job.remaining.is_zero() {
-                        self.jobs.expect_mut(id).advance_pc();
-                        return true;
+                        let complete = {
+                            let job = self.jobs.by_slot_mut(slot);
+                            job.advance_pc();
+                            job.is_complete()
+                        };
+                        if complete {
+                            self.jobs.done_candidates.push(id);
+                        }
+                        return OpOutcome::Invisible;
                     }
                 }
                 Some(Op::Suspend(d)) => {
                     let until = self.now + d;
-                    let job = self.jobs.expect_mut(id);
+                    let job = self.jobs.by_slot_mut(slot);
                     job.state = ExecState::Sleeping { until };
                     job.advance_pc();
+                    self.sleeps.push((until, id));
                     self.trace
                         .push(self.now, id, EventKind::SelfSuspended { until });
                     self.running[pi] = None;
-                    return true;
+                    return OpOutcome::Visible;
                 }
                 Some(Op::Lock(res)) => {
                     self.do_lock(id, res);
-                    return true;
+                    return OpOutcome::Visible;
                 }
                 Some(Op::Unlock(res)) => {
                     self.do_unlock(id, res);
-                    return true;
+                    return OpOutcome::Visible;
                 }
             }
         }
-        false
+        OpOutcome::Idle
     }
 
     fn do_lock(&mut self, id: JobId, res: mpcp_model::ResourceId) {
@@ -474,8 +656,14 @@ impl<P: Protocol> Simulator<P> {
                 let job = self.jobs.expect_mut(id);
                 job.held.push(res);
                 job.advance_pc();
+                let complete = job.is_complete();
                 self.trace
                     .push(self.now, id, EventKind::LockGranted { resource: res });
+                if complete {
+                    // Unreachable for balanced programs; keeps the
+                    // completion-candidate invariant total.
+                    self.jobs.done_candidates.push(id);
+                }
             }
             LockResult::Blocked { holder } => {
                 let global = self.res_global[res.index()];
@@ -505,8 +693,12 @@ impl<P: Protocol> Simulator<P> {
             .unwrap_or_else(|| panic!("{id} unlocks {res} it does not hold"));
         job.held.remove(pos);
         job.advance_pc();
+        let complete = job.is_complete();
         self.trace
             .push(self.now, id, EventKind::Unlocked { resource: res });
+        if complete {
+            self.jobs.done_candidates.push(id);
+        }
         let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
         self.protocol.on_unlock(&mut ctx, id, res);
     }
@@ -517,14 +709,24 @@ impl<P: Protocol> Simulator<P> {
             .push(self.now, id, EventKind::Completed { response });
         let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
         self.protocol.on_complete(&mut ctx, id);
-        let job = self.jobs.remove(id).expect("completing job is active");
+        // Read the record fields after the hook (which may still mutate
+        // the job), then recycle the slot.
+        let job = self.jobs.expect(id);
         assert!(
             job.held.is_empty(),
             "{id} completed while holding {:?}",
             job.held
         );
-        let late = self.now > job.abs_deadline;
-        if late && !job.miss_recorded {
+        let release = job.release;
+        let abs_deadline = job.abs_deadline;
+        let blocked_local = job.blocked_local;
+        let blocked_global = job.blocked_global;
+        let lower_interference = job.lower_interference;
+        let miss_recorded = job.miss_recorded;
+        let removed = self.jobs.remove(id);
+        debug_assert!(removed, "completing job is active");
+        let late = self.now > abs_deadline;
+        if late && !miss_recorded {
             // Normally check_deadlines fires at the deadline instant; this
             // covers a late completion in the same instant the horizon cut
             // in.
@@ -533,28 +735,36 @@ impl<P: Protocol> Simulator<P> {
         }
         self.records.push(JobRecord {
             id,
-            release: job.release,
+            release,
             completion: self.now,
             response,
-            blocked_local: job.blocked_local,
-            blocked_global: job.blocked_global,
-            lower_interference: job.lower_interference,
-            missed: job.miss_recorded || late,
+            blocked_local,
+            blocked_global,
+            lower_interference,
+            missed: miss_recorded || late,
         });
     }
 
     fn check_deadlines(&mut self) {
-        while let Some(&Reverse((t, id))) = self.deadlines.peek() {
-            if t > self.now {
-                break;
-            }
-            self.deadlines.pop();
-            if let Some(job) = self.jobs.get_mut(id) {
-                if !job.is_complete() && !job.miss_recorded {
-                    job.miss_recorded = true;
-                    self.misses += 1;
-                    self.trace.push(self.now, id, EventKind::DeadlineMiss);
+        while let Some(&(t, id)) = self.deadlines.peek() {
+            if t <= self.now {
+                self.deadlines.pop();
+                if let Some(job) = self.jobs.get_mut(id) {
+                    if !job.is_complete() && !job.miss_recorded {
+                        job.miss_recorded = true;
+                        self.misses += 1;
+                        self.trace.push(self.now, id, EventKind::DeadlineMiss);
+                    }
                 }
+            } else if self.jobs.get(id).is_none() {
+                // The job completed before its deadline: prune the stale
+                // entry so it never proposes a no-op event instant.
+                // (Nothing observable happens at such an instant — slices
+                // merge and blocking accounting is linear in dt — so this
+                // only removes redundant steps.)
+                self.deadlines.pop();
+            } else {
+                break;
             }
         }
     }
@@ -566,23 +776,21 @@ impl<P: Protocol> Simulator<P> {
                 next = Some(next.map_or(t, |n| n.min(t)));
             }
         };
-        for &(t, _) in &self.next_release {
-            if t < Time::MAX {
-                consider(t);
-            }
-        }
-        for job in self.jobs.iter() {
-            if let ExecState::Sleeping { until } = job.state {
-                consider(until);
-            }
-        }
-        if let Some(&Reverse((t, _))) = self.deadlines.peek() {
-            // Overdue entries were popped by check_deadlines, so t > now.
+        if let Some(&(t, _, _)) = self.releases.peek() {
             consider(t);
         }
-        for &runner in &self.running {
-            if let Some(id) = runner {
-                let job = self.jobs.expect(id);
+        if let Some(&(t, _)) = self.sleeps.peek() {
+            // Due sleepers were woken this instant, so t > now.
+            consider(t);
+        }
+        if let Some(&(t, _)) = self.deadlines.peek() {
+            // Overdue and stale entries were popped by check_deadlines,
+            // so t > now and the job is live.
+            consider(t);
+        }
+        for pi in 0..self.running.len() {
+            if self.running[pi].is_some() {
+                let job = self.jobs.by_slot(self.running_slot[pi]);
                 if let Some(Op::Compute(_)) = job.current_op() {
                     consider(self.now + job.remaining);
                 }
@@ -593,47 +801,72 @@ impl<P: Protocol> Simulator<P> {
 
     fn advance(&mut self, dt: Dur) {
         debug_assert!(!dt.is_zero());
-        // Occupancy slices and runner progress.
+        // One fused pass per processor: occupancy slice (only when
+        // recording or a monitor consumes slices), runner progress, and
+        // the runner-base scratch the accounting pass needs.
+        let wants_slices = self.trace.wants_slices();
+        let accounting = self.config.binding == Binding::Static;
         for pi in 0..self.running.len() {
-            let proc = ProcessorId::from_index(pi as u32);
-            let (job_id, band) = match self.running[pi] {
+            match self.running[pi] {
                 Some(id) => {
-                    let job = self.jobs.expect(id);
-                    let band = if job.held.is_empty() {
-                        Band::Normal
-                    } else if job.effective_priority.is_global() {
-                        Band::GlobalCs
-                    } else {
-                        Band::LocalCs
+                    let band = {
+                        let job = self.jobs.by_slot_mut(self.running_slot[pi]);
+                        debug_assert_eq!(job.id, id);
+                        debug_assert!(job.remaining >= dt, "runner advanced past op end");
+                        let band = if !wants_slices || job.held.is_empty() {
+                            Band::Normal
+                        } else if job.effective_priority.is_global() {
+                            Band::GlobalCs
+                        } else {
+                            Band::LocalCs
+                        };
+                        job.remaining = job.remaining.saturating_sub(dt);
+                        if job.remaining.is_zero() && job.pc + 1 < job.program.len() {
+                            // End of a compute segment with more ops to
+                            // come: take the invisible pc advance now
+                            // instead of spending a fixpoint round on it
+                            // next instant. Completing advances stay in
+                            // the fixpoint, preserving completion order.
+                            job.advance_pc();
+                        }
+                        if accounting {
+                            self.runner_base[pi] = Some(job.base_priority);
+                        }
+                        band
                     };
-                    (Some(id), band)
+                    if wants_slices {
+                        self.trace.push_slice(Slice {
+                            processor: ProcessorId::from_index(pi as u32),
+                            job: Some(id),
+                            start: self.now,
+                            dur: dt,
+                            band,
+                        });
+                    }
                 }
-                None => (None, Band::Normal),
-            };
-            self.trace.push_slice(Slice {
-                processor: proc,
-                job: job_id,
-                start: self.now,
-                dur: dt,
-                band,
-            });
-            if let Some(id) = job_id {
-                let job = self.jobs.expect_mut(id);
-                debug_assert!(job.remaining >= dt, "runner advanced past op end");
-                job.remaining = job.remaining.saturating_sub(dt);
+                None => {
+                    if accounting {
+                        self.runner_base[pi] = None;
+                    }
+                    if wants_slices {
+                        self.trace.push_slice(Slice {
+                            processor: ProcessorId::from_index(pi as u32),
+                            job: None,
+                            start: self.now,
+                            dur: dt,
+                            band: Band::Normal,
+                        });
+                    }
+                }
             }
         }
         // Blocking accounting for non-running jobs.
-        if self.config.binding == Binding::Static {
-            let runner_base: Vec<Option<mpcp_model::Priority>> = self
-                .running
-                .iter()
-                .map(|r| r.map(|id| self.jobs.expect(id).base_priority))
-                .collect();
-            let running = self.running.clone();
-            for job in self.jobs.iter_mut() {
+        if accounting {
+            let running = &self.running;
+            let runner_base = &self.runner_base;
+            self.jobs.for_each_mut(|job| {
                 if running[job.processor.index()] == Some(job.id) {
-                    continue;
+                    return;
                 }
                 match job.state {
                     ExecState::Blocked { global, .. } => {
@@ -663,7 +896,7 @@ impl<P: Protocol> Simulator<P> {
                     }
                     ExecState::Sleeping { .. } => {}
                 }
-            }
+            });
         }
         self.now += dt;
     }

@@ -2,7 +2,6 @@
 
 use crate::op::{Op, Program};
 use mpcp_model::{Dur, JobId, Priority, ProcessorId, ResourceId, Time};
-use std::collections::BTreeMap;
 
 /// Scheduling state of an active job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,10 +132,28 @@ impl JobState {
     }
 }
 
-/// The table of active jobs, with deterministic iteration order.
+/// The table of active jobs, with deterministic (id-order) iteration.
+///
+/// Storage is an arena: job state lives in reusable slots so releasing a
+/// job after a warm-up run performs no heap allocation — a recycled slot
+/// keeps the capacity of its `held` vector and the [`Program`] handle is
+/// a reference-count bump. `order` holds the live slot indices sorted by
+/// [`JobId`], giving the same iteration order (and thus the same traces)
+/// as the `BTreeMap` this replaced.
 #[derive(Debug, Default)]
 pub struct Jobs {
-    map: BTreeMap<JobId, JobState>,
+    /// Slot storage; entries not listed in `order` are free and retain
+    /// stale state (kept only for their buffer capacity).
+    slots: Vec<JobState>,
+    /// Indices of free slots, available for reuse.
+    free: Vec<u32>,
+    /// Live slot indices, sorted by the slot's job id.
+    order: Vec<u32>,
+    /// Jobs whose program counter may have reached the end since the
+    /// last completion sweep. Every site that can complete a job pushes
+    /// here, so the engine's sweep is O(1) on the (common) rounds where
+    /// nothing completed instead of a scan of the whole table.
+    pub(crate) done_candidates: Vec<JobId>,
 }
 
 impl Jobs {
@@ -144,14 +161,25 @@ impl Jobs {
         Jobs::default()
     }
 
+    /// Position of `id` in `order` (`Ok`) or its insertion point (`Err`).
+    fn find(&self, id: JobId) -> Result<usize, usize> {
+        self.order
+            .binary_search_by(|&slot| self.slots[slot as usize].id.cmp(&id))
+    }
+
     /// The job with the given id, if active.
     pub fn get(&self, id: JobId) -> Option<&JobState> {
-        self.map.get(&id)
+        self.find(id)
+            .ok()
+            .map(|pos| &self.slots[self.order[pos] as usize])
     }
 
     /// Mutable access to the job with the given id, if active.
     pub fn get_mut(&mut self, id: JobId) -> Option<&mut JobState> {
-        self.map.get_mut(&id)
+        match self.find(id) {
+            Ok(pos) => Some(&mut self.slots[self.order[pos] as usize]),
+            Err(_) => None,
+        }
     }
 
     /// The job with the given id.
@@ -161,8 +189,7 @@ impl Jobs {
     /// Panics if the job is not active.
     #[track_caller]
     pub fn expect(&self, id: JobId) -> &JobState {
-        self.map
-            .get(&id)
+        self.get(id)
             .unwrap_or_else(|| panic!("job {id} is not active"))
     }
 
@@ -173,42 +200,163 @@ impl Jobs {
     /// Panics if the job is not active.
     #[track_caller]
     pub fn expect_mut(&mut self, id: JobId) -> &mut JobState {
-        self.map
-            .get_mut(&id)
+        self.get_mut(id)
             .unwrap_or_else(|| panic!("job {id} is not active"))
     }
 
-    pub(crate) fn insert(&mut self, job: JobState) {
-        self.map.insert(job.id, job);
+    /// Claims a slot (reusing a free one when available) and returns its
+    /// index; the caller must add it to `order`.
+    #[cfg(test)]
+    fn claim_slot(&mut self, job: JobState) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = job;
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(job);
+                idx
+            }
+        }
     }
 
-    pub(crate) fn remove(&mut self, id: JobId) -> Option<JobState> {
-        self.map.remove(&id)
+    /// Inserts a fully-built job (test fixture path; the engine releases
+    /// jobs through [`Jobs::release`]). `job.id` must not be active.
+    #[cfg(test)]
+    pub(crate) fn insert(&mut self, job: JobState) {
+        let id = job.id;
+        let idx = self.claim_slot(job);
+        let pos = self.find(id).expect_err("insert: job id is already active");
+        self.order.insert(pos, idx);
+    }
+
+    /// Activates a newly released job, reusing a free slot's buffers when
+    /// one is available (the steady-state path: no heap allocation).
+    /// `id` must not already be active.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn release(
+        &mut self,
+        id: JobId,
+        home: ProcessorId,
+        base_priority: Priority,
+        release: Time,
+        abs_deadline: Time,
+        program: &Program,
+    ) {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let s = &mut self.slots[idx as usize];
+                s.id = id;
+                s.home = home;
+                s.processor = home;
+                s.base_priority = base_priority;
+                s.effective_priority = base_priority;
+                s.release = release;
+                s.abs_deadline = abs_deadline;
+                s.program = program.clone();
+                s.pc = 0;
+                s.state = ExecState::Ready;
+                s.held.clear();
+                s.blocked_local = Dur::ZERO;
+                s.blocked_global = Dur::ZERO;
+                s.lower_interference = Dur::ZERO;
+                s.miss_recorded = false;
+                s.sync_remaining();
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(JobState::new(
+                    id,
+                    home,
+                    base_priority,
+                    release,
+                    abs_deadline,
+                    program.clone(),
+                ));
+                idx
+            }
+        };
+        let pos = self
+            .find(id)
+            .expect_err("release: job id is already active");
+        self.order.insert(pos, idx);
+    }
+
+    /// Deactivates `id`, returning whether it was active. The slot is
+    /// recycled; read any needed state before removing.
+    pub(crate) fn remove(&mut self, id: JobId) -> bool {
+        match self.find(id) {
+            Ok(pos) => {
+                let idx = self.order.remove(pos);
+                self.free.push(idx);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Deactivates all jobs, retaining slot buffers for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.free.clear();
+        self.free.extend(0..self.slots.len() as u32);
+        self.order.clear();
+        self.done_candidates.clear();
+    }
+
+    /// The slot index of `id`, if active. Slot indices are stable for
+    /// the lifetime of the job and give O(1) access via
+    /// [`Jobs::by_slot`]; they are an internal engine optimization and
+    /// must never influence observable behaviour.
+    pub(crate) fn slot_of(&self, id: JobId) -> Option<u32> {
+        self.find(id).ok().map(|pos| self.order[pos])
+    }
+
+    /// Direct slot access (the slot must be live).
+    pub(crate) fn by_slot(&self, slot: u32) -> &JobState {
+        &self.slots[slot as usize]
+    }
+
+    /// Mutable direct slot access (the slot must be live).
+    pub(crate) fn by_slot_mut(&mut self, slot: u32) -> &mut JobState {
+        &mut self.slots[slot as usize]
+    }
+
+    /// Iterates over active jobs in id order, with their slot indices.
+    pub(crate) fn iter_with_slots(&self) -> impl Iterator<Item = (u32, &JobState)> {
+        self.order
+            .iter()
+            .map(move |&slot| (slot, &self.slots[slot as usize]))
     }
 
     /// Iterates over active jobs in id order.
     pub fn iter(&self) -> impl Iterator<Item = &JobState> {
-        self.map.values()
+        self.order
+            .iter()
+            .map(move |&slot| &self.slots[slot as usize])
     }
 
-    /// Iterates mutably over active jobs in id order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut JobState> {
-        self.map.values_mut()
+    /// Calls `f` on each active job, in id order.
+    pub(crate) fn for_each_mut(&mut self, mut f: impl FnMut(&mut JobState)) {
+        for i in 0..self.order.len() {
+            f(&mut self.slots[self.order[i] as usize]);
+        }
     }
 
     /// Active jobs currently placed on `processor`, in id order.
     pub fn on_processor(&self, processor: ProcessorId) -> impl Iterator<Item = &JobState> {
-        self.map.values().filter(move |j| j.processor == processor)
+        self.iter().filter(move |j| j.processor == processor)
     }
 
     /// Number of active jobs.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.order.len()
     }
 
     /// Whether there are no active jobs.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.order.is_empty()
     }
 }
 
@@ -275,8 +423,46 @@ mod tests {
         assert!(jobs.get(id).is_some());
         assert_eq!(jobs.on_processor(ProcessorId::from_index(0)).count(), 1);
         assert_eq!(jobs.on_processor(ProcessorId::from_index(1)).count(), 0);
-        assert!(jobs.remove(id).is_some());
+        assert!(jobs.remove(id));
+        assert!(!jobs.remove(id));
         assert!(jobs.is_empty());
+    }
+
+    #[test]
+    fn release_reuses_slots_and_keeps_id_order() {
+        let mut jobs = Jobs::new();
+        let prog = program(Body::builder().compute(1).build());
+        let jid = |t: u32, i: u32| JobId::new(TaskId::from_index(t), i);
+        let release = |jobs: &mut Jobs, id: JobId| {
+            jobs.release(
+                id,
+                ProcessorId::from_index(0),
+                Priority::task(1),
+                Time::ZERO,
+                Time::new(100),
+                &prog,
+            );
+        };
+        // Out-of-order activation must still iterate in id order.
+        release(&mut jobs, jid(2, 0));
+        release(&mut jobs, jid(0, 0));
+        release(&mut jobs, jid(1, 0));
+        let ids: Vec<JobId> = jobs.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![jid(0, 0), jid(1, 0), jid(2, 0)]);
+        // Removing and re-releasing reuses a slot without growing the arena.
+        assert!(jobs.remove(jid(1, 0)));
+        let slots_before = jobs.slots.len();
+        release(&mut jobs, jid(1, 1));
+        assert_eq!(jobs.slots.len(), slots_before);
+        assert_eq!(jobs.len(), 3);
+        let j = jobs.expect(jid(1, 1));
+        assert_eq!(j.pc, 0);
+        assert!(j.held.is_empty());
+        assert!(!j.miss_recorded);
+        // clear() frees everything but keeps the slots.
+        jobs.clear();
+        assert!(jobs.is_empty());
+        assert_eq!(jobs.slots.len(), slots_before);
     }
 
     #[test]

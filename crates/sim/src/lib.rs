@@ -54,15 +54,18 @@ mod event;
 pub mod export;
 mod job;
 mod metrics;
+mod monitor;
 mod observe;
 mod op;
 mod policy;
+mod queue;
 mod trace;
 
 pub use engine::{Binding, SimConfig, Simulator};
 pub use event::{EventKind, TraceEvent};
 pub use job::{ExecState, JobState, Jobs};
 pub use metrics::{JobRecord, Metrics, TaskMetrics};
+pub use monitor::{Monitor, MonitorSpec};
 pub use observe::ObservedBlocking;
 pub use op::{Op, Program};
 pub use policy::{Ctx, LockResult, Protocol};

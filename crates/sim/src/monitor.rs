@@ -1,0 +1,290 @@
+//! Streaming invariant monitoring: run the [`check`](crate::check)
+//! predicates *while the simulation executes* instead of post-hoc on a
+//! recorded [`Trace`](crate::Trace).
+//!
+//! A [`Monitor`] is attached to a simulator with
+//! [`Simulator::set_monitor`](crate::Simulator::set_monitor); the engine
+//! then feeds it every event and occupancy slice as they are emitted,
+//! even when trace recording is disabled. Clean runs therefore never
+//! materialize a trace at all — the sweep's fast path simulates with
+//! recording off, and only re-simulates with capture enabled when the
+//! monitor reports a violation (so the shrinker and the report see the
+//! exact post-hoc results, byte for byte).
+//!
+//! The monitor reuses the streaming cores behind the post-hoc
+//! predicates, so the online and offline verdicts agree by
+//! construction.
+
+use crate::check::{
+    res_global_map, CheckError, FloorCheck, GcsCheck, HandoffCheck, MutexCheck, OccupancyCheck,
+};
+use crate::event::EventKind;
+use crate::observe::ObservedBlocking;
+use crate::trace::Slice;
+use mpcp_model::{JobId, System, Time};
+
+/// Which optional checks a [`Monitor`] runs. Mutual exclusion and
+/// single-processor occupancy are always on; the rest mirror the
+/// per-protocol check profiles of the sweep oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorSpec {
+    /// Check priority-ordered hand-offs (§5 rule 7) — every protocol
+    /// except the raw FIFO baseline, which legitimately violates it.
+    pub handoffs: bool,
+    /// Check the gcs preemption discipline (Theorem 2) and the priority
+    /// floor — MPCP-specific structural properties.
+    pub mpcp_discipline: bool,
+    /// Reconstruct per-job global waiting times from the event stream
+    /// (the trace half of the engine-vs-trace accounting oracle).
+    pub observed_blocking: bool,
+}
+
+impl MonitorSpec {
+    /// Every optional check enabled.
+    pub fn all() -> Self {
+        MonitorSpec {
+            handoffs: true,
+            mpcp_discipline: true,
+            observed_blocking: true,
+        }
+    }
+}
+
+/// Online invariant checker fed by the engine during a run.
+///
+/// A monitor is specific to one system and one run: [`Simulator::reset`]
+/// (and any fresh run initialization) detaches it, so attach a new one
+/// after each reset.
+///
+/// [`Simulator::reset`]: crate::Simulator::reset
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    res_global: Vec<bool>,
+    mutex: MutexCheck,
+    occupancy: OccupancyCheck,
+    handoff: Option<HandoffCheck>,
+    gcs: Option<GcsCheck>,
+    floor: Option<FloorCheck>,
+    observed: Option<ObservedBlocking>,
+}
+
+impl Monitor {
+    /// A monitor for `system` running the checks selected by `spec`.
+    pub fn new(system: &System, spec: MonitorSpec) -> Self {
+        Monitor {
+            res_global: res_global_map(system),
+            mutex: MutexCheck::default(),
+            occupancy: OccupancyCheck::default(),
+            handoff: spec.handoffs.then(|| HandoffCheck::new(system)),
+            gcs: spec.mpcp_discipline.then(|| GcsCheck::new(system)),
+            floor: spec.mpcp_discipline.then(|| FloorCheck::new(system)),
+            observed: spec.observed_blocking.then(ObservedBlocking::default),
+        }
+    }
+
+    pub(crate) fn on_event(&mut self, time: Time, job: JobId, kind: &EventKind) {
+        self.mutex.on_event(time, job, kind);
+        if let Some(c) = &mut self.handoff {
+            c.on_event(time, job, kind);
+        }
+        if let Some(c) = &mut self.gcs {
+            c.on_event(time, job, kind);
+        }
+        if let Some(c) = &mut self.floor {
+            c.on_event(time, job, kind);
+        }
+        if let Some(ob) = &mut self.observed {
+            ob.on_event(time, job, kind, &self.res_global);
+        }
+    }
+
+    pub(crate) fn on_slice(&mut self, slice: &Slice) {
+        self.occupancy.on_slice(slice);
+    }
+
+    /// The first violation of any enabled structural check, in the
+    /// canonical check order (mutual exclusion, occupancy, hand-offs,
+    /// gcs discipline, priority floor). `None` when the run is clean so
+    /// far.
+    pub fn error(&self) -> Option<&CheckError> {
+        self.mutex
+            .error()
+            .or_else(|| self.occupancy.error())
+            .or_else(|| self.handoff.as_ref().and_then(HandoffCheck::error))
+            .or_else(|| self.gcs.as_ref().and_then(GcsCheck::error))
+            .or_else(|| self.floor.as_ref().and_then(FloorCheck::error))
+    }
+
+    /// Whether no enabled structural check has fired.
+    pub fn is_clean(&self) -> bool {
+        self.error().is_none()
+    }
+
+    /// The streaming [`ObservedBlocking`] reconstruction, when enabled
+    /// by [`MonitorSpec::observed_blocking`].
+    pub fn observed(&self) -> Option<&ObservedBlocking> {
+        self.observed.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+    use crate::engine::{SimConfig, Simulator};
+    use crate::policy::{Ctx, LockResult, Protocol};
+    use mpcp_model::{Body, ResourceId, System, TaskDef};
+    use std::collections::HashMap;
+
+    /// FIFO grant/handoff — produces blocks and hand-offs (including
+    /// priority-inverted ones the handoff check flags).
+    struct Fifo {
+        held: HashMap<ResourceId, JobId>,
+        waiting: Vec<(ResourceId, JobId)>,
+    }
+
+    impl Fifo {
+        fn new() -> Self {
+            Fifo {
+                held: HashMap::new(),
+                waiting: Vec::new(),
+            }
+        }
+    }
+
+    impl Protocol for Fifo {
+        fn name(&self) -> &'static str {
+            "fifo"
+        }
+        fn init(&mut self, _: &System) {}
+        fn on_lock(&mut self, _: &mut Ctx<'_>, job: JobId, res: ResourceId) -> LockResult {
+            if let Some(&holder) = self.held.get(&res) {
+                self.waiting.push((res, job));
+                LockResult::Blocked {
+                    holder: Some(holder),
+                }
+            } else {
+                self.held.insert(res, job);
+                LockResult::Granted
+            }
+        }
+        fn on_unlock(&mut self, ctx: &mut Ctx<'_>, _job: JobId, res: ResourceId) {
+            self.held.remove(&res);
+            if let Some(pos) = self.waiting.iter().position(|(r, _)| *r == res) {
+                let (_, next) = self.waiting.remove(pos);
+                self.held.insert(res, next);
+                ctx.grant_lock(next, res);
+            }
+        }
+    }
+
+    /// Three tasks on three processors contending for one global
+    /// semaphore. The low-priority waiter blocks first, so a FIFO
+    /// hand-off serves it over the queued higher-priority waiter — a
+    /// priority-order inversion the hand-off check flags.
+    fn contended_system() -> System {
+        let mut b = System::builder();
+        let p = b.add_processors(3);
+        let s = b.add_resource("S");
+        b.add_task(
+            TaskDef::new("a", p[0])
+                .period(40)
+                .priority(3)
+                .body(Body::builder().critical(s, |c| c.compute(6)).build()),
+        );
+        b.add_task(
+            TaskDef::new("c", p[1])
+                .period(40)
+                .priority(1)
+                .offset(1)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("b", p[2])
+                .period(40)
+                .priority(2)
+                .offset(2)
+                .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+        );
+        b.build().unwrap()
+    }
+
+    /// The streaming monitor on a capture-free run reaches the same
+    /// verdicts as the post-hoc predicates on a captured run, and the
+    /// streaming blocking reconstruction matches `from_trace` exactly.
+    #[test]
+    fn streaming_matches_post_hoc() {
+        let sys = contended_system();
+        let mut captured = Simulator::with_config(&sys, Fifo::new(), SimConfig::until(120));
+        captured.run();
+        let trace = captured.trace();
+
+        let mut streaming = Simulator::with_config(
+            &sys,
+            Fifo::new(),
+            SimConfig {
+                record_trace: false,
+                ..SimConfig::until(120)
+            },
+        );
+        streaming.set_monitor(Monitor::new(&sys, MonitorSpec::all()));
+        streaming.run();
+        assert!(streaming.trace().events().is_empty(), "no trace captured");
+        let mon = streaming.monitor().expect("monitor attached");
+
+        // Post-hoc verdicts on the captured run, in canonical order.
+        let post_hoc = check::mutual_exclusion(trace)
+            .and_then(|()| check::single_occupancy(trace, &sys))
+            .and_then(|()| check::priority_ordered_handoffs(trace, &sys))
+            .and_then(|()| check::gcs_preemption_discipline(trace, &sys))
+            .and_then(|()| check::priority_floor(trace, &sys));
+        match post_hoc {
+            Ok(()) => assert!(mon.is_clean()),
+            Err(e) => assert_eq!(mon.error(), Some(&e)),
+        }
+
+        let from_trace = crate::ObservedBlocking::from_trace(trace, &sys);
+        let streamed = mon.observed().expect("observed enabled");
+        assert_eq!(streamed.unsettled_jobs(), from_trace.unsettled_jobs());
+        for r in captured.records() {
+            assert_eq!(streamed.settled(r.id), from_trace.settled(r.id));
+            assert_eq!(streamed.settled(r.id), Some(r.blocked_global));
+        }
+    }
+
+    /// Disabled checks stay off: a spec without hand-off checking is
+    /// clean even on a FIFO run that inverts hand-off priority.
+    #[test]
+    fn spec_gates_optional_checks() {
+        let sys = contended_system();
+        let run = |spec: MonitorSpec| {
+            let mut sim = Simulator::with_config(
+                &sys,
+                Fifo::new(),
+                SimConfig {
+                    record_trace: false,
+                    ..SimConfig::until(120)
+                },
+            );
+            sim.set_monitor(Monitor::new(&sys, spec));
+            sim.run();
+            sim.monitor().unwrap().is_clean()
+        };
+        // FIFO hand-offs violate priority order somewhere in this run…
+        assert!(!run(MonitorSpec::all()));
+        // …but a raw-profile monitor does not check hand-offs.
+        assert!(run(MonitorSpec::default()));
+    }
+
+    /// A reset detaches the monitor: it is run-specific state.
+    #[test]
+    fn reset_detaches_monitor() {
+        let sys = contended_system();
+        let mut sim = Simulator::with_config(&sys, Fifo::new(), SimConfig::until(40));
+        sim.set_monitor(Monitor::new(&sys, MonitorSpec::all()));
+        sim.run();
+        assert!(sim.monitor().is_some());
+        sim.reset(&sys, Fifo::new(), SimConfig::until(40));
+        assert!(sim.monitor().is_none());
+    }
+}

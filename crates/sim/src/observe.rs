@@ -30,22 +30,36 @@ pub struct ObservedBlocking {
 impl ObservedBlocking {
     /// Reconstructs global waiting times from `trace`.
     pub fn from_trace(trace: &Trace, system: &System) -> ObservedBlocking {
-        let info = system.info();
+        let res_global = crate::check::res_global_map(system);
         let mut ob = ObservedBlocking::default();
         for e in trace.events() {
-            match e.kind {
-                EventKind::LockBlocked { resource, .. } if info.scope(resource).is_global() => {
-                    ob.open.entry(e.job).or_insert(e.time);
-                }
-                EventKind::HandedOff { .. } | EventKind::LockGranted { .. } | EventKind::Woken => {
-                    if let Some(start) = ob.open.remove(&e.job) {
-                        *ob.total.entry(e.job).or_insert(Dur::ZERO) += e.time - start;
-                    }
-                }
-                _ => {}
-            }
+            ob.on_event(e.time, e.job, &e.kind, &res_global);
         }
         ob
+    }
+
+    /// Streaming form of [`ObservedBlocking::from_trace`]: feed every
+    /// event in emission order. `res_global` classifies resources by
+    /// index (see `check::res_global_map`); both paths fold events
+    /// through this one function, so they cannot diverge.
+    pub(crate) fn on_event(
+        &mut self,
+        time: Time,
+        job: JobId,
+        kind: &EventKind,
+        res_global: &[bool],
+    ) {
+        match *kind {
+            EventKind::LockBlocked { resource, .. } if res_global[resource.index()] => {
+                self.open.entry(job).or_insert(time);
+            }
+            EventKind::HandedOff { .. } | EventKind::LockGranted { .. } | EventKind::Woken => {
+                if let Some(start) = self.open.remove(&job) {
+                    *self.total.entry(job).or_insert(Dur::ZERO) += time - start;
+                }
+            }
+            _ => {}
+        }
     }
 
     /// The job's total settled global wait; zero if it never blocked,

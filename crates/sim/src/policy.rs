@@ -148,8 +148,14 @@ impl<'a> Ctx<'a> {
         state.held.push(resource);
         state.advance_pc();
         state.state = ExecState::Ready;
+        let complete = state.is_complete();
         self.trace
             .push(self.now, job, EventKind::HandedOff { resource, to: job });
+        if complete {
+            // Unreachable for balanced programs (a V follows every P),
+            // but keeps the completion-candidate invariant total.
+            self.jobs.done_candidates.push(job);
+        }
     }
 
     /// Resumes a blocked `job` *without* the semaphore: it becomes ready

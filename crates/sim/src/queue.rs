@@ -1,0 +1,139 @@
+//! A minimal binary min-heap over `Copy` keys with reusable storage.
+//!
+//! The engine's time queues (releases, sleeps, deadlines) push only
+//! *distinct* keys — every tuple carries a unique job or task identity —
+//! so the pop sequence is the strict ascending key order regardless of
+//! internal layout. `clear` retains capacity, which is what lets a
+//! recycled [`Simulator`](crate::Simulator) run its steady-state loop
+//! without heap allocation.
+
+/// A binary min-heap: `pop` returns the smallest item.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct MinHeap<T> {
+    data: Vec<T>,
+}
+
+impl<T: Ord + Copy> MinHeap<T> {
+    pub(crate) fn new() -> Self {
+        MinHeap { data: Vec::new() }
+    }
+
+    /// Smallest item, if any.
+    pub(crate) fn peek(&self) -> Option<&T> {
+        self.data.first()
+    }
+
+    /// Removes all items, keeping the allocation.
+    pub(crate) fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    pub(crate) fn push(&mut self, item: T) {
+        self.data.push(item);
+        self.sift_up(self.data.len() - 1);
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<T> {
+        let n = self.data.len();
+        if n == 0 {
+            return None;
+        }
+        self.data.swap(0, n - 1);
+        let min = self.data.pop();
+        if !self.data.is_empty() {
+            self.sift_down(0);
+        }
+        min
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.data[i] < self.data[parent] {
+                self.data.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.data.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let smallest = if right < n && self.data[right] < self.data[left] {
+                right
+            } else {
+                left
+            };
+            if self.data[smallest] < self.data[i] {
+                self.data.swap(i, smallest);
+                i = smallest;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_ascending_order() {
+        let mut h = MinHeap::new();
+        for k in [5u64, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
+            h.push(k);
+        }
+        let mut out = Vec::new();
+        while let Some(k) = h.pop() {
+            out.push(k);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut h = MinHeap::new();
+        assert_eq!(h.peek(), None);
+        assert_eq!(h.pop(), None);
+        h.push((3u64, 1u32));
+        h.push((1, 2));
+        h.push((2, 0));
+        assert_eq!(h.peek(), Some(&(1, 2)));
+        assert_eq!(h.pop(), Some((1, 2)));
+        assert_eq!(h.peek(), Some(&(2, 0)));
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut h = MinHeap::new();
+        for k in 0..64u64 {
+            h.push(k);
+        }
+        let cap = h.data.capacity();
+        h.clear();
+        assert!(h.peek().is_none());
+        assert_eq!(h.data.capacity(), cap);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut h = MinHeap::new();
+        h.push(4u64);
+        h.push(2);
+        assert_eq!(h.pop(), Some(2));
+        h.push(1);
+        h.push(3);
+        assert_eq!(h.pop(), Some(1));
+        assert_eq!(h.pop(), Some(3));
+        assert_eq!(h.pop(), Some(4));
+        assert_eq!(h.pop(), None);
+    }
+}

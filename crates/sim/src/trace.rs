@@ -2,6 +2,7 @@
 //! rendering (for reproducing the paper's Figure 5-1).
 
 use crate::event::{EventKind, TraceEvent};
+use crate::monitor::Monitor;
 use mpcp_model::{Dur, JobId, Priority, ProcessorId, System, TaskId, Time};
 use std::fmt::Write as _;
 
@@ -33,11 +34,16 @@ pub struct Slice {
 }
 
 /// A recorded simulation run: all events plus processor occupancy.
+///
+/// An attached streaming [`Monitor`] observes every event and slice as
+/// it is pushed — *before* the recording filter — so invariant checking
+/// works even when recording is disabled.
 #[derive(Debug, Clone)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     slices: Vec<Slice>,
     enabled: bool,
+    monitor: Option<Monitor>,
 }
 
 impl Default for Trace {
@@ -46,6 +52,7 @@ impl Default for Trace {
             events: Vec::new(),
             slices: Vec::new(),
             enabled: true,
+            monitor: None,
         }
     }
 }
@@ -61,15 +68,49 @@ impl Trace {
         self.enabled = enabled;
     }
 
+    /// Clears all recorded data for a fresh run, retaining buffer
+    /// capacity, and sets whether recording is enabled. Detaches any
+    /// monitor: it is specific to one system and run.
+    pub(crate) fn reset_for_run(&mut self, enabled: bool) {
+        self.events.clear();
+        self.slices.clear();
+        self.enabled = enabled;
+        self.monitor = None;
+    }
+
+    pub(crate) fn set_monitor(&mut self, monitor: Monitor) {
+        self.monitor = Some(monitor);
+    }
+
+    pub(crate) fn monitor(&self) -> Option<&Monitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Whether occupancy slices have any consumer at all. When neither
+    /// recording nor a monitor wants them, the engine skips computing
+    /// them entirely.
+    pub(crate) fn wants_slices(&self) -> bool {
+        self.enabled || self.monitor.is_some()
+    }
+
     /// Appends an event.
     pub fn push(&mut self, time: Time, job: JobId, kind: EventKind) {
+        if let Some(m) = &mut self.monitor {
+            m.on_event(time, job, &kind);
+        }
         if self.enabled {
             self.events.push(TraceEvent { time, job, kind });
         }
     }
 
     pub(crate) fn push_slice(&mut self, slice: Slice) {
-        if !self.enabled || slice.dur.is_zero() {
+        if slice.dur.is_zero() {
+            return;
+        }
+        if let Some(m) = &mut self.monitor {
+            m.on_slice(&slice);
+        }
+        if !self.enabled {
             return;
         }
         if let Some(last) = self.slices.last_mut() {

@@ -1,0 +1,185 @@
+//! Allocation regression test for the simulator hot path.
+//!
+//! The inner loop is required to be allocation-free in the steady
+//! state: jobs live in a recycled slot arena, the time queues are
+//! index-based binary heaps with retained storage, and every
+//! per-instant scratch buffer is reused. This test installs a counting
+//! global allocator, warms a simulator with one full run (growing every
+//! buffer to its high-water mark), resets it onto the same system, and
+//! asserts that the second run performs **zero** heap allocations.
+//!
+//! The guarantee covers the sweep fast path's engine configuration:
+//! trace recording off and no monitor attached (attaching a monitor
+//! allocates its own check state up front). The protocol below keeps
+//! its wait queues in resource-indexed vectors pre-sized at `init`, so
+//! protocol bookkeeping cannot mask an engine regression.
+
+use mpcp_model::{Body, JobId, ResourceId, System, TaskDef};
+use mpcp_sim::{Ctx, LockResult, Protocol, SimConfig, Simulator};
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to the system allocator, counting every allocation and
+/// reallocation (frees are irrelevant to the regression being guarded).
+struct CountingAlloc;
+
+// SAFETY: pure pass-through to the system allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// FIFO semaphores with wait queues pre-sized per resource at `init`,
+/// so the protocol itself never allocates after initialization.
+struct PreallocFifo {
+    /// `holder[r]` is the job holding resource `r`.
+    holder: Vec<Option<JobId>>,
+    /// FIFO wait queue per resource.
+    waiting: Vec<Vec<JobId>>,
+}
+
+impl PreallocFifo {
+    fn new() -> Self {
+        PreallocFifo {
+            holder: Vec::new(),
+            waiting: Vec::new(),
+        }
+    }
+}
+
+impl Protocol for PreallocFifo {
+    fn name(&self) -> &'static str {
+        "prealloc-fifo"
+    }
+
+    fn init(&mut self, system: &System) {
+        let n = system.resources().len();
+        self.holder.clear();
+        self.holder.resize(n, None);
+        self.waiting.clear();
+        self.waiting.resize_with(n, || Vec::with_capacity(64));
+    }
+
+    fn on_lock(&mut self, _ctx: &mut Ctx<'_>, job: JobId, res: ResourceId) -> LockResult {
+        let i = res.index();
+        match self.holder[i] {
+            Some(holder) => {
+                self.waiting[i].push(job);
+                LockResult::Blocked {
+                    holder: Some(holder),
+                }
+            }
+            None => {
+                self.holder[i] = Some(job);
+                LockResult::Granted
+            }
+        }
+    }
+
+    fn on_unlock(&mut self, ctx: &mut Ctx<'_>, _job: JobId, res: ResourceId) {
+        let i = res.index();
+        self.holder[i] = None;
+        if !self.waiting[i].is_empty() {
+            let next = self.waiting[i].remove(0);
+            self.holder[i] = Some(next);
+            ctx.grant_lock(next, res);
+        }
+    }
+}
+
+/// A contended workload exercising every hot-path structure: releases,
+/// preemption, global and local contention, self-suspension, deadline
+/// tracking and completion recycling across many job instances.
+fn workload() -> System {
+    let mut b = System::builder();
+    let p = b.add_processors(3);
+    let r = [b.add_resource("S0"), b.add_resource("S1")];
+    b.add_task(
+        TaskDef::new("a", p[0]).period(40).priority(4).body(
+            Body::builder()
+                .compute(2)
+                .critical(r[0], |c| c.compute(3))
+                .compute(1)
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("b", p[0]).period(70).priority(3).body(
+            Body::builder()
+                .compute(1)
+                .critical(r[1], |c| c.compute(2))
+                .suspend(3)
+                .compute(2)
+                .build(),
+        ),
+    );
+    b.add_task(
+        TaskDef::new("c", p[1])
+            .period(55)
+            .priority(2)
+            .offset(5)
+            .body(
+                Body::builder()
+                    .critical(r[0], |c| c.compute(4))
+                    .compute(3)
+                    .build(),
+            ),
+    );
+    b.add_task(
+        TaskDef::new("d", p[2]).period(90).priority(1).body(
+            Body::builder()
+                .compute(2)
+                .critical(r[1], |c| c.compute(5))
+                .build(),
+        ),
+    );
+    b.build().unwrap()
+}
+
+#[test]
+fn steady_state_run_does_not_allocate() {
+    let sys = workload();
+    let cfg = SimConfig {
+        record_trace: false,
+        ..SimConfig::until(50_000)
+    };
+
+    // Warm run: grows every arena, heap, scratch and record buffer to
+    // its high-water mark for this system.
+    let mut sim = Simulator::with_config(&sys, PreallocFifo::new(), cfg.clone());
+    sim.run();
+    let warm_jobs = sim.records().len();
+    assert!(warm_jobs > 1000, "workload too small to be meaningful");
+
+    // Reset re-targets the simulator, reusing all capacity. The reset
+    // itself may allocate (it clones the system and builds a fresh
+    // protocol); only the steady-state step loop must be clean.
+    sim.reset(&sys, PreallocFifo::new(), cfg);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    while sim.step() {}
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "simulator steady-state loop allocated {} times",
+        after - before
+    );
+    assert_eq!(sim.records().len(), warm_jobs, "reset run is identical");
+}

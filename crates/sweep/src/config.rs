@@ -50,6 +50,16 @@ pub struct SweepConfig {
     /// edit. Any divergence is a hard oracle violation
     /// (`delta/divergence`).
     pub audit: bool,
+    /// Run the audit arm only on scenarios whose stream index is a
+    /// multiple of this stride (`1` = every scenario, the pre-sampling
+    /// behaviour). The audit replays six edits, each costing an
+    /// incremental update *plus* a from-scratch recompute — more than
+    /// all five protocol simulations combined — so sampling keeps the
+    /// default sweep simulation-bound while still certifying the
+    /// incremental engine continuously. Index-based, so the sample set
+    /// is identical for any `--jobs` value. Ignored when
+    /// [`SweepConfig::audit`] is off.
+    pub audit_stride: usize,
     /// Shrink oracle violations to minimal reproducing scenarios.
     pub shrink: bool,
     /// Budget of oracle re-evaluations per shrink.
@@ -82,6 +92,7 @@ impl Default for SweepConfig {
             util_steps: 10,
             check_response: false,
             audit: true,
+            audit_stride: 8,
             shrink: true,
             max_shrink_evals: 200,
             max_fixtures: 4,

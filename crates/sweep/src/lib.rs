@@ -45,10 +45,10 @@ mod shrink;
 
 pub use config::SweepConfig;
 pub use oracle::{
-    audit_violations, evaluate, evaluate_system, horizon_for, ProtocolOutcome, ScenarioOutcome,
-    ViolationKind,
+    audit_violations, evaluate, evaluate_in, evaluate_system, evaluate_system_in, horizon_for,
+    ProtocolOutcome, ScenarioOutcome, ViolationKind, Workspace,
 };
-pub use pool::run_indexed;
+pub use pool::{run_indexed, run_indexed_with};
 pub use report::{CurvePoint, SweepReport, ViolationReport};
 pub use shrink::{fixture_snippet, shrink, Shrunk};
 
@@ -58,9 +58,12 @@ use std::time::Instant;
 pub fn run(cfg: &SweepConfig) -> SweepReport {
     let start = Instant::now();
     let stream = cfg.stream();
-    let outcomes = pool::run_indexed(cfg.scenarios, cfg.jobs, |i| {
-        oracle::evaluate(&stream.scenario_at(i as u64), cfg)
-    });
+    let outcomes = pool::run_indexed_with(
+        cfg.scenarios,
+        cfg.jobs,
+        oracle::Workspace::default,
+        |ws, i| oracle::evaluate_in(ws, &stream.scenario_at(i as u64), cfg),
+    );
 
     // Violations are shrunk sequentially, in scenario order, so the
     // report stays deterministic; only the first few are minimized to

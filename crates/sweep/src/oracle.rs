@@ -35,8 +35,36 @@ use crate::config::SweepConfig;
 use mpcp_analysis::{default_hosts, dpcp_bounds_with, mpcp_bound_set, theorem3, BlockingConfig};
 use mpcp_model::{Dur, System};
 use mpcp_protocols::ProtocolKind;
-use mpcp_sim::{check, ObservedBlocking, SimConfig, Simulator};
+use mpcp_sim::{check, Monitor, MonitorSpec, ObservedBlocking, Protocol, SimConfig, Simulator};
 use mpcp_taskgen::Scenario;
+
+/// Reusable per-worker oracle scratch: one recycled simulator whose job
+/// arena, time heaps and scratch buffers persist across scenarios
+/// ([`Simulator::reset`] re-targets it without reallocating).
+///
+/// A workspace only affects allocation behaviour, never results:
+/// [`evaluate_in`] with any workspace returns exactly what [`evaluate`]
+/// returns.
+#[derive(Default)]
+pub struct Workspace {
+    sim: Option<Simulator<Box<dyn Protocol>>>,
+}
+
+impl Workspace {
+    fn sim(
+        &mut self,
+        system: &System,
+        protocol: Box<dyn Protocol>,
+        config: SimConfig,
+    ) -> &mut Simulator<Box<dyn Protocol>> {
+        if let Some(sim) = &mut self.sim {
+            sim.reset(system, protocol, config);
+        } else {
+            self.sim = Some(Simulator::with_config(system, protocol, config));
+        }
+        self.sim.as_mut().expect("workspace simulator")
+    }
+}
 
 /// One oracle violation, with enough detail to reproduce and rank it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -219,8 +247,22 @@ pub fn horizon_for(system: &System, cap: u64) -> u64 {
 
 /// Evaluates the full oracle for one scenario.
 pub fn evaluate(scenario: &Scenario, cfg: &SweepConfig) -> ScenarioOutcome {
-    let (analyzable, protocols) = evaluate_system(&scenario.system, cfg);
-    let audit = if cfg.audit {
+    evaluate_in(&mut Workspace::default(), scenario, cfg)
+}
+
+/// [`evaluate`] with caller-provided scratch: sweep workers pass one
+/// [`Workspace`] for their whole index range so simulator buffers are
+/// recycled instead of rebuilt per scenario. Results are identical to
+/// [`evaluate`].
+pub fn evaluate_in(ws: &mut Workspace, scenario: &Scenario, cfg: &SweepConfig) -> ScenarioOutcome {
+    let (analyzable, protocols) = evaluate_system_in(ws, &scenario.system, cfg);
+    // The audit arm samples by stream index (jobs-independent); stride 1
+    // audits every scenario.
+    let audit = if cfg.audit
+        && scenario
+            .index
+            .is_multiple_of(cfg.audit_stride.max(1) as u64)
+    {
         audit_violations(&scenario.system)
     } else {
         Vec::new()
@@ -307,6 +349,24 @@ pub fn audit_violations(system: &System) -> Vec<ViolationKind> {
 /// Oracle core, independent of stream metadata (reused by the
 /// shrinker on rebuilt systems).
 pub fn evaluate_system(system: &System, cfg: &SweepConfig) -> (bool, Vec<ProtocolOutcome>) {
+    evaluate_system_in(&mut Workspace::default(), system, cfg)
+}
+
+/// [`evaluate_system`] with caller-provided scratch.
+///
+/// Trace-lazy: each protocol first simulates with trace recording *off*
+/// and a streaming [`Monitor`] running that protocol's invariant
+/// profile online, so clean scenarios never materialize a trace. Only
+/// when a streaming check fires does the arm re-simulate with capture
+/// enabled and replay the post-hoc predicates — the simulation is
+/// deterministic, so the captured run reproduces the violation exactly
+/// and the reported outcome (and any trace the shrinker later sees) is
+/// byte-identical to an always-captured oracle.
+pub fn evaluate_system_in(
+    ws: &mut Workspace,
+    system: &System,
+    cfg: &SweepConfig,
+) -> (bool, Vec<ProtocolOutcome>) {
     let horizon = horizon_for(system, cfg.horizon_cap);
     let mpcp = mpcp_bound_set(system, BlockingConfig::sound()).ok();
     let dpcp = dpcp_bounds_with(system, &default_hosts(system), BlockingConfig::sound()).ok();
@@ -317,48 +377,69 @@ pub fn evaluate_system(system: &System, cfg: &SweepConfig) -> (bool, Vec<Protoco
         .protocols
         .iter()
         .map(|&kind| {
-            let mut sim = Simulator::with_config(
+            let proto = kind.name();
+            // Fast pass: no trace, invariants checked online. The spec
+            // mirrors the per-protocol check profile below.
+            let spec = MonitorSpec {
+                handoffs: kind != ProtocolKind::Raw,
+                mpcp_discipline: kind == ProtocolKind::Mpcp,
+                observed_blocking: kind == ProtocolKind::Mpcp,
+            };
+            let sim = ws.sim(
                 system,
                 kind.build(),
                 SimConfig {
-                    record_trace: true,
+                    record_trace: false,
                     ..SimConfig::until(horizon)
                 },
             );
+            sim.set_monitor(Monitor::new(system, spec));
             sim.run();
-            let metrics = sim.metrics();
-            let mut violations = Vec::new();
 
-            // Structural invariants, mirroring verify's profiles.
-            let trace = sim.trace();
-            let proto = kind.name();
-            let mut checks: Vec<(&'static str, Result<(), check::CheckError>)> = vec![
-                ("mutual_exclusion", check::mutual_exclusion(trace)),
-                ("single_occupancy", check::single_occupancy(trace, system)),
-            ];
-            if kind != ProtocolKind::Raw {
-                checks.push((
-                    "priority_ordered_handoffs",
-                    check::priority_ordered_handoffs(trace, system),
-                ));
-            }
-            if kind == ProtocolKind::Mpcp {
-                checks.push((
-                    "gcs_preemption_discipline",
-                    check::gcs_preemption_discipline(trace, system),
-                ));
-                checks.push(("priority_floor", check::priority_floor(trace, system)));
-            }
-            for (name, result) in checks {
-                if let Err(e) = result {
-                    violations.push(ViolationKind::Invariant {
-                        protocol: proto,
-                        check: name,
-                        message: e.to_string(),
-                    });
+            let mut violations = Vec::new();
+            if !sim.monitor().is_some_and(Monitor::is_clean) {
+                // A streaming check fired: re-simulate with capture and
+                // run the full post-hoc profile on the recorded trace,
+                // mirroring verify's profiles.
+                sim.reset(
+                    system,
+                    kind.build(),
+                    SimConfig {
+                        record_trace: true,
+                        ..SimConfig::until(horizon)
+                    },
+                );
+                sim.run();
+                let trace = sim.trace();
+                let mut checks: Vec<(&'static str, Result<(), check::CheckError>)> = vec![
+                    ("mutual_exclusion", check::mutual_exclusion(trace)),
+                    ("single_occupancy", check::single_occupancy(trace, system)),
+                ];
+                if kind != ProtocolKind::Raw {
+                    checks.push((
+                        "priority_ordered_handoffs",
+                        check::priority_ordered_handoffs(trace, system),
+                    ));
+                }
+                if kind == ProtocolKind::Mpcp {
+                    checks.push((
+                        "gcs_preemption_discipline",
+                        check::gcs_preemption_discipline(trace, system),
+                    ));
+                    checks.push(("priority_floor", check::priority_floor(trace, system)));
+                }
+                for (name, result) in checks {
+                    if let Err(e) = result {
+                        violations.push(ViolationKind::Invariant {
+                            protocol: proto,
+                            check: name,
+                            message: e.to_string(),
+                        });
+                    }
                 }
             }
 
+            let metrics = sim.metrics();
             let mut analysis_accepted = None;
             let mut rta_accepted = None;
             // Bound comparisons presume the run respected the periodic
@@ -400,8 +481,18 @@ pub fn evaluate_system(system: &System, cfg: &SweepConfig) -> (bool, Vec<Protoco
                             });
                         }
                     }
-                    // Differential accounting check: engine vs trace.
-                    let observed = ObservedBlocking::from_trace(sim.trace(), system);
+                    // Differential accounting check: engine vs trace —
+                    // streamed on the fast pass, re-derived from the
+                    // captured trace after a re-simulation. Both fold the
+                    // identical event sequence through one function.
+                    let rederived;
+                    let observed = match sim.monitor().and_then(Monitor::observed) {
+                        Some(ob) => ob,
+                        None => {
+                            rederived = ObservedBlocking::from_trace(sim.trace(), system);
+                            &rederived
+                        }
+                    };
                     for r in sim.records() {
                         if let Some(derived) = observed.settled(r.id) {
                             if derived != r.blocked_global {

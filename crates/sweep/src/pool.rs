@@ -73,10 +73,31 @@ fn remaining(range: &AtomicU64) -> u32 {
 ///
 /// Panics if `n` exceeds `u32::MAX` or if a worker thread panics.
 pub fn run_indexed<T: Send>(n: usize, jobs: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    run_indexed_with(n, jobs, || (), |_, i| f(i))
+}
+
+/// Like [`run_indexed`], but every worker owns a persistent scratch
+/// value created by `init`, passed to each `f` call it makes — sweep
+/// workers recycle one simulator (and its arena, heaps and buffers)
+/// across their whole index range. Determinism is unchanged *provided*
+/// `f`'s result is a pure function of the index: scratch state must
+/// only affect allocation behaviour, never output (the sweep's
+/// report-hash tests enforce this across worker counts).
+///
+/// # Panics
+///
+/// Panics if `n` exceeds `u32::MAX` or if a worker thread panics.
+pub fn run_indexed_with<T: Send, W>(
+    n: usize,
+    jobs: usize,
+    init: impl Fn() -> W + Sync,
+    f: impl Fn(&mut W, usize) -> T + Sync,
+) -> Vec<T> {
     assert!(u32::try_from(n).is_ok(), "index space too large");
     let jobs = jobs.max(1).min(n.max(1));
     if jobs == 1 {
-        return (0..n).map(f).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
     }
 
     // Contiguous ranges, remainder spread over the first few workers.
@@ -91,10 +112,11 @@ pub fn run_indexed<T: Send>(n: usize, jobs: usize, f: impl Fn(usize) -> T + Sync
     }
 
     let worker = |w: usize| -> Vec<(usize, T)> {
+        let mut scratch = init();
         let mut out = Vec::with_capacity(base + 1);
         loop {
             if let Some(i) = claim_front(&ranges[w]) {
-                out.push((i, f(i)));
+                out.push((i, f(&mut scratch, i)));
                 continue;
             }
             // Own range drained: steal from the back of the fullest
@@ -104,7 +126,7 @@ pub fn run_indexed<T: Send>(n: usize, jobs: usize, f: impl Fn(usize) -> T + Sync
                 .max_by_key(|&v| remaining(&ranges[v]))
                 .filter(|&v| remaining(&ranges[v]) > 0);
             match victim.and_then(|v| steal_back(&ranges[v])) {
-                Some(i) => out.push((i, f(i))),
+                Some(i) => out.push((i, f(&mut scratch, i))),
                 None if (0..jobs).all(|v| remaining(&ranges[v]) == 0) => break,
                 None => thread::yield_now(),
             }
@@ -157,6 +179,24 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::Relaxed), 1000);
         assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_scratch_persists_within_a_worker() {
+        let out = run_indexed_with(
+            100,
+            4,
+            || 0usize,
+            |calls, i| {
+                *calls += 1;
+                (i, *calls)
+            },
+        );
+        assert!(out.iter().enumerate().all(|(i, (idx, _))| *idx == i));
+        // Scratch persisted across calls: some worker saw more than one.
+        assert!(out.iter().any(|(_, c)| *c > 1));
+        // The busiest worker made at least its fair share of calls.
+        assert!(out.iter().map(|(_, c)| *c).max() >= Some(25));
     }
 
     #[test]

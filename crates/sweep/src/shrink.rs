@@ -11,7 +11,7 @@
 //! [`fixture_snippet`].
 
 use crate::config::SweepConfig;
-use crate::oracle::evaluate_system;
+use crate::oracle::{evaluate_system_in, Workspace};
 use mpcp_model::{Body, Segment, System, Task, TaskDef};
 
 /// Result of a shrink: the minimized system and the oracle evaluations
@@ -93,9 +93,10 @@ fn with_body(task: &Task, segments: Vec<Segment>) -> TaskDef {
 /// code equals `code`, within `cfg.max_shrink_evals` re-evaluations.
 pub fn shrink(system: &System, cfg: &SweepConfig, code: &str) -> Shrunk {
     let mut evals = 0usize;
-    let persists = |candidate: &System, evals: &mut usize| {
+    let mut ws = Workspace::default();
+    let mut persists = |candidate: &System, evals: &mut usize| {
         *evals += 1;
-        let (_, outcomes) = evaluate_system(candidate, cfg);
+        let (_, outcomes) = evaluate_system_in(&mut ws, candidate, cfg);
         outcomes
             .iter()
             .flat_map(|p| p.violations.iter())

@@ -40,3 +40,40 @@ fn report_is_stable_across_reruns() {
     assert_eq!(a.hash(), b.hash());
     assert_eq!(a.canonical_json().encode(), b.canonical_json().encode());
 }
+
+/// Golden report-hash pin for the default benchmark workload (seed 42,
+/// 300 scenarios, shrink off — exactly the config of
+/// `cargo bench -p mpcp-bench --bench sweep`).
+///
+/// Lineage: `ee6df60da83cce9e` was first recorded on the trace-eager
+/// oracle *before* the allocation-free hot path landed, and has been
+/// byte-identical through the arena-job engine, the streaming-monitor
+/// trace-lazy oracle, the completion-candidate sweep, and the fused
+/// advance loop. Any scheduling, protocol, analysis, check or encoding
+/// change shows up here — including "harmless" reorderings unit tests
+/// cannot see. If a change legitimately alters results, re-record via
+/// the bench, update the constant, and extend this comment with the
+/// reason.
+#[test]
+fn default_workload_report_hash_is_pinned() {
+    const GOLDEN_HASH: u64 = 0xee6df60da83cce9e;
+    let cfg = |jobs| SweepConfig {
+        scenarios: 300,
+        seed: 42,
+        jobs,
+        shrink: false,
+        ..SweepConfig::default()
+    };
+    assert_eq!(
+        run(&cfg(1)).hash(),
+        GOLDEN_HASH,
+        "sweep report diverged from the golden hash; if intentional, \
+         re-record with `cargo bench -p mpcp-bench --bench sweep` and \
+         document the change here"
+    );
+    assert_eq!(
+        run(&cfg(4)).hash(),
+        GOLDEN_HASH,
+        "hash must not depend on --jobs"
+    );
+}
