@@ -4,6 +4,7 @@
 //! mpcp exp <e1..e16|all>          regenerate a paper table/figure
 //! mpcp trace [--until T]          Example 4 schedule (Figure 5-1)
 //! mpcp sim [opts]                 simulate a random system
+//! mpcp dga [opts]                 offline dependency-graph schedule + bounds
 //! mpcp analyze [opts]             blocking bounds + Theorem 3 tables
 //! mpcp allocate [opts]            task allocation study
 //! mpcp lint [opts] [--json]       static checks of a system configuration
@@ -15,6 +16,7 @@
 
 use mpcp_alloc::{allocate, Heuristic};
 use mpcp_analysis as analysis;
+use mpcp_dga::{DependencyGraph, DgaSchedule};
 use mpcp_model::{Dur, Time};
 use mpcp_protocols::ProtocolKind;
 use mpcp_service::{LoadgenConfig, ServerConfig};
@@ -89,6 +91,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if kind == ProtocolKind::Dga
+                && sys.tasks().iter().any(|t| t.body().has_nested_sections())
+            {
+                eprintln!("dga: not applicable: the system has nested critical sections");
+                return ExitCode::FAILURE;
+            }
             let until = flag_u64(&flags, "until", 100_000);
             let mut sim = Simulator::with_config(
                 &sys,
@@ -113,6 +121,12 @@ fn main() -> ExitCode {
             }
             println!("{}", sim.metrics());
             ExitCode::SUCCESS
+        }
+        "dga" => {
+            let (sys, seed) = build_system(&flags);
+            let default_horizon = sys.hyperperiod().ticks().saturating_mul(2).min(20_000);
+            let horizon = Time::new(flag_u64(&flags, "horizon", default_horizon));
+            run_dga(&sys, seed, horizon)
         }
         "analyze" => {
             let (sys, seed) = build_system(&flags);
@@ -218,7 +232,7 @@ fn main() -> ExitCode {
                     Ok(kind) => vec![mpcp_verify::checker::explore(&sys, kind, &config)],
                     Err(_) => {
                         eprintln!(
-                            "unknown protocol {p:?}: expected mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp"
+                            "unknown protocol {p:?}: expected mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp|dga"
                         );
                         return ExitCode::FAILURE;
                     }
@@ -319,7 +333,8 @@ fn main() -> ExitCode {
                     flag_u64(&flags, "locals", 1) as usize,
                     flag_u64(&flags, "globals", 2) as usize,
                 )
-                .sections(0, 2);
+                .sections(0, 2)
+                .global_sections(flag_u64(&flags, "gsections", 0) as usize);
             config.scenarios = flag_u64(&flags, "scenarios", 1000) as usize;
             config.seed = flag_u64(&flags, "seed", 42);
             config.jobs = flag_u64(&flags, "jobs", 1) as usize;
@@ -336,7 +351,7 @@ fn main() -> ExitCode {
                     Ok(kind) => config.protocols = vec![kind],
                     Err(_) => {
                         eprintln!(
-                            "unknown protocol {p:?}: expected mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp"
+                            "unknown protocol {p:?}: expected mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp|dga"
                         );
                         return ExitCode::FAILURE;
                     }
@@ -377,6 +392,96 @@ fn main() -> ExitCode {
             eprintln!("unknown command {other:?}\n{}", usage());
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `mpcp dga`: build the per-resource dependency graph for a generated
+/// system, list-schedule its critical sections offline, and print the
+/// graph, the per-resource grant chains with their recorded slots, and
+/// the per-task response bounds the constructed schedule certifies.
+fn run_dga(sys: &mpcp_model::System, seed: u64, horizon: Time) -> ExitCode {
+    let graph = match DependencyGraph::build(sys, horizon) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("dga: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schedule = match DgaSchedule::compute(sys, horizon) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dga: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "seed {seed}: {} critical-section vertices over {} resource chain(s), horizon t={}",
+        graph.vertices.len(),
+        schedule.chains.iter().filter(|c| !c.is_empty()).count(),
+        horizon.ticks()
+    );
+    println!("\ndependency graph (program order, earliest-start estimates):");
+    println!(
+        "{:<12} {:>4} {:<8} {:>8} {:>6}",
+        "job", "sec", "resource", "est", "len"
+    );
+    for v in &graph.vertices {
+        println!(
+            "{:<12} {:>4} {:<8} {:>8} {:>6}",
+            format!("{}.{}", sys.task(v.job.task).name(), v.job.instance),
+            v.sec_idx,
+            sys.resource(v.resource).name(),
+            v.est.ticks(),
+            v.duration.ticks()
+        );
+    }
+    println!("\nschedule (per-resource grant chains, recorded slots):");
+    for (r, chain) in schedule.chains.iter().enumerate() {
+        if chain.is_empty() {
+            continue;
+        }
+        println!("  {}:", sys.resources()[r].name());
+        for entry in chain {
+            let slot =
+                |t: Option<Time>| t.map_or_else(|| "-".to_owned(), |t| t.ticks().to_string());
+            println!(
+                "    {:<12} [{:>6}, {:>6})",
+                format!("{}.{}", sys.task(entry.job.task).name(), entry.job.instance),
+                slot(entry.start),
+                slot(entry.end)
+            );
+        }
+    }
+    println!("\nper-task bounds (from schedule replay over the horizon):");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8}",
+        "task", "wcr", "completed", "misses"
+    );
+    for b in &schedule.bounds {
+        println!(
+            "{:<10} {:>10} {:>10} {:>8}",
+            sys.task(b.task).name(),
+            b.wcr
+                .map_or_else(|| "-".to_owned(), |d| d.ticks().to_string()),
+            b.completed,
+            b.misses
+        );
+    }
+    println!(
+        "\nmakespan: {}   verdict: {}",
+        schedule
+            .makespan
+            .map_or_else(|| "-".to_owned(), |t| t.ticks().to_string()),
+        if schedule.accepted {
+            "ACCEPTED (no deadline misses under the offline schedule)"
+        } else {
+            "REJECTED (offline schedule misses a deadline)"
+        }
+    );
+    if schedule.accepted {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -528,6 +633,7 @@ fn usage() -> String {
      \x20 mpcp exp <e1..e16|all>      regenerate a paper table/figure\n\
      \x20 mpcp trace [--until T]      Example 4 schedule under MPCP (Figure 5-1)\n\
      \x20 mpcp sim [opts] [--gantt]   simulate a random system\n\
+     \x20 mpcp dga [opts]             offline dependency-graph schedule and bounds\n\
      \x20 mpcp analyze [opts]         blocking bounds and Theorem 3 tables\n\
      \x20 mpcp allocate [opts]        compare allocation heuristics\n\
      \x20 mpcp lint [opts]            static checks; nonzero exit on errors\n\
@@ -542,8 +648,9 @@ fn usage() -> String {
      \x20 --jobs N       worker threads (default 1; report is identical for any value)\n\
      \x20 --util-lo U / --util-hi U / --util-steps N   utilization grid (0.30..0.75 by 10)\n\
      \x20 --horizon T    per-scenario simulation cap (default 20000)\n\
-     \x20 --protocol P   restrict to one protocol (default: mpcp dpcp pip nonpreemptive raw)\n\
+     \x20 --protocol P   restrict to one protocol (default: mpcp dpcp pip nonpreemptive raw dga)\n\
      \x20 --no-shrink    skip counterexample minimization\n\
+     \x20 --gsections N  force ≥N global critical sections per job (default 0)\n\
      \x20 --audit-stride N  audit every Nth scenario by index (default 8; --jobs-independent)\n\
      \x20 --check-response  treat the (advisory) RTA response comparison as a hard oracle\n\
      \x20 --json / --csv machine-readable report; nonzero exit on oracle violations\n\
@@ -579,13 +686,19 @@ fn usage() -> String {
      \x20 --max-variants N            enumeration cap (default 4096)\n\
      \x20 --no-blocking-check         skip the blocking-bound cross-check\n\
      \n\
-     random-system options (sim/analyze/allocate):\n\
+     dga options (plus the random-system options below):\n\
+     \x20 --horizon T    schedule horizon (default: two hyperperiods, capped at 20000)\n\
+     \x20 --gsections N  force ≥N global critical sections per job (default 0)\n\
+     \x20 exit is nonzero if the offline schedule misses a deadline\n\
+     \n\
+     random-system options (sim/dga/analyze/allocate):\n\
      \x20 --seed N       (default 1)    --procs N      (default 4)\n\
      \x20 --tasks N      per processor  (default 4)\n\
      \x20 --util U       per processor  (default 0.4)\n\
      \x20 --globals N    global semaphores (default 2)\n\
      \x20 --locals N     local semaphores per processor (default 1)\n\
-     \x20 --protocol P   mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp\n\
+     \x20 --gsections N  force ≥N global critical sections per job (default 0)\n\
+     \x20 --protocol P   mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp|dga\n\
      \x20 --until T      simulation horizon (default 100000)\n"
         .to_owned()
 }
@@ -640,7 +753,9 @@ fn flag_protocol(flags: &HashMap<String, String>) -> Result<ProtocolKind, String
     match flags.get("protocol") {
         None => Ok(ProtocolKind::Mpcp),
         Some(v) => v.parse().map_err(|_| {
-            format!("unknown protocol {v:?}: expected mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp")
+            format!(
+                "unknown protocol {v:?}: expected mpcp|dpcp|pip|raw|nonpreemptive|direct-pcp|dga"
+            )
         }),
     }
 }
@@ -701,6 +816,7 @@ fn workload_config(flags: &HashMap<String, String>) -> WorkloadConfig {
             flag_u64(flags, "globals", 2) as usize,
         )
         .sections(0, 2)
+        .global_sections(flag_u64(flags, "gsections", 0) as usize)
 }
 
 fn build_system(flags: &HashMap<String, String>) -> (mpcp_model::System, u64) {

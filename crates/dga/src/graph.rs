@@ -1,0 +1,216 @@
+//! Per-resource dependency graphs over critical-section vertices.
+//!
+//! The dependency-graph approach schedules *critical sections*, not
+//! tasks: every outermost critical section of every job instance in the
+//! scheduling window becomes a vertex, and edges constrain the order in
+//! which sections may run. Two families of precedence edges exist:
+//!
+//! - **intra-job order**: a job executes its sections in program order,
+//!   so consecutive sections of the same job are connected. These edges
+//!   come from the task model and are stored explicitly on the graph.
+//! - **mutual exclusion**: two sections on the same semaphore must not
+//!   overlap, so the scheduler serializes each resource's vertices into
+//!   a total order (a *chain*). These edges are chosen by the list
+//!   scheduler, not the model, and live on the
+//!   [`DgaSchedule`](crate::DgaSchedule).
+//!
+//! The approach only handles outermost sections (no hold-and-wait):
+//! nested critical sections make graph construction
+//! [`NotApplicable`](DgaError::NotApplicable).
+
+use mpcp_model::{Dur, JobId, Segment, System, Time};
+use std::error::Error;
+use std::fmt;
+
+/// Why the dependency-graph approach cannot handle a system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DgaError {
+    /// The system is outside DGA's model (the message says how).
+    NotApplicable(String),
+}
+
+impl fmt::Display for DgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DgaError::NotApplicable(why) => write!(f, "DGA not applicable: {why}"),
+        }
+    }
+}
+
+impl Error for DgaError {}
+
+/// One critical section of one job instance, as a schedulable unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vertex {
+    /// The job instance executing the section.
+    pub job: JobId,
+    /// Position of this section among the job's sections (program
+    /// order, 0-based).
+    pub sec_idx: usize,
+    /// The semaphore the section holds.
+    pub resource: mpcp_model::ResourceId,
+    /// Processor demand while the semaphore is held.
+    pub duration: Dur,
+    /// Earliest possible start: the job's release plus all compute and
+    /// suspension demand preceding the section in program order. A
+    /// lower bound only — preemption and blocking can push the real
+    /// start later.
+    pub est: Time,
+}
+
+/// An intra-job precedence edge: vertex `from` must start (and, being
+/// non-nested, finish) before vertex `to` of the same job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Index into [`DependencyGraph::vertices`] of the predecessor.
+    pub from: usize,
+    /// Index into [`DependencyGraph::vertices`] of the successor.
+    pub to: usize,
+}
+
+/// The critical-section dependency graph of a system over a scheduling
+/// window.
+#[derive(Debug, Clone, Default)]
+pub struct DependencyGraph {
+    /// All critical-section vertices, grouped by job and in program
+    /// order within each job.
+    pub vertices: Vec<Vertex>,
+    /// Intra-job program-order edges (consecutive sections of the same
+    /// job). Mutual-exclusion edges are added by the scheduler.
+    pub edges: Vec<Edge>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph for every job instance of `system`
+    /// released strictly before `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// [`DgaError::NotApplicable`] if any task has nested critical
+    /// sections (DGA schedules outermost sections only, so that replay
+    /// never holds one semaphore while waiting for another).
+    pub fn build(system: &System, horizon: Time) -> Result<Self, DgaError> {
+        for task in system.tasks() {
+            if task.body().has_nested_sections() {
+                return Err(DgaError::NotApplicable(format!(
+                    "task {} has nested critical sections",
+                    task.name()
+                )));
+            }
+        }
+        let mut graph = DependencyGraph::default();
+        for task in system.tasks() {
+            let mut instance = 0u32;
+            while let Some(release) = task.try_release_of(instance) {
+                if release >= horizon {
+                    break;
+                }
+                let job = JobId::new(task.id(), instance);
+                let first = graph.vertices.len();
+                let mut lead = Dur::ZERO;
+                let mut sec_idx = 0usize;
+                for seg in task.body().segments() {
+                    match seg {
+                        Segment::Compute(d) | Segment::Suspend(d) => lead += *d,
+                        Segment::Critical(resource, inner) => {
+                            let duration: Dur = inner.iter().map(Segment::compute_demand).sum();
+                            graph.vertices.push(Vertex {
+                                job,
+                                sec_idx,
+                                resource: *resource,
+                                duration,
+                                est: release + lead,
+                            });
+                            sec_idx += 1;
+                            lead += duration;
+                        }
+                    }
+                }
+                for i in first..graph.vertices.len().saturating_sub(1) {
+                    graph.edges.push(Edge { from: i, to: i + 1 });
+                }
+                instance += 1;
+            }
+        }
+        Ok(graph)
+    }
+
+    /// Vertices of `job`, in program order.
+    pub fn vertices_of(&self, job: JobId) -> impl Iterator<Item = (usize, &Vertex)> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(move |(_, v)| v.job == job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::{Body, System, TaskDef};
+
+    fn sys_two_sections() -> System {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resources(2);
+        b.add_task(
+            TaskDef::new("a", p[0]).period(10).priority(2).body(
+                Body::builder()
+                    .compute(1)
+                    .critical(s[0], |c| c.compute(2))
+                    .compute(1)
+                    .critical(s[1], |c| c.compute(1))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(20)
+                .priority(1)
+                .body(Body::builder().critical(s[0], |c| c.compute(3)).build()),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn vertices_follow_program_order_with_est() {
+        let sys = sys_two_sections();
+        let g = DependencyGraph::build(&sys, Time::new(20)).unwrap();
+        // Task a: 2 instances × 2 sections; task b: 1 instance × 1.
+        assert_eq!(g.vertices.len(), 5);
+        let a0: Vec<_> = g
+            .vertices
+            .iter()
+            .filter(|v| v.job.task.index() == 0 && v.job.instance == 0)
+            .collect();
+        assert_eq!(a0[0].est, Time::new(1)); // after 1 tick of compute
+        assert_eq!(a0[1].est, Time::new(4)); // 1 + 2 (section) + 1
+        assert_eq!(a0[0].sec_idx, 0);
+        assert_eq!(a0[1].sec_idx, 1);
+        // One intra-job edge per instance of task a, none for b.
+        assert_eq!(g.edges.len(), 2);
+        for e in &g.edges {
+            assert_eq!(g.vertices[e.from].job, g.vertices[e.to].job);
+            assert!(g.vertices[e.from].sec_idx < g.vertices[e.to].sec_idx);
+        }
+    }
+
+    #[test]
+    fn nested_sections_are_rejected() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        let s = b.add_resources(2);
+        b.add_task(
+            TaskDef::new("n", p).period(10).body(
+                Body::builder()
+                    .critical(s[0], |c| c.critical(s[1], |i| i.compute(1)))
+                    .build(),
+            ),
+        );
+        let sys = b.build().unwrap();
+        assert!(matches!(
+            DependencyGraph::build(&sys, Time::new(10)),
+            Err(DgaError::NotApplicable(_))
+        ));
+    }
+}

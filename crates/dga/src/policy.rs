@@ -1,0 +1,260 @@
+//! Schedule replay as a [`Protocol`]: the online half of the
+//! dependency-graph approach.
+//!
+//! Unlike every other policy in the workspace, `DgaReplay` makes no
+//! online decisions — all semaphore ordering was fixed offline by
+//! [`DgaSchedule`](crate::DgaSchedule). At run time a job requesting a
+//! semaphore is granted it only when (a) the semaphore is free, (b) the
+//! job is the *next* entry of that semaphore's offline chain, and (c)
+//! the chain entry's start slot has been reached. Otherwise the job
+//! blocks — even if the semaphore is free — making non-work-conserving
+//! idling first-class: a processor may sit idle while a ready job waits
+//! for its slot. Slot waits are driven by the engine's timer facility
+//! ([`Ctx::schedule_timer`]), so the simulation clock jumps straight to
+//! the next slot instead of busy-polling.
+//!
+//! The same policy runs in two modes:
+//!
+//! - **construct**: gate on chain *order* only and record the observed
+//!   grant/release instants. [`DgaSchedule::compute`] runs this mode
+//!   once to turn the list scheduler's chain orders into exact slots.
+//! - **replay**: gate on order *and* slots from a computed schedule.
+//!   Because the engine is deterministic, a replay reproduces the
+//!   construction run event for event, which the monitor's schedule
+//!   conformance check verifies externally.
+
+use crate::schedule::DgaSchedule;
+use mpcp_model::{JobId, ResourceId, System, Time};
+use mpcp_sim::{Ctx, LockResult, Protocol};
+
+/// How the replay policy obtains its chain orders and slots.
+#[derive(Debug, Clone)]
+enum Mode {
+    /// Compute a [`DgaSchedule`] in `init` (at the given horizon, or
+    /// two hyperperiods capped at 20 000 ticks), then behave as
+    /// `Replay`.
+    Auto { horizon: Option<Time> },
+    /// Gate on chain order only and record observed grant/release
+    /// instants per chain position.
+    Construct { orders: Vec<Vec<JobId>> },
+    /// Gate on chain order and start slots of a computed schedule.
+    Replay(Box<DgaSchedule>),
+}
+
+/// Replays an offline DGA critical-section schedule (see the module
+/// docs for the grant rule and the construct/replay modes).
+#[derive(Debug, Clone)]
+pub struct DgaReplay {
+    mode: Mode,
+    /// Next ungranted chain position per `ResourceId::index()`.
+    cursor: Vec<usize>,
+    /// Current holder and its chain position, per resource.
+    active: Vec<Option<(JobId, usize)>>,
+    /// Blocked `(resource index, job)` requests awaiting their turn.
+    waiting: Vec<(usize, JobId)>,
+    /// Construct-mode recordings: `(grant, release)` instants per chain
+    /// position, indexed like the chain orders.
+    observed: Vec<Vec<(Option<Time>, Option<Time>)>>,
+}
+
+impl DgaReplay {
+    /// A replay policy that computes its own schedule in `init` over a
+    /// default horizon of two hyperperiods (capped at 20 000 ticks).
+    ///
+    /// `init` panics if the schedule cannot be constructed (nested
+    /// critical sections); use [`DgaSchedule::compute`] first to handle
+    /// that case gracefully.
+    pub fn new() -> Self {
+        Self::with_mode(Mode::Auto { horizon: None })
+    }
+
+    /// Like [`DgaReplay::new`] with an explicit scheduling horizon.
+    pub fn with_horizon(horizon: u64) -> Self {
+        Self::with_mode(Mode::Auto {
+            horizon: Some(Time::new(horizon)),
+        })
+    }
+
+    /// A replay policy for an already-computed schedule.
+    pub fn from_schedule(schedule: DgaSchedule) -> Self {
+        Self::with_mode(Mode::Replay(Box::new(schedule)))
+    }
+
+    /// A construct-mode policy: enforce `orders` and record observed
+    /// grant/release instants. Used by [`DgaSchedule::compute`].
+    pub(crate) fn construct(orders: Vec<Vec<JobId>>) -> Self {
+        Self::with_mode(Mode::Construct { orders })
+    }
+
+    fn with_mode(mode: Mode) -> Self {
+        DgaReplay {
+            mode,
+            cursor: Vec::new(),
+            active: Vec::new(),
+            waiting: Vec::new(),
+            observed: Vec::new(),
+        }
+    }
+
+    /// The schedule being replayed (`None` in construct mode or before
+    /// `init` resolves auto mode).
+    pub fn schedule(&self) -> Option<&DgaSchedule> {
+        match &self.mode {
+            Mode::Replay(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Construct-mode recordings, indexed like the chain orders.
+    pub(crate) fn recorded(&self) -> &[Vec<(Option<Time>, Option<Time>)>] {
+        &self.observed
+    }
+
+    fn chain_len(&self, r: usize) -> usize {
+        match &self.mode {
+            Mode::Construct { orders } => orders.get(r).map_or(0, Vec::len),
+            Mode::Replay(s) => s.chains.get(r).map_or(0, Vec::len),
+            Mode::Auto { .. } => 0,
+        }
+    }
+
+    /// The job owed the next grant of resource `r`, if any remain.
+    fn expected(&self, r: usize) -> Option<JobId> {
+        let pos = self.cursor[r];
+        match &self.mode {
+            Mode::Construct { orders } => orders.get(r).and_then(|c| c.get(pos)).copied(),
+            Mode::Replay(s) => s.chains.get(r).and_then(|c| c.get(pos)).map(|e| e.job),
+            Mode::Auto { .. } => None,
+        }
+    }
+
+    /// The pinned start slot of the next grant of `r` (`None` gates on
+    /// order only — construct mode, or a horizon-truncated entry).
+    fn slot(&self, r: usize) -> Option<Time> {
+        match &self.mode {
+            Mode::Replay(s) => s
+                .chains
+                .get(r)
+                .and_then(|c| c.get(self.cursor[r]))
+                .and_then(|e| e.start),
+            _ => None,
+        }
+    }
+
+    fn holder(&self, r: usize) -> Option<JobId> {
+        self.active[r].map(|(h, _)| h)
+    }
+
+    /// Records the grant of `r`'s next chain entry at `now` and
+    /// advances the cursor.
+    fn mark_granted(&mut self, r: usize, job: JobId, now: Time) {
+        let pos = self.cursor[r];
+        self.active[r] = Some((job, pos));
+        self.cursor[r] = pos + 1;
+        if let Some(obs) = self.observed.get_mut(r) {
+            obs[pos].0 = Some(now);
+        }
+    }
+
+    /// Grants `r`'s next chain entry to its (blocked) expected job if
+    /// the semaphore is free, the job is waiting, and the slot has been
+    /// reached; arms a timer for a free-but-early grant.
+    fn pump(&mut self, ctx: &mut Ctx<'_>, r: usize) {
+        if self.active[r].is_some() {
+            return;
+        }
+        let Some(next) = self.expected(r) else {
+            return;
+        };
+        let Some(wpos) = self
+            .waiting
+            .iter()
+            .position(|&(wr, wj)| wr == r && wj == next)
+        else {
+            return;
+        };
+        if let Some(t) = self.slot(r) {
+            if ctx.now() < t {
+                ctx.schedule_timer(t);
+                return;
+            }
+        }
+        self.waiting.swap_remove(wpos);
+        self.mark_granted(r, next, ctx.now());
+        ctx.grant_lock(next, ResourceId::from_index(r as u32));
+    }
+}
+
+impl Default for DgaReplay {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Protocol for DgaReplay {
+    fn name(&self) -> &'static str {
+        "dga"
+    }
+
+    fn init(&mut self, system: &System) {
+        if let Mode::Auto { horizon } = &self.mode {
+            let h = horizon.unwrap_or_else(|| {
+                Time::new(system.hyperperiod().ticks().saturating_mul(2).min(20_000))
+            });
+            let schedule = DgaSchedule::compute(system, h)
+                .expect("DGA schedule construction failed (nested critical sections?)");
+            self.mode = Mode::Replay(Box::new(schedule));
+        }
+        let n = system.resources().len();
+        self.cursor = vec![0; n];
+        self.active = vec![None; n];
+        self.waiting.clear();
+        self.observed = match &self.mode {
+            Mode::Construct { orders } => {
+                orders.iter().map(|c| vec![(None, None); c.len()]).collect()
+            }
+            _ => Vec::new(),
+        };
+    }
+
+    fn on_lock(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) -> LockResult {
+        let r = resource.index();
+        let free = self.active[r].is_none();
+        let is_next = self.expected(r) == Some(job);
+        if free && is_next {
+            match self.slot(r) {
+                Some(t) if ctx.now() < t => {
+                    // Right job, too early: idle until the slot.
+                    ctx.schedule_timer(t);
+                }
+                _ => {
+                    self.mark_granted(r, job, ctx.now());
+                    return LockResult::Granted;
+                }
+            }
+        }
+        self.waiting.push((r, job));
+        LockResult::Blocked {
+            holder: self.holder(r),
+        }
+    }
+
+    fn on_unlock(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) {
+        let r = resource.index();
+        if let Some((holder, pos)) = self.active[r].take() {
+            debug_assert_eq!(holder, job, "unlock by non-holder");
+            if let Some(obs) = self.observed.get_mut(r) {
+                obs[pos].1 = Some(ctx.now());
+            }
+        }
+        self.pump(ctx, r);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>) {
+        for r in 0..self.cursor.len() {
+            if self.chain_len(r) > self.cursor[r] {
+                self.pump(ctx, r);
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Deterministic list scheduling of the dependency graph, and the
+//! resulting offline schedule.
+//!
+//! The scheduler fixes, for every semaphore, a total order (*chain*)
+//! over that semaphore's critical-section vertices — these are the
+//! mutual-exclusion edges of the dependency-graph approach. Selection
+//! is availability-gated: a vertex becomes selectable only once all of
+//! its job's earlier sections have been appended, so the append order
+//! is a topological order of the combined graph (intra-job edges plus
+//! chain edges) and the result is acyclic by construction.
+//!
+//! Tie-breaks, in order: earliest possible start ([`Vertex::est`]),
+//! then *longest critical section first* (the classic list-scheduling
+//! heuristic — long sections fill semaphore idle gaps worst, so they
+//! go first), then task index, instance, and section index for full
+//! determinism.
+//!
+//! Chain orders alone do not pin instants. [`DgaSchedule::compute`]
+//! therefore runs the deterministic simulator once in *construct* mode
+//! (order-gated grants only) and records when each grant and release
+//! actually happened; those observed instants become the schedule's
+//! start slots, its makespan, and its per-task response bounds. The
+//! bounds are exact for the replay — the same engine replaying the
+//! same slots reproduces the construction run event for event.
+
+use crate::graph::{DependencyGraph, DgaError};
+use crate::policy::DgaReplay;
+use mpcp_model::{Dur, JobId, System, TaskId, Time};
+use mpcp_sim::{ExpectedGrants, SimConfig, Simulator};
+use std::collections::HashMap;
+
+/// One scheduled critical section within a resource's chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainEntry {
+    /// The job executing the section.
+    pub job: JobId,
+    /// Observed grant instant from the construction run; `None` when
+    /// the horizon ended before the section started.
+    pub start: Option<Time>,
+    /// Observed release instant; `None` when the horizon cut it off.
+    pub end: Option<Time>,
+}
+
+/// Per-task outcome of the constructed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskBound {
+    /// The task.
+    pub task: TaskId,
+    /// Worst observed response time across the window's completed jobs
+    /// (the task's response bound under replay); `None` if no job
+    /// completed within the horizon.
+    pub wcr: Option<Dur>,
+    /// Jobs completed within the scheduling window.
+    pub completed: u64,
+    /// Deadline misses within the scheduling window.
+    pub misses: u64,
+}
+
+/// A complete offline DGA schedule: per-resource chains with pinned
+/// start slots, per-task response bounds, and a feasibility verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DgaSchedule {
+    /// The scheduling window the chains cover.
+    pub horizon: Time,
+    /// Per-`ResourceId::index()` chain: the semaphore's grants in
+    /// scheduled order.
+    pub chains: Vec<Vec<ChainEntry>>,
+    /// Per-`TaskId::index()` response bounds.
+    pub bounds: Vec<TaskBound>,
+    /// Completion instant of the last scheduled section; `None` when
+    /// nothing ran.
+    pub makespan: Option<Time>,
+    /// Whether the constructed schedule is feasible: every job that
+    /// reached its deadline within the window met it.
+    pub accepted: bool,
+}
+
+impl DgaSchedule {
+    /// Builds the dependency graph for `system`, list-schedules it, and
+    /// pins slots/bounds via a construction run over `[0, horizon)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DgaError::NotApplicable`] when the graph cannot be built (see
+    /// [`DependencyGraph::build`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the construction run observes more grants on a
+    /// semaphore than its chain has entries — impossible for the
+    /// deterministic engine, by construction of the replay policy.
+    pub fn compute(system: &System, horizon: Time) -> Result<Self, DgaError> {
+        let graph = DependencyGraph::build(system, horizon)?;
+        let orders = list_schedule(&graph, system.resources().len());
+
+        let mut sim = Simulator::with_config(
+            system,
+            DgaReplay::construct(orders.clone()),
+            SimConfig {
+                record_trace: false,
+                ..SimConfig::until(horizon.ticks())
+            },
+        );
+        sim.run();
+
+        let recorded = sim.protocol().recorded();
+        let chains = orders
+            .iter()
+            .zip(recorded)
+            .map(|(order, times)| {
+                order
+                    .iter()
+                    .zip(times)
+                    .map(|(&job, &(start, end))| ChainEntry { job, start, end })
+                    .collect()
+            })
+            .collect::<Vec<Vec<ChainEntry>>>();
+
+        let metrics = sim.metrics();
+        let bounds = metrics
+            .per_task()
+            .iter()
+            .map(|m| TaskBound {
+                task: m.task,
+                wcr: (m.completed > 0).then_some(m.max_response),
+                completed: m.completed,
+                misses: m.misses,
+            })
+            .collect();
+
+        let makespan = chains.iter().flatten().filter_map(|e| e.end).max();
+
+        Ok(DgaSchedule {
+            horizon,
+            chains,
+            bounds,
+            makespan,
+            accepted: sim.misses() == 0,
+        })
+    }
+
+    /// The schedule as the monitor's expected-grant sequences, for
+    /// checking that a replay conforms
+    /// ([`Monitor::set_conformance`](mpcp_sim::Monitor::set_conformance)).
+    pub fn expected_grants(&self) -> ExpectedGrants {
+        ExpectedGrants {
+            per_resource: self
+                .chains
+                .iter()
+                .map(|c| c.iter().map(|e| (e.job, e.start)).collect())
+                .collect(),
+        }
+    }
+
+    /// Total number of scheduled critical sections across all chains.
+    pub fn sections(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum()
+    }
+}
+
+/// Serializes the graph's vertices into per-resource chains (see the
+/// module docs for the selection rule).
+pub(crate) fn list_schedule(graph: &DependencyGraph, resources: usize) -> Vec<Vec<JobId>> {
+    let n = graph.vertices.len();
+    let mut next: HashMap<JobId, usize> = HashMap::new();
+    let mut done = vec![false; n];
+    let mut orders = vec![Vec::new(); resources];
+    for _ in 0..n {
+        let pick = (0..n)
+            .filter(|&i| {
+                let v = &graph.vertices[i];
+                !done[i] && v.sec_idx == next.get(&v.job).copied().unwrap_or(0)
+            })
+            .min_by_key(|&i| {
+                let v = &graph.vertices[i];
+                (
+                    v.est,
+                    std::cmp::Reverse(v.duration),
+                    v.job.task.index(),
+                    v.job.instance,
+                )
+            })
+            .expect("availability gating always leaves a selectable vertex");
+        let v = &graph.vertices[pick];
+        done[pick] = true;
+        *next.entry(v.job).or_insert(0) += 1;
+        orders[v.resource.index()].push(v.job);
+    }
+    orders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DgaReplay;
+    use mpcp_model::{Body, System, TaskDef};
+    use mpcp_sim::{Monitor, MonitorSpec};
+
+    /// Two processors contending on one global semaphore, second task
+    /// with two sections per job.
+    fn contended() -> System {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("S");
+        b.add_task(
+            TaskDef::new("hi", p[0]).period(20).priority(2).body(
+                Body::builder()
+                    .compute(1)
+                    .critical(s, |c| c.compute(3))
+                    .compute(1)
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("lo", p[1]).period(40).priority(1).body(
+                Body::builder()
+                    .critical(s, |c| c.compute(2))
+                    .compute(2)
+                    .critical(s, |c| c.compute(4))
+                    .build(),
+            ),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chains_cover_every_section_once() {
+        let sys = contended();
+        let sched = DgaSchedule::compute(&sys, Time::new(40)).unwrap();
+        // hi: 2 instances × 1 section; lo: 1 instance × 2 sections.
+        assert_eq!(sched.sections(), 4);
+        // Same-resource chain entries never overlap in time.
+        for chain in &sched.chains {
+            for w in chain.windows(2) {
+                if let (Some(e), Some(s)) = (w[0].end, w[1].start) {
+                    assert!(e <= s, "chain overlap: {w:?}");
+                }
+            }
+        }
+        assert!(sched.accepted);
+        assert!(sched.makespan.is_some());
+    }
+
+    #[test]
+    fn replay_reproduces_construction_and_conforms() {
+        let sys = contended();
+        let sched = DgaSchedule::compute(&sys, Time::new(40)).unwrap();
+        let mut sim = Simulator::with_config(
+            &sys,
+            DgaReplay::from_schedule(sched.clone()),
+            SimConfig::until(40),
+        );
+        let mut monitor = Monitor::new(&sys, MonitorSpec::default());
+        monitor.set_conformance(sched.expected_grants());
+        sim.set_monitor(monitor);
+        sim.run();
+        assert!(
+            sim.monitor().unwrap().is_clean(),
+            "replay diverged: {:?}",
+            sim.monitor().unwrap().error()
+        );
+        // Replay responses equal the offline bounds.
+        let metrics = sim.metrics();
+        for (m, b) in metrics.per_task().iter().zip(&sched.bounds) {
+            assert_eq!(m.completed, b.completed);
+            assert_eq!(m.misses, b.misses);
+            assert_eq!((m.completed > 0).then_some(m.max_response), b.wcr);
+        }
+    }
+
+    #[test]
+    fn auto_mode_matches_explicit_schedule() {
+        let sys = contended();
+        let mut auto = Simulator::with_config(&sys, DgaReplay::new(), SimConfig::until(40));
+        auto.run();
+        let sched = auto.protocol().schedule().expect("resolved in init");
+        assert_eq!(sched.horizon, Time::new(80)); // 2 × hyperperiod(40)
+        let explicit = DgaSchedule::compute(&sys, Time::new(80)).unwrap();
+        assert_eq!(*sched, explicit);
+    }
+}

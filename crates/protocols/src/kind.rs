@@ -1,7 +1,8 @@
 //! Protocol registry for experiment harnesses.
 
 use crate::{DirectPcp, Dpcp, Mpcp, NonPreemptiveCs, Pip, RawSemaphores};
-use mpcp_sim::Protocol;
+use mpcp_dga::DgaReplay;
+use mpcp_sim::{MonitorSpec, Protocol};
 use std::fmt;
 use std::str::FromStr;
 
@@ -21,17 +22,23 @@ pub enum ProtocolKind {
     NonPreemptive,
     /// Uniprocessor PCP applied directly (the §3.3 strawman).
     DirectPcp,
+    /// Offline dependency-graph scheduling of critical sections
+    /// (Chen et al.) replayed by [`mpcp_dga::DgaReplay`] — the one
+    /// non-work-conserving, non-online competitor.
+    Dga,
 }
 
 impl ProtocolKind {
-    /// All protocols, MPCP first.
-    pub const ALL: [ProtocolKind; 6] = [
+    /// All protocols, MPCP first. `Dga` stays last: report curves and
+    /// fixture comments index protocols positionally.
+    pub const ALL: [ProtocolKind; 7] = [
         ProtocolKind::Mpcp,
         ProtocolKind::Dpcp,
         ProtocolKind::Pip,
         ProtocolKind::Raw,
         ProtocolKind::NonPreemptive,
         ProtocolKind::DirectPcp,
+        ProtocolKind::Dga,
     ];
 
     /// The canonical name, matching
@@ -44,6 +51,7 @@ impl ProtocolKind {
             ProtocolKind::Raw => "raw",
             ProtocolKind::NonPreemptive => "nonpreemptive",
             ProtocolKind::DirectPcp => "direct-pcp",
+            ProtocolKind::Dga => "dga",
         }
     }
 
@@ -56,6 +64,24 @@ impl ProtocolKind {
             ProtocolKind::Raw => Box::new(RawSemaphores::new()),
             ProtocolKind::NonPreemptive => Box::new(NonPreemptiveCs::new()),
             ProtocolKind::DirectPcp => Box::new(DirectPcp::new()),
+            ProtocolKind::Dga => Box::new(DgaReplay::new()),
+        }
+    }
+
+    /// The [`MonitorSpec`] appropriate for traces of this protocol.
+    ///
+    /// Priority-ordered hand-offs are off for the raw FIFO baseline
+    /// (FIFO queues legitimately invert priority — that is the paper's
+    /// point) and for DGA (grants follow the offline chain order, which
+    /// need not respect priority; the schedule conformance check
+    /// supersedes the hand-off rule there). The MPCP-specific
+    /// structural checks and the blocking-accounting oracle only apply
+    /// to MPCP itself.
+    pub fn monitor_spec(self) -> MonitorSpec {
+        MonitorSpec {
+            handoffs: !matches!(self, ProtocolKind::Raw | ProtocolKind::Dga),
+            mpcp_discipline: self == ProtocolKind::Mpcp,
+            observed_blocking: self == ProtocolKind::Mpcp,
         }
     }
 }

@@ -424,6 +424,108 @@ pub fn priority_floor(trace: &Trace, system: &System) -> Result<(), CheckError> 
     core.into_result()
 }
 
+/// The expected per-resource grant order (and optionally instants) of
+/// an offline critical-section schedule, as checked by
+/// [`schedule_conformance`].
+///
+/// `per_resource[r.index()]` lists, in order, which job must receive
+/// the `r`-th semaphore next and — when the schedule pins an exact
+/// start slot — at which instant the grant must happen. A `None` slot
+/// checks order only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpectedGrants {
+    /// Expected `(job, start slot)` sequence per `ResourceId::index()`.
+    pub per_resource: Vec<Vec<(JobId, Option<Time>)>>,
+}
+
+/// Streaming core of [`schedule_conformance`].
+#[derive(Debug, Clone)]
+pub(crate) struct ConformanceCheck {
+    expected: ExpectedGrants,
+    /// Next unmatched position per `ResourceId::index()`.
+    cursor: Vec<usize>,
+    error: Option<CheckError>,
+}
+
+impl ConformanceCheck {
+    pub(crate) fn new(expected: ExpectedGrants) -> Self {
+        let cursor = vec![0; expected.per_resource.len()];
+        ConformanceCheck {
+            expected,
+            cursor,
+            error: None,
+        }
+    }
+
+    pub(crate) fn on_event(&mut self, time: Time, job: JobId, kind: &EventKind) {
+        if self.error.is_some() {
+            return;
+        }
+        let resource = match *kind {
+            EventKind::LockGranted { resource } | EventKind::HandedOff { resource, .. } => resource,
+            _ => return,
+        };
+        let i = resource.index();
+        let Some(seq) = self.expected.per_resource.get(i) else {
+            self.error = Some(err(
+                time,
+                format!("{job} granted {resource}, which the schedule never grants"),
+            ));
+            return;
+        };
+        let pos = self.cursor[i];
+        let Some(&(want, slot)) = seq.get(pos) else {
+            self.error = Some(err(
+                time,
+                format!("{job} granted {resource} beyond the schedule's {pos} grants"),
+            ));
+            return;
+        };
+        if want != job {
+            self.error = Some(err(
+                time,
+                format!("{resource} grant #{pos} went to {job}, schedule says {want}"),
+            ));
+            return;
+        }
+        if let Some(at) = slot {
+            if at != time {
+                self.error = Some(err(
+                    time,
+                    format!("{resource} grant #{pos} to {job} scheduled for {at}"),
+                ));
+                return;
+            }
+        }
+        self.cursor[i] = pos + 1;
+    }
+
+    pub(crate) fn error(&self) -> Option<&CheckError> {
+        self.error.as_ref()
+    }
+
+    fn into_result(self) -> Result<(), CheckError> {
+        self.error.map_or(Ok(()), Err)
+    }
+}
+
+/// Every semaphore grant in the trace follows the expected offline
+/// schedule: right job, right order, and — when the schedule pins a
+/// start slot — right instant. Grants to unscheduled resources or past
+/// the end of a resource's schedule are violations; *missing* grants
+/// are not (a horizon may truncate the tail of a schedule).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn schedule_conformance(trace: &Trace, expected: &ExpectedGrants) -> Result<(), CheckError> {
+    let mut core = ConformanceCheck::new(expected.clone());
+    for e in trace.events() {
+        core.on_event(e.time, e.job, &e.kind);
+    }
+    core.into_result()
+}
+
 /// Runs every invariant applicable to the shared-memory protocol.
 ///
 /// # Errors
@@ -609,6 +711,93 @@ mod tests {
             band: Band::Normal,
         });
         assert!(single_occupancy(&tr, &sys).is_err());
+    }
+
+    #[test]
+    fn conformance_accepts_matching_grants() {
+        let expected = ExpectedGrants {
+            per_resource: vec![vec![
+                (jid(0), Some(Time::new(0))),
+                (jid(1), None), // order-only entry
+            ]],
+        };
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        tr.push(
+            Time::new(5),
+            jid(1),
+            EventKind::HandedOff {
+                resource: res(0),
+                to: jid(1),
+            },
+        );
+        schedule_conformance(&tr, &expected).unwrap();
+    }
+
+    #[test]
+    fn conformance_flags_wrong_job_wrong_slot_and_overrun() {
+        let expected = ExpectedGrants {
+            per_resource: vec![vec![(jid(0), Some(Time::new(2)))]],
+        };
+        // Wrong job.
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(2),
+            jid(1),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        assert!(schedule_conformance(&tr, &expected).is_err());
+        // Right job, wrong instant.
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(3),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        assert!(schedule_conformance(&tr, &expected).is_err());
+        // Grant past the end of the schedule.
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(2),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        tr.push(
+            Time::new(4),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        assert!(schedule_conformance(&tr, &expected).is_err());
+        // Grant on a resource the schedule never mentions.
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::LockGranted { resource: res(7) },
+        );
+        assert!(schedule_conformance(&tr, &expected).is_err());
+    }
+
+    #[test]
+    fn conformance_allows_truncated_tail() {
+        let expected = ExpectedGrants {
+            per_resource: vec![vec![
+                (jid(0), Some(Time::new(0))),
+                (jid(1), Some(Time::new(9))),
+            ]],
+        };
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        // The second grant never happens (horizon cut) — still clean.
+        schedule_conformance(&tr, &expected).unwrap();
     }
 
     #[test]

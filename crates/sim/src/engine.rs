@@ -118,6 +118,9 @@ pub struct Simulator<P> {
     /// Pending deadline checks as `(absolute deadline, id)`; entries for
     /// jobs that completed early are pruned lazily.
     deadlines: MinHeap<(Time, JobId)>,
+    /// Protocol wake-up requests ([`Ctx::schedule_timer`]); due entries
+    /// fire [`Protocol::on_timer`] at the start of their instant.
+    timers: MinHeap<Time>,
     /// Scratch: per-processor best-ready-job entry for the static
     /// scheduler.
     best_scratch: Vec<Option<BestEntry>>,
@@ -158,6 +161,7 @@ impl<P: Protocol> Simulator<P> {
             releases: MinHeap::new(),
             sleeps: MinHeap::new(),
             deadlines: MinHeap::new(),
+            timers: MinHeap::new(),
             best_scratch: Vec::new(),
             done_scratch: Vec::new(),
             runner_base: Vec::new(),
@@ -233,6 +237,7 @@ impl<P: Protocol> Simulator<P> {
         self.trace.reset_for_run(self.config.record_trace);
         self.sleeps.clear();
         self.deadlines.clear();
+        self.timers.clear();
         self.records.clear();
         self.misses = 0;
         self.finished = false;
@@ -247,6 +252,11 @@ impl<P: Protocol> Simulator<P> {
     /// The system being simulated.
     pub fn system(&self) -> &System {
         &self.system
+    }
+
+    /// The protocol policy driving this simulation.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
     }
 
     /// The recorded trace so far.
@@ -323,26 +333,59 @@ impl<P: Protocol> Simulator<P> {
         true
     }
 
-    fn ctx<'a>(now: Time, jobs: &'a mut Jobs, trace: &'a mut Trace, system: &'a System) -> Ctx<'a> {
+    fn ctx<'a>(
+        now: Time,
+        jobs: &'a mut Jobs,
+        trace: &'a mut Trace,
+        system: &'a System,
+        timers: &'a mut MinHeap<Time>,
+    ) -> Ctx<'a> {
         Ctx {
             now,
             jobs,
             trace,
             system,
+            timers,
         }
     }
 
     fn process_instant(&mut self) {
         let released = self.release_due_jobs();
         let woken = self.wake_sleepers();
+        let timed = self.fire_timers();
         // At an instant with no arrivals, the scheduler's inputs are
         // exactly what they were after the previous instant's fixpoint
         // (advancing time only consumed `remaining`), so the first
         // reschedule is provably a no-op and the fixpoint may start
         // without it. Completions pending from the previous instant are
         // swept inside the fixpoint, which re-arms rescheduling itself.
-        self.scheduling_fixpoint(released || woken);
+        self.scheduling_fixpoint(released || woken || timed);
         self.check_deadlines();
+    }
+
+    fn fire_timers(&mut self) -> bool {
+        let mut due = false;
+        while let Some(&t) = self.timers.peek() {
+            if t > self.now {
+                break;
+            }
+            self.timers.pop();
+            due = true;
+        }
+        if due {
+            // One hook call per instant, however many requests landed on
+            // it; the protocol re-derives what is actionable from its own
+            // state.
+            let mut ctx = Self::ctx(
+                self.now,
+                &mut self.jobs,
+                &mut self.trace,
+                &self.system,
+                &mut self.timers,
+            );
+            self.protocol.on_timer(&mut ctx);
+        }
+        due
     }
 
     fn release_due_jobs(&mut self) -> bool {
@@ -380,7 +423,13 @@ impl<P: Protocol> Simulator<P> {
                 self.jobs.done_candidates.push(id);
             }
             self.trace.push(self.now, id, EventKind::Released);
-            let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
+            let mut ctx = Self::ctx(
+                self.now,
+                &mut self.jobs,
+                &mut self.trace,
+                &self.system,
+                &mut self.timers,
+            );
             self.protocol.on_release(&mut ctx, id);
             any = true;
         }
@@ -650,7 +699,13 @@ impl<P: Protocol> Simulator<P> {
     fn do_lock(&mut self, id: JobId, res: mpcp_model::ResourceId) {
         self.trace
             .push(self.now, id, EventKind::LockRequested { resource: res });
-        let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
+        let mut ctx = Self::ctx(
+            self.now,
+            &mut self.jobs,
+            &mut self.trace,
+            &self.system,
+            &mut self.timers,
+        );
         match self.protocol.on_lock(&mut ctx, id, res) {
             LockResult::Granted => {
                 let job = self.jobs.expect_mut(id);
@@ -699,7 +754,13 @@ impl<P: Protocol> Simulator<P> {
         if complete {
             self.jobs.done_candidates.push(id);
         }
-        let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
+        let mut ctx = Self::ctx(
+            self.now,
+            &mut self.jobs,
+            &mut self.trace,
+            &self.system,
+            &mut self.timers,
+        );
         self.protocol.on_unlock(&mut ctx, id, res);
     }
 
@@ -707,7 +768,13 @@ impl<P: Protocol> Simulator<P> {
         let response = self.now - self.jobs.expect(id).release;
         self.trace
             .push(self.now, id, EventKind::Completed { response });
-        let mut ctx = Self::ctx(self.now, &mut self.jobs, &mut self.trace, &self.system);
+        let mut ctx = Self::ctx(
+            self.now,
+            &mut self.jobs,
+            &mut self.trace,
+            &self.system,
+            &mut self.timers,
+        );
         self.protocol.on_complete(&mut ctx, id);
         // Read the record fields after the hook (which may still mutate
         // the job), then recycle the slot.
@@ -786,6 +853,10 @@ impl<P: Protocol> Simulator<P> {
         if let Some(&(t, _)) = self.deadlines.peek() {
             // Overdue and stale entries were popped by check_deadlines,
             // so t > now and the job is live.
+            consider(t);
+        }
+        if let Some(&t) = self.timers.peek() {
+            // Due timers were popped by fire_timers, so t > now.
             consider(t);
         }
         for pi in 0..self.running.len() {

@@ -61,6 +61,7 @@ mod policy;
 mod queue;
 mod trace;
 
+pub use check::ExpectedGrants;
 pub use engine::{Binding, SimConfig, Simulator};
 pub use event::{EventKind, TraceEvent};
 pub use job::{ExecState, JobState, Jobs};

@@ -16,7 +16,8 @@
 //! construction.
 
 use crate::check::{
-    res_global_map, CheckError, FloorCheck, GcsCheck, HandoffCheck, MutexCheck, OccupancyCheck,
+    res_global_map, CheckError, ConformanceCheck, ExpectedGrants, FloorCheck, GcsCheck,
+    HandoffCheck, MutexCheck, OccupancyCheck,
 };
 use crate::event::EventKind;
 use crate::observe::ObservedBlocking;
@@ -65,6 +66,7 @@ pub struct Monitor {
     handoff: Option<HandoffCheck>,
     gcs: Option<GcsCheck>,
     floor: Option<FloorCheck>,
+    conformance: Option<ConformanceCheck>,
     observed: Option<ObservedBlocking>,
 }
 
@@ -78,8 +80,18 @@ impl Monitor {
             handoff: spec.handoffs.then(|| HandoffCheck::new(system)),
             gcs: spec.mpcp_discipline.then(|| GcsCheck::new(system)),
             floor: spec.mpcp_discipline.then(|| FloorCheck::new(system)),
+            conformance: None,
             observed: spec.observed_blocking.then(ObservedBlocking::default),
         }
+    }
+
+    /// Additionally check every semaphore grant against an offline
+    /// schedule's [`ExpectedGrants`] (the streaming form of
+    /// [`schedule_conformance`](crate::check::schedule_conformance)).
+    /// The expected-grant data is per-run, so it rides on the monitor
+    /// rather than the [`MonitorSpec`].
+    pub fn set_conformance(&mut self, expected: ExpectedGrants) {
+        self.conformance = Some(ConformanceCheck::new(expected));
     }
 
     pub(crate) fn on_event(&mut self, time: Time, job: JobId, kind: &EventKind) {
@@ -93,6 +105,9 @@ impl Monitor {
         if let Some(c) = &mut self.floor {
             c.on_event(time, job, kind);
         }
+        if let Some(c) = &mut self.conformance {
+            c.on_event(time, job, kind);
+        }
         if let Some(ob) = &mut self.observed {
             ob.on_event(time, job, kind, &self.res_global);
         }
@@ -104,8 +119,8 @@ impl Monitor {
 
     /// The first violation of any enabled structural check, in the
     /// canonical check order (mutual exclusion, occupancy, hand-offs,
-    /// gcs discipline, priority floor). `None` when the run is clean so
-    /// far.
+    /// gcs discipline, priority floor, schedule conformance). `None`
+    /// when the run is clean so far.
     pub fn error(&self) -> Option<&CheckError> {
         self.mutex
             .error()
@@ -113,6 +128,7 @@ impl Monitor {
             .or_else(|| self.handoff.as_ref().and_then(HandoffCheck::error))
             .or_else(|| self.gcs.as_ref().and_then(GcsCheck::error))
             .or_else(|| self.floor.as_ref().and_then(FloorCheck::error))
+            .or_else(|| self.conformance.as_ref().and_then(ConformanceCheck::error))
     }
 
     /// Whether no enabled structural check has fired.

@@ -8,6 +8,7 @@
 
 use crate::event::EventKind;
 use crate::job::{ExecState, JobState, Jobs};
+use crate::queue::MinHeap;
 use crate::trace::Trace;
 use mpcp_model::{JobId, Priority, ProcessorId, ResourceId, System, Task, Time};
 
@@ -32,6 +33,7 @@ pub struct Ctx<'a> {
     pub(crate) jobs: &'a mut Jobs,
     pub(crate) trace: &'a mut Trace,
     pub(crate) system: &'a System,
+    pub(crate) timers: &'a mut MinHeap<Time>,
 }
 
 impl<'a> Ctx<'a> {
@@ -180,6 +182,20 @@ impl<'a> Ctx<'a> {
     pub fn trace_event(&mut self, job: JobId, kind: EventKind) {
         self.trace.push(self.now, job, kind);
     }
+
+    /// Requests a protocol wake-up: the engine calls
+    /// [`Protocol::on_timer`] at the start of instant `at`, even if no
+    /// release, wake-up or compute boundary falls there. Non-work-
+    /// conserving policies (offline schedule replay) use this to act at
+    /// scheduled slots the event queues know nothing about. Requests at
+    /// or before the current instant are ignored — the protocol is
+    /// already running inside the current instant's fixpoint and can act
+    /// directly.
+    pub fn schedule_timer(&mut self, at: Time) {
+        if at > self.now {
+            self.timers.push(at);
+        }
+    }
 }
 
 /// A synchronization protocol policy driven by the engine.
@@ -217,6 +233,13 @@ pub trait Protocol {
     fn on_complete(&mut self, ctx: &mut Ctx<'_>, job: JobId) {
         let _ = (ctx, job);
     }
+
+    /// A timer requested via [`Ctx::schedule_timer`] is due (called once
+    /// per instant with at least one due timer, before the scheduling
+    /// fixpoint). Default: nothing.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
 }
 
 impl Protocol for Box<dyn Protocol> {
@@ -237,6 +260,9 @@ impl Protocol for Box<dyn Protocol> {
     }
     fn on_complete(&mut self, ctx: &mut Ctx<'_>, job: JobId) {
         (**self).on_complete(ctx, job);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>) {
+        (**self).on_timer(ctx);
     }
 }
 
@@ -285,11 +311,13 @@ mod tests {
     #[test]
     fn priority_changes_are_traced_once() {
         let (sys, mut jobs, mut trace) = setup();
+        let mut timers = MinHeap::new();
         let mut ctx = Ctx {
             now: Time::new(5),
             jobs: &mut jobs,
             trace: &mut trace,
             system: &sys,
+            timers: &mut timers,
         };
         ctx.set_priority(jid(0), Priority::global(1));
         ctx.set_priority(jid(0), Priority::global(1)); // no-op
@@ -307,11 +335,13 @@ mod tests {
             resource: s,
             global: true,
         };
+        let mut timers = MinHeap::new();
         let mut ctx = Ctx {
             now: Time::new(2),
             jobs: &mut jobs,
             trace: &mut trace,
             system: &sys,
+            timers: &mut timers,
         };
         ctx.grant_lock(jid(1), s);
         let j = ctx.job(jid(1));
@@ -328,11 +358,13 @@ mod tests {
             resource: s,
             global: false,
         };
+        let mut timers = MinHeap::new();
         let mut ctx = Ctx {
             now: Time::new(2),
             jobs: &mut jobs,
             trace: &mut trace,
             system: &sys,
+            timers: &mut timers,
         };
         ctx.wake_retry(jid(1));
         let j = ctx.job(jid(1));
@@ -345,11 +377,13 @@ mod tests {
     #[should_panic(expected = "not blocked")]
     fn grant_lock_on_ready_job_panics() {
         let (sys, mut jobs, mut trace) = setup();
+        let mut timers = MinHeap::new();
         let mut ctx = Ctx {
             now: Time::ZERO,
             jobs: &mut jobs,
             trace: &mut trace,
             system: &sys,
+            timers: &mut timers,
         };
         ctx.grant_lock(jid(0), mpcp_model::ResourceId::from_index(0));
     }
@@ -357,11 +391,13 @@ mod tests {
     #[test]
     fn migration_traced() {
         let (sys, mut jobs, mut trace) = setup();
+        let mut timers = MinHeap::new();
         let mut ctx = Ctx {
             now: Time::ZERO,
             jobs: &mut jobs,
             trace: &mut trace,
             system: &sys,
+            timers: &mut timers,
         };
         let p1 = mpcp_model::ProcessorId::from_index(1);
         ctx.set_processor(jid(0), p1);

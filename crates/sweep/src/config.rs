@@ -85,6 +85,7 @@ impl Default for SweepConfig {
                 ProtocolKind::Pip,
                 ProtocolKind::NonPreemptive,
                 ProtocolKind::Raw,
+                ProtocolKind::Dga,
             ],
             horizon_cap: 20_000,
             util_lo: 0.30,

@@ -30,12 +30,19 @@
 //! * **Trace accounting** — the engine's per-job `blocked_global`
 //!   bookkeeping must equal the waiting time re-derived independently
 //!   from the event trace ([`ObservedBlocking`]).
+//! * **Schedule conformance (DGA)** — the dependency-graph arm first
+//!   constructs an offline critical-section schedule
+//!   ([`DgaSchedule::compute`]), then replays it; every semaphore grant
+//!   must hit the scheduled job at the scheduled instant, the replay's
+//!   response times must equal the schedule's exact per-task bounds,
+//!   and a feasible schedule must not miss a deadline.
 
 use crate::config::SweepConfig;
 use mpcp_analysis::{default_hosts, dpcp_bounds_with, mpcp_bound_set, theorem3, BlockingConfig};
-use mpcp_model::{Dur, System};
+use mpcp_dga::{DgaReplay, DgaSchedule};
+use mpcp_model::{Dur, System, Time};
 use mpcp_protocols::ProtocolKind;
-use mpcp_sim::{check, Monitor, MonitorSpec, ObservedBlocking, Protocol, SimConfig, Simulator};
+use mpcp_sim::{check, Monitor, ObservedBlocking, Protocol, SimConfig, Simulator};
 use mpcp_taskgen::Scenario;
 
 /// Reusable per-worker oracle scratch: one recycled simulator whose job
@@ -378,22 +385,51 @@ pub fn evaluate_system_in(
         .iter()
         .map(|&kind| {
             let proto = kind.name();
-            // Fast pass: no trace, invariants checked online. The spec
-            // mirrors the per-protocol check profile below.
-            let spec = MonitorSpec {
-                handoffs: kind != ProtocolKind::Raw,
-                mpcp_discipline: kind == ProtocolKind::Mpcp,
-                observed_blocking: kind == ProtocolKind::Mpcp,
+            // DGA: construct the offline schedule first — its
+            // feasibility verdict is this arm's analysis side, its
+            // slots the replay's script. Systems outside DGA's model
+            // (nested sections) skip the arm entirely.
+            let dga = if kind == ProtocolKind::Dga {
+                match DgaSchedule::compute(system, Time::new(horizon)) {
+                    Ok(s) => Some(s),
+                    Err(_) => {
+                        return ProtocolOutcome {
+                            protocol: kind,
+                            misses: 0,
+                            completed: 0,
+                            analysis_accepted: None,
+                            rta_accepted: None,
+                            violations: Vec::new(),
+                        };
+                    }
+                }
+            } else {
+                None
             };
+            let build = || -> Box<dyn Protocol> {
+                match &dga {
+                    Some(s) => Box::new(DgaReplay::from_schedule(s.clone())),
+                    None => kind.build(),
+                }
+            };
+            // Fast pass: no trace, invariants checked online. The spec
+            // is per-policy ([`ProtocolKind::monitor_spec`]) and also
+            // gates the post-hoc profile below, so the two cannot
+            // drift.
+            let spec = kind.monitor_spec();
             let sim = ws.sim(
                 system,
-                kind.build(),
+                build(),
                 SimConfig {
                     record_trace: false,
                     ..SimConfig::until(horizon)
                 },
             );
-            sim.set_monitor(Monitor::new(system, spec));
+            let mut monitor = Monitor::new(system, spec);
+            if let Some(s) = &dga {
+                monitor.set_conformance(s.expected_grants());
+            }
+            sim.set_monitor(monitor);
             sim.run();
 
             let mut violations = Vec::new();
@@ -403,7 +439,7 @@ pub fn evaluate_system_in(
                 // mirroring verify's profiles.
                 sim.reset(
                     system,
-                    kind.build(),
+                    build(),
                     SimConfig {
                         record_trace: true,
                         ..SimConfig::until(horizon)
@@ -415,18 +451,24 @@ pub fn evaluate_system_in(
                     ("mutual_exclusion", check::mutual_exclusion(trace)),
                     ("single_occupancy", check::single_occupancy(trace, system)),
                 ];
-                if kind != ProtocolKind::Raw {
+                if spec.handoffs {
                     checks.push((
                         "priority_ordered_handoffs",
                         check::priority_ordered_handoffs(trace, system),
                     ));
                 }
-                if kind == ProtocolKind::Mpcp {
+                if spec.mpcp_discipline {
                     checks.push((
                         "gcs_preemption_discipline",
                         check::gcs_preemption_discipline(trace, system),
                     ));
                     checks.push(("priority_floor", check::priority_floor(trace, system)));
+                }
+                if let Some(s) = &dga {
+                    checks.push((
+                        "schedule_conformance",
+                        check::schedule_conformance(trace, &s.expected_grants()),
+                    ));
                 }
                 for (name, result) in checks {
                     if let Err(e) = result {
@@ -504,6 +546,35 @@ pub fn evaluate_system_in(
                                     engine: r.blocked_global.ticks(),
                                 });
                             }
+                        }
+                    }
+                }
+                ProtocolKind::Dga => {
+                    if let Some(s) = &dga {
+                        // DGA's "analysis" is the constructed schedule's
+                        // feasibility, and its per-task bounds are exact
+                        // for the replay — compare unconditionally (no
+                        // no-backlog precondition: the schedule *is* the
+                        // execution).
+                        analysis_accepted = Some(s.accepted);
+                        for t in system.tasks() {
+                            let m = metrics.task(t.id());
+                            if let Some(wcr) = s.bounds[t.id().index()].wcr {
+                                if m.max_response > wcr {
+                                    violations.push(ViolationKind::ResponseBound {
+                                        protocol: proto,
+                                        task: t.id().index(),
+                                        measured: m.max_response.ticks(),
+                                        bound: wcr.ticks(),
+                                    });
+                                }
+                            }
+                        }
+                        if s.accepted && sim.misses() > 0 {
+                            violations.push(ViolationKind::AcceptedButMissed {
+                                protocol: proto,
+                                misses: sim.misses(),
+                            });
                         }
                     }
                 }

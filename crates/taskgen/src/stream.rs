@@ -235,6 +235,36 @@ mod tests {
         }
     }
 
+    /// The multi-gcs knob rides the stream's workload config: every
+    /// scenario honours it, random access stays deterministic, and two
+    /// independently built streams agree scenario for scenario.
+    #[test]
+    fn multi_gcs_knob_rides_scenario_streams_deterministically() {
+        let cfg = WorkloadConfig::default()
+            .processors(2)
+            .tasks_per_processor(2)
+            .resources(1, 2)
+            .global_sections(2);
+        let a = ScenarioStream::over_utilizations(cfg.clone(), 42, 0.3, 0.6, 3);
+        let b = ScenarioStream::over_utilizations(cfg, 42, 0.3, 0.6, 3);
+        let mut saw_multi = false;
+        for (i, sc) in a.clone().take(6).enumerate() {
+            assert_eq!(sc.config.min_global_sections, 2);
+            let twin = b.scenario_at(i as u64);
+            assert_eq!(sc.system, twin.system);
+            assert_eq!(sc.system, a.scenario_at(i as u64).system);
+            saw_multi |= sc.system.tasks().iter().any(|t| {
+                t.body()
+                    .critical_sections()
+                    .iter()
+                    .filter(|cs| sc.system.resource(cs.resource).name().starts_with('G'))
+                    .count()
+                    > 1
+            });
+        }
+        assert!(saw_multi, "knob-on stream generated no multi-gcs task");
+    }
+
     #[test]
     fn empty_grid_falls_back_to_base_utilization() {
         let cfg = WorkloadConfig::default().utilization(0.45);

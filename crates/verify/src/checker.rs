@@ -130,11 +130,13 @@ impl InvariantProfile {
 
     /// What each built-in protocol promises: MPCP everything, the
     /// other priority-queued protocols ordered hand-offs, raw
-    /// semaphores only the universal invariants.
+    /// semaphores only the universal invariants. DGA is also minimal:
+    /// its hand-offs follow the offline chain order, not priorities
+    /// (the sweep additionally checks schedule conformance for it).
     pub fn for_kind(kind: ProtocolKind) -> Self {
         match kind {
             ProtocolKind::Mpcp => InvariantProfile::mpcp(),
-            ProtocolKind::Raw => InvariantProfile::minimal(),
+            ProtocolKind::Raw | ProtocolKind::Dga => InvariantProfile::minimal(),
             _ => InvariantProfile {
                 handoff_order: true,
                 ..InvariantProfile::minimal()
@@ -318,6 +320,22 @@ pub fn explore_with(
 /// built-in protocol, checking the invariants that protocol promises
 /// ([`InvariantProfile::for_kind`]).
 pub fn explore(system: &System, kind: ProtocolKind, config: &CheckerConfig) -> Exploration {
+    // Offline dependency-graph scheduling needs outermost-only
+    // sections; report nested-section systems as unexplored (zero
+    // variants) rather than letting schedule construction fail.
+    if kind == ProtocolKind::Dga
+        && system
+            .tasks()
+            .iter()
+            .any(|t| t.body().has_nested_sections())
+    {
+        return Exploration {
+            protocol: kind.name().to_owned(),
+            variants: 0,
+            truncated: false,
+            violations: Vec::new(),
+        };
+    }
     explore_with(
         system,
         config,
@@ -327,7 +345,7 @@ pub fn explore(system: &System, kind: ProtocolKind, config: &CheckerConfig) -> E
     )
 }
 
-/// Runs [`explore`] for all six built-in protocols.
+/// Runs [`explore`] for all built-in protocols.
 pub fn explore_all(system: &System, config: &CheckerConfig) -> Vec<Exploration> {
     ProtocolKind::ALL
         .iter()

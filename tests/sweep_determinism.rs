@@ -46,17 +46,20 @@ fn report_is_stable_across_reruns() {
 /// `cargo bench -p mpcp-bench --bench sweep`).
 ///
 /// Lineage: `ee6df60da83cce9e` was first recorded on the trace-eager
-/// oracle *before* the allocation-free hot path landed, and has been
+/// oracle *before* the allocation-free hot path landed, and was
 /// byte-identical through the arena-job engine, the streaming-monitor
 /// trace-lazy oracle, the completion-candidate sweep, and the fused
-/// advance loop. Any scheduling, protocol, analysis, check or encoding
-/// change shows up here — including "harmless" reorderings unit tests
-/// cannot see. If a change legitimately alters results, re-record via
-/// the bench, update the constant, and extend this comment with the
-/// reason.
+/// advance loop. `9c9ad85b2f5b319b` replaced it when the DGA arm joined
+/// the default protocol set: every scenario now also runs the offline
+/// dependency-graph schedule, adding a sixth outcome column (and its
+/// acceptance statistic) to the canonical report. Any scheduling,
+/// protocol, analysis, check or encoding change shows up here —
+/// including "harmless" reorderings unit tests cannot see. If a change
+/// legitimately alters results, re-record via the bench, update the
+/// constant, and extend this comment with the reason.
 #[test]
 fn default_workload_report_hash_is_pinned() {
-    const GOLDEN_HASH: u64 = 0xee6df60da83cce9e;
+    const GOLDEN_HASH: u64 = 0x9c9a_d85b_2f5b_319b;
     let cfg = |jobs| SweepConfig {
         scenarios: 300,
         seed: 42,
