@@ -3,7 +3,7 @@
 //! plus the incremental-vs-full admission comparison for session
 //! transactions.
 //!
-//! `service/serving` runs two phases, each against a fresh in-process
+//! `service/serving` runs four phases, each against a fresh in-process
 //! server so the cache counters are per-phase:
 //!
 //! - `uncached`: every request submits a distinct system — all misses,
@@ -11,6 +11,12 @@
 //!   (TCP, JSON, worker pool, lint + bounds + Theorem 3).
 //! - `cached`: the same request count cycling 8 distinct systems — laps
 //!   two onward are answered from the analysis cache.
+//!
+//! Each runs twice: `sequential` (pipeline depth 1, the classic closed
+//! loop — comparable to the pre-reactor baseline) and `pipelined`
+//! (depth [`PIPELINE`], which is what the reactor's batching exists
+//! for). The checked-in pre-reactor numbers ride along under
+//! `"baseline"` so `BENCH_service.json` carries its own before/after.
 //!
 //! `service/incremental` measures the two admission paths a live
 //! session's `add-task`/`remove-task` can take — a full
@@ -32,9 +38,10 @@ use mpcp_service::{
 use mpcp_taskgen::{generate, WorkloadConfig};
 use std::time::{Duration, Instant};
 
-const REQUESTS: usize = 512;
+const REQUESTS: usize = 2048;
 const CONNECTIONS: usize = 4;
 const WORKERS: usize = 4;
+const PIPELINE: usize = 32;
 
 fn workload() -> WorkloadConfig {
     WorkloadConfig::default()
@@ -45,15 +52,15 @@ fn workload() -> WorkloadConfig {
         .sections(0, 2)
 }
 
-fn phase(unique: usize, seed: u64) -> LoadReport {
+fn phase(unique: usize, seed: u64, pipeline: usize) -> LoadReport {
     let server = spawn(&ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: WORKERS,
         queue_cap: 64,
         deadline: Duration::from_millis(5000),
         cache_capacity: 4096,
-        incremental: true,
         audit_every: 64,
+        ..ServerConfig::default()
     })
     .expect("bind bench server");
     let report = loadgen::run(&LoadgenConfig {
@@ -64,6 +71,8 @@ fn phase(unique: usize, seed: u64) -> LoadReport {
         unique,
         workload: workload(),
         seed,
+        pipeline,
+        open: false,
     })
     .expect("drive bench server");
     server.shutdown();
@@ -161,8 +170,10 @@ fn main() {
 
     let mut docs = Vec::new();
     if enabled("service/serving") {
-        let uncached = phase(REQUESTS, 1_000);
-        let cached = phase(8, 1);
+        let seq_uncached = phase(REQUESTS, 1_000, 1);
+        let seq_cached = phase(8, 1, 1);
+        let pipe_uncached = phase(REQUESTS, 1_000, PIPELINE);
+        let pipe_cached = phase(8, 1, PIPELINE);
 
         let doc = Value::obj([
             ("bench", Value::str("service/serving")),
@@ -172,17 +183,50 @@ fn main() {
                     ("requests", Value::from(REQUESTS)),
                     ("connections", Value::from(CONNECTIONS)),
                     ("workers", Value::from(WORKERS)),
+                    ("pipeline", Value::from(PIPELINE)),
                     ("workload", Value::str("4 procs x 4 tasks, util 0.4")),
                 ]),
             ),
-            ("uncached", uncached.render_json()),
-            ("cached", cached.render_json()),
+            (
+                // The pre-reactor blocking server's checked-in numbers
+                // (512 requests, pipeline 1), kept for before/after.
+                "baseline",
+                Value::obj([
+                    (
+                        "server",
+                        Value::str("blocking thread-per-connection (PR 6)"),
+                    ),
+                    ("uncached_rps", Value::from(3649.2)),
+                    ("cached_rps", Value::from(5025.9)),
+                ]),
+            ),
+            (
+                "sequential",
+                Value::obj([
+                    ("uncached", seq_uncached.render_json()),
+                    ("cached", seq_cached.render_json()),
+                ]),
+            ),
+            (
+                "pipelined",
+                Value::obj([
+                    ("uncached", pipe_uncached.render_json()),
+                    ("cached", pipe_cached.render_json()),
+                ]),
+            ),
         ]);
         docs.push(doc);
 
-        assert_eq!(uncached.errors, 0, "uncached phase saw transport errors");
-        assert_eq!(cached.errors, 0, "cached phase saw transport errors");
-        let (hits, _, _) = cached.cache.expect("cache stats in query");
+        for (label, r) in [
+            ("sequential uncached", &seq_uncached),
+            ("sequential cached", &seq_cached),
+            ("pipelined uncached", &pipe_uncached),
+            ("pipelined cached", &pipe_cached),
+        ] {
+            assert_eq!(r.errors, 0, "{label} phase saw transport errors");
+            assert_eq!(r.ok, REQUESTS, "{label} phase lost responses");
+        }
+        let (hits, _, _) = pipe_cached.cache.expect("cache stats in query");
         assert!(
             hits as usize >= REQUESTS - 8,
             "repeated stream should be served from cache (hits = {hits})"

@@ -275,6 +275,12 @@ fn main() -> ExitCode {
                 cache_capacity: flag_u64(&flags, "cache", 4096) as usize,
                 incremental: !flags.contains_key("no-incremental"),
                 audit_every: flag_u64(&flags, "audit-every", 64),
+                shards: flag_u64(&flags, "shards", ServerConfig::default().shards as u64) as usize,
+                max_pipeline: flag_u64(&flags, "max-pipeline", 128) as usize,
+                read_deadline: Duration::from_millis(flag_u64(&flags, "read-deadline-ms", 30_000)),
+                idle_timeout: Duration::from_millis(flag_u64(&flags, "idle-ms", 0)),
+                persist_dir: flags.get("persist").map(std::path::PathBuf::from),
+                snapshot_every: flag_u64(&flags, "snapshot-every", 4096),
             };
             match mpcp_service::spawn(&config) {
                 Ok(handle) => {
@@ -304,6 +310,8 @@ fn main() -> ExitCode {
                 unique: flag_u64(&flags, "unique", 8) as usize,
                 workload: workload_config(&flags),
                 seed: flag_u64(&flags, "seed", 42),
+                pipeline: flag_u64(&flags, "pipeline", 1) as usize,
+                open: flags.contains_key("open"),
             };
             match mpcp_service::loadgen::run(&config) {
                 Ok(report) => {
@@ -664,6 +672,12 @@ fn usage() -> String {
      \x20 --cache N      analysis-cache entries (default 4096)\n\
      \x20 --no-incremental  full analysis for every add-task/remove-task\n\
      \x20 --audit-every N   audit every Nth incremental result (default 64, 0 = off)\n\
+     \x20 --shards N     reactor event-loop shards (default: CPU count, max 4)\n\
+     \x20 --max-pipeline N  per-connection in-flight bound (default 128)\n\
+     \x20 --read-deadline-ms N  slow-loris partial-line deadline (default 30000, 0 = off)\n\
+     \x20 --idle-ms N    drop idle connections after N ms (default 0 = never)\n\
+     \x20 --persist DIR  session journal + snapshots, replayed on startup\n\
+     \x20 --snapshot-every N  journal entries per snapshot compaction (default 4096)\n\
      \n\
      audit options:\n\
      \x20 --example X    paper example 1|2|3 (or the random-system options)\n\
@@ -674,6 +688,8 @@ fn usage() -> String {
      \x20 --port N / --addr A         server to drive\n\
      \x20 --requests N   (default 200)  --connections N (default 4)\n\
      \x20 --rate R       target req/s, 0 = unpaced (default 0)\n\
+     \x20 --pipeline N   requests in flight per connection (default 1)\n\
+     \x20 --open         open-loop arrivals: latency from the schedule, needs --rate\n\
      \x20 --unique N     distinct systems to cycle (default 8)\n\
      \x20 --json         machine-readable report\n\
      \x20 plus the random-system options below\n\
@@ -712,6 +728,7 @@ const BOOL_FLAGS: &[&str] = &[
     "no-shrink",
     "check-response",
     "no-incremental",
+    "open",
 ];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {

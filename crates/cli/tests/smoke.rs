@@ -59,6 +59,26 @@ fn boolean_flags_do_not_need_values() {
     );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.trim_start().starts_with('{'), "expected JSON: {text}");
+
+    // `--open` is valueless too; followed by another flag it must parse
+    // (the connect to a dead port then fails, which is fine — the
+    // regression is the parser demanding a value for it).
+    let out = mpcp()
+        .args([
+            "loadgen",
+            "--open",
+            "--rate",
+            "100",
+            "--addr",
+            "127.0.0.1:1",
+        ])
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !err.contains("requires a value"),
+        "--open rejected as a value flag: {err}"
+    );
 }
 
 /// Kills the child even when an assertion panics mid-test.

@@ -18,14 +18,38 @@ use crate::session::AdmissionResult;
 use crate::wire::SystemSpec;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 const SHARDS: usize = 16;
+
+/// A memoized analysis plus its lazily-rendered response body.
+///
+/// The server renders an admission response's result-dependent tail
+/// (verdict, breakdown, …) once per distinct analysis and parks it in
+/// [`CachedAnalysis::rendered`]; cache hits then answer with a string
+/// append instead of re-encoding the JSON tree. The cache itself never
+/// renders — the server owns the response shape.
+#[derive(Debug)]
+pub struct CachedAnalysis {
+    /// The analysis verdict and breakdown (shared with sessions).
+    pub result: Arc<AdmissionResult>,
+    /// Render memo, filled by the first response that needs it.
+    pub rendered: OnceLock<String>,
+}
+
+impl CachedAnalysis {
+    fn new(result: AdmissionResult) -> Self {
+        CachedAnalysis {
+            result: Arc::new(result),
+            rendered: OnceLock::new(),
+        }
+    }
+}
 
 /// Sharded, counter-instrumented analysis cache.
 #[derive(Debug)]
 pub struct AnalysisCache {
-    shards: Vec<Mutex<HashMap<u64, Arc<AdmissionResult>>>>,
+    shards: Vec<Mutex<HashMap<u64, Arc<CachedAnalysis>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     capacity_per_shard: usize,
@@ -78,7 +102,7 @@ impl AnalysisCache {
         &self,
         key: u64,
         f: impl FnOnce() -> AdmissionResult,
-    ) -> (Arc<AdmissionResult>, bool) {
+    ) -> (Arc<CachedAnalysis>, bool) {
         let shard = &self.shards[(key as usize) % SHARDS];
         if let Some(hit) = shard
             .lock()
@@ -89,7 +113,7 @@ impl AnalysisCache {
             return (Arc::clone(hit), true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let computed = Arc::new(f());
+        let computed = Arc::new(CachedAnalysis::new(f()));
         let mut map = shard.lock().unwrap_or_else(PoisonError::into_inner);
         if map.len() >= self.capacity_per_shard && !map.contains_key(&key) {
             // Simple bound: clearing a full shard keeps memory flat
@@ -200,7 +224,7 @@ mod tests {
                         let s = spec(100 + (p + i) % 10);
                         let key = AnalysisCache::key(&s, None);
                         let (r, _) = cache.get_or_compute(key, || analyze(&s, None));
-                        assert!(r.admitted);
+                        assert!(r.result.admitted);
                     }
                 })
             })

@@ -100,39 +100,45 @@ impl Value {
     /// Compact single-line encoding (no extra whitespace), parseable by
     /// [`parse`].
     pub fn encode(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
+        let mut out = String::with_capacity(64);
+        self.encode_into(&mut out);
         out
     }
 
-    fn write(&self, out: &mut String) {
+    /// Appends the compact encoding to `out` (the allocation-reusing
+    /// form of [`Value::encode`]).
+    pub fn encode_into(&self, out: &mut String) {
+        let _ = self.write(out); // writing to a String cannot fail
+    }
+
+    fn write<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
         match self {
-            Value::Null => out.push_str("null"),
-            Value::Bool(true) => out.push_str("true"),
-            Value::Bool(false) => out.push_str("false"),
+            Value::Null => out.write_str("null"),
+            Value::Bool(true) => out.write_str("true"),
+            Value::Bool(false) => out.write_str("false"),
             Value::Num(n) => write_num(*n, out),
             Value::Str(s) => write_str(s, out),
             Value::Arr(items) => {
-                out.push('[');
+                out.write_char('[')?;
                 for (i, v) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    v.write(out);
+                    v.write(out)?;
                 }
-                out.push(']');
+                out.write_char(']')
             }
             Value::Obj(pairs) => {
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (k, v)) in pairs.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    write_str(k, out);
-                    out.push(':');
-                    v.write(out);
+                    write_str(k, out)?;
+                    out.write_char(':')?;
+                    v.write(out)?;
                 }
-                out.push('}');
+                out.write_char('}')
             }
         }
     }
@@ -168,30 +174,70 @@ impl From<bool> for Value {
     }
 }
 
-fn write_num(n: f64, out: &mut String) {
+/// Encodes one number exactly as [`Value::encode`] does. Shared with
+/// the canonical system encoder in `wire` so streaming encodings hash
+/// identically to materialized ones.
+pub(crate) fn write_num<W: fmt::Write>(n: f64, out: &mut W) -> fmt::Result {
     if !n.is_finite() {
-        out.push_str("null"); // JSON has no NaN/Inf; degrade explicitly.
+        out.write_str("null") // JSON has no NaN/Inf; degrade explicitly.
     } else if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 {
-        out.push_str(&format!("{}", n as i64));
+        write_int(n as i64, out)
     } else {
-        out.push_str(&format!("{n}"));
+        write!(out, "{n}")
     }
 }
 
-fn write_str(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+/// Decimal integer without going through the float `Display` path.
+fn write_int<W: fmt::Write>(n: i64, out: &mut W) -> fmt::Result {
+    let mut buf = [0u8; 20];
+    let mut pos = buf.len();
+    let neg = n < 0;
+    // Negate into u64 so i64::MIN does not overflow.
+    let mut m = n.unsigned_abs();
+    loop {
+        pos -= 1;
+        buf[pos] = b'0' + (m % 10) as u8;
+        m /= 10;
+        if m == 0 {
+            break;
         }
     }
-    out.push('"');
+    if neg {
+        pos -= 1;
+        buf[pos] = b'-';
+    }
+    out.write_str(std::str::from_utf8(&buf[pos..]).expect("digits are ASCII"))
+}
+
+/// Encodes one string (quotes and escapes included) exactly as
+/// [`Value::encode`] does: contiguous clean runs are appended whole,
+/// only the escape bytes are handled individually.
+pub(crate) fn write_str<W: fmt::Write>(s: &str, out: &mut W) -> fmt::Result {
+    out.write_char('"')?;
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        // Everything needing an escape is ASCII, so slicing at `i` is
+        // always a char boundary.
+        let esc: &str = match b {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            b'\t' => "\\t",
+            b if b < 0x20 => "",
+            _ => continue,
+        };
+        out.write_str(&s[start..i])?;
+        if esc.is_empty() {
+            write!(out, "\\u{:04x}", u32::from(b))?;
+        } else {
+            out.write_str(esc)?;
+        }
+        start = i + 1;
+    }
+    out.write_str(&s[start..])?;
+    out.write_char('"')
 }
 
 /// A parse failure, with the byte offset where it happened.
@@ -291,7 +337,9 @@ impl Parser<'_> {
 
     fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
         self.expect(b'{')?;
-        let mut pairs = Vec::new();
+        // Typical wire objects carry a handful of fields; reserving
+        // them up front skips the 1→2→4 regrowth copies.
+        let mut pairs = Vec::with_capacity(4);
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -319,7 +367,7 @@ impl Parser<'_> {
 
     fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
         self.expect(b'[')?;
-        let mut items = Vec::new();
+        let mut items = Vec::with_capacity(4);
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
@@ -342,7 +390,29 @@ impl Parser<'_> {
 
     fn string(&mut self) -> Result<String, ParseError> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        // Fast path: scan straight to the closing quote. Strings with
+        // no escapes — virtually all of them on this wire — copy out in
+        // one shot; the first backslash falls back to the char-by-char
+        // loop seeded with the clean prefix.
+        let start = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("input is valid UTF-8")
+                        .to_owned();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => break,
+                Some(&b) if b < 0x20 => return Err(self.err("unescaped control character")),
+                Some(_) => self.pos += 1,
+            }
+        }
+        let mut out = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("input is valid UTF-8")
+            .to_owned();
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
@@ -427,6 +497,24 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Value, ParseError> {
         let start = self.pos;
+        // Fast path: a plain integer of at most 15 digits (exact in
+        // f64) skips the float parser entirely — the wire is almost all
+        // small non-negative integers (indices, periods, ticks).
+        if matches!(self.peek(), Some(b'0'..=b'9')) {
+            let mut n: u64 = 0;
+            let int_start = self.pos;
+            while let Some(&b @ b'0'..=b'9') = self.bytes.get(self.pos) {
+                if self.pos - int_start == 15 {
+                    break; // longer than 15 digits: take the full path
+                }
+                n = n * 10 + u64::from(b - b'0');
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E')) {
+                return Ok(Value::Num(n as f64));
+            }
+            self.pos = start;
+        }
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }

@@ -23,26 +23,36 @@
 //! - [`cache`]: sharded memoization of analyses with hit/miss
 //!   counters.
 //! - [`pool`]: bounded worker pool — overload sheds, never stalls.
-//! - [`server`]: the TCP accept loop and dispatch, plus a small
-//!   blocking [`server::Client`].
-//! - [`loadgen`]: a submission-stream load generator reporting
-//!   throughput and latency percentiles.
+//! - [`sys`]: the one `unsafe` module — a minimal FFI shim over
+//!   epoll/`poll(2)` exposing the safe [`sys::Poller`].
+//! - [`server`] + [`reactor`]: the accept loop dealing connections to
+//!   nonblocking event-loop shards with pipelined request batching,
+//!   plus a small blocking [`server::Client`].
+//! - [`persist`]: session journal + snapshot persistence, replayed on
+//!   startup.
+//! - [`loadgen`]: a submission-stream load generator (closed- and
+//!   open-loop, pipelined) reporting throughput and latency
+//!   percentiles.
 //!
 //! Run it with `mpcp serve` and drive it with `mpcp loadgen`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // granted only to `sys`, the FFI shim
 
 pub mod cache;
 pub mod json;
 pub mod loadgen;
+pub mod persist;
 pub mod pool;
 pub mod proto;
+mod reactor;
 pub mod server;
 pub mod session;
+pub mod sys;
 pub mod wire;
 
 pub use cache::{AnalysisCache, CacheStats};
 pub use loadgen::{LoadReport, LoadgenConfig};
+pub use persist::{Persistence, RestoredSession};
 pub use pool::{Overloaded, WorkerPool};
 pub use proto::{AllocDirective, ErrorCode, Request};
 pub use server::{spawn, Client, ServerConfig, ServerHandle};

@@ -1,18 +1,38 @@
 //! Load generator: drives taskgen-generated submission streams at a
 //! target rate and reports throughput and latency percentiles.
 //!
-//! Each connection thread owns its own session (so sessions do not
-//! contend) and takes request indices round-robin. Requests cycle
-//! through `unique` distinct systems, so a repeated stream exercises the
-//! server's analysis cache: the second and later laps should be answered
-//! from memory, which the final `query` makes visible via hit counters.
+//! Each connection runs a writer thread and a reader thread over one
+//! TCP stream, with up to [`LoadgenConfig::pipeline`] requests in
+//! flight: the writer batches request lines into large writes (the
+//! window is enforced by a bounded channel of send timestamps), and the
+//! reader matches responses back to timestamps in order — exactly the
+//! in-order pipelining the wire protocol guarantees. `pipeline = 1`
+//! degenerates to the classic closed loop: one request, wait, next.
+//!
+//! Two arrival models:
+//!
+//! - **Closed loop** (default): latency is measured from the moment a
+//!   request is written. Under an overloaded server the arrival rate
+//!   self-throttles, which *hides* queueing delay (coordinated
+//!   omission).
+//! - **Open loop** ([`LoadgenConfig::open`], needs a `rate`): requests
+//!   are due at `start + i/rate` regardless of how the server keeps
+//!   up, and latency is measured from that due time, so queueing delay
+//!   an overloaded server causes is charged to the server.
+//!
+//! Requests cycle through `unique` distinct systems, so a repeated
+//! stream exercises the server's analysis cache: the second and later
+//! laps should be answered from memory, which the final `query` makes
+//! visible via hit counters.
 
 use crate::json::Value;
 use crate::server::Client;
 use crate::wire::SystemSpec;
 use mpcp_taskgen::WorkloadConfig;
-use std::io;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,7 +46,7 @@ pub struct LoadgenConfig {
     /// Concurrent connections (each with its own session).
     pub connections: usize,
     /// Target request rate in requests/second across all connections;
-    /// 0 means unpaced (as fast as the server answers).
+    /// 0 means unpaced (as fast as the window allows).
     pub rate: u64,
     /// Number of distinct systems to cycle through (controls cache
     /// friendliness: requests beyond this repeat earlier systems).
@@ -35,6 +55,12 @@ pub struct LoadgenConfig {
     pub workload: WorkloadConfig,
     /// Base seed for the generator.
     pub seed: u64,
+    /// Pipelined requests in flight per connection (1 = closed loop's
+    /// classic request-response lockstep).
+    pub pipeline: usize,
+    /// Open-loop arrival model: pace by schedule, charge queueing to
+    /// the server. Requires `rate > 0`.
+    pub open: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -47,6 +73,8 @@ impl Default for LoadgenConfig {
             unique: 8,
             workload: WorkloadConfig::default(),
             seed: 42,
+            pipeline: 1,
+            open: false,
         }
     }
 }
@@ -149,18 +177,28 @@ struct Tally {
     latencies_us: Vec<u64>,
 }
 
+/// Flush threshold for the writer's batching buffer.
+const WRITE_BATCH_BYTES: usize = 60 * 1024;
+
 /// Runs a submission stream against a live server and aggregates the
 /// outcome.
 ///
 /// # Errors
 ///
-/// An [`io::Error`] if no connection could be established at all;
-/// per-request transport failures are counted in
-/// [`LoadReport::errors`] instead.
+/// `InvalidInput` for open-loop mode without a rate; an [`io::Error`]
+/// if no connection could be established at all. Per-request transport
+/// failures are counted in [`LoadReport::errors`] instead.
 pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     let total = config.requests;
     let connections = config.connections.max(1);
     let unique = config.unique.max(1);
+    let pipeline = config.pipeline.max(1);
+    if config.open && config.rate == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "open-loop mode needs a target rate",
+        ));
+    }
 
     // Pre-render the distinct submission lines once; worker threads
     // only index into them.
@@ -181,6 +219,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     let next = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     let rate = config.rate;
+    let open = config.open;
     let addr = config.addr.clone();
     let mut handles = Vec::new();
     for _ in 0..connections {
@@ -188,40 +227,39 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
         let next = Arc::clone(&next);
         let addr = addr.clone();
         handles.push(std::thread::spawn(move || -> io::Result<Tally> {
-            let mut client = Client::connect(addr.as_str())?;
+            let wr = TcpStream::connect(addr.as_str())?;
+            wr.set_nodelay(true).ok();
+            let rd = wr.try_clone()?;
+            // The channel carries each request's latency reference
+            // instant; its capacity IS the pipeline window.
+            let (tx, rx) = mpsc::sync_channel::<Instant>(pipeline);
+            let writer = std::thread::spawn(move || {
+                writer_loop(wr, &tx, &lines, &next, total, start, rate, open)
+            });
+
+            let mut reader = BufReader::new(rd);
             let mut tally = Tally::default();
-            loop {
-                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
-                if i >= total {
-                    return Ok(tally);
-                }
-                // Global pacing: request i is due at start + i/rate.
-                // rate == 0 (unpaced) makes checked_div skip the sleep.
-                if let Some(due_us) = (i as u64 * 1_000_000).checked_div(rate) {
-                    let due = start + Duration::from_micros(due_us);
-                    let now = Instant::now();
-                    if due > now {
-                        std::thread::sleep(due - now);
-                    }
-                }
-                let line = &lines[i % lines.len()];
-                let t0 = Instant::now();
-                match client.request_raw(line) {
-                    Err(_) => {
-                        tally.errors += 1;
-                        // Transport died; try a fresh connection.
-                        client = Client::connect(addr.as_str())?;
-                    }
-                    Ok(text) => {
-                        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            let mut line = String::new();
+            let mut received = 0usize;
+            // recv-then-read: the token for response N is queued no
+            // later than request N was written, and the channel is FIFO
+            // like the wire, so they pair up exactly.
+            while let Ok(t_ref) = rx.recv() {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {
+                        let us = t_ref.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                         tally.latencies_us.push(us);
-                        match crate::json::parse(&text) {
-                            Err(_) => tally.errors += 1,
-                            Ok(v) => classify(&v, &mut tally),
-                        }
+                        received += 1;
+                        classify(&line, &mut tally);
                     }
                 }
             }
+            drop(rx); // unblocks a writer stuck on a full window
+            let sent = writer.join().unwrap_or(0);
+            tally.errors += sent.saturating_sub(received);
+            Ok(tally)
         }));
     }
 
@@ -293,15 +331,90 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     Ok(report)
 }
 
-fn classify(v: &Value, tally: &mut Tally) {
-    if v.get("ok").and_then(Value::as_bool) == Some(true) {
-        tally.ok += 1;
-        match v.get("verdict").and_then(Value::as_str) {
-            Some("admit") => tally.admitted += 1,
-            Some("reject") => tally.rejected += 1,
-            _ => {}
+/// Claims request indices, paces them, and writes batched request
+/// lines; returns how many requests went out. The bounded channel
+/// blocks the writer once `pipeline` requests are unanswered.
+#[allow(clippy::too_many_arguments)]
+fn writer_loop(
+    mut stream: TcpStream,
+    tx: &mpsc::SyncSender<Instant>,
+    lines: &[String],
+    next: &AtomicU64,
+    total: usize,
+    start: Instant,
+    rate: u64,
+    open: bool,
+) -> usize {
+    let mut wbuf: Vec<u8> = Vec::with_capacity(WRITE_BATCH_BYTES + 4096);
+    let mut sent = 0usize;
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+        if i >= total {
+            break;
         }
-    } else if v.get("code").and_then(Value::as_str) == Some("overloaded") {
+        // Global pacing: request i is due at start + i/rate.
+        let mut t_ref = None;
+        if let Some(due_us) = (i as u64 * 1_000_000).checked_div(rate) {
+            let due = start + Duration::from_micros(due_us);
+            let now = Instant::now();
+            if due > now {
+                // Don't sit on buffered requests while sleeping.
+                if !wbuf.is_empty() && stream.write_all(&wbuf).is_err() {
+                    return sent;
+                }
+                wbuf.clear();
+                std::thread::sleep(due - now);
+            }
+            if open {
+                // Open loop: latency runs from the *scheduled* arrival,
+                // so server-side queueing delay is not coordinated away.
+                t_ref = Some(due);
+            }
+        }
+        let t_ref = t_ref.unwrap_or_else(Instant::now);
+        match tx.try_send(t_ref) {
+            Ok(()) => {}
+            Err(TrySendError::Full(t)) => {
+                // Window full: get the batch on the wire, then wait for
+                // the reader to free a slot.
+                if !wbuf.is_empty() && stream.write_all(&wbuf).is_err() {
+                    return sent;
+                }
+                wbuf.clear();
+                if tx.send(t).is_err() {
+                    return sent; // reader gave up
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => return sent,
+        }
+        wbuf.extend_from_slice(lines[i % lines.len()].as_bytes());
+        wbuf.push(b'\n');
+        sent += 1;
+        if wbuf.len() >= WRITE_BATCH_BYTES {
+            if stream.write_all(&wbuf).is_err() {
+                return sent;
+            }
+            wbuf.clear();
+        }
+    }
+    if !wbuf.is_empty() && stream.write_all(&wbuf).is_err() {
+        return sent;
+    }
+    sent
+}
+
+/// Classifies a raw response line by substring — the hot path avoids a
+/// full JSON parse; the strings matched are fixed fields the server
+/// renders first in every response.
+fn classify(text: &str, tally: &mut Tally) {
+    if text.contains("\"ok\":true") {
+        tally.ok += 1;
+        if text.contains("\"verdict\":\"admit\"") {
+            tally.admitted += 1;
+        } else if text.contains("\"verdict\":\"reject\"") {
+            tally.rejected += 1;
+        }
+    } else if text.contains("\"code\":\"overloaded\"") {
         tally.overloaded += 1;
     } else {
         tally.errors += 1;

@@ -85,7 +85,14 @@ impl WorkerPool {
     /// queue.
     pub fn shutdown(&mut self) {
         self.tx = None; // closing the channel ends the worker loops
+        let me = std::thread::current().id();
         for h in self.workers.drain(..) {
+            // A worker can be the one dropping the last handle to the
+            // pool (its job held the final Arc to the server state);
+            // joining itself would deadlock, so it detaches instead.
+            if h.thread().id() == me {
+                continue;
+            }
             let _ = h.join();
         }
     }
@@ -192,6 +199,27 @@ mod tests {
             std::thread::yield_now();
         }
         rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    }
+
+    #[test]
+    fn worker_holding_the_last_pool_handle_exits_cleanly() {
+        // A job can own the last Arc to the pool (via the server state);
+        // when it finishes, the worker itself runs the pool's Drop and
+        // must detach rather than join itself. Without the self-join
+        // guard this hangs (or trips EDEADLK) instead of completing.
+        let pool = Arc::new(WorkerPool::new(1, 4));
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let p = Arc::clone(&pool);
+        pool.try_execute(move || {
+            go_rx.recv().unwrap(); // wait until main dropped its Arc
+            drop(p); // last handle: Drop runs on this worker
+            done_tx.send(()).unwrap();
+        })
+        .unwrap();
+        drop(pool);
+        go_tx.send(()).unwrap();
+        done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
     }
 
     #[test]

@@ -1,33 +1,41 @@
-//! The admission-control server: TCP accept loop, connection handlers,
-//! request dispatch onto the worker pool, per-request deadlines.
+//! The admission-control server: reactor shards, pooled analysis
+//! execution, and the control plane.
 //!
-//! One thread accepts connections; each connection gets a reader
-//! thread; *analysis* work (`ping`, `submit`, `add-task`,
-//! `remove-task`) is dispatched to the shared [`WorkerPool`] so a
-//! bounded number of analyses run regardless of connection count.
-//! `query` and `shutdown` are answered inline — introspection must keep
-//! working while the pool is saturated.
+//! One thread accepts connections and deals them round-robin to N
+//! [`reactor`](crate::reactor) shards; each shard drives its
+//! connections with nonblocking I/O and pipelined request batching.
+//! *Analysis* work (`ping`, `submit`, `add-task`, `remove-task`) runs
+//! on the shared [`WorkerPool`] so a bounded number of analyses run
+//! regardless of connection count; `query` and `shutdown` are answered
+//! by the reactor itself — introspection must keep working while the
+//! pool is saturated.
 //!
 //! Overload and deadlines: if the pool queue is full the client gets an
-//! `overloaded` error immediately; if the pooled job does not finish
-//! within [`ServerConfig::deadline`], the handler stops waiting and
-//! answers `deadline` (the stale result is discarded when it finally
-//! arrives).
+//! `overloaded` error immediately; a request whose end-to-end time
+//! (from the reactor parsing it to the worker finishing it) exceeds
+//! [`ServerConfig::deadline`] is answered `deadline`.
+//!
+//! With [`ServerConfig::persist_dir`] set, every committed session
+//! mutation is appended to an NDJSON journal (compacted into periodic
+//! snapshots) and replayed on the next startup — see
+//! [`persist`](crate::persist).
 
-use crate::cache::AnalysisCache;
+use crate::cache::{AnalysisCache, CachedAnalysis};
 use crate::json::{self, Value};
+use crate::persist::Persistence;
 use crate::pool::WorkerPool;
 use crate::proto::{error_response, ErrorCode, Request};
+use crate::reactor::{self, ShardQueues};
 use crate::session::{analyze, analyze_incremental, engine_for, AdmissionResult, SessionMap};
 use crate::wire::SystemSpec;
 use mpcp_analysis::Edit;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, PoisonError};
+use std::sync::{Arc, OnceLock, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Maximum accepted request-line length; longer lines are answered
 /// with a `parse` error and the connection is closed.
@@ -39,6 +47,9 @@ pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7171` (port 0 picks an ephemeral
     /// port; see [`ServerHandle::local_addr`]).
     pub addr: String,
+    /// Reactor shards (event-loop threads), each owning a slice of the
+    /// connections.
+    pub shards: usize,
     /// Worker threads running analyses.
     pub workers: usize,
     /// Bounded queue depth in front of the workers.
@@ -55,18 +66,40 @@ pub struct ServerConfig {
     /// recompute; a divergence is answered with an `audit-divergence`
     /// error and nothing is committed. `0` disables sampling.
     pub audit_every: u64,
+    /// Maximum pipelined requests in flight per connection; beyond it
+    /// the reactor stops reading the connection (TCP backpressure).
+    pub max_pipeline: usize,
+    /// How long a partially-received request line may sit before the
+    /// connection is dropped (slow-loris guard). Zero disables it.
+    pub read_deadline: Duration,
+    /// Drop a connection with nothing in flight after this long without
+    /// input. Zero (the default) keeps idle connections forever.
+    pub idle_timeout: Duration,
+    /// Directory for the session journal + snapshots; `None` runs
+    /// in-memory only.
+    pub persist_dir: Option<PathBuf>,
+    /// Compact the journal into a snapshot every N appended entries.
+    /// Zero never snapshots (the journal grows until restart).
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, usize::from);
         ServerConfig {
             addr: "127.0.0.1:7171".to_owned(),
-            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            shards: cores.clamp(1, 4),
+            workers: cores,
             queue_cap: 64,
             deadline: Duration::from_millis(1000),
             cache_capacity: 4096,
             incremental: true,
             audit_every: 64,
+            max_pipeline: 128,
+            read_deadline: Duration::from_secs(30),
+            idle_timeout: Duration::ZERO,
+            persist_dir: None,
+            snapshot_every: 4096,
         }
     }
 }
@@ -85,7 +118,7 @@ struct ServerStats {
     audit_failures: AtomicU64,
 }
 
-struct ServerState {
+pub(crate) struct ServerState {
     sessions: SessionMap,
     cache: AnalysisCache,
     pool: WorkerPool,
@@ -94,7 +127,53 @@ struct ServerState {
     deadline: Duration,
     incremental: bool,
     audit_every: u64,
+    shard_count: usize,
+    max_pipeline: usize,
+    read_deadline: Duration,
+    idle_timeout: Duration,
+    persist: Option<Persistence>,
     local_addr: std::net::SocketAddr,
+    shards: OnceLock<Vec<Arc<ShardQueues>>>,
+}
+
+impl ServerState {
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn count_request(&self) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_overloaded(&self, n: u64) {
+        self.stats.overloaded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    pub(crate) fn max_pipeline(&self) -> usize {
+        self.max_pipeline
+    }
+
+    pub(crate) fn read_deadline(&self) -> Duration {
+        self.read_deadline
+    }
+
+    pub(crate) fn idle_timeout(&self) -> Duration {
+        self.idle_timeout
+    }
+
+    /// Appends a committed mutation to the journal, if persistence is
+    /// on. Called with the session lock held so journal order matches
+    /// commit order per session; the journal mutex is a leaf lock.
+    fn journal_commit(&self, op: &'static str, session: &str, result: &AdmissionResult) {
+        if let Some(p) = &self.persist {
+            // Best-effort: a full disk must not take down admission.
+            let _ = p.record(session, op, result.admitted, &result.analyzed);
+        }
+    }
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -102,6 +181,7 @@ struct ServerState {
 pub struct ServerHandle {
     local_addr: std::net::SocketAddr,
     acceptor: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
     state: Arc<ServerState>,
 }
 
@@ -111,32 +191,59 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// Requests shutdown and joins the accept loop.
+    /// Requests shutdown and joins the accept loop and shards.
     pub fn shutdown(mut self) {
-        self.state.shutting_down.store(true, Ordering::SeqCst);
-        // Unblock accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
+        begin_shutdown(&self.state);
+        self.join_all();
     }
 
     /// Blocks until the server shuts down (via a `shutdown` request).
     pub fn join(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.shards.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-/// Binds and starts the server; returns once the listener is live.
+/// Flips the shutdown flag once and unblocks every thread waiting on
+/// I/O: shards via their wakers, the acceptor via a throwaway connect.
+pub(crate) fn begin_shutdown(state: &Arc<ServerState>) {
+    if state.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    if let Some(queues) = state.shards.get() {
+        for q in queues {
+            q.notify();
+        }
+    }
+    let _ = TcpStream::connect(state.local_addr);
+}
+
+/// Binds and starts the server; returns once the listener is live and
+/// any persisted sessions have been replayed.
 ///
 /// # Errors
 ///
-/// Any [`io::Error`] from binding the listener.
+/// Any [`io::Error`] from binding the listener, spawning threads, or
+/// opening the persistence directory.
 pub fn spawn(config: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
+    let (persist, restored) = match &config.persist_dir {
+        None => (None, Vec::new()),
+        Some(dir) => {
+            let (p, restored) = Persistence::open(dir, config.snapshot_every)?;
+            (Some(p), restored)
+        }
+    };
+    let shard_count = config.shards.max(1);
     let state = Arc::new(ServerState {
         sessions: SessionMap::new(),
         cache: AnalysisCache::new(config.cache_capacity),
@@ -146,140 +253,109 @@ pub fn spawn(config: &ServerConfig) -> io::Result<ServerHandle> {
         deadline: config.deadline,
         incremental: config.incremental,
         audit_every: config.audit_every,
+        shard_count,
+        max_pipeline: config.max_pipeline.max(1),
+        read_deadline: config.read_deadline,
+        idle_timeout: config.idle_timeout,
+        persist,
         local_addr,
+        shards: OnceLock::new(),
     });
+    for r in restored {
+        let entry = state.sessions.get_or_create(&r.name);
+        let mut s = entry.lock().unwrap_or_else(PoisonError::into_inner);
+        s.spec = r.spec.clone();
+        s.last = Some(Arc::new(AdmissionResult {
+            admitted: r.admitted,
+            schedulable: r.admitted,
+            lint_errors: 0,
+            lint_warnings: 0,
+            reasons: Vec::new(),
+            tasks: Vec::new(),
+            allocation: None,
+            analyzed: r.spec,
+        }));
+        s.engine = None;
+    }
+    let mut queues = Vec::with_capacity(shard_count);
+    let mut shard_handles = Vec::with_capacity(shard_count);
+    for i in 0..shard_count {
+        let (q, wake_rx) = reactor::shard_queues()?;
+        queues.push(Arc::clone(&q));
+        let st = Arc::clone(&state);
+        shard_handles.push(
+            std::thread::Builder::new()
+                .name(format!("mpcp-shard-{i}"))
+                .spawn(move || reactor::shard_loop(i, wake_rx, q, st))?,
+        );
+    }
+    state
+        .shards
+        .set(queues.clone())
+        .unwrap_or_else(|_| unreachable!("shards set once"));
     let accept_state = Arc::clone(&state);
     let acceptor = std::thread::Builder::new()
         .name("mpcp-acceptor".to_owned())
-        .spawn(move || accept_loop(&listener, &accept_state))?;
+        .spawn(move || accept_loop(&listener, &accept_state, &queues))?;
     Ok(ServerHandle {
         local_addr,
         acceptor: Some(acceptor),
+        shards: shard_handles,
         state,
     })
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, queues: &[Arc<ShardQueues>]) {
+    let mut next = 0usize;
     for stream in listener.incoming() {
-        if state.shutting_down.load(Ordering::SeqCst) {
+        if state.shutting_down() {
             return;
         }
         let Ok(stream) = stream else { continue };
-        let state = Arc::clone(state);
-        let _ = std::thread::Builder::new()
-            .name("mpcp-conn".to_owned())
-            .spawn(move || {
-                let _ = serve_connection(stream, &state);
-            });
+        queues[next % queues.len()].push_incoming(stream);
+        next = next.wrapping_add(1);
     }
 }
 
-fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        let n = reader
-            .by_ref()
-            .take(MAX_LINE_BYTES as u64 + 1)
-            .read_line(&mut line)?;
-        if n == 0 {
-            return Ok(()); // client closed
-        }
-        if n > MAX_LINE_BYTES {
-            respond(
-                &mut writer,
-                &error_response(ErrorCode::Parse, "request line too long"),
-            )?;
-            return Ok(());
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, initiate_shutdown) = handle_line(line.trim(), state);
-        respond(&mut writer, &response)?;
-        if initiate_shutdown {
-            // Only after the requester has its reply on the wire: stop
-            // the acceptor (a throwaway connection unblocks accept()).
-            state.shutting_down.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(state.local_addr);
-            return Ok(());
-        }
-        if state.shutting_down.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-    }
+/// The `shutdown` acknowledgment (the reactor flushes it before
+/// initiating shutdown, so the requester always sees it).
+pub(crate) fn shutdown_response() -> Value {
+    Value::obj([("ok", Value::Bool(true)), ("op", Value::str("shutdown"))])
 }
 
-fn respond(writer: &mut TcpStream, v: &Value) -> io::Result<()> {
-    let mut text = v.encode();
-    text.push('\n');
-    writer.write_all(text.as_bytes())?;
-    writer.flush()
+/// Runs one analysis-class request on a worker thread, enforcing the
+/// per-request deadline on both sides of the compute: a request that
+/// waited out its deadline in the queue is not analyzed at all, and a
+/// compute that finished late answers `deadline` (its session effects,
+/// like the blocking design before it, still committed).
+pub(crate) fn execute_pooled(
+    request: &Request,
+    enqueued: Instant,
+    state: &Arc<ServerState>,
+) -> Vec<u8> {
+    if enqueued.elapsed() > state.deadline {
+        state.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        return error_response(ErrorCode::Deadline, "request missed its deadline")
+            .encode()
+            .into_bytes();
+    }
+    let response = run_pooled(request, state);
+    if enqueued.elapsed() > state.deadline {
+        state.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        return error_response(ErrorCode::Deadline, "request missed its deadline")
+            .encode()
+            .into_bytes();
+    }
+    response.into_bytes()
 }
 
-/// Handles one request line; the boolean asks the caller to initiate
-/// server shutdown *after* the response has been written (responding
-/// first guarantees the requester sees its acknowledgment before the
-/// process exits).
-fn handle_line(line: &str, state: &Arc<ServerState>) -> (Value, bool) {
-    state.stats.requests.fetch_add(1, Ordering::Relaxed);
-    let parsed = match json::parse(line) {
-        Ok(v) => v,
-        Err(e) => return (error_response(ErrorCode::Parse, &e.to_string()), false),
-    };
-    let request = match Request::from_json(&parsed) {
-        Ok(r) => r,
-        Err((code, msg)) => return (error_response(code, &msg), false),
-    };
-    match request {
-        // Introspection and control stay inline: they must answer even
-        // when the pool is saturated.
-        Request::Query { session } => (query_response(state, session.as_deref()), false),
-        Request::Shutdown => (
-            Value::obj([("ok", Value::Bool(true)), ("op", Value::str("shutdown"))]),
-            true,
-        ),
-        pooled => (dispatch_pooled(pooled, state), false),
-    }
-}
-
-/// Runs an analysis-class request on the worker pool, waiting at most
-/// the configured deadline for its result.
-fn dispatch_pooled(request: Request, state: &Arc<ServerState>) -> Value {
-    if state.shutting_down.load(Ordering::SeqCst) {
-        return error_response(ErrorCode::ShuttingDown, "server is shutting down");
-    }
-    let (tx, rx) = mpsc::sync_channel::<Value>(1);
-    let job_state = Arc::clone(state);
-    let enqueued = state.pool.try_execute(move || {
-        let response = run_pooled(&request, &job_state);
-        let _ = tx.send(response); // receiver may have given up: fine
-    });
-    if enqueued.is_err() {
-        state.stats.overloaded.fetch_add(1, Ordering::Relaxed);
-        return error_response(
-            ErrorCode::Overloaded,
-            "request queue full; retry with backoff",
-        );
-    }
-    match rx.recv_timeout(state.deadline) {
-        Ok(v) => v,
-        Err(_) => {
-            state.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
-            error_response(ErrorCode::Deadline, "request missed its deadline")
-        }
-    }
-}
-
-fn run_pooled(request: &Request, state: &Arc<ServerState>) -> Value {
+fn run_pooled(request: &Request, state: &Arc<ServerState>) -> String {
     match request {
         Request::Ping { delay_ms } => {
             if *delay_ms > 0 {
                 std::thread::sleep(Duration::from_millis(*delay_ms));
             }
-            Value::obj([("ok", Value::Bool(true)), ("op", Value::str("ping"))])
+            r#"{"ok":true,"op":"ping"}"#.to_owned()
         }
         Request::Submit {
             session,
@@ -287,27 +363,29 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> Value {
             allocate,
         } => {
             let key = AnalysisCache::key(system, *allocate);
-            let (result, cache_hit) = state
+            let (entry, cache_hit) = state
                 .cache
                 .get_or_compute(key, || analyze(system, *allocate));
+            let result = &entry.result;
             if result.admitted {
-                let entry = state.sessions.get_or_create(session);
-                let mut s = entry.lock().unwrap_or_else(PoisonError::into_inner);
+                let slot = state.sessions.get_or_create(session);
+                let mut s = slot.lock().unwrap_or_else(PoisonError::into_inner);
                 s.spec = result.analyzed.clone();
-                s.last = Some(Arc::clone(&result));
+                s.last = Some(Arc::clone(result));
                 // A full-path commit invalidates any incremental state.
                 s.engine = None;
+                state.journal_commit("submit", session, result);
             }
-            admission_response(
+            admission_line(
                 "submit",
                 session,
-                &result,
                 if cache_hit { "hit" } else { "miss" },
+                cached_suffix(&entry),
             )
         }
         Request::AddTask { session, task } => {
             let Some(entry) = state.sessions.get(session) else {
-                return unknown_session(session);
+                return unknown_session(session).encode();
             };
             // Hold the session lock across analyze-then-commit so the
             // check and the commit are one atomic step per session.
@@ -321,44 +399,49 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> Value {
                     let edit = Edit::AddTask(task.name.clone());
                     if let Some((result, next)) = analyze_incremental(engine, &candidate, &edit) {
                         if let Some(divergence) = sampled_audit(state, &candidate, &result) {
-                            return divergence;
+                            return divergence.encode();
                         }
                         let result = Arc::new(result);
                         if result.admitted {
                             s.spec = result.analyzed.clone();
                             s.last = Some(Arc::clone(&result));
                             s.engine = Some(next);
+                            state.journal_commit("add-task", session, &result);
                         }
-                        return admission_response("add-task", session, &result, "delta");
+                        let suffix = admission_suffix(&result);
+                        return admission_line("add-task", session, "delta", &suffix);
                     }
                 }
             }
             let key = AnalysisCache::key(&candidate, None);
-            let (result, cache_hit) = state
+            let (entry, cache_hit) = state
                 .cache
                 .get_or_compute(key, || analyze(&candidate, None));
+            let result = &entry.result;
             if result.admitted {
                 s.spec = result.analyzed.clone();
-                s.last = Some(Arc::clone(&result));
+                s.last = Some(Arc::clone(result));
                 s.engine = None;
+                state.journal_commit("add-task", session, result);
             }
-            admission_response(
+            admission_line(
                 "add-task",
                 session,
-                &result,
                 if cache_hit { "hit" } else { "miss" },
+                cached_suffix(&entry),
             )
         }
         Request::RemoveTask { session, task } => {
             let Some(entry) = state.sessions.get(session) else {
-                return unknown_session(session);
+                return unknown_session(session).encode();
             };
             let mut s = entry.lock().unwrap_or_else(PoisonError::into_inner);
             let Some(candidate) = s.without_task(task) else {
                 return error_response(
                     ErrorCode::UnknownTask,
                     &format!("no task {task:?} in session {session:?}"),
-                );
+                )
+                .encode();
             };
             if state.incremental {
                 if s.engine.is_none() {
@@ -368,7 +451,7 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> Value {
                     let edit = Edit::RemoveTask(task.clone());
                     if let Some((result, next)) = analyze_incremental(engine, &candidate, &edit) {
                         if let Some(divergence) = sampled_audit(state, &candidate, &result) {
-                            return divergence;
+                            return divergence.encode();
                         }
                         let result = Arc::new(result);
                         // Withdrawal always commits; the verdict reports
@@ -376,27 +459,31 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> Value {
                         s.spec = result.analyzed.clone();
                         s.last = Some(Arc::clone(&result));
                         s.engine = Some(next);
-                        return admission_response("remove-task", session, &result, "delta");
+                        state.journal_commit("remove-task", session, &result);
+                        let suffix = admission_suffix(&result);
+                        return admission_line("remove-task", session, "delta", &suffix);
                     }
                 }
             }
             let key = AnalysisCache::key(&candidate, None);
-            let (result, cache_hit) = state
+            let (entry, cache_hit) = state
                 .cache
                 .get_or_compute(key, || analyze(&candidate, None));
+            let result = &entry.result;
             // Withdrawal always commits; the verdict reports the state
             // the session is now in.
             s.spec = result.analyzed.clone();
-            s.last = Some(Arc::clone(&result));
+            s.last = Some(Arc::clone(result));
             s.engine = None;
-            admission_response(
+            state.journal_commit("remove-task", session, result);
+            admission_line(
                 "remove-task",
                 session,
-                &result,
                 if cache_hit { "hit" } else { "miss" },
+                cached_suffix(&entry),
             )
         }
-        Request::Query { .. } | Request::Shutdown => unreachable!("handled inline"),
+        Request::Query { .. } | Request::Shutdown => unreachable!("handled by the reactor"),
     }
 }
 
@@ -432,22 +519,40 @@ fn unknown_session(session: &str) -> Value {
     )
 }
 
-fn admission_response(
-    op: &'static str,
-    session: &str,
-    result: &AdmissionResult,
-    cache: &'static str,
-) -> Value {
+/// Assembles an admission response: the request-dependent prefix
+/// (`ok`, `op`, `session`, `cache`) plus the result-dependent `suffix`
+/// rendered by [`admission_suffix`]. Consumers read fields by name, so
+/// putting the per-request fields first is a pure serving optimization:
+/// cache hits append a memoized suffix instead of re-encoding it.
+fn admission_line(op: &'static str, session: &str, cache: &'static str, suffix: &str) -> String {
+    let mut out = String::with_capacity(40 + session.len() + suffix.len());
+    out.push_str("{\"ok\":true,\"op\":\"");
+    out.push_str(op);
+    out.push_str("\",\"session\":");
+    let _ = json::write_str(session, &mut out);
+    out.push_str(",\"cache\":\"");
+    out.push_str(cache);
+    out.push_str("\",");
+    out.push_str(suffix);
+    out
+}
+
+/// The memoized suffix for a cached analysis, rendered on first use.
+fn cached_suffix(entry: &CachedAnalysis) -> &str {
+    entry
+        .rendered
+        .get_or_init(|| admission_suffix(&entry.result))
+}
+
+/// Renders the result-dependent tail of an admission response —
+/// everything from `"verdict"` through the closing brace.
+fn admission_suffix(result: &AdmissionResult) -> String {
     let mut pairs: Vec<(String, Value)> = vec![
-        ("ok".into(), Value::Bool(true)),
-        ("op".into(), Value::str(op)),
-        ("session".into(), Value::str(session)),
         (
             "verdict".into(),
             Value::str(if result.admitted { "admit" } else { "reject" }),
         ),
         ("schedulable".into(), Value::Bool(result.schedulable)),
-        ("cache".into(), Value::str(cache)),
         (
             "lint".into(),
             Value::obj([
@@ -499,10 +604,13 @@ fn admission_response(
             ]),
         ));
     }
-    Value::Obj(pairs)
+    // Encode the tail as an object and keep everything after its
+    // opening brace: `"verdict":...,...}`.
+    let body = Value::Obj(pairs).encode();
+    body[1..].to_owned()
 }
 
-fn query_response(state: &Arc<ServerState>, session: Option<&str>) -> Value {
+pub(crate) fn query_response(state: &Arc<ServerState>, session: Option<&str>) -> Value {
     let cache = state.cache.stats();
     let mut pairs: Vec<(String, Value)> = vec![
         ("ok".into(), Value::Bool(true)),
@@ -545,6 +653,8 @@ fn query_response(state: &Arc<ServerState>, session: Option<&str>) -> Value {
                 ),
                 ("workers", Value::from(state.pool.workers())),
                 ("queue_cap", Value::from(state.pool.queue_cap())),
+                ("shards", Value::from(state.shard_count)),
+                ("max_pipeline", Value::from(state.max_pipeline)),
             ]),
         ),
     ];
@@ -609,6 +719,16 @@ impl Client {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Reads one response line without sending anything (for pipelined
+    /// probes that wrote several requests up front).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` if the connection closed mid-reply.
+    pub fn read_response(&mut self) -> io::Result<String> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -618,6 +738,17 @@ impl Client {
             ));
         }
         Ok(response.trim_end().to_owned())
+    }
+
+    /// Writes one raw line without waiting for the response (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the write.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
     }
 
     /// Sends a JSON request and parses the JSON response.
@@ -642,8 +773,8 @@ mod tests {
             queue_cap: queue,
             deadline: Duration::from_millis(deadline_ms),
             cache_capacity: 128,
-            incremental: true,
             audit_every: 1,
+            ..ServerConfig::default()
         })
         .expect("bind test server")
     }
@@ -687,6 +818,30 @@ mod tests {
             ]))
             .unwrap();
         assert_eq!(v.get("code").and_then(Value::as_str), Some("deadline"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_responses_come_back_in_order() {
+        let server = test_server(4, 32, 5000);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        // Interleave pings and malformed lines; every response must
+        // land in its request's position.
+        for i in 0..20 {
+            if i % 3 == 0 {
+                c.send_raw("not json at all").unwrap();
+            } else {
+                c.send_raw(r#"{"op":"ping"}"#).unwrap();
+            }
+        }
+        for i in 0..20 {
+            let v = json::parse(&c.read_response().unwrap()).unwrap();
+            if i % 3 == 0 {
+                assert_eq!(v.get("code").and_then(Value::as_str), Some("parse"), "{i}");
+            } else {
+                assert_eq!(v.get("op").and_then(Value::as_str), Some("ping"), "{i}");
+            }
+        }
         server.shutdown();
     }
 }

@@ -327,12 +327,27 @@ fn admission_from_engine(engine: &IncrementalAnalysis) -> AdmissionResult {
     }
 }
 
-/// The named-session table. Each session carries its own lock so
+/// How many ways [`SessionMap`] is sharded.
+const SESSION_SHARDS: usize = 16;
+
+/// The named-session table, sharded by name hash so concurrent workers
+/// (and reactor shards answering `query`) do not serialize on one
+/// global lock. Each session additionally carries its own lock so
 /// check-then-commit sequences (`add-task`) are atomic per session
 /// while different sessions proceed in parallel on the worker pool.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SessionMap {
-    inner: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    shards: Vec<Mutex<HashMap<String, Arc<Mutex<Session>>>>>,
+}
+
+impl Default for SessionMap {
+    fn default() -> Self {
+        SessionMap {
+            shards: (0..SESSION_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
 }
 
 impl SessionMap {
@@ -341,9 +356,14 @@ impl SessionMap {
         SessionMap::default()
     }
 
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Arc<Mutex<Session>>>> {
+        let h = crate::wire::fnv1a(name.as_bytes());
+        &self.shards[(h as usize) % SESSION_SHARDS]
+    }
+
     /// The session named `name`, if it exists.
     pub fn get(&self, name: &str) -> Option<Arc<Mutex<Session>>> {
-        self.inner
+        self.shard(name)
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .get(name)
@@ -352,7 +372,7 @@ impl SessionMap {
 
     /// The session named `name`, created empty if absent.
     pub fn get_or_create(&self, name: &str) -> Arc<Mutex<Session>> {
-        self.inner
+        self.shard(name)
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .entry(name.to_owned())
@@ -362,10 +382,10 @@ impl SessionMap {
 
     /// Number of sessions.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
     }
 
     /// Whether no session exists.

@@ -240,8 +240,117 @@ impl SystemSpec {
     /// 64-bit FNV-1a hash of the canonical encoding. Equal specs hash
     /// equally however the client formatted its JSON; this keys the
     /// admission cache.
+    ///
+    /// Streams the canonical encoding straight into the hash — no
+    /// [`Value`] tree, no string — but produces exactly
+    /// `fnv1a(self.to_json().encode())` (asserted by test).
     pub fn canonical_hash(&self) -> u64 {
-        fnv1a(self.to_json().encode().as_bytes())
+        let mut h = FnvWrite(FNV_OFFSET);
+        let _ = self.encode_canonical(&mut h);
+        h.0
+    }
+
+    /// Writes the canonical JSON encoding of this spec — byte-for-byte
+    /// what `self.to_json().encode()` produces — without building the
+    /// intermediate [`Value`] tree.
+    fn encode_canonical<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
+        out.write_str("{\"processors\":[")?;
+        write_name_list(&self.processors, out)?;
+        out.write_str("],\"resources\":[")?;
+        write_name_list(&self.resources, out)?;
+        out.write_str("],\"tasks\":[")?;
+        for (i, t) in self.tasks.iter().enumerate() {
+            if i > 0 {
+                out.write_char(',')?;
+            }
+            write_task_canonical(t, out)?;
+        }
+        out.write_str("]}")
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An FNV-1a accumulator as a [`fmt::Write`] sink, so the canonical
+/// encoder can hash without materializing the encoding.
+struct FnvWrite(u64);
+
+impl fmt::Write for FnvWrite {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        Ok(())
+    }
+}
+
+fn write_name_list<W: fmt::Write>(names: &[String], out: &mut W) -> fmt::Result {
+    for (i, n) in names.iter().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        crate::json::write_str(n, out)?;
+    }
+    Ok(())
+}
+
+/// Mirrors [`task_to_json`]'s field order and elision rules exactly.
+fn write_task_canonical<W: fmt::Write>(t: &TaskSpec, out: &mut W) -> fmt::Result {
+    out.write_str("{\"name\":")?;
+    crate::json::write_str(&t.name, out)?;
+    out.write_str(",\"processor\":")?;
+    crate::json::write_num(t.processor as f64, out)?;
+    out.write_str(",\"period\":")?;
+    crate::json::write_num(t.period as f64, out)?;
+    if let Some(d) = t.deadline {
+        out.write_str(",\"deadline\":")?;
+        crate::json::write_num(d as f64, out)?;
+    }
+    if t.offset != 0 {
+        out.write_str(",\"offset\":")?;
+        crate::json::write_num(t.offset as f64, out)?;
+    }
+    if let Some(p) = t.priority {
+        out.write_str(",\"priority\":")?;
+        crate::json::write_num(f64::from(p), out)?;
+    }
+    out.write_str(",\"body\":[")?;
+    for (i, s) in t.body.iter().enumerate() {
+        if i > 0 {
+            out.write_char(',')?;
+        }
+        write_seg_canonical(s, out)?;
+    }
+    out.write_str("]}")
+}
+
+/// Mirrors [`seg_to_json`] exactly (a critical section always carries
+/// its `body`, even when empty).
+fn write_seg_canonical<W: fmt::Write>(s: &SegSpec, out: &mut W) -> fmt::Result {
+    match s {
+        SegSpec::Compute(d) => {
+            out.write_str("{\"compute\":")?;
+            crate::json::write_num(*d as f64, out)?;
+            out.write_char('}')
+        }
+        SegSpec::Suspend(d) => {
+            out.write_str("{\"suspend\":")?;
+            crate::json::write_num(*d as f64, out)?;
+            out.write_char('}')
+        }
+        SegSpec::Critical(r, body) => {
+            out.write_str("{\"critical\":")?;
+            crate::json::write_num(*r as f64, out)?;
+            out.write_str(",\"body\":[")?;
+            for (i, s) in body.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_seg_canonical(s, out)?;
+            }
+            out.write_str("]}")
+        }
     }
 }
 
@@ -517,6 +626,34 @@ mod tests {
         let mut other = sample();
         other.tasks[0].period += 1;
         assert_ne!(spec.canonical_hash(), other.canonical_hash());
+    }
+
+    #[test]
+    fn streaming_hash_matches_materialized_encoding() {
+        // The streaming canonical encoder must be byte-identical to
+        // to_json().encode() — exercise every elision rule and string
+        // escaping on the way.
+        let mut spec = sample_inverted();
+        spec.processors[0] = "P\"zero\"\n".into();
+        spec.tasks[0].name = "τ\\1".into();
+        spec.tasks[1].deadline = None;
+        spec.tasks[1].offset = 0;
+        spec.tasks.push(TaskSpec {
+            name: "empty-critical".into(),
+            processor: 0,
+            period: 9_007_199_254_740_992, // 2^53: the f64 exactness edge
+            deadline: None,
+            offset: 0,
+            priority: Some(3),
+            body: vec![SegSpec::Critical(0, vec![])],
+        });
+        for s in [&sample(), &spec] {
+            assert_eq!(
+                s.canonical_hash(),
+                fnv1a(s.to_json().encode().as_bytes()),
+                "streaming hash diverged for {s:?}"
+            );
+        }
     }
 
     #[test]

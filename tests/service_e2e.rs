@@ -4,20 +4,45 @@
 //! and structured errors for malformed input.
 
 use mpcp::service::json::{self, Value};
-use mpcp::service::{spawn, Client, ServerConfig};
+use mpcp::service::{spawn, Client, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-fn server(workers: usize, queue: usize, deadline_ms: u64) -> mpcp::service::ServerHandle {
+fn server(workers: usize, queue: usize, deadline_ms: u64) -> ServerHandle {
     spawn(&ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers,
         queue_cap: queue,
         deadline: Duration::from_millis(deadline_ms),
         cache_capacity: 256,
-        incremental: true,
         audit_every: 1,
+        ..ServerConfig::default()
     })
     .expect("bind test server")
+}
+
+/// A server with arbitrary config overrides on top of the test default.
+fn server_with(tweak: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_cap: 16,
+        deadline: Duration::from_millis(5000),
+        cache_capacity: 256,
+        audit_every: 1,
+        ..ServerConfig::default()
+    };
+    tweak(&mut cfg);
+    spawn(&cfg).expect("bind test server")
+}
+
+/// A unique per-test scratch directory under the system temp dir.
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpcp-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 /// Two tasks on two processors sharing one global semaphore;
@@ -286,4 +311,198 @@ fn malformed_lines_get_structured_errors_not_hangs() {
         .unwrap();
     assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
     srv.shutdown();
+}
+
+#[test]
+fn byte_dribbled_request_parses_identically() {
+    // Reference response from a whole-line write on a fresh server.
+    let srv = server(2, 16, 5000);
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let line = submit_line("drib", light_system());
+    let reference = c.request_raw(&line).unwrap();
+    srv.shutdown();
+
+    // Same line on another fresh server (same cold cache), delivered
+    // one byte per TCP segment: framing must reassemble it identically.
+    let srv = server(2, 16, 5000);
+    let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    for b in line.as_bytes() {
+        s.write_all(std::slice::from_ref(b)).unwrap();
+    }
+    s.write_all(b"\n").unwrap();
+    let mut r = BufReader::new(s);
+    let mut resp = String::new();
+    r.read_line(&mut resp).unwrap();
+    assert_eq!(
+        resp.trim_end(),
+        reference,
+        "byte-dribbled request must produce the exact whole-line response"
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn oversized_line_gets_protocol_error_then_close() {
+    let srv = server(2, 16, 5000);
+    let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+    // Stream more than MAX_LINE_BYTES without ever sending a newline;
+    // the server must answer a parse error, not hang up silently.
+    let chunk = vec![b'x'; 64 * 1024];
+    let mut written = 0usize;
+    while written <= mpcp::service::server::MAX_LINE_BYTES {
+        s.write_all(&chunk).unwrap();
+        written += chunk.len();
+    }
+    let mut r = BufReader::new(s);
+    let mut resp = String::new();
+    r.read_line(&mut resp).unwrap();
+    let v = json::parse(resp.trim_end()).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{v:?}");
+    assert_eq!(v.get("code").and_then(Value::as_str), Some("parse"));
+    let msg = v.get("error").and_then(Value::as_str).unwrap();
+    assert!(msg.contains("too long"), "{msg}");
+    // After the error the connection is closed, not resynchronized.
+    let mut rest = String::new();
+    assert_eq!(r.read_line(&mut rest).unwrap(), 0, "expected EOF");
+    srv.shutdown();
+}
+
+#[test]
+fn slow_loris_partial_line_is_dropped_after_read_deadline() {
+    let srv = server_with(|c| c.read_deadline = Duration::from_millis(300));
+    let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+    s.write_all(b"{\"op\":").unwrap(); // a line that never finishes
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let t0 = Instant::now();
+    let mut buf = [0u8; 16];
+    let n = s.read(&mut buf).expect("read should see EOF, not time out");
+    assert_eq!(n, 0, "loris connection must be dropped");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "drop took {:?}",
+        t0.elapsed()
+    );
+    // The guard hits only stalled partial lines: a new well-behaved
+    // connection on the same server still gets served.
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let pong = c
+        .request(&Value::obj([("op", Value::str("ping"))]))
+        .unwrap();
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    srv.shutdown();
+}
+
+#[test]
+fn bounded_pipeline_backpressure_loses_nothing() {
+    // Pipeline depth 4, 100 requests blasted in one write burst: the
+    // reactor must stop reading at depth 4 (TCP backpressure) and still
+    // answer every request, in order.
+    let srv = server_with(|c| c.max_pipeline = 4);
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    for i in 0..100 {
+        if i % 7 == 0 {
+            c.send_raw("garbage line").unwrap();
+        } else {
+            c.send_raw(r#"{"op":"ping"}"#).unwrap();
+        }
+    }
+    for i in 0..100 {
+        let v = json::parse(&c.read_response().unwrap()).unwrap();
+        if i % 7 == 0 {
+            assert_eq!(v.get("code").and_then(Value::as_str), Some("parse"), "{i}");
+        } else {
+            assert_eq!(v.get("op").and_then(Value::as_str), Some("ping"), "{i}");
+        }
+    }
+    srv.shutdown();
+}
+
+#[test]
+fn snapshot_replay_restores_sessions_byte_identically() {
+    let dir = tempdir("replay");
+    let boot = || {
+        let d = dir.clone();
+        server_with(move |c| c.persist_dir = Some(d))
+    };
+
+    let srv = boot();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let v = json::parse(&c.request_raw(&submit_line("keep", light_system())).unwrap()).unwrap();
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("admit"));
+    let line = r#"{"op":"add-task","session":"keep","task":{"name":"c","processor":1,"period":400,"body":[{"compute":4}]}}"#;
+    let v = json::parse(&c.request_raw(line).unwrap()).unwrap();
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("admit"));
+    let query = Value::obj([("op", Value::str("query")), ("session", Value::str("keep"))]);
+    let before = c.request(&query).unwrap().get("session").unwrap().encode();
+    srv.shutdown();
+
+    // Restart over the same directory: the committed session must come
+    // back and its query view must render byte-identically.
+    let srv = boot();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let after = c.request(&query).unwrap().get("session").unwrap().encode();
+    assert_eq!(after, before, "replayed session diverged");
+    // And the restored session keeps accepting edits.
+    let v = c
+        .request(&Value::obj([
+            ("op", Value::str("remove-task")),
+            ("session", Value::str("keep")),
+            ("task", Value::str("c")),
+        ]))
+        .unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v:?}");
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_journal_tail_is_truncated_not_fatal() {
+    let dir = tempdir("corrupt");
+    let boot = || {
+        let d = dir.clone();
+        server_with(move |c| c.persist_dir = Some(d))
+    };
+
+    let srv = boot();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    let v = json::parse(
+        &c.request_raw(&submit_line("sturdy", light_system()))
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("admit"));
+    srv.shutdown();
+
+    // Simulate a torn write: garbage with no newline at the journal's
+    // tail, as a crash mid-append would leave.
+    let journal = dir.join("journal.ndjson");
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&journal)
+        .unwrap();
+    f.write_all(b"{\"session\":\"sturdy\",\"op\":\"subm")
+        .unwrap();
+    drop(f);
+
+    let srv = boot();
+    let mut c = Client::connect(srv.local_addr()).unwrap();
+    // The valid prefix survives...
+    let q = c
+        .request(&Value::obj([
+            ("op", Value::str("query")),
+            ("session", Value::str("sturdy")),
+        ]))
+        .unwrap();
+    let s = q.get("session").expect("session must be restored");
+    assert_eq!(s.get("verdict").and_then(Value::as_str), Some("admit"));
+    // ...and the truncated journal accepts new commits.
+    let v = json::parse(
+        &c.request_raw(&submit_line("fresh", light_system()))
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("admit"));
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
