@@ -1,0 +1,331 @@
+//! Suspension-oblivious blocking and schedulability analysis for
+//! FMLP+-style FIFO queue locks (Block et al. / Brandenburg): every
+//! semaphore is a FIFO queue whose waiters suspend, and a holder runs
+//! its critical section priority-boosted above all non-critical code.
+//!
+//! Per request on `q`, FIFO ordering and the one-outstanding-request
+//! invariant (a job issues a new request only from base-level code, so
+//! each *other* task has at most one queued request ahead) bound the
+//! wait by one critical section per contending task — each padded by
+//! the boosted sections that may delay it on its own processor before
+//! it starts:
+//!
+//! `W_i(q) = Σ_{j ≠ i, j uses q} ( s_max_j(q) + Σ_{k ≠ i,j on proc(j)}
+//! s_max_k )`.
+//!
+//! On top of queue waits, *lower*-priority local jobs inside boosted
+//! sections stall the job's own execution. Each dispatch point — the
+//! release, each wake from an explicit suspension, and per request one
+//! wake from the queue plus one priority restore at the unlock — opens
+//! one such stall, and within a stall every lower local task
+//! contributes at most one boosted section (re-boosting requires
+//! base-level execution, impossible while the analyzed job is ready):
+//!
+//! `A_i = (1 + n_susp_i + 2·n_req_i) · Σ_{k lower local} s_max_k`.
+//!
+//! The schedulability test is the per-processor rate-monotonic form
+//! with `B_i = Σ_requests W_i(q) + A_i` charged to each row and the
+//! deferred-execution penalty for higher local tasks that can suspend
+//! (under FMLP+ every queue wait suspends, so any section-owning task
+//! qualifies).
+
+use crate::counts::{Facts, TaskFacts};
+use crate::error::AnalysisError;
+use crate::sched::liu_layland_bound;
+use mpcp_model::{CriticalSection, Dur, ResourceId, System, TaskId};
+
+/// Analytical bounds for one task under FMLP+.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FmlpTaskBounds {
+    /// The task analyzed.
+    pub task: TaskId,
+    /// Worst-case total FIFO queue wait per job: `Σ_requests W_i(q)`.
+    pub wait: Dur,
+    /// Worst-case stall from lower local boosted sections: `A_i`.
+    pub arrival: Dur,
+    /// Bound on the simulator's measured blocking (wait + arrival).
+    pub blocking: Dur,
+    /// Rate-monotonic demand of this task's row.
+    pub demand: f64,
+    /// The Liu & Layland bound for its rank.
+    pub bound: f64,
+    /// Whether the inequality holds.
+    pub ok: bool,
+}
+
+/// Analytical bounds for a whole system under FMLP+.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FmlpBoundSet {
+    per_task: Vec<FmlpTaskBounds>,
+    schedulable: bool,
+}
+
+impl FmlpBoundSet {
+    /// Per-task bounds, indexed by [`TaskId`].
+    pub fn per_task(&self) -> &[FmlpTaskBounds] {
+        &self.per_task
+    }
+
+    /// Bounds of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` does not belong to the analyzed system.
+    #[track_caller]
+    pub fn task(&self, task: TaskId) -> &FmlpTaskBounds {
+        &self.per_task[task.index()]
+    }
+
+    /// Whether the rate-monotonic test accepts every task.
+    pub fn schedulable(&self) -> bool {
+        self.schedulable
+    }
+}
+
+/// All critical sections of `t` — FMLP+ has no local/global split.
+fn sections<'a>(t: &'a TaskFacts<'_>) -> impl Iterator<Item = &'a CriticalSection> {
+    t.gcs.iter().chain(t.lcs.iter())
+}
+
+/// Longest critical section of `t` on any resource.
+fn s_max(t: &TaskFacts<'_>) -> Dur {
+    sections(t).map(|s| s.duration).max().unwrap_or(Dur::ZERO)
+}
+
+/// Longest critical section of `t` on `q`.
+fn s_max_on(t: &TaskFacts<'_>, q: ResourceId) -> Dur {
+    sections(t)
+        .filter(|s| s.resource == q)
+        .map(|s| s.duration)
+        .max()
+        .unwrap_or(Dur::ZERO)
+}
+
+/// `W_i(q)`: one padded section per other task contending for `q`.
+fn wait_per_request(facts: &Facts<'_>, i: &TaskFacts<'_>, q: ResourceId) -> Dur {
+    let mut total = Dur::ZERO;
+    for j in facts.tasks.iter().filter(|j| j.id != i.id) {
+        let own = s_max_on(j, q);
+        if own.is_zero() {
+            continue;
+        }
+        // Boosted sections that may delay j's hand-off-to-completion on
+        // j's processor: one per other section-owning task there.
+        let pad: Dur = facts
+            .tasks
+            .iter()
+            .filter(|k| k.proc == j.proc && k.id != j.id && k.id != i.id)
+            .map(s_max)
+            .sum();
+        total += own + pad;
+    }
+    total
+}
+
+/// Computes the full [`FmlpBoundSet`] for `system` under FMLP+.
+///
+/// # Errors
+///
+/// Returns an error if any critical section is nested (the FIFO-queue
+/// analysis models one level only) or a suspension occurs inside a
+/// critical section.
+pub fn fmlp_bound_set(system: &System) -> Result<FmlpBoundSet, AnalysisError> {
+    let facts = Facts::compute(system)?;
+    // FMLP+ queues every semaphore, so reject *any* nesting, not just
+    // global-in-global (which `Facts` already refused).
+    let info = system.info();
+    for t in system.tasks() {
+        if info
+            .task_use(t.id())
+            .sections
+            .iter()
+            .any(|cs| !cs.nested.is_empty() || !cs.enclosing.is_empty())
+        {
+            return Err(AnalysisError::NestedGlobalSections { task: t.id() });
+        }
+    }
+
+    let wait: Vec<Dur> = facts
+        .tasks
+        .iter()
+        .map(|i| {
+            sections(i)
+                .map(|s| wait_per_request(&facts, i, s.resource))
+                .sum()
+        })
+        .collect();
+    let arrival: Vec<Dur> = facts
+        .tasks
+        .iter()
+        .map(|i| {
+            let lower: Dur = facts.lower_local(i).map(s_max).sum();
+            let n_req = sections(i).count() as u64;
+            let points = 1 + i.n_susp as u64 + 2 * n_req;
+            lower * points
+        })
+        .collect();
+
+    let mut per_task: Vec<Option<FmlpTaskBounds>> = vec![None; facts.tasks.len()];
+    for proc in system.processors() {
+        // Decreasing priority, like `theorem3_rows`.
+        let local = system.tasks_on(proc.id());
+        let mut util_sum = 0.0;
+        for (rank, task) in local.iter().enumerate() {
+            let i = &facts.tasks[task.id().index()];
+            util_sum += i.wcet.ratio(i.period);
+            let blocking = wait[i.id.index()] + arrival[i.id.index()];
+            // Higher local tasks that can suspend defer their demand;
+            // under FMLP+ any section can queue-wait, so owning a
+            // section suffices.
+            let deferred: Dur = facts
+                .higher_local(i)
+                .filter(|h| h.n_susp > 0 || sections(h).next().is_some())
+                .map(|h| h.wcet)
+                .sum();
+            let demand = util_sum + (blocking + deferred).ratio(i.period);
+            let bound = liu_layland_bound(rank + 1);
+            per_task[i.id.index()] = Some(FmlpTaskBounds {
+                task: i.id,
+                wait: wait[i.id.index()],
+                arrival: arrival[i.id.index()],
+                blocking,
+                demand,
+                bound,
+                ok: demand <= bound + 1e-12,
+            });
+        }
+    }
+    let per_task: Vec<FmlpTaskBounds> = per_task
+        .into_iter()
+        .map(|t| t.expect("every task is bound to a processor"))
+        .collect();
+    let schedulable = per_task.iter().all(|t| t.ok);
+    Ok(FmlpBoundSet {
+        per_task,
+        schedulable,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::{Body, System, TaskDef, TaskId};
+
+    fn tid(i: u32) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    /// One remote contender, no other tasks: the wait is exactly the
+    /// contender's section.
+    #[test]
+    fn wait_is_one_section_per_contender() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("SG");
+        b.add_task(
+            TaskDef::new("a", p[0])
+                .period(100)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+        );
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(5)).build()),
+        );
+        let sys = b.build().unwrap();
+        let set = fmlp_bound_set(&sys).unwrap();
+        assert_eq!(set.task(tid(0)).wait, mpcp_model::Dur::new(5));
+        assert_eq!(set.task(tid(1)).wait, mpcp_model::Dur::new(2));
+        assert_eq!(set.task(tid(0)).arrival, mpcp_model::Dur::ZERO);
+    }
+
+    /// A contender's section is padded by boosted sections of its local
+    /// neighbours.
+    #[test]
+    fn wait_pads_contender_with_local_boosts() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("SG");
+        let s2 = b.add_resource("SX");
+        b.add_task(
+            TaskDef::new("a", p[0])
+                .period(100)
+                .priority(4)
+                .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+        );
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(100)
+                .priority(3)
+                .body(Body::builder().critical(s, |c| c.compute(5)).build()),
+        );
+        // c shares b's processor; its boosted SX section can delay b's
+        // hand-off, lengthening a's wait.
+        b.add_task(
+            TaskDef::new("c", p[1])
+                .period(100)
+                .priority(2)
+                .body(Body::builder().critical(s2, |c| c.compute(3)).build()),
+        );
+        // A remote SX sharer keeps SX global under the PCP scope
+        // classification.
+        b.add_task(
+            TaskDef::new("d", p[0])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s2, |c| c.compute(1)).build()),
+        );
+        let sys = b.build().unwrap();
+        let set = fmlp_bound_set(&sys).unwrap();
+        // a waits for b's section (5) padded by c's boost (3); d is on
+        // a's own processor so it does not pad b.
+        assert_eq!(set.task(tid(0)).wait, mpcp_model::Dur::new(8));
+    }
+
+    /// Wait and blocking bounds grow monotonically with section length.
+    #[test]
+    fn bounds_monotone_in_section_length() {
+        let build = |len: u64| {
+            let mut b = System::builder();
+            let p = b.add_processors(2);
+            let s = b.add_resource("SG");
+            b.add_task(
+                TaskDef::new("a", p[0])
+                    .period(100)
+                    .priority(2)
+                    .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+            );
+            b.add_task(
+                TaskDef::new("b", p[1])
+                    .period(100)
+                    .priority(1)
+                    .body(Body::builder().critical(s, |c| c.compute(len)).build()),
+            );
+            b.build().unwrap()
+        };
+        let short = fmlp_bound_set(&build(3)).unwrap();
+        let long = fmlp_bound_set(&build(9)).unwrap();
+        assert!(long.task(tid(0)).blocking >= short.task(tid(0)).blocking);
+    }
+
+    /// Any nesting is rejected, even purely local nesting that the MPCP
+    /// analysis would accept.
+    #[test]
+    fn nested_sections_are_rejected() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        let s1 = b.add_resource("L0");
+        let s2 = b.add_resource("L1");
+        b.add_task(
+            TaskDef::new("a", p).period(100).body(
+                Body::builder()
+                    .critical(s1, |c| c.critical(s2, |n| n.compute(1)))
+                    .build(),
+            ),
+        );
+        let sys = b.build().unwrap();
+        assert!(fmlp_bound_set(&sys).is_err());
+    }
+}

@@ -58,6 +58,8 @@ mod delta;
 mod depgraph;
 mod dpcp;
 mod error;
+mod fmlp;
+mod msrp;
 pub mod report;
 mod sched;
 mod server;
@@ -70,6 +72,8 @@ pub use delta::{DeltaBounds, DeltaStats};
 pub use depgraph::{dirty_set, DepGraph, DirtySet, Edit};
 pub use dpcp::{default_hosts, dpcp_bounds, dpcp_bounds_with, DpcpBreakdown};
 pub use error::AnalysisError;
+pub use fmlp::{fmlp_bound_set, FmlpBoundSet, FmlpTaskBounds};
+pub use msrp::{msrp_bound_set, MsrpBoundSet, MsrpTaskBounds};
 pub use sched::{
     breakdown_scale, liu_layland_bound, response_times, response_times_suspension_aware,
     response_times_with_jitter, rta_schedulable, rta_with_jitter_schedulable, scale_system,

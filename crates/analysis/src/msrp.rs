@@ -1,0 +1,334 @@
+//! Blocking and schedulability analysis for MSRP-style FIFO spin locks
+//! (Gai et al.): global semaphores are non-preemptive busy-wait locks,
+//! local semaphores follow the uniprocessor PCP.
+//!
+//! Under MSRP a job's worst-case waiting decomposes into
+//!
+//! * **spin time**: for each global request on `q`, the FIFO queue holds
+//!   at most one request per *remote* processor (a spinning requester
+//!   occupies its processor, so no second request from that processor
+//!   can be issued), each served non-preemptively — the per-request
+//!   spin bound is `ξ_i(q) = Σ_{p ≠ proc(i)} max { |s| : s a section on
+//!   q of a task on p }`;
+//! * **arrival blocking**: at each dispatch point (release, wake from
+//!   an explicit suspension, wake from a local-PCP block), the job can
+//!   find at most one lower-priority local job inside a local PCP
+//!   section (the classic single-blocking property) and at most one
+//!   inside a non-preemptive spin-plus-section window — a second lower
+//!   spinner would have to *start* its request at base priority while
+//!   the analyzed job is ready, which the scheduler forbids.
+//!
+//! The schedulability test is the paper's per-processor rate-monotonic
+//! form with spin-inflated utilizations: spinning consumes the
+//! processor exactly like computation, so each task contributes
+//! `(C_h + spin_h)/T_h`, and suspending higher-priority tasks add the
+//! usual deferred-execution penalty.
+
+use crate::counts::{Facts, TaskFacts};
+use crate::error::AnalysisError;
+use crate::sched::liu_layland_bound;
+use mpcp_model::{Dur, ResourceId, System, TaskId};
+
+/// Analytical bounds for one task under MSRP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsrpTaskBounds {
+    /// The task analyzed.
+    pub task: TaskId,
+    /// Worst-case total busy-wait time per job: `Σ_requests ξ_i(q)`.
+    pub spin: Dur,
+    /// Worst-case arrival blocking: per dispatch point, one lower
+    /// local-PCP section plus one lower non-preemptive spin window.
+    pub arrival: Dur,
+    /// Bound on the simulator's measured blocking (spin + arrival).
+    pub blocking: Dur,
+    /// Spin-inflated rate-monotonic demand of this task's row.
+    pub demand: f64,
+    /// The Liu & Layland bound for its rank.
+    pub bound: f64,
+    /// Whether the inequality holds.
+    pub ok: bool,
+}
+
+/// Analytical bounds for a whole system under MSRP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsrpBoundSet {
+    per_task: Vec<MsrpTaskBounds>,
+    schedulable: bool,
+}
+
+impl MsrpBoundSet {
+    /// Per-task bounds, indexed by [`TaskId`].
+    pub fn per_task(&self) -> &[MsrpTaskBounds] {
+        &self.per_task
+    }
+
+    /// Bounds of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` does not belong to the analyzed system.
+    #[track_caller]
+    pub fn task(&self, task: TaskId) -> &MsrpTaskBounds {
+        &self.per_task[task.index()]
+    }
+
+    /// Whether the spin-inflated rate-monotonic test accepts every task.
+    pub fn schedulable(&self) -> bool {
+        self.schedulable
+    }
+}
+
+/// `ξ(q)` as seen from processor `proc`: one maximal section on `q` per
+/// *other* processor.
+fn spin_per_request(facts: &Facts<'_>, i: &TaskFacts<'_>, q: ResourceId) -> Dur {
+    let mut total = Dur::ZERO;
+    let remote_procs: Vec<_> = {
+        let mut ps: Vec<_> = facts
+            .tasks
+            .iter()
+            .map(|t| t.proc)
+            .filter(|p| *p != i.proc)
+            .collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    };
+    for p in remote_procs {
+        let longest = facts
+            .tasks
+            .iter()
+            .filter(|t| t.proc == p && t.id != i.id)
+            .flat_map(|t| t.gcs.iter())
+            .filter(|s| s.resource == q)
+            .map(|s| s.duration)
+            .max()
+            .unwrap_or(Dur::ZERO);
+        total += longest;
+    }
+    total
+}
+
+/// Total spin time per job of `i`.
+fn spin_of(facts: &Facts<'_>, i: &TaskFacts<'_>) -> Dur {
+    i.gcs
+        .iter()
+        .map(|s| spin_per_request(facts, i, s.resource))
+        .sum()
+}
+
+/// Arrival blocking of `i`: per dispatch point, one lower local PCP
+/// section plus one lower non-preemptive spin-plus-section window.
+fn arrival_of(facts: &Facts<'_>, i: &TaskFacts<'_>) -> Dur {
+    // Longest local-PCP section of any lower local task. (Conservative:
+    // we skip the ceiling filter — any local section of a lower task
+    // may also stall `i` indirectly through inheritance.)
+    let l_loc = facts
+        .lower_local(i)
+        .flat_map(|t| t.lcs.iter())
+        .map(|s| s.duration)
+        .max()
+        .unwrap_or(Dur::ZERO);
+    // Longest non-preemptive window of any lower local task: its spin
+    // on the request plus the section itself.
+    let w_np = facts
+        .lower_local(i)
+        .flat_map(|j| {
+            j.gcs
+                .iter()
+                .map(|s| spin_per_request(facts, j, s.resource) + s.duration)
+        })
+        .max()
+        .unwrap_or(Dur::ZERO);
+    // Dispatch points: the release, each explicit suspension, and each
+    // local request (a local-PCP block suspends, letting a lower job
+    // start a new non-preemptive window before `i` resumes).
+    let points = 1 + i.n_susp as u64 + i.lcs.len() as u64;
+    (l_loc + w_np) * points
+}
+
+/// Computes the full [`MsrpBoundSet`] for `system` under MSRP.
+///
+/// # Errors
+///
+/// Returns an error if the system violates the base-protocol
+/// assumptions (nested global sections or suspensions inside critical
+/// sections).
+pub fn msrp_bound_set(system: &System) -> Result<MsrpBoundSet, AnalysisError> {
+    let facts = Facts::compute(system)?;
+    let spin: Vec<Dur> = facts.tasks.iter().map(|t| spin_of(&facts, t)).collect();
+    let arrival: Vec<Dur> = facts.tasks.iter().map(|t| arrival_of(&facts, t)).collect();
+
+    let mut per_task: Vec<Option<MsrpTaskBounds>> = vec![None; facts.tasks.len()];
+    for proc in system.processors() {
+        // Decreasing priority, like `theorem3_rows`.
+        let local = system.tasks_on(proc.id());
+        let mut util_sum = 0.0;
+        for (rank, task) in local.iter().enumerate() {
+            let i = &facts.tasks[task.id().index()];
+            let s = spin[i.id.index()];
+            // Spinning occupies the processor like computation.
+            util_sum += (i.wcet + s).ratio(i.period);
+            // Higher local tasks that can suspend (explicitly or on a
+            // local-PCP block) defer their demand; charge one extra
+            // spin-inflated instance each, like the §5.1 penalty.
+            let deferred: Dur = facts
+                .higher_local(i)
+                .filter(|h| h.n_susp > 0 || !h.lcs.is_empty())
+                .map(|h| h.wcet + spin[h.id.index()])
+                .sum();
+            let b_row = arrival[i.id.index()] + deferred;
+            let demand = util_sum + b_row.ratio(i.period);
+            let bound = liu_layland_bound(rank + 1);
+            per_task[i.id.index()] = Some(MsrpTaskBounds {
+                task: i.id,
+                spin: s,
+                arrival: arrival[i.id.index()],
+                blocking: s + arrival[i.id.index()],
+                demand,
+                bound,
+                ok: demand <= bound + 1e-12,
+            });
+        }
+    }
+    let per_task: Vec<MsrpTaskBounds> = per_task
+        .into_iter()
+        .map(|t| t.expect("every task is bound to a processor"))
+        .collect();
+    let schedulable = per_task.iter().all(|t| t.ok);
+    Ok(MsrpBoundSet {
+        per_task,
+        schedulable,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::{Body, System, TaskDef, TaskId};
+
+    fn tid(i: u32) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    /// Two remote sharers of one global semaphore: the spin bound is one
+    /// maximal section per remote processor.
+    #[test]
+    fn spin_counts_one_section_per_remote_processor() {
+        let mut b = System::builder();
+        let p = b.add_processors(3);
+        let s = b.add_resource("SG");
+        b.add_task(
+            TaskDef::new("a", p[0]).period(100).priority(3).body(
+                Body::builder()
+                    .compute(1)
+                    .critical(s, |c| c.compute(2))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("b", p[1])
+                .period(100)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(3)).build()),
+        );
+        b.add_task(
+            TaskDef::new("c", p[2])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(5)).build()),
+        );
+        let sys = b.build().unwrap();
+        let set = msrp_bound_set(&sys).unwrap();
+        // a spins at most 3 (P1) + 5 (P2).
+        assert_eq!(set.task(tid(0)).spin, mpcp_model::Dur::new(8));
+        // c spins at most 2 (P0) + 3 (P1).
+        assert_eq!(set.task(tid(2)).spin, mpcp_model::Dur::new(5));
+        // No local contention anywhere: arrival blocking is zero.
+        assert_eq!(set.task(tid(0)).arrival, mpcp_model::Dur::ZERO);
+    }
+
+    /// A lower local task's spin window blocks a higher task that never
+    /// touches a semaphore itself.
+    #[test]
+    fn arrival_charges_lower_spin_window() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("SG");
+        b.add_task(
+            TaskDef::new("hi", p[0])
+                .period(100)
+                .priority(3)
+                .body(Body::builder().compute(1).build()),
+        );
+        b.add_task(
+            TaskDef::new("lo", p[0])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+        );
+        b.add_task(
+            TaskDef::new("rem", p[1])
+                .period(100)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(4)).build()),
+        );
+        let sys = b.build().unwrap();
+        let set = msrp_bound_set(&sys).unwrap();
+        // hi can arrive just after lo became non-preemptive: spin (4,
+        // rem's section) + lo's own section (2).
+        assert_eq!(set.task(tid(0)).blocking, mpcp_model::Dur::new(6));
+        assert_eq!(set.task(tid(0)).spin, mpcp_model::Dur::ZERO);
+    }
+
+    /// Spin and blocking bounds grow monotonically with section length.
+    #[test]
+    fn bounds_monotone_in_section_length() {
+        let build = |len: u64| {
+            let mut b = System::builder();
+            let p = b.add_processors(2);
+            let s = b.add_resource("SG");
+            b.add_task(
+                TaskDef::new("a", p[0])
+                    .period(100)
+                    .priority(2)
+                    .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+            );
+            b.add_task(
+                TaskDef::new("b", p[1])
+                    .period(100)
+                    .priority(1)
+                    .body(Body::builder().critical(s, |c| c.compute(len)).build()),
+            );
+            b.build().unwrap()
+        };
+        let short = msrp_bound_set(&build(3)).unwrap();
+        let long = msrp_bound_set(&build(9)).unwrap();
+        assert!(long.task(tid(0)).blocking >= short.task(tid(0)).blocking);
+        assert!(long.task(tid(0)).spin >= short.task(tid(0)).spin);
+    }
+
+    #[test]
+    fn nested_globals_are_rejected() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s1 = b.add_resource("G0");
+        let s2 = b.add_resource("G1");
+        b.add_task(
+            TaskDef::new("a", p[0]).period(100).body(
+                Body::builder()
+                    .critical(s1, |c| c.critical(s2, |n| n.compute(1)))
+                    .build(),
+            ),
+        );
+        b.add_task(
+            TaskDef::new("b", p[1]).period(100).body(
+                Body::builder()
+                    .critical(s1, |c| c.compute(1))
+                    .critical(s2, |c| c.compute(1))
+                    .build(),
+            ),
+        );
+        let sys = b.build().unwrap();
+        assert!(msrp_bound_set(&sys).is_err());
+    }
+}

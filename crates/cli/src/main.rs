@@ -12,6 +12,7 @@
 //! mpcp serve [opts]               online admission-control server
 //! mpcp loadgen [opts]             drive a server with a submission stream
 //! mpcp sweep [opts]               differential analysis-vs-simulation sweep
+//! mpcp shootout [opts]            acceptance curves for every protocol on one grid
 //! ```
 
 use mpcp_alloc::{allocate, Heuristic};
@@ -381,6 +382,40 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        "shootout" => {
+            let mut config = mpcp_sweep::SweepConfig::default();
+            config.workload = WorkloadConfig::default()
+                .processors(flag_u64(&flags, "procs", 4) as usize)
+                .tasks_per_processor(flag_u64(&flags, "tasks", 3) as usize)
+                .resources(
+                    flag_u64(&flags, "locals", 1) as usize,
+                    flag_u64(&flags, "globals", 2) as usize,
+                )
+                .sections(0, 2)
+                .global_sections(flag_u64(&flags, "gsections", 0) as usize);
+            config.scenarios = flag_u64(&flags, "scenarios", 200) as usize;
+            config.seed = flag_u64(&flags, "seed", 42);
+            config.jobs = flag_u64(&flags, "jobs", 1) as usize;
+            config.horizon_cap = flag_u64(&flags, "horizon", config.horizon_cap);
+            config.util_lo = flag_f64(&flags, "util-lo", config.util_lo);
+            config.util_hi = flag_f64(&flags, "util-hi", config.util_hi);
+            config.util_steps = flag_u64(&flags, "util-steps", config.util_steps as u64) as usize;
+            let report = mpcp_sweep::shootout(&config);
+            if flags.contains_key("json") {
+                println!("{}", report.to_json().encode());
+            } else if flags.contains_key("csv") {
+                print!("{}", report.csv());
+            } else {
+                print!("{}", report.render_text());
+            }
+            eprintln!("report hash: {:016x}", report.hash());
+            if report.violations_total == 0 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("shootout: {} oracle violation(s)", report.violations_total);
+                ExitCode::FAILURE
+            }
+        }
         "audit" => {
             let (sys, label) = match lint_target(&flags) {
                 Ok(t) => t,
@@ -650,6 +685,7 @@ fn usage() -> String {
      \x20 mpcp serve [opts]           online admission-control server (NDJSON/TCP)\n\
      \x20 mpcp loadgen [opts]         drive a server with a submission stream\n\
      \x20 mpcp sweep [opts]           differential analysis-vs-simulation sweep\n\
+     \x20 mpcp shootout [opts]        acceptance curves for every protocol on one grid\n\
      \n\
      sweep options:\n\
      \x20 --scenarios N  (default 1000)  --seed N (default 42)\n\
@@ -662,6 +698,13 @@ fn usage() -> String {
      \x20 --audit-stride N  audit every Nth scenario by index (default 8; --jobs-independent)\n\
      \x20 --check-response  treat the (advisory) RTA response comparison as a hard oracle\n\
      \x20 --json / --csv machine-readable report; nonzero exit on oracle violations\n\
+     \n\
+     shootout options:\n\
+     \x20 --scenarios N  (default 200)  --seed N (default 42)  --jobs N (default 1)\n\
+     \x20 --util-lo U / --util-hi U / --util-steps N   utilization grid (0.30..0.75 by 10)\n\
+     \x20 --horizon T / --procs N / --tasks N / --globals N / --locals N / --gsections N\n\
+     \x20 --json / --csv machine-readable report; nonzero exit on oracle violations\n\
+     \x20 always runs every protocol; report is byte-identical for any --jobs\n\
      \n\
      serve options:\n\
      \x20 --port N       (default 7171; 0 picks an ephemeral port)\n\

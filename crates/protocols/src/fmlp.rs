@@ -1,0 +1,256 @@
+//! FMLP+-style suspension-based FIFO locks (Block et al.'s FMLP as
+//! refined by Brandenburg): every semaphore is a FIFO queue lock whose
+//! waiters **suspend**, and a lock holder executes its critical section
+//! at a **boosted** priority above all non-critical execution so it
+//! cannot be preempted into holding the lock indefinitely.
+//!
+//! Rules:
+//!
+//! 1. A job uses its assigned priority outside critical sections.
+//! 2. `P(S)` on a free semaphore grants immediately; the holder is
+//!    priority-boosted into the global band for the whole section.
+//! 3. `P(S)` on a held semaphore appends the requester to S's FIFO queue
+//!    and suspends it (lower-priority local jobs may run meanwhile).
+//! 4. `V(S)` restores the holder's priority and hands the semaphore to
+//!    the FIFO head, which resumes *boosted* on its own processor.
+//!
+//! Unlike MPCP there is no ceiling machinery and no local/global split:
+//! FIFO ordering plus boosting alone bound every wait, at the cost of
+//! priority inversions that are linear in the number of contenders
+//! rather than driven by priority.
+
+use crate::common::{FifoSem, SavedStack};
+use mpcp_model::{JobId, Priority, ResourceId, System};
+use mpcp_sim::{Ctx, LockResult, Protocol};
+
+/// The boost priority of every critical section: above all task
+/// priorities and gcs priorities, so a holder is never preempted by
+/// non-critical code. Ties among boosted jobs resolve FCFS (the engine
+/// keeps the incumbent).
+const BOOSTED: Priority = Priority::global(u32::MAX);
+
+/// The FMLP+-style suspension-based FIFO queue-lock protocol.
+#[derive(Debug, Default)]
+pub struct FmlpPlus {
+    sems: Vec<FifoSem>,
+    saved: SavedStack,
+}
+
+impl FmlpPlus {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        FmlpPlus::default()
+    }
+
+    /// Boosts `job` for the section on `resource`, remembering the
+    /// priority to restore. Called *before* the grant is recorded so a
+    /// holder is never observable at a non-boosted priority.
+    fn boost(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) {
+        let current = ctx.job(job).effective_priority;
+        let processor = ctx.job(job).processor;
+        self.saved.push(job, resource, current, processor);
+        ctx.set_priority(job, BOOSTED);
+    }
+}
+
+impl Protocol for FmlpPlus {
+    fn name(&self) -> &'static str {
+        "fmlp"
+    }
+
+    fn init(&mut self, system: &System) {
+        self.sems = (0..system.resources().len())
+            .map(|_| FifoSem::default())
+            .collect();
+    }
+
+    fn on_lock(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) -> LockResult {
+        if self.sems[resource.index()].try_acquire(job) {
+            self.boost(ctx, job, resource);
+            LockResult::Granted
+        } else {
+            let holder = self.sems[resource.index()].holder;
+            self.sems[resource.index()].queue.push_back(job);
+            LockResult::Blocked { holder }
+        }
+    }
+
+    fn on_unlock(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) {
+        let (priority, _) = self.saved.pop(job, resource);
+        ctx.set_priority(job, priority);
+        if let Some(next) = self.sems[resource.index()].hand_off() {
+            // Boost before granting: the new holder resumes already in
+            // the boosted band.
+            self.boost(ctx, next, resource);
+            ctx.grant_lock(next, resource);
+        }
+    }
+
+    fn on_complete(&mut self, _ctx: &mut Ctx<'_>, job: JobId) {
+        debug_assert!(
+            !self.saved.clear(job),
+            "{job} completed with saved priorities"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::{Body, Dur, System, TaskDef, TaskId, Time};
+    use mpcp_sim::Simulator;
+
+    fn jid(t: u32, i: u32) -> JobId {
+        JobId::new(TaskId::from_index(t), i)
+    }
+
+    /// Waiters suspend: a lower-priority local job runs while the waiter
+    /// is queued (contrast with MSRP's spinning).
+    #[test]
+    fn waiting_suspends() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("SG");
+        b.add_task(
+            TaskDef::new("wants", p[0])
+                .period(100)
+                .priority(3)
+                .offset(1)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("filler", p[0])
+                .period(100)
+                .priority(2)
+                .body(Body::builder().compute(6).build()),
+        );
+        b.add_task(
+            TaskDef::new("holder", p[1])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(5)).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, FmlpPlus::new());
+        sim.run_until(100);
+        // wants blocks 1..5 while filler keeps running (it suspends, it
+        // does not spin); at 5 the hand-off resumes wants boosted,
+        // finishing at 6. filler only loses 5..6 and ends at 7.
+        assert_eq!(sim.trace().completion_of(jid(0, 0)), Some(Time::new(6)));
+        assert_eq!(sim.trace().completion_of(jid(1, 0)), Some(Time::new(7)));
+        let rec = sim
+            .records()
+            .iter()
+            .find(|r| r.id == jid(0, 0))
+            .copied()
+            .unwrap();
+        assert_eq!(rec.blocked_global, Dur::new(4)); // 1..5
+    }
+
+    /// Hand-off follows FIFO order, not priority order.
+    #[test]
+    fn handoff_is_fifo_ordered() {
+        let mut b = System::builder();
+        let p = b.add_processors(3);
+        let s = b.add_resource("SG");
+        b.add_task(
+            TaskDef::new("holder", p[0])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(10)).build()),
+        );
+        b.add_task(
+            TaskDef::new("early-low", p[1])
+                .period(100)
+                .priority(2)
+                .offset(2)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("late-high", p[2])
+                .period(100)
+                .priority(3)
+                .offset(5)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, FmlpPlus::new());
+        sim.run_until(100);
+        assert_eq!(sim.trace().completion_of(jid(1, 0)), Some(Time::new(11)));
+        assert_eq!(sim.trace().completion_of(jid(2, 0)), Some(Time::new(12)));
+    }
+
+    /// A holder is boosted: non-critical code of a higher-priority task
+    /// cannot preempt a critical section.
+    #[test]
+    fn holder_is_boosted_over_non_critical_code() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("SG");
+        b.add_task(
+            TaskDef::new("high", p[0])
+                .period(100)
+                .priority(3)
+                .offset(2)
+                .body(Body::builder().compute(2).build()),
+        );
+        b.add_task(
+            TaskDef::new("low", p[0]).period(100).priority(1).body(
+                Body::builder()
+                    .compute(1)
+                    .critical(s, |c| c.compute(4))
+                    .compute(1)
+                    .build(),
+            ),
+        );
+        // Remote sharer makes S contended across processors.
+        b.add_task(
+            TaskDef::new("rem", p[1])
+                .period(100)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, FmlpPlus::new());
+        sim.run_until(100);
+        // rem holds S over 0..2; low computes 0..1 and queues at 1. At 2
+        // high arrives just as the hand-off boosts low: low's section
+        // 2..6 runs uninterrupted despite high's base priority. high then
+        // runs 6..8 and low's tail finishes at 9.
+        assert_eq!(sim.trace().completion_of(jid(0, 0)), Some(Time::new(8)));
+        assert_eq!(sim.trace().completion_of(jid(1, 0)), Some(Time::new(9)));
+        // low was boosted during its section.
+        assert_eq!(
+            sim.trace().max_priority_of(jid(1, 0), Priority::task(1)),
+            BOOSTED
+        );
+    }
+
+    /// The boost applies to *local* semaphores too (FMLP+ has no
+    /// local/global split).
+    #[test]
+    fn local_sections_are_boosted_fifo() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        let sl = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("high", p)
+                .period(100)
+                .priority(2)
+                .offset(1)
+                .body(Body::builder().compute(2).build()),
+        );
+        b.add_task(
+            TaskDef::new("low", p)
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(sl, |c| c.compute(4)).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, FmlpPlus::new());
+        sim.run_until(100);
+        // low's section 0..4 is not preempted by high's arrival at 1.
+        assert_eq!(sim.trace().completion_of(jid(1, 0)), Some(Time::new(4)));
+        assert_eq!(sim.trace().completion_of(jid(0, 0)), Some(Time::new(6)));
+    }
+}

@@ -1,6 +1,6 @@
 //! Protocol registry for experiment harnesses.
 
-use crate::{DirectPcp, Dpcp, Mpcp, NonPreemptiveCs, Pip, RawSemaphores};
+use crate::{DirectPcp, Dpcp, FmlpPlus, Mpcp, Msrp, NonPreemptiveCs, Pip, RawSemaphores};
 use mpcp_dga::DgaReplay;
 use mpcp_sim::{MonitorSpec, Protocol};
 use std::fmt;
@@ -22,6 +22,11 @@ pub enum ProtocolKind {
     NonPreemptive,
     /// Uniprocessor PCP applied directly (the §3.3 strawman).
     DirectPcp,
+    /// MSRP-style non-preemptive FIFO spin locks (Gai et al.).
+    Msrp,
+    /// FMLP+-style suspension-based FIFO queue locks with
+    /// priority-boosted critical sections (Block/Brandenburg).
+    Fmlp,
     /// Offline dependency-graph scheduling of critical sections
     /// (Chen et al.) replayed by [`mpcp_dga::DgaReplay`] — the one
     /// non-work-conserving, non-online competitor.
@@ -31,13 +36,15 @@ pub enum ProtocolKind {
 impl ProtocolKind {
     /// All protocols, MPCP first. `Dga` stays last: report curves and
     /// fixture comments index protocols positionally.
-    pub const ALL: [ProtocolKind; 7] = [
+    pub const ALL: [ProtocolKind; 9] = [
         ProtocolKind::Mpcp,
         ProtocolKind::Dpcp,
         ProtocolKind::Pip,
         ProtocolKind::Raw,
         ProtocolKind::NonPreemptive,
         ProtocolKind::DirectPcp,
+        ProtocolKind::Msrp,
+        ProtocolKind::Fmlp,
         ProtocolKind::Dga,
     ];
 
@@ -51,6 +58,8 @@ impl ProtocolKind {
             ProtocolKind::Raw => "raw",
             ProtocolKind::NonPreemptive => "nonpreemptive",
             ProtocolKind::DirectPcp => "direct-pcp",
+            ProtocolKind::Msrp => "msrp",
+            ProtocolKind::Fmlp => "fmlp",
             ProtocolKind::Dga => "dga",
         }
     }
@@ -64,6 +73,8 @@ impl ProtocolKind {
             ProtocolKind::Raw => Box::new(RawSemaphores::new()),
             ProtocolKind::NonPreemptive => Box::new(NonPreemptiveCs::new()),
             ProtocolKind::DirectPcp => Box::new(DirectPcp::new()),
+            ProtocolKind::Msrp => Box::new(Msrp::new()),
+            ProtocolKind::Fmlp => Box::new(FmlpPlus::new()),
             ProtocolKind::Dga => Box::new(DgaReplay::new()),
         }
     }
@@ -72,16 +83,23 @@ impl ProtocolKind {
     ///
     /// Priority-ordered hand-offs are off for the raw FIFO baseline
     /// (FIFO queues legitimately invert priority — that is the paper's
-    /// point) and for DGA (grants follow the offline chain order, which
+    /// point), for DGA (grants follow the offline chain order, which
     /// need not respect priority; the schedule conformance check
-    /// supersedes the hand-off rule there). The MPCP-specific
+    /// supersedes the hand-off rule there), and for the FIFO-queue
+    /// protocols MSRP and FMLP+ (FIFO order is their design — the spin
+    /// and boost checks cover them instead). The MPCP-specific
     /// structural checks and the blocking-accounting oracle only apply
     /// to MPCP itself.
     pub fn monitor_spec(self) -> MonitorSpec {
         MonitorSpec {
-            handoffs: !matches!(self, ProtocolKind::Raw | ProtocolKind::Dga),
+            handoffs: !matches!(
+                self,
+                ProtocolKind::Raw | ProtocolKind::Dga | ProtocolKind::Msrp | ProtocolKind::Fmlp
+            ),
             mpcp_discipline: self == ProtocolKind::Mpcp,
             observed_blocking: self == ProtocolKind::Mpcp,
+            spin_occupancy: self == ProtocolKind::Msrp,
+            boost_while_holding: matches!(self, ProtocolKind::Msrp | ProtocolKind::Fmlp),
         }
     }
 }

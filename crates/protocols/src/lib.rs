@@ -12,6 +12,8 @@
 //! | [`RawSemaphores`] | §2.1 | FIFO semaphores, no inheritance (unbounded inversion) |
 //! | [`NonPreemptiveCs`] | §3.3 | critical sections run non-preemptively |
 //! | [`DirectPcp`] | §3.3 | uniprocessor PCP applied directly; no gcs boost (Example 2's failure) |
+//! | [`Msrp`] | Gai et al. | non-preemptive FIFO **spin** locks for globals + local PCP |
+//! | [`FmlpPlus`] | Block/Brandenburg | suspension-based FIFO queues, priority-boosted sections |
 //!
 //! Use [`ProtocolKind`] to sweep all of them in experiments.
 //!
@@ -49,17 +51,21 @@
 mod common;
 mod directpcp;
 mod dpcp;
+mod fmlp;
 mod kind;
 mod local;
 mod mpcp;
+mod msrp;
 mod nonpreemptive;
 mod pip;
 mod raw;
 
 pub use directpcp::DirectPcp;
 pub use dpcp::Dpcp;
+pub use fmlp::FmlpPlus;
 pub use kind::{ParseProtocolError, ProtocolKind};
 pub use mpcp::Mpcp;
+pub use msrp::Msrp;
 pub use nonpreemptive::NonPreemptiveCs;
 pub use pip::Pip;
 pub use raw::RawSemaphores;

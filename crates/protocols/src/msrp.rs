@@ -1,0 +1,289 @@
+//! MSRP-style FIFO spin locks (Gai et al., "Minimizing memory
+//! utilization of real-time task sets in single and multi-processor
+//! systems-on-a-chip"): global semaphores are non-preemptive FIFO spin
+//! locks, local semaphores follow the uniprocessor PCP.
+//!
+//! Rules:
+//!
+//! 1. A job uses its assigned priority outside critical sections.
+//! 2. Local semaphores follow the uniprocessor priority ceiling protocol
+//!    on their processor (same rule as MPCP).
+//! 3. A job requesting a **global** semaphore first becomes
+//!    non-preemptable on its processor, then either acquires the
+//!    semaphore or **busy-waits** in FIFO order: it keeps occupying its
+//!    processor ([`LockResult::Spin`]) without making program progress.
+//! 4. The global critical section itself runs non-preemptively; `V(S_G)`
+//!    hands the semaphore to the FIFO head, which is already spinning
+//!    non-preemptively on its own processor and proceeds immediately.
+//! 5. The requester's priority (and preemptability) is restored at the
+//!    matching `V(S_G)`.
+//!
+//! Spinning wastes the local processor but bounds every remote wait by
+//! one critical section per remote processor: a spinning requester never
+//! yields, so at most one request per processor is in any queue, and a
+//! section, once entered, runs undelayed.
+
+use crate::common::{FifoSem, SavedStack};
+use crate::local::LocalPcpPart;
+use mpcp_core::CeilingTable;
+use mpcp_model::{JobId, Priority, ResourceId, Scope, System};
+use mpcp_sim::{Ctx, LockResult, Protocol};
+
+/// Above every task priority and every gcs priority: requests and
+/// sections are non-preemptable.
+const NON_PREEMPTIVE: Priority = Priority::global(u32::MAX);
+
+/// The MSRP-style FIFO spin-lock protocol.
+#[derive(Debug, Default)]
+pub struct Msrp {
+    ceilings: Option<CeilingTable>,
+    scopes: Vec<Scope>,
+    local: LocalPcpPart,
+    gsems: Vec<FifoSem>,
+    saved: SavedStack,
+}
+
+impl Msrp {
+    /// Creates the protocol; tables are computed when the simulator calls
+    /// [`Protocol::init`].
+    pub fn new() -> Self {
+        Msrp::default()
+    }
+}
+
+impl Protocol for Msrp {
+    fn name(&self) -> &'static str {
+        "msrp"
+    }
+
+    fn init(&mut self, system: &System) {
+        let info = system.info();
+        self.ceilings = Some(CeilingTable::compute(system));
+        self.scopes = info.all_usage().iter().map(|u| u.scope).collect();
+        self.local.init(system.processors().len());
+        self.gsems = (0..system.resources().len())
+            .map(|_| FifoSem::default())
+            .collect();
+    }
+
+    fn on_lock(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) -> LockResult {
+        match self.scopes[resource.index()] {
+            Scope::Global => {
+                // Become non-preemptable *before* touching the semaphore
+                // (rule 3); the priority is restored at the matching V.
+                let current = ctx.job(job).effective_priority;
+                let processor = ctx.job(job).processor;
+                self.saved.push(job, resource, current, processor);
+                ctx.set_priority(job, NON_PREEMPTIVE);
+                if self.gsems[resource.index()].try_acquire(job) {
+                    LockResult::Granted
+                } else {
+                    let holder = self.gsems[resource.index()].holder;
+                    self.gsems[resource.index()].queue.push_back(job);
+                    LockResult::Spin { holder }
+                }
+            }
+            Scope::Local(proc) => {
+                let ceilings = self.ceilings.as_ref().expect("protocol initialized");
+                self.local
+                    .on_lock(ctx, job, resource, proc, ceilings, &mut self.saved)
+            }
+            Scope::Unused => unreachable!("lock of unused resource {resource}"),
+        }
+    }
+
+    fn on_unlock(&mut self, ctx: &mut Ctx<'_>, job: JobId, resource: ResourceId) {
+        match self.scopes[resource.index()] {
+            Scope::Global => {
+                let (priority, _) = self.saved.pop(job, resource);
+                ctx.set_priority(job, priority);
+                if let Some(next) = self.gsems[resource.index()].hand_off() {
+                    // The FIFO head is already spinning non-preemptively
+                    // (it boosted itself at request time); it just
+                    // proceeds into its section.
+                    ctx.grant_lock(next, resource);
+                }
+            }
+            Scope::Local(proc) => {
+                self.local
+                    .on_unlock(ctx, job, resource, proc, &mut self.saved);
+            }
+            Scope::Unused => unreachable!("unlock of unused resource {resource}"),
+        }
+    }
+
+    fn on_complete(&mut self, _ctx: &mut Ctx<'_>, job: JobId) {
+        debug_assert!(
+            !self.saved.clear(job),
+            "{job} completed with saved priorities"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcp_model::{Body, Dur, System, TaskDef, TaskId, Time};
+    use mpcp_sim::Simulator;
+
+    fn jid(t: u32, i: u32) -> JobId {
+        JobId::new(TaskId::from_index(t), i)
+    }
+
+    /// A spinning requester occupies its processor: a lower-priority
+    /// local job makes no progress while the spinner waits (contrast
+    /// with MPCP's `suspension_lets_lower_priority_run`).
+    #[test]
+    fn spinning_occupies_the_processor() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("SG");
+        b.add_task(
+            TaskDef::new("wants", p[0])
+                .period(100)
+                .priority(3)
+                .offset(1)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("filler", p[0])
+                .period(100)
+                .priority(2)
+                .body(Body::builder().compute(6).build()),
+        );
+        b.add_task(
+            TaskDef::new("holder", p[1])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(5)).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Msrp::new());
+        sim.run_until(100);
+        // wants arrives at 1, spins 1..5, section 5..6; filler runs 0..1
+        // and only resumes at 6 (the spinner hogged P0), finishing at 11.
+        assert_eq!(sim.trace().completion_of(jid(0, 0)), Some(Time::new(6)));
+        assert_eq!(sim.trace().completion_of(jid(1, 0)), Some(Time::new(11)));
+        let rec = sim
+            .records()
+            .iter()
+            .find(|r| r.id == jid(0, 0))
+            .copied()
+            .unwrap();
+        assert_eq!(rec.blocked_global, Dur::new(4)); // spin 1..5
+    }
+
+    /// Hand-off follows FIFO order, not priority order.
+    #[test]
+    fn handoff_is_fifo_ordered() {
+        let mut b = System::builder();
+        let p = b.add_processors(3);
+        let s = b.add_resource("SG");
+        b.add_task(
+            TaskDef::new("holder", p[0])
+                .period(100)
+                .priority(1)
+                .body(Body::builder().critical(s, |c| c.compute(10)).build()),
+        );
+        b.add_task(
+            TaskDef::new("early-low", p[1])
+                .period(100)
+                .priority(2)
+                .offset(2)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        b.add_task(
+            TaskDef::new("late-high", p[2])
+                .period(100)
+                .priority(3)
+                .offset(5)
+                .body(Body::builder().critical(s, |c| c.compute(1)).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Msrp::new());
+        sim.run_until(100);
+        // FIFO: early-low (queued at 2) beats late-high (queued at 5).
+        assert_eq!(sim.trace().completion_of(jid(1, 0)), Some(Time::new(11)));
+        assert_eq!(sim.trace().completion_of(jid(2, 0)), Some(Time::new(12)));
+    }
+
+    /// Non-preemptive spinning: a higher-priority arrival waits for the
+    /// spin *and* the section.
+    #[test]
+    fn spinner_is_non_preemptable() {
+        let mut b = System::builder();
+        let p = b.add_processors(2);
+        let s = b.add_resource("SG");
+        b.add_task(
+            TaskDef::new("urgent", p[0])
+                .period(100)
+                .priority(5)
+                .offset(2)
+                .body(Body::builder().compute(1).build()),
+        );
+        b.add_task(
+            TaskDef::new("spinner", p[0])
+                .period(100)
+                .priority(1)
+                .offset(1)
+                .body(Body::builder().critical(s, |c| c.compute(2)).build()),
+        );
+        b.add_task(
+            TaskDef::new("holder", p[1])
+                .period(100)
+                .priority(2)
+                .body(Body::builder().critical(s, |c| c.compute(4)).build()),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Msrp::new());
+        sim.run_until(100);
+        // holder takes S at 0; spinner spins 1..4 and runs its section
+        // 4..6; urgent (arrived at 2) waits until 6 despite its priority.
+        assert_eq!(sim.trace().completion_of(jid(1, 0)), Some(Time::new(6)));
+        assert_eq!(sim.trace().completion_of(jid(0, 0)), Some(Time::new(7)));
+    }
+
+    /// Local semaphores still follow the uniprocessor PCP (inheritance,
+    /// not spinning): blocking on a local resource suspends.
+    #[test]
+    fn local_resources_use_pcp() {
+        let mut b = System::builder();
+        let p = b.add_processor("P0");
+        let sl = b.add_resource("SL");
+        b.add_task(
+            TaskDef::new("high", p)
+                .period(100)
+                .priority(2)
+                .offset(1)
+                .body(
+                    Body::builder()
+                        .compute(1)
+                        .critical(sl, |c| c.compute(1))
+                        .build(),
+                ),
+        );
+        b.add_task(
+            TaskDef::new("low", p).period(100).priority(1).body(
+                Body::builder()
+                    .critical(sl, |c| c.compute(4))
+                    .compute(1)
+                    .build(),
+            ),
+        );
+        let sys = b.build().unwrap();
+        let mut sim = Simulator::new(&sys, Msrp::new());
+        sim.run_until(100);
+        // high preempts at 1, computes 1..2, blocks on SL; low inherits
+        // and finishes its section at 5; high's section 5..6.
+        assert_eq!(sim.trace().completion_of(jid(0, 0)), Some(Time::new(6)));
+        assert_eq!(sim.misses(), 0);
+        let rec = sim
+            .records()
+            .iter()
+            .find(|r| r.id == jid(0, 0))
+            .copied()
+            .unwrap();
+        assert_eq!(rec.blocked_local, Dur::new(3)); // 2..5
+        assert_eq!(rec.blocked_global, Dur::ZERO);
+    }
+}

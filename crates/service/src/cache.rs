@@ -13,7 +13,7 @@
 //! plain atomics exposed through the `query` response — the acceptance
 //! criterion "cache effectiveness is measurable" reads them.
 
-use crate::proto::AllocDirective;
+use crate::proto::{AdmissionProtocol, AllocDirective};
 use crate::session::AdmissionResult;
 use crate::wire::SystemSpec;
 use std::collections::HashMap;
@@ -78,17 +78,25 @@ impl AnalysisCache {
     }
 
     /// The cache key for a submission: the spec's canonical hash mixed
-    /// with the allocation directive (an allocated and a plain
-    /// submission of the same system are different analyses).
-    pub fn key(spec: &SystemSpec, allocate: Option<AllocDirective>) -> u64 {
-        let base = spec.canonical_hash();
-        match allocate {
-            None => base,
-            Some(d) => {
-                let tag = format!("|alloc:{}:{}", d.processors, d.heuristic.name());
-                base ^ crate::wire::fnv1a(tag.as_bytes())
-            }
+    /// with the allocation directive and the admission protocol (an
+    /// allocated and a plain submission of the same system — or the
+    /// same system under two analyses — are different analyses). MPCP
+    /// with no allocation keeps the bare canonical hash.
+    pub fn key(
+        spec: &SystemSpec,
+        allocate: Option<AllocDirective>,
+        protocol: AdmissionProtocol,
+    ) -> u64 {
+        let mut base = spec.canonical_hash();
+        if let Some(d) = allocate {
+            let tag = format!("|alloc:{}:{}", d.processors, d.heuristic.name());
+            base ^= crate::wire::fnv1a(tag.as_bytes());
         }
+        if protocol != AdmissionProtocol::Mpcp {
+            let tag = format!("|proto:{protocol}");
+            base ^= crate::wire::fnv1a(tag.as_bytes());
+        }
+        base
     }
 
     /// Returns the memoized result for `key`, computing it with `f` on
@@ -170,7 +178,7 @@ mod tests {
     fn second_lookup_hits_and_shares() {
         let cache = AnalysisCache::new(64);
         let s = spec(100);
-        let key = AnalysisCache::key(&s, None);
+        let key = AnalysisCache::key(&s, None, AdmissionProtocol::Mpcp);
         let (a, hit_a) = cache.get_or_compute(key, || analyze(&s, None));
         let (b, hit_b) = cache.get_or_compute(key, || panic!("must not recompute"));
         assert!(!hit_a);
@@ -183,13 +191,14 @@ mod tests {
     #[test]
     fn different_alloc_directives_key_differently() {
         let s = spec(100);
-        let k0 = AnalysisCache::key(&s, None);
+        let k0 = AnalysisCache::key(&s, None, AdmissionProtocol::Mpcp);
         let k1 = AnalysisCache::key(
             &s,
             Some(AllocDirective {
                 processors: 2,
                 heuristic: mpcp_alloc::Heuristic::FirstFitDecreasing,
             }),
+            AdmissionProtocol::Mpcp,
         );
         let k2 = AnalysisCache::key(
             &s,
@@ -197,9 +206,16 @@ mod tests {
                 processors: 3,
                 heuristic: mpcp_alloc::Heuristic::FirstFitDecreasing,
             }),
+            AdmissionProtocol::Mpcp,
         );
         assert_ne!(k0, k1);
         assert_ne!(k1, k2);
+        // Same system, different admission analysis: distinct entries.
+        let m0 = AnalysisCache::key(&s, None, AdmissionProtocol::Msrp);
+        let f0 = AnalysisCache::key(&s, None, AdmissionProtocol::Fmlp);
+        assert_ne!(k0, m0);
+        assert_ne!(k0, f0);
+        assert_ne!(m0, f0);
     }
 
     #[test]
@@ -207,7 +223,7 @@ mod tests {
         let cache = AnalysisCache::new(16); // 1 entry per shard
         for p in 1..200u64 {
             let s = spec(p);
-            let key = AnalysisCache::key(&s, None);
+            let key = AnalysisCache::key(&s, None, AdmissionProtocol::Mpcp);
             cache.get_or_compute(key, || analyze(&s, None));
         }
         assert!(cache.stats().entries <= 32, "{:?}", cache.stats());
@@ -222,7 +238,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for p in 1..50u64 {
                         let s = spec(100 + (p + i) % 10);
-                        let key = AnalysisCache::key(&s, None);
+                        let key = AnalysisCache::key(&s, None, AdmissionProtocol::Mpcp);
                         let (r, _) = cache.get_or_compute(key, || analyze(&s, None));
                         assert!(r.result.admitted);
                     }

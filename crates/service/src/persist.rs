@@ -30,6 +30,7 @@
 //! corrupt-tail truncation then recovers past.
 
 use crate::json::{self, Value};
+use crate::proto::AdmissionProtocol;
 use crate::wire::SystemSpec;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -47,6 +48,10 @@ pub struct RestoredSession {
     pub name: String,
     /// Verdict of the last committed mutation.
     pub admitted: bool,
+    /// Admission analysis the session was judged under. Journals written
+    /// before protocol selection existed carry no field and restore as
+    /// MPCP, which is what those sessions were analyzed with.
+    pub protocol: AdmissionProtocol,
     /// The committed system.
     pub spec: SystemSpec,
 }
@@ -156,12 +161,14 @@ impl Persistence {
         &self,
         session: &str,
         op: &str,
+        protocol: AdmissionProtocol,
         admitted: bool,
         spec: &SystemSpec,
     ) -> io::Result<()> {
         let line = Value::obj([
             ("session", Value::str(session)),
             ("op", Value::str(op)),
+            ("protocol", Value::str(protocol.name())),
             (
                 "verdict",
                 Value::str(if admitted { "admit" } else { "reject" }),
@@ -234,10 +241,15 @@ fn parse_entry(line: &str) -> Option<RestoredSession> {
         "reject" => false,
         _ => return None,
     };
+    let protocol = match v.get("protocol") {
+        Some(p) => AdmissionProtocol::parse(p.as_str()?)?,
+        None => AdmissionProtocol::Mpcp, // pre-selection journal line
+    };
     let spec = SystemSpec::from_json(v.get("system")?).ok()?;
     Some(RestoredSession {
         name,
         admitted,
+        protocol,
         spec,
     })
 }
@@ -277,9 +289,12 @@ mod tests {
         {
             let (p, restored) = Persistence::open(&dir, 0).unwrap();
             assert!(restored.is_empty());
-            p.record("a", "submit", true, &spec(1)).unwrap();
-            p.record("b", "submit", true, &spec(2)).unwrap();
-            p.record("a", "add-task", true, &spec(3)).unwrap();
+            p.record("a", "submit", AdmissionProtocol::Mpcp, true, &spec(1))
+                .unwrap();
+            p.record("b", "submit", AdmissionProtocol::Mpcp, true, &spec(2))
+                .unwrap();
+            p.record("a", "add-task", AdmissionProtocol::Mpcp, true, &spec(3))
+                .unwrap();
         }
         let (_, mut restored) = Persistence::open(&dir, 0).unwrap();
         restored.sort_by(|x, y| x.name.cmp(&y.name));
@@ -295,8 +310,10 @@ mod tests {
         let dir = tempdir("corrupt");
         {
             let (p, _) = Persistence::open(&dir, 0).unwrap();
-            p.record("a", "submit", true, &spec(2)).unwrap();
-            p.record("b", "submit", false, &spec(1)).unwrap();
+            p.record("a", "submit", AdmissionProtocol::Mpcp, true, &spec(2))
+                .unwrap();
+            p.record("b", "submit", AdmissionProtocol::Mpcp, false, &spec(1))
+                .unwrap();
         }
         // Simulate a torn write: garbage with no trailing newline.
         {
@@ -310,7 +327,8 @@ mod tests {
         assert_eq!(restored.len(), 2, "valid prefix survives");
         assert!(restored.iter().all(|r| r.name != "c"));
         // The tail is gone from disk too: appending stays consistent.
-        p.record("d", "submit", true, &spec(1)).unwrap();
+        p.record("d", "submit", AdmissionProtocol::Mpcp, true, &spec(1))
+            .unwrap();
         drop(p);
         let (_, restored) = Persistence::open(&dir, 0).unwrap();
         assert_eq!(restored.len(), 3);
@@ -322,7 +340,14 @@ mod tests {
         let dir = tempdir("snapshot");
         let (p, _) = Persistence::open(&dir, 3).unwrap();
         for i in 0..7 {
-            p.record("s", "submit", true, &spec(i % 3 + 1)).unwrap();
+            p.record(
+                "s",
+                "submit",
+                AdmissionProtocol::Mpcp,
+                true,
+                &spec(i % 3 + 1),
+            )
+            .unwrap();
         }
         // 7 appends with snapshot_every=3: snapshots at 3 and 6, one
         // journal entry left over.
@@ -338,11 +363,44 @@ mod tests {
     }
 
     #[test]
+    fn protocol_survives_restart_and_defaults_to_mpcp() {
+        let dir = tempdir("protocol");
+        {
+            let (p, _) = Persistence::open(&dir, 0).unwrap();
+            p.record("m", "submit", AdmissionProtocol::Msrp, true, &spec(1))
+                .unwrap();
+        }
+        // A pre-selection journal line has no "protocol" field.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(JOURNAL))
+                .unwrap();
+            f.write_all(
+                concat!(
+                    r#"{"session":"old","op":"submit","verdict":"admit","#,
+                    r#""system":{"processors":["P0"],"resources":[],"tasks":[]}}"#,
+                    "\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        }
+        let (_, mut restored) = Persistence::open(&dir, 0).unwrap();
+        restored.sort_by(|x, y| x.name.cmp(&y.name));
+        assert_eq!(restored[0].protocol, AdmissionProtocol::Msrp);
+        assert_eq!(restored[1].name, "old");
+        assert_eq!(restored[1].protocol, AdmissionProtocol::Mpcp);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn rejected_remove_commit_restores_reject_verdict() {
         let dir = tempdir("verdict");
         {
             let (p, _) = Persistence::open(&dir, 0).unwrap();
-            p.record("s", "remove-task", false, &spec(2)).unwrap();
+            p.record("s", "remove-task", AdmissionProtocol::Mpcp, false, &spec(2))
+                .unwrap();
         }
         let (_, restored) = Persistence::open(&dir, 0).unwrap();
         assert!(!restored[0].admitted);

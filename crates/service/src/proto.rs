@@ -59,6 +59,50 @@ impl fmt::Display for ErrorCode {
     }
 }
 
+/// Which schedulability analysis admits a submission. MPCP (the
+/// default) is the paper's §5.1 bound + Theorem 3; MSRP uses the
+/// spin-inflated FIFO spin-lock bound; FMLP+ the suspension-oblivious
+/// FIFO queue-lock bound. Sessions remember the protocol they were
+/// submitted under, so `add-task`/`remove-task` re-admission uses the
+/// same analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionProtocol {
+    /// Shared-memory priority ceiling protocol (§5.1 + Theorem 3).
+    #[default]
+    Mpcp,
+    /// Non-preemptive FIFO spin locks (spin-inflated utilization test).
+    Msrp,
+    /// Suspension-based FIFO queue locks with priority boosting.
+    Fmlp,
+}
+
+impl AdmissionProtocol {
+    /// The wire name of the protocol.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionProtocol::Mpcp => "mpcp",
+            AdmissionProtocol::Msrp => "msrp",
+            AdmissionProtocol::Fmlp => "fmlp",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<AdmissionProtocol> {
+        match s {
+            "mpcp" => Some(AdmissionProtocol::Mpcp),
+            "msrp" => Some(AdmissionProtocol::Msrp),
+            "fmlp" => Some(AdmissionProtocol::Fmlp),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AdmissionProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// An optional allocation directive attached to `submit`: rebind the
 /// submitted tasks onto `processors` processors with `heuristic` before
 /// running admission analysis.
@@ -88,6 +132,8 @@ pub enum Request {
         system: SystemSpec,
         /// Optional allocation step before analysis.
         allocate: Option<AllocDirective>,
+        /// Which analysis admits the system (default MPCP).
+        protocol: AdmissionProtocol,
     },
     /// Incremental admission: add one task to a live session; commits
     /// only if the grown system is still admitted.
@@ -142,10 +188,17 @@ impl Request {
                     None => None,
                     Some(a) => Some(parse_alloc(a)?),
                 };
+                let protocol = match v.get("protocol").and_then(Value::as_str) {
+                    None => AdmissionProtocol::default(),
+                    Some(p) => AdmissionProtocol::parse(p).ok_or_else(|| {
+                        bad(&format!("unknown protocol {p:?}; expected mpcp|msrp|fmlp"))
+                    })?,
+                };
                 Ok(Request::Submit {
                     session,
                     system,
                     allocate,
+                    protocol,
                 })
             }
             "add-task" => {
@@ -266,10 +319,38 @@ mod tests {
     }
 
     #[test]
+    fn submit_with_protocol_selection() {
+        for (name, want) in [
+            ("mpcp", AdmissionProtocol::Mpcp),
+            ("msrp", AdmissionProtocol::Msrp),
+            ("fmlp", AdmissionProtocol::Fmlp),
+        ] {
+            let v = json::parse(&format!(
+                r#"{{"op":"submit","session":"s","system":{{}},"protocol":"{name}"}}"#
+            ))
+            .unwrap();
+            match Request::from_json(&v).unwrap() {
+                Request::Submit { protocol, .. } => assert_eq!(protocol, want),
+                other => panic!("{other:?}"),
+            }
+        }
+        // Absent field: MPCP, the original behaviour.
+        let v = json::parse(r#"{"op":"submit","session":"s","system":{}}"#).unwrap();
+        match Request::from_json(&v).unwrap() {
+            Request::Submit { protocol, .. } => assert_eq!(protocol, AdmissionProtocol::Mpcp),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn bad_requests_name_the_problem() {
         for (text, needle) in [
             (r#"{"no_op":1}"#, "op"),
             (r#"{"op":"warp"}"#, "unknown op"),
+            (
+                r#"{"op":"submit","session":"s","system":{},"protocol":"pcp"}"#,
+                "unknown protocol",
+            ),
             (r#"{"op":"submit","session":"s"}"#, "system"),
             (r#"{"op":"submit","system":{}}"#, "session"),
             (r#"{"op":"remove-task","session":"s"}"#, "task"),

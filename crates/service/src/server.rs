@@ -24,9 +24,11 @@ use crate::cache::{AnalysisCache, CachedAnalysis};
 use crate::json::{self, Value};
 use crate::persist::Persistence;
 use crate::pool::WorkerPool;
-use crate::proto::{error_response, ErrorCode, Request};
+use crate::proto::{error_response, AdmissionProtocol, ErrorCode, Request};
 use crate::reactor::{self, ShardQueues};
-use crate::session::{analyze, analyze_incremental, engine_for, AdmissionResult, SessionMap};
+use crate::session::{
+    analyze, analyze_incremental, analyze_with, engine_for, AdmissionResult, SessionMap,
+};
 use crate::wire::SystemSpec;
 use mpcp_analysis::Edit;
 use std::io::{self, BufRead, BufReader, Write};
@@ -168,10 +170,16 @@ impl ServerState {
     /// Appends a committed mutation to the journal, if persistence is
     /// on. Called with the session lock held so journal order matches
     /// commit order per session; the journal mutex is a leaf lock.
-    fn journal_commit(&self, op: &'static str, session: &str, result: &AdmissionResult) {
+    fn journal_commit(
+        &self,
+        op: &'static str,
+        session: &str,
+        protocol: AdmissionProtocol,
+        result: &AdmissionResult,
+    ) {
         if let Some(p) = &self.persist {
             // Best-effort: a full disk must not take down admission.
-            let _ = p.record(session, op, result.admitted, &result.analyzed);
+            let _ = p.record(session, op, protocol, result.admitted, &result.analyzed);
         }
     }
 }
@@ -265,6 +273,7 @@ pub fn spawn(config: &ServerConfig) -> io::Result<ServerHandle> {
         let entry = state.sessions.get_or_create(&r.name);
         let mut s = entry.lock().unwrap_or_else(PoisonError::into_inner);
         s.spec = r.spec.clone();
+        s.protocol = r.protocol;
         s.last = Some(Arc::new(AdmissionResult {
             admitted: r.admitted,
             schedulable: r.admitted,
@@ -361,20 +370,22 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> String {
             session,
             system,
             allocate,
+            protocol,
         } => {
-            let key = AnalysisCache::key(system, *allocate);
+            let key = AnalysisCache::key(system, *allocate, *protocol);
             let (entry, cache_hit) = state
                 .cache
-                .get_or_compute(key, || analyze(system, *allocate));
+                .get_or_compute(key, || analyze_with(system, *allocate, *protocol));
             let result = &entry.result;
             if result.admitted {
                 let slot = state.sessions.get_or_create(session);
                 let mut s = slot.lock().unwrap_or_else(PoisonError::into_inner);
                 s.spec = result.analyzed.clone();
+                s.protocol = *protocol;
                 s.last = Some(Arc::clone(result));
                 // A full-path commit invalidates any incremental state.
                 s.engine = None;
-                state.journal_commit("submit", session, result);
+                state.journal_commit("submit", session, *protocol, result);
             }
             admission_line(
                 "submit",
@@ -391,7 +402,10 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> String {
             // check and the commit are one atomic step per session.
             let mut s = entry.lock().unwrap_or_else(PoisonError::into_inner);
             let candidate = s.with_task(task.clone());
-            if state.incremental {
+            let protocol = s.protocol;
+            // The incremental engine computes MPCP bounds; sessions
+            // admitted under another analysis take the full path.
+            if state.incremental && protocol == AdmissionProtocol::Mpcp {
                 if s.engine.is_none() {
                     s.engine = engine_for(&s.spec);
                 }
@@ -406,23 +420,23 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> String {
                             s.spec = result.analyzed.clone();
                             s.last = Some(Arc::clone(&result));
                             s.engine = Some(next);
-                            state.journal_commit("add-task", session, &result);
+                            state.journal_commit("add-task", session, protocol, &result);
                         }
                         let suffix = admission_suffix(&result);
                         return admission_line("add-task", session, "delta", &suffix);
                     }
                 }
             }
-            let key = AnalysisCache::key(&candidate, None);
+            let key = AnalysisCache::key(&candidate, None, protocol);
             let (entry, cache_hit) = state
                 .cache
-                .get_or_compute(key, || analyze(&candidate, None));
+                .get_or_compute(key, || analyze_with(&candidate, None, protocol));
             let result = &entry.result;
             if result.admitted {
                 s.spec = result.analyzed.clone();
                 s.last = Some(Arc::clone(result));
                 s.engine = None;
-                state.journal_commit("add-task", session, result);
+                state.journal_commit("add-task", session, protocol, result);
             }
             admission_line(
                 "add-task",
@@ -443,7 +457,8 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> String {
                 )
                 .encode();
             };
-            if state.incremental {
+            let protocol = s.protocol;
+            if state.incremental && protocol == AdmissionProtocol::Mpcp {
                 if s.engine.is_none() {
                     s.engine = engine_for(&s.spec);
                 }
@@ -459,23 +474,23 @@ fn run_pooled(request: &Request, state: &Arc<ServerState>) -> String {
                         s.spec = result.analyzed.clone();
                         s.last = Some(Arc::clone(&result));
                         s.engine = Some(next);
-                        state.journal_commit("remove-task", session, &result);
+                        state.journal_commit("remove-task", session, protocol, &result);
                         let suffix = admission_suffix(&result);
                         return admission_line("remove-task", session, "delta", &suffix);
                     }
                 }
             }
-            let key = AnalysisCache::key(&candidate, None);
+            let key = AnalysisCache::key(&candidate, None, protocol);
             let (entry, cache_hit) = state
                 .cache
-                .get_or_compute(key, || analyze(&candidate, None));
+                .get_or_compute(key, || analyze_with(&candidate, None, protocol));
             let result = &entry.result;
             // Withdrawal always commits; the verdict reports the state
             // the session is now in.
             s.spec = result.analyzed.clone();
             s.last = Some(Arc::clone(result));
             s.engine = None;
-            state.journal_commit("remove-task", session, result);
+            state.journal_commit("remove-task", session, protocol, result);
             admission_line(
                 "remove-task",
                 session,

@@ -12,7 +12,7 @@
 //! and committed only when admitted, so a rejected change leaves the
 //! session exactly as it was.
 
-use crate::proto::AllocDirective;
+use crate::proto::{AdmissionProtocol, AllocDirective};
 use crate::wire::{SystemSpec, TaskSpec};
 use mpcp_analysis as analysis;
 use mpcp_analysis::Edit;
@@ -79,10 +79,24 @@ pub struct AdmissionResult {
     pub analyzed: SystemSpec,
 }
 
-/// Runs the full admission pipeline on one submission.
+/// Runs the full admission pipeline on one submission under the MPCP
+/// analysis (the wire default).
 ///
 /// An empty task set is trivially admitted (a session being drained).
 pub fn analyze(spec: &SystemSpec, allocate: Option<AllocDirective>) -> AdmissionResult {
+    analyze_with(spec, allocate, AdmissionProtocol::Mpcp)
+}
+
+/// [`analyze`] under a caller-selected admission analysis: MPCP (§5.1 +
+/// Theorem 3), MSRP (spin-inflated utilization test) or FMLP+
+/// (suspension-oblivious FIFO bound). Lints and allocation are
+/// protocol-independent; only the blocking bound and schedulability
+/// test change.
+pub fn analyze_with(
+    spec: &SystemSpec,
+    allocate: Option<AllocDirective>,
+    protocol: AdmissionProtocol,
+) -> AdmissionResult {
     if spec.tasks.is_empty() {
         return AdmissionResult {
             admitted: true,
@@ -138,20 +152,52 @@ pub fn analyze(spec: &SystemSpec, allocate: Option<AllocDirective>) -> Admission
         .map(|d| format!("{}: {}", d.code, d.message))
         .collect();
 
-    let (schedulable, tasks) = match analysis::mpcp_bounds(&system) {
-        Ok(bounds) => {
-            let blocking: Vec<_> = bounds
-                .iter()
-                .map(analysis::BlockingBreakdown::total)
-                .collect();
-            let sched = analysis::theorem3(&system, &blocking);
-            let tasks = per_task_verdicts(&system, &blocking, &sched, &mut reasons);
-            (sched.schedulable(), tasks)
-        }
-        Err(e) => {
-            reasons.push(format!("analysis rejected the system: {e}"));
-            (false, Vec::new())
-        }
+    let (schedulable, tasks) = match protocol {
+        AdmissionProtocol::Mpcp => match analysis::mpcp_bounds(&system) {
+            Ok(bounds) => {
+                let blocking: Vec<_> = bounds
+                    .iter()
+                    .map(analysis::BlockingBreakdown::total)
+                    .collect();
+                let sched = analysis::theorem3(&system, &blocking);
+                let tasks = per_task_verdicts(&system, &blocking, &sched, &mut reasons);
+                (sched.schedulable(), tasks)
+            }
+            Err(e) => {
+                reasons.push(format!("analysis rejected the system: {e}"));
+                (false, Vec::new())
+            }
+        },
+        AdmissionProtocol::Msrp => match analysis::msrp_bound_set(&system) {
+            Ok(set) => {
+                let rows: Vec<(mpcp_model::Dur, f64, f64, bool)> = set
+                    .per_task()
+                    .iter()
+                    .map(|b| (b.blocking, b.demand, b.bound, b.ok))
+                    .collect();
+                let tasks = protocol_verdicts(&system, protocol, &rows, &mut reasons);
+                (set.schedulable(), tasks)
+            }
+            Err(e) => {
+                reasons.push(format!("analysis rejected the system: {e}"));
+                (false, Vec::new())
+            }
+        },
+        AdmissionProtocol::Fmlp => match analysis::fmlp_bound_set(&system) {
+            Ok(set) => {
+                let rows: Vec<(mpcp_model::Dur, f64, f64, bool)> = set
+                    .per_task()
+                    .iter()
+                    .map(|b| (b.blocking, b.demand, b.bound, b.ok))
+                    .collect();
+                let tasks = protocol_verdicts(&system, protocol, &rows, &mut reasons);
+                (set.schedulable(), tasks)
+            }
+            Err(e) => {
+                reasons.push(format!("analysis rejected the system: {e}"));
+                (false, Vec::new())
+            }
+        },
     };
 
     AdmissionResult {
@@ -164,6 +210,39 @@ pub fn analyze(spec: &SystemSpec, allocate: Option<AllocDirective>) -> Admission
         allocation,
         analyzed,
     }
+}
+
+/// [`TaskVerdict`]s from an MSRP/FMLP+ bound set's `(blocking, demand,
+/// bound, ok)` rows, indexed by task id.
+fn protocol_verdicts(
+    system: &System,
+    protocol: AdmissionProtocol,
+    rows: &[(mpcp_model::Dur, f64, f64, bool)],
+    reasons: &mut Vec<String>,
+) -> Vec<TaskVerdict> {
+    system
+        .tasks()
+        .iter()
+        .map(|t| {
+            let (blocking, demand, bound, ok) = rows[t.id().index()];
+            if !ok {
+                reasons.push(format!(
+                    "{protocol}: task {} demand {demand:.3} exceeds bound {bound:.3}",
+                    t.name()
+                ));
+            }
+            TaskVerdict {
+                name: t.name().to_owned(),
+                processor: system.processor(t.processor()).name().to_owned(),
+                period: t.period().ticks(),
+                wcet: t.wcet().ticks(),
+                blocking: blocking.ticks(),
+                demand,
+                bound,
+                ok,
+            }
+        })
+        .collect()
 }
 
 fn per_task_verdicts(
@@ -205,6 +284,9 @@ fn per_task_verdicts(
 pub struct Session {
     /// The committed system description.
     pub spec: SystemSpec,
+    /// The analysis the session was admitted under; `add-task` and
+    /// `remove-task` re-admission uses the same one.
+    pub protocol: AdmissionProtocol,
     /// Result of the last committed analysis.
     pub last: Option<Arc<AdmissionResult>>,
     /// Incremental engine tracking the committed system. `None` until
@@ -217,6 +299,7 @@ impl fmt::Debug for Session {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Session")
             .field("spec", &self.spec)
+            .field("protocol", &self.protocol)
             .field("last", &self.last)
             .field("engine", &self.engine.as_ref().map(|_| "..."))
             .finish()
@@ -455,6 +538,33 @@ mod tests {
         assert!(r.tasks.iter().all(|t| t.ok));
         assert!(r.tasks[0].blocking > 0, "a shares SG and must wait");
         assert_eq!(r.lint_errors, 0);
+    }
+
+    #[test]
+    fn light_system_is_admitted_under_every_protocol() {
+        for protocol in [
+            AdmissionProtocol::Mpcp,
+            AdmissionProtocol::Msrp,
+            AdmissionProtocol::Fmlp,
+        ] {
+            let r = analyze_with(&light_spec(), None, protocol);
+            assert!(r.admitted, "{protocol}: {:?}", r.reasons);
+            assert_eq!(r.tasks.len(), 2, "{protocol}");
+            assert!(r.tasks.iter().all(|t| t.ok), "{protocol}: {:?}", r.tasks);
+        }
+    }
+
+    #[test]
+    fn protocol_rejections_name_the_analysis() {
+        let mut spec = light_spec();
+        spec.tasks.push(saturating_task(0, "hog"));
+        let r = analyze_with(&spec, None, AdmissionProtocol::Msrp);
+        assert!(!r.admitted);
+        assert!(
+            r.reasons.iter().any(|m| m.contains("msrp")),
+            "{:?}",
+            r.reasons
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::event::EventKind;
 use crate::trace::{Slice, Trace};
-use mpcp_model::{JobId, Priority, ResourceId, System, Time};
+use mpcp_model::{JobId, Priority, ProcessorId, ResourceId, System, Time};
 use std::error::Error;
 use std::fmt;
 
@@ -424,6 +424,283 @@ pub fn priority_floor(trace: &Trace, system: &System) -> Result<(), CheckError> 
     core.into_result()
 }
 
+/// Streaming core of [`spin_occupancy`]. Watches the *unmerged* slice
+/// stream the engine emits, where every slice starts at or after the
+/// events of its start instant — so tracking just the current spinner
+/// per processor is exact. (The post-hoc function works on recorded,
+/// possibly merged slices and uses interval overlap instead.)
+#[derive(Debug, Clone)]
+pub(crate) struct SpinCheck {
+    res_global: Vec<bool>,
+    /// Home processor per `TaskId::index()`.
+    home: Vec<ProcessorId>,
+    /// The job spin-waiting on each `ProcessorId::index()`, if any.
+    spinning: Vec<Option<JobId>>,
+    error: Option<CheckError>,
+}
+
+impl SpinCheck {
+    pub(crate) fn new(system: &System) -> Self {
+        SpinCheck {
+            res_global: res_global_map(system),
+            home: system
+                .tasks()
+                .iter()
+                .map(mpcp_model::Task::processor)
+                .collect(),
+            spinning: vec![None; system.processors().len()],
+            error: None,
+        }
+    }
+
+    fn clear(&mut self, job: JobId) {
+        for s in &mut self.spinning {
+            if *s == Some(job) {
+                *s = None;
+            }
+        }
+    }
+
+    pub(crate) fn on_event(&mut self, time: Time, job: JobId, kind: &EventKind) {
+        if self.error.is_some() {
+            return;
+        }
+        match *kind {
+            EventKind::LockBlocked { resource, .. }
+                if self
+                    .res_global
+                    .get(resource.index())
+                    .copied()
+                    .unwrap_or(false) =>
+            {
+                let home = self.home[job.task.index()];
+                if let Some(other) = self.spinning[home.index()] {
+                    if other != job {
+                        self.error = Some(err(
+                            time,
+                            format!("{job} spins on {home} while {other} already spins there"),
+                        ));
+                        return;
+                    }
+                }
+                self.spinning[home.index()] = Some(job);
+            }
+            // HandedOff is attributed to the grantee; Woken / Completed
+            // to the spinner itself.
+            EventKind::HandedOff { .. } | EventKind::Woken | EventKind::Completed { .. } => {
+                self.clear(job);
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn on_slice(&mut self, slice: &Slice) {
+        if self.error.is_some() {
+            return;
+        }
+        let Some(&Some(spinner)) = self.spinning.get(slice.processor.index()) else {
+            return;
+        };
+        if slice.job != Some(spinner) {
+            self.error = Some(err(
+                slice.start,
+                match slice.job {
+                    Some(j) => format!(
+                        "{} ran {j} while {spinner} spin-waits there",
+                        slice.processor
+                    ),
+                    None => format!("{} idled while {spinner} spin-waits there", slice.processor),
+                },
+            ));
+        }
+    }
+
+    pub(crate) fn error(&self) -> Option<&CheckError> {
+        self.error.as_ref()
+    }
+}
+
+/// A spin window reconstructed from the event stream: `job` busy-waits
+/// on `processor` from `start` until `end` (`None` = still spinning at
+/// the end of the trace).
+struct SpinWindow {
+    processor: ProcessorId,
+    job: JobId,
+    start: Time,
+    end: Option<Time>,
+}
+
+fn close_spin_windows(windows: &mut [SpinWindow], job: JobId, at: Time) {
+    for w in windows.iter_mut() {
+        if w.job == job && w.end.is_none() {
+            w.end = Some(at);
+        }
+    }
+}
+
+/// While a job busy-waits on a global semaphore ([`LockResult::Spin`]),
+/// its home processor runs that job and nothing else: a spinner
+/// occupies its processor (MSRP's non-preemptable request rule), so a
+/// foreign job running there — or the processor idling — during a spin
+/// window is a violation.
+///
+/// [`LockResult::Spin`]: crate::LockResult::Spin
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn spin_occupancy(trace: &Trace, system: &System) -> Result<(), CheckError> {
+    let res_global = res_global_map(system);
+    let home: Vec<ProcessorId> = system
+        .tasks()
+        .iter()
+        .map(mpcp_model::Task::processor)
+        .collect();
+    let mut windows: Vec<SpinWindow> = Vec::new();
+    for e in trace.events() {
+        match e.kind {
+            EventKind::LockBlocked { resource, .. }
+                if res_global.get(resource.index()).copied().unwrap_or(false) =>
+            {
+                windows.push(SpinWindow {
+                    processor: home[e.job.task.index()],
+                    job: e.job,
+                    start: e.time,
+                    end: None,
+                });
+            }
+            EventKind::HandedOff { .. } | EventKind::Woken | EventKind::Completed { .. } => {
+                close_spin_windows(&mut windows, e.job, e.time);
+            }
+            _ => {}
+        }
+    }
+    let mut first: Option<CheckError> = None;
+    for s in trace.slices() {
+        let s_end = s.start + s.dur;
+        for w in &windows {
+            if w.processor != s.processor || s.job == Some(w.job) {
+                continue;
+            }
+            let overlaps = s_end > w.start && w.end.is_none_or(|we| s.start < we);
+            if !overlaps {
+                continue;
+            }
+            let at = s.start.max(w.start);
+            let msg = match s.job {
+                Some(j) => format!("{} ran {j} while {} spin-waits there", w.processor, w.job),
+                None => format!("{} idled while {} spin-waits there", w.processor, w.job),
+            };
+            if first.as_ref().is_none_or(|f| at < f.time) {
+                first = Some(err(at, msg));
+            }
+        }
+    }
+    first.map_or(Ok(()), Err)
+}
+
+/// Streaming core of [`boost_while_holding`].
+#[derive(Debug, Clone)]
+pub(crate) struct BoostCheck {
+    res_global: Vec<bool>,
+    /// Assigned priority per `TaskId::index()`.
+    prios: Vec<Priority>,
+    /// Live jobs: (job, current effective priority, global locks held).
+    live: Vec<(JobId, Priority, u32)>,
+    error: Option<CheckError>,
+}
+
+impl BoostCheck {
+    pub(crate) fn new(system: &System) -> Self {
+        BoostCheck {
+            res_global: res_global_map(system),
+            prios: system
+                .tasks()
+                .iter()
+                .map(mpcp_model::Task::priority)
+                .collect(),
+            live: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn is_global(&self, r: ResourceId) -> bool {
+        self.res_global.get(r.index()).copied().unwrap_or(false)
+    }
+
+    fn entry(&mut self, job: JobId) -> &mut (JobId, Priority, u32) {
+        if let Some(pos) = self.live.iter().position(|(j, _, _)| *j == job) {
+            return &mut self.live[pos];
+        }
+        let base = self.prios[job.task.index()];
+        self.live.push((job, base, 0));
+        self.live.last_mut().expect("just pushed")
+    }
+
+    fn check(&mut self, time: Time, job: JobId) {
+        let Some(&(_, pri, held)) = self.live.iter().find(|(j, _, _)| *j == job) else {
+            return;
+        };
+        if held > 0 && !pri.is_global() {
+            self.error = Some(err(
+                time,
+                format!("{job} holds a global semaphore at non-boosted {pri}"),
+            ));
+        }
+    }
+
+    pub(crate) fn on_event(&mut self, time: Time, job: JobId, kind: &EventKind) {
+        if self.error.is_some() {
+            return;
+        }
+        match *kind {
+            EventKind::PriorityChanged { to, .. } => {
+                self.entry(job).1 = to;
+                self.check(time, job);
+            }
+            EventKind::LockGranted { resource } | EventKind::HandedOff { resource, .. }
+                if self.is_global(resource) =>
+            {
+                self.entry(job).2 += 1;
+                self.check(time, job);
+            }
+            EventKind::Unlocked { resource } if self.is_global(resource) => {
+                let e = self.entry(job);
+                e.2 = e.2.saturating_sub(1);
+            }
+            EventKind::Completed { .. } => {
+                self.live.retain(|(j, _, _)| *j != job);
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn error(&self) -> Option<&CheckError> {
+        self.error.as_ref()
+    }
+
+    fn into_result(self) -> Result<(), CheckError> {
+        self.error.map_or(Ok(()), Err)
+    }
+}
+
+/// While a job holds a *global* semaphore its effective priority lies in
+/// the global band: boosting protocols (MSRP's non-preemptable sections,
+/// FMLP+'s priority-boosted sections) never expose a holder at a
+/// task-band priority — not even between the hand-off and its first
+/// subsequent slice.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn boost_while_holding(trace: &Trace, system: &System) -> Result<(), CheckError> {
+    let mut core = BoostCheck::new(system);
+    for e in trace.events() {
+        core.on_event(e.time, e.job, &e.kind);
+    }
+    core.into_result()
+}
+
 /// The expected per-resource grant order (and optionally instants) of
 /// an offline critical-section schedule, as checked by
 /// [`schedule_conformance`].
@@ -711,6 +988,163 @@ mod tests {
             band: Band::Normal,
         });
         assert!(single_occupancy(&tr, &sys).is_err());
+    }
+
+    #[test]
+    fn spin_occupancy_flags_foreign_and_idle_slices() {
+        let sys = two_task_system();
+        let p0 = sys.processors()[0].id();
+        // jid(0) (home P0) spins on the global S from t=2; a foreign job
+        // runs on P0 inside the window.
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(2),
+            jid(0),
+            EventKind::LockBlocked {
+                resource: res(0),
+                holder: Some(jid(1)),
+            },
+        );
+        tr.push_slice(Slice {
+            processor: p0,
+            job: Some(jid(1)),
+            start: Time::new(2),
+            dur: Dur::new(2),
+            band: Band::Normal,
+        });
+        assert!(spin_occupancy(&tr, &sys).is_err());
+        // An idle slice inside an (unclosed) window is a violation too.
+        let mut tr2 = Trace::new();
+        tr2.push(
+            Time::new(2),
+            jid(0),
+            EventKind::LockBlocked {
+                resource: res(0),
+                holder: None,
+            },
+        );
+        tr2.push_slice(Slice {
+            processor: p0,
+            job: None,
+            start: Time::new(3),
+            dur: Dur::new(1),
+            band: Band::Normal,
+        });
+        assert!(spin_occupancy(&tr2, &sys).is_err());
+    }
+
+    #[test]
+    fn spin_occupancy_accepts_spinner_until_handoff() {
+        let sys = two_task_system();
+        let p0 = sys.processors()[0].id();
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(2),
+            jid(0),
+            EventKind::LockBlocked {
+                resource: res(0),
+                holder: Some(jid(1)),
+            },
+        );
+        tr.push_slice(Slice {
+            processor: p0,
+            job: Some(jid(0)),
+            start: Time::new(2),
+            dur: Dur::new(3),
+            band: Band::GlobalCs,
+        });
+        tr.push(
+            Time::new(5),
+            jid(0),
+            EventKind::HandedOff {
+                resource: res(0),
+                to: jid(0),
+            },
+        );
+        // The window closed at 5: other occupants are fine afterwards.
+        tr.push_slice(Slice {
+            processor: p0,
+            job: Some(jid(1)),
+            start: Time::new(6),
+            dur: Dur::new(1),
+            band: Band::Normal,
+        });
+        spin_occupancy(&tr, &sys).unwrap();
+    }
+
+    #[test]
+    fn boost_flags_unboosted_holder() {
+        let sys = two_task_system();
+        let mut tr = Trace::new();
+        // Granted the global S while still at the task-band base.
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        assert!(boost_while_holding(&tr, &sys).is_err());
+    }
+
+    #[test]
+    fn boost_flags_restore_before_release() {
+        let sys = two_task_system();
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::PriorityChanged {
+                from: Priority::task(2),
+                to: Priority::global(9),
+            },
+        );
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        // Dropping back to the task band while still holding S.
+        tr.push(
+            Time::new(2),
+            jid(0),
+            EventKind::PriorityChanged {
+                from: Priority::global(9),
+                to: Priority::task(2),
+            },
+        );
+        assert!(boost_while_holding(&tr, &sys).is_err());
+    }
+
+    #[test]
+    fn boost_accepts_boost_before_grant_restore_after_release() {
+        let sys = two_task_system();
+        let mut tr = Trace::new();
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::PriorityChanged {
+                from: Priority::task(2),
+                to: Priority::global(9),
+            },
+        );
+        tr.push(
+            Time::new(0),
+            jid(0),
+            EventKind::LockGranted { resource: res(0) },
+        );
+        tr.push(
+            Time::new(3),
+            jid(0),
+            EventKind::Unlocked { resource: res(0) },
+        );
+        tr.push(
+            Time::new(3),
+            jid(0),
+            EventKind::PriorityChanged {
+                from: Priority::global(9),
+                to: Priority::task(2),
+            },
+        );
+        boost_while_holding(&tr, &sys).unwrap();
     }
 
     #[test]

@@ -544,7 +544,7 @@ impl<P: Protocol> Simulator<P> {
             *best = None;
         }
         for (slot, j) in self.jobs.iter_with_slots() {
-            if j.state != ExecState::Ready {
+            if !j.is_dispatchable() {
                 continue;
             }
             let pi = j.processor.index();
@@ -655,6 +655,11 @@ impl<P: Protocol> Simulator<P> {
             let slot = self.running_slot[pi];
             let job = self.jobs.by_slot(slot);
             debug_assert_eq!(job.id, id);
+            if job.state != ExecState::Ready {
+                // A spin-blocked runner occupies the processor but has no
+                // actionable op (its pc still points at the pending Lock).
+                continue;
+            }
             match job.current_op() {
                 None => {
                     unreachable!("{id} complete but not swept");
@@ -727,6 +732,23 @@ impl<P: Protocol> Simulator<P> {
                     resource: res,
                     global,
                 };
+                self.trace.push(
+                    self.now,
+                    id,
+                    EventKind::LockBlocked {
+                        resource: res,
+                        holder,
+                    },
+                );
+            }
+            LockResult::Spin { holder } => {
+                let global = self.res_global[res.index()];
+                let job = self.jobs.expect_mut(id);
+                job.state = ExecState::Blocked {
+                    resource: res,
+                    global,
+                };
+                job.spin = true;
                 self.trace.push(
                     self.now,
                     id,
@@ -883,7 +905,6 @@ impl<P: Protocol> Simulator<P> {
                     let band = {
                         let job = self.jobs.by_slot_mut(self.running_slot[pi]);
                         debug_assert_eq!(job.id, id);
-                        debug_assert!(job.remaining >= dt, "runner advanced past op end");
                         let band = if !wants_slices || job.held.is_empty() {
                             Band::Normal
                         } else if job.effective_priority.is_global() {
@@ -891,14 +912,27 @@ impl<P: Protocol> Simulator<P> {
                         } else {
                             Band::LocalCs
                         };
-                        job.remaining = job.remaining.saturating_sub(dt);
-                        if job.remaining.is_zero() && job.pc + 1 < job.program.len() {
-                            // End of a compute segment with more ops to
-                            // come: take the invisible pc advance now
-                            // instead of spending a fixpoint round on it
-                            // next instant. Completing advances stay in
-                            // the fixpoint, preserving completion order.
-                            job.advance_pc();
+                        if let ExecState::Blocked { global, .. } = job.state {
+                            // A spin-blocked runner burns its processor
+                            // without program progress; the whole slice is
+                            // semaphore blocking.
+                            debug_assert!(job.spin, "non-spin blocked job was dispatched");
+                            if global {
+                                job.blocked_global += dt;
+                            } else {
+                                job.blocked_local += dt;
+                            }
+                        } else {
+                            debug_assert!(job.remaining >= dt, "runner advanced past op end");
+                            job.remaining = job.remaining.saturating_sub(dt);
+                            if job.remaining.is_zero() && job.pc + 1 < job.program.len() {
+                                // End of a compute segment with more ops to
+                                // come: take the invisible pc advance now
+                                // instead of spending a fixpoint round on it
+                                // next instant. Completing advances stay in
+                                // the fixpoint, preserving completion order.
+                                job.advance_pc();
+                            }
                         }
                         if accounting {
                             self.runner_base[pi] = Some(job.base_priority);

@@ -51,6 +51,10 @@ pub struct JobState {
     pub remaining: Dur,
     /// Scheduling state.
     pub state: ExecState,
+    /// Whether a [`ExecState::Blocked`] wait busy-waits: the job remains a
+    /// dispatch candidate and occupies its processor without making
+    /// program progress ([`LockResult::Spin`](crate::LockResult::Spin)).
+    pub spin: bool,
     /// Resources currently held, in lock order.
     pub held: Vec<ResourceId>,
     /// Accumulated time blocked on local semaphores.
@@ -85,6 +89,7 @@ impl JobState {
             pc: 0,
             remaining: Dur::ZERO,
             state: ExecState::Ready,
+            spin: false,
             held: Vec::new(),
             blocked_local: Dur::ZERO,
             blocked_global: Dur::ZERO,
@@ -118,6 +123,16 @@ impl JobState {
             Some(Op::Compute(d)) => d,
             _ => Dur::ZERO,
         };
+    }
+
+    /// Whether the job competes for its processor: ready, or busy-waiting
+    /// on a semaphore (a spinner occupies a processor like a runner).
+    pub fn is_dispatchable(&self) -> bool {
+        match self.state {
+            ExecState::Ready => true,
+            ExecState::Blocked { .. } => self.spin,
+            ExecState::Sleeping { .. } => false,
+        }
     }
 
     /// Total measured blocking so far: semaphore waits plus displacement
@@ -257,6 +272,7 @@ impl Jobs {
                 s.program = program.clone();
                 s.pc = 0;
                 s.state = ExecState::Ready;
+                s.spin = false;
                 s.held.clear();
                 s.blocked_local = Dur::ZERO;
                 s.blocked_global = Dur::ZERO;

@@ -16,8 +16,8 @@
 //! construction.
 
 use crate::check::{
-    res_global_map, CheckError, ConformanceCheck, ExpectedGrants, FloorCheck, GcsCheck,
-    HandoffCheck, MutexCheck, OccupancyCheck,
+    res_global_map, BoostCheck, CheckError, ConformanceCheck, ExpectedGrants, FloorCheck, GcsCheck,
+    HandoffCheck, MutexCheck, OccupancyCheck, SpinCheck,
 };
 use crate::event::EventKind;
 use crate::observe::ObservedBlocking;
@@ -38,6 +38,14 @@ pub struct MonitorSpec {
     /// Reconstruct per-job global waiting times from the event stream
     /// (the trace half of the engine-vs-trace accounting oracle).
     pub observed_blocking: bool,
+    /// Check that a job spin-waiting on a global semaphore occupies its
+    /// home processor for the whole wait — MSRP's non-preemptable
+    /// busy-wait rule.
+    pub spin_occupancy: bool,
+    /// Check that a job holding a global semaphore always sits in the
+    /// global priority band — the boosting rule shared by MSRP
+    /// (non-preemptable sections) and FMLP+ (priority-boosted sections).
+    pub boost_while_holding: bool,
 }
 
 impl MonitorSpec {
@@ -47,6 +55,8 @@ impl MonitorSpec {
             handoffs: true,
             mpcp_discipline: true,
             observed_blocking: true,
+            spin_occupancy: true,
+            boost_while_holding: true,
         }
     }
 }
@@ -67,6 +77,8 @@ pub struct Monitor {
     gcs: Option<GcsCheck>,
     floor: Option<FloorCheck>,
     conformance: Option<ConformanceCheck>,
+    spin: Option<SpinCheck>,
+    boost: Option<BoostCheck>,
     observed: Option<ObservedBlocking>,
 }
 
@@ -81,6 +93,8 @@ impl Monitor {
             gcs: spec.mpcp_discipline.then(|| GcsCheck::new(system)),
             floor: spec.mpcp_discipline.then(|| FloorCheck::new(system)),
             conformance: None,
+            spin: spec.spin_occupancy.then(|| SpinCheck::new(system)),
+            boost: spec.boost_while_holding.then(|| BoostCheck::new(system)),
             observed: spec.observed_blocking.then(ObservedBlocking::default),
         }
     }
@@ -108,6 +122,12 @@ impl Monitor {
         if let Some(c) = &mut self.conformance {
             c.on_event(time, job, kind);
         }
+        if let Some(c) = &mut self.spin {
+            c.on_event(time, job, kind);
+        }
+        if let Some(c) = &mut self.boost {
+            c.on_event(time, job, kind);
+        }
         if let Some(ob) = &mut self.observed {
             ob.on_event(time, job, kind, &self.res_global);
         }
@@ -115,12 +135,16 @@ impl Monitor {
 
     pub(crate) fn on_slice(&mut self, slice: &Slice) {
         self.occupancy.on_slice(slice);
+        if let Some(c) = &mut self.spin {
+            c.on_slice(slice);
+        }
     }
 
     /// The first violation of any enabled structural check, in the
     /// canonical check order (mutual exclusion, occupancy, hand-offs,
-    /// gcs discipline, priority floor, schedule conformance). `None`
-    /// when the run is clean so far.
+    /// gcs discipline, priority floor, schedule conformance, spin
+    /// occupancy, boost-while-holding). `None` when the run is clean so
+    /// far.
     pub fn error(&self) -> Option<&CheckError> {
         self.mutex
             .error()
@@ -129,6 +153,8 @@ impl Monitor {
             .or_else(|| self.gcs.as_ref().and_then(GcsCheck::error))
             .or_else(|| self.floor.as_ref().and_then(FloorCheck::error))
             .or_else(|| self.conformance.as_ref().and_then(ConformanceCheck::error))
+            .or_else(|| self.spin.as_ref().and_then(SpinCheck::error))
+            .or_else(|| self.boost.as_ref().and_then(BoostCheck::error))
     }
 
     /// Whether no enabled structural check has fired.

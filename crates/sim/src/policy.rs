@@ -25,6 +25,15 @@ pub enum LockResult {
         /// The holding job, if the protocol exposes it (for tracing).
         holder: Option<JobId>,
     },
+    /// The requesting job busy-waits: it stays a dispatch candidate and
+    /// occupies its processor (making no program progress, its wait
+    /// accounted as blocking) until the protocol resumes it with
+    /// [`Ctx::grant_lock`]. Spin-lock protocols (MSRP) raise the job to a
+    /// non-preemptable priority before returning this.
+    Spin {
+        /// The holding job, if the protocol exposes it (for tracing).
+        holder: Option<JobId>,
+    },
 }
 
 /// Mutable view of the simulation handed to protocol hooks.
@@ -150,6 +159,7 @@ impl<'a> Ctx<'a> {
         state.held.push(resource);
         state.advance_pc();
         state.state = ExecState::Ready;
+        state.spin = false;
         let complete = state.is_complete();
         self.trace
             .push(self.now, job, EventKind::HandedOff { resource, to: job });
@@ -175,6 +185,7 @@ impl<'a> Ctx<'a> {
             "wake_retry: {job} is not blocked"
         );
         state.state = ExecState::Ready;
+        state.spin = false;
         self.trace.push(self.now, job, EventKind::Woken);
     }
 

@@ -85,6 +85,8 @@ impl Default for SweepConfig {
                 ProtocolKind::Pip,
                 ProtocolKind::NonPreemptive,
                 ProtocolKind::Raw,
+                ProtocolKind::Msrp,
+                ProtocolKind::Fmlp,
                 ProtocolKind::Dga,
             ],
             horizon_cap: 20_000,

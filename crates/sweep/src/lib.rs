@@ -41,6 +41,7 @@ mod config;
 mod oracle;
 mod pool;
 mod report;
+mod shootout;
 mod shrink;
 
 pub use config::SweepConfig;
@@ -50,6 +51,7 @@ pub use oracle::{
 };
 pub use pool::{run_indexed, run_indexed_with};
 pub use report::{CurvePoint, SweepReport, ViolationReport};
+pub use shootout::{shootout, ShootoutEntry, ShootoutPoint, ShootoutReport, ShootoutScore};
 pub use shrink::{fixture_snippet, shrink, Shrunk};
 
 use std::time::Instant;

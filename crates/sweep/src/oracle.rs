@@ -8,8 +8,10 @@
 //! analytical results against observed behaviour:
 //!
 //! * **Blocking bound** — every task's measured blocking must stay
-//!   within its §5.1 bound `B_i` (carry-in variant) under MPCP, and
-//!   within the DPCP bound under DPCP. Compared only when that
+//!   within its §5.1 bound `B_i` (carry-in variant) under MPCP, within
+//!   the DPCP bound under DPCP, within the spin + arrival bound under
+//!   MSRP, and within the suspension-oblivious FIFO bound under FMLP+
+//!   (the seventh and eighth differential arms). Compared only when that
 //!   protocol's run missed no deadlines: the bounds' instance counts
 //!   presume a deadline-respecting job stream (at most one carry-in job
 //!   per task), and an overloaded run violates that — backlogged jobs
@@ -38,7 +40,10 @@
 //!   and a feasible schedule must not miss a deadline.
 
 use crate::config::SweepConfig;
-use mpcp_analysis::{default_hosts, dpcp_bounds_with, mpcp_bound_set, theorem3, BlockingConfig};
+use mpcp_analysis::{
+    default_hosts, dpcp_bounds_with, fmlp_bound_set, mpcp_bound_set, msrp_bound_set, theorem3,
+    BlockingConfig,
+};
 use mpcp_dga::{DgaReplay, DgaSchedule};
 use mpcp_model::{Dur, System, Time};
 use mpcp_protocols::ProtocolKind;
@@ -376,6 +381,8 @@ pub fn evaluate_system_in(
 ) -> (bool, Vec<ProtocolOutcome>) {
     let horizon = horizon_for(system, cfg.horizon_cap);
     let mpcp = mpcp_bound_set(system, BlockingConfig::sound()).ok();
+    let msrp = msrp_bound_set(system).ok();
+    let fmlp = fmlp_bound_set(system).ok();
     let dpcp = dpcp_bounds_with(system, &default_hosts(system), BlockingConfig::sound()).ok();
     let dpcp_totals: Option<Vec<Dur>> =
         dpcp.map(|b| b.iter().map(mpcp_analysis::DpcpBreakdown::total).collect());
@@ -463,6 +470,15 @@ pub fn evaluate_system_in(
                         check::gcs_preemption_discipline(trace, system),
                     ));
                     checks.push(("priority_floor", check::priority_floor(trace, system)));
+                }
+                if spec.spin_occupancy {
+                    checks.push(("spin_occupancy", check::spin_occupancy(trace, system)));
+                }
+                if spec.boost_while_holding {
+                    checks.push((
+                        "boost_while_holding",
+                        check::boost_while_holding(trace, system),
+                    ));
                 }
                 if let Some(s) = &dga {
                     checks.push((
@@ -571,6 +587,52 @@ pub fn evaluate_system_in(
                             }
                         }
                         if s.accepted && sim.misses() > 0 {
+                            violations.push(ViolationKind::AcceptedButMissed {
+                                protocol: proto,
+                                misses: sim.misses(),
+                            });
+                        }
+                    }
+                }
+                ProtocolKind::Msrp => {
+                    if let Some(set) = &msrp {
+                        analysis_accepted = Some(set.schedulable());
+                        for t in system.tasks() {
+                            let tb = set.task(t.id());
+                            let m = metrics.task(t.id());
+                            if within_model && m.max_blocking > tb.blocking {
+                                violations.push(ViolationKind::BlockingBound {
+                                    protocol: proto,
+                                    task: t.id().index(),
+                                    measured: m.max_blocking.ticks(),
+                                    bound: tb.blocking.ticks(),
+                                });
+                            }
+                        }
+                        if set.schedulable() && sim.misses() > 0 {
+                            violations.push(ViolationKind::AcceptedButMissed {
+                                protocol: proto,
+                                misses: sim.misses(),
+                            });
+                        }
+                    }
+                }
+                ProtocolKind::Fmlp => {
+                    if let Some(set) = &fmlp {
+                        analysis_accepted = Some(set.schedulable());
+                        for t in system.tasks() {
+                            let tb = set.task(t.id());
+                            let m = metrics.task(t.id());
+                            if within_model && m.max_blocking > tb.blocking {
+                                violations.push(ViolationKind::BlockingBound {
+                                    protocol: proto,
+                                    task: t.id().index(),
+                                    measured: m.max_blocking.ticks(),
+                                    bound: tb.blocking.ticks(),
+                                });
+                            }
+                        }
+                        if set.schedulable() && sim.misses() > 0 {
                             violations.push(ViolationKind::AcceptedButMissed {
                                 protocol: proto,
                                 misses: sim.misses(),

@@ -133,10 +133,18 @@ impl InvariantProfile {
     /// semaphores only the universal invariants. DGA is also minimal:
     /// its hand-offs follow the offline chain order, not priorities
     /// (the sweep additionally checks schedule conformance for it).
+    /// MSRP and FMLP+ hand off in FIFO order by design, but both only
+    /// ever *raise* priorities (spin boost / section boost), so the
+    /// floor invariant still applies; the sweep monitor additionally
+    /// checks spin occupancy and boost-while-holding for them.
     pub fn for_kind(kind: ProtocolKind) -> Self {
         match kind {
             ProtocolKind::Mpcp => InvariantProfile::mpcp(),
             ProtocolKind::Raw | ProtocolKind::Dga => InvariantProfile::minimal(),
+            ProtocolKind::Msrp | ProtocolKind::Fmlp => InvariantProfile {
+                priority_floor: true,
+                ..InvariantProfile::minimal()
+            },
             _ => InvariantProfile {
                 handoff_order: true,
                 ..InvariantProfile::minimal()

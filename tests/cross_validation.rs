@@ -247,3 +247,105 @@ fn dpcp_equal_ceiling_agents_are_counted() {
         );
     }
 }
+
+/// MSRP: on every scenario the simulation covers without backlog (no
+/// deadline miss — the analysis' own model assumption), the observed
+/// worst-case blocking of every task stays within the spin + arrival
+/// bound.
+///
+/// The sweep oracle runs this same comparison as its seventh
+/// differential arm; two 1000-scenario soaks (default workload and a
+/// forced-global-section variant) found no counterexample, so there is
+/// no shrunk fixture to pin here — this corpus keeps the comparison in
+/// the tier-1 suite. A failure prints the seed; re-generate with
+/// `generate(&cfg, seed)` to reproduce.
+#[test]
+fn msrp_observed_blocking_within_bounds() {
+    let mut compared = 0;
+    for seed in 0..60u64 {
+        let cfg = WorkloadConfig::default()
+            .processors(3)
+            .tasks_per_processor(3)
+            .utilization(0.4)
+            .resources(1, 2)
+            .sections(0, 2);
+        let sys = generate(&cfg, 4200 + seed);
+        let Ok(set) = mpcp::analysis::msrp_bound_set(&sys) else {
+            continue;
+        };
+        let mut sim = Simulator::with_config(
+            &sys,
+            ProtocolKind::Msrp.build(),
+            SimConfig {
+                record_trace: false,
+                ..SimConfig::until(sys.hyperperiod().ticks().min(20_000))
+            },
+        );
+        sim.run();
+        if sim.misses() != 0 {
+            continue; // backlog voids the one-job-at-a-time model
+        }
+        compared += 1;
+        for t in sys.tasks() {
+            let measured = sim.metrics().task(t.id()).max_blocking;
+            let bound = set.per_task()[t.id().index()].blocking;
+            assert!(
+                measured <= bound,
+                "seed {}: {} measured blocking {measured} exceeds MSRP bound {bound}",
+                4200 + seed,
+                t.name()
+            );
+        }
+    }
+    assert!(
+        compared >= 20,
+        "too few backlog-free scenarios ({compared})"
+    );
+}
+
+/// FMLP+: same differential comparison against the suspension-oblivious
+/// FIFO bound (the oracle's eighth arm). Nested systems are skipped —
+/// the analysis rejects them by design.
+#[test]
+fn fmlp_observed_blocking_within_bounds() {
+    let mut compared = 0;
+    for seed in 0..60u64 {
+        let cfg = WorkloadConfig::default()
+            .processors(3)
+            .tasks_per_processor(3)
+            .utilization(0.4)
+            .resources(1, 2)
+            .sections(0, 2);
+        let sys = generate(&cfg, 5300 + seed);
+        let Ok(set) = mpcp::analysis::fmlp_bound_set(&sys) else {
+            continue;
+        };
+        let mut sim = Simulator::with_config(
+            &sys,
+            ProtocolKind::Fmlp.build(),
+            SimConfig {
+                record_trace: false,
+                ..SimConfig::until(sys.hyperperiod().ticks().min(20_000))
+            },
+        );
+        sim.run();
+        if sim.misses() != 0 {
+            continue;
+        }
+        compared += 1;
+        for t in sys.tasks() {
+            let measured = sim.metrics().task(t.id()).max_blocking;
+            let bound = set.per_task()[t.id().index()].blocking;
+            assert!(
+                measured <= bound,
+                "seed {}: {} measured blocking {measured} exceeds FMLP+ bound {bound}",
+                5300 + seed,
+                t.name()
+            );
+        }
+    }
+    assert!(
+        compared >= 20,
+        "too few backlog-free scenarios ({compared})"
+    );
+}

@@ -103,3 +103,195 @@ fn raw_semaphores_violate_handoff_order_somewhere() {
         "FIFO hand-off should produce at least one priority inversion in 200 systems"
     );
 }
+
+/// MSRP rule 3: a job spin-waiting on a global semaphore occupies its
+/// processor non-preemptively — nothing else runs (and the processor
+/// never idles) on its home processor while it spins.
+#[test]
+fn msrp_spinners_hold_their_processor() {
+    cases(20, 0x1D_05, |rng| {
+        let seed = rng.range_u64(0, 99_999);
+        let (sys, sim) = run(ProtocolKind::Msrp, seed, 0.0);
+        check::spin_occupancy(sim.trace(), &sys).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check::priority_floor(sim.trace(), &sys).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    });
+}
+
+/// FMLP+ rule 2: a job holding any global semaphore is always observed
+/// at a boosted (global-band) priority.
+#[test]
+fn fmlp_holders_are_always_boosted() {
+    cases(20, 0x1D_06, |rng| {
+        let seed = rng.range_u64(0, 99_999);
+        let (sys, sim) = run(ProtocolKind::Fmlp, seed, 0.0);
+        check::boost_while_holding(sim.trace(), &sys)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Mutation tests: deliberately broken policies must make the new
+// checkers fire. A checker that passes on the real protocol *and* on a
+// sabotaged one would be vacuous.
+// ---------------------------------------------------------------------
+
+mod broken {
+    use mpcp::model::{JobId, ResourceId, System};
+    use mpcp::sim::{Ctx, LockResult, Protocol};
+
+    /// A FIFO lock shared by both saboteurs below.
+    #[derive(Debug, Default, Clone)]
+    pub struct Sems {
+        holder: Vec<Option<JobId>>,
+        queue: Vec<Vec<JobId>>,
+    }
+
+    impl Sems {
+        pub fn init(&mut self, system: &System) {
+            self.holder = vec![None; system.resources().len()];
+            self.queue = vec![Vec::new(); system.resources().len()];
+        }
+
+        pub fn acquire(&mut self, job: JobId, r: ResourceId) -> Option<Option<JobId>> {
+            if self.holder[r.index()].is_none() {
+                self.holder[r.index()] = Some(job);
+                None
+            } else {
+                self.queue[r.index()].push(job);
+                Some(self.holder[r.index()])
+            }
+        }
+
+        pub fn release(&mut self, r: ResourceId) -> Option<JobId> {
+            self.holder[r.index()] = None;
+            if self.queue[r.index()].is_empty() {
+                None
+            } else {
+                let next = self.queue[r.index()].remove(0);
+                self.holder[r.index()] = Some(next);
+                Some(next)
+            }
+        }
+    }
+
+    /// MSRP without rule 3: waiters spin at their *base* priority, so a
+    /// higher-priority local job can preempt a spinner mid-wait.
+    #[derive(Debug, Default)]
+    pub struct PreemptibleSpin(Sems);
+
+    impl Protocol for PreemptibleSpin {
+        fn name(&self) -> &'static str {
+            "broken-msrp"
+        }
+        fn init(&mut self, system: &System) {
+            self.0.init(system);
+        }
+        fn on_lock(&mut self, _ctx: &mut Ctx<'_>, job: JobId, r: ResourceId) -> LockResult {
+            match self.0.acquire(job, r) {
+                None => LockResult::Granted,
+                Some(holder) => LockResult::Spin { holder },
+            }
+        }
+        fn on_unlock(&mut self, ctx: &mut Ctx<'_>, _job: JobId, r: ResourceId) {
+            if let Some(next) = self.0.release(r) {
+                ctx.grant_lock(next, r);
+            }
+        }
+    }
+
+    /// FMLP+ without rule 2: holders execute their critical sections at
+    /// their base priority — no boost, ever.
+    #[derive(Debug, Default)]
+    pub struct Unboosted(Sems);
+
+    impl Protocol for Unboosted {
+        fn name(&self) -> &'static str {
+            "broken-fmlp"
+        }
+        fn init(&mut self, system: &System) {
+            self.0.init(system);
+        }
+        fn on_lock(&mut self, _ctx: &mut Ctx<'_>, job: JobId, r: ResourceId) -> LockResult {
+            match self.0.acquire(job, r) {
+                None => LockResult::Granted,
+                Some(holder) => LockResult::Blocked { holder },
+            }
+        }
+        fn on_unlock(&mut self, ctx: &mut Ctx<'_>, _job: JobId, r: ResourceId) {
+            if let Some(next) = self.0.release(r) {
+                ctx.grant_lock(next, r);
+            }
+        }
+    }
+}
+
+/// Two tasks on different processors contending for one (therefore
+/// global) semaphore, plus a high-priority local competitor next to the
+/// spinner/holder under test.
+fn contended_system() -> mpcp::model::System {
+    use mpcp::model::{Body, System, TaskDef};
+    let mut b = System::builder();
+    let p = b.add_processors(2);
+    let s = b.add_resource("SG");
+    b.add_task(
+        TaskDef::new("wants", p[0])
+            .period(100)
+            .priority(2)
+            .offset(1)
+            .body(Body::builder().critical(s, |c| c.compute(3)).build()),
+    );
+    b.add_task(
+        TaskDef::new("high", p[0])
+            .period(100)
+            .priority(3)
+            .offset(3)
+            .body(Body::builder().compute(2).build()),
+    );
+    b.add_task(
+        TaskDef::new("holder", p[1])
+            .period(100)
+            .priority(1)
+            .body(Body::builder().critical(s, |c| c.compute(8)).build()),
+    );
+    b.build().unwrap()
+}
+
+/// A spinner that stays preemptible loses its processor to `high` at
+/// t=3 — `spin_occupancy` must report exactly that; the real MSRP on
+/// the same system stays clean.
+#[test]
+fn spin_occupancy_fires_on_a_preemptible_spinner() {
+    let sys = contended_system();
+    let mut sim = Simulator::with_config(
+        &sys,
+        broken::PreemptibleSpin::default(),
+        SimConfig::until(100),
+    );
+    sim.run();
+    let err = check::spin_occupancy(sim.trace(), &sys)
+        .expect_err("a preemptible spinner must violate spin occupancy");
+    assert!(
+        err.to_string().contains("spin-waits"),
+        "unexpected message: {err}"
+    );
+
+    let mut real = Simulator::with_config(&sys, ProtocolKind::Msrp.build(), SimConfig::until(100));
+    real.run();
+    check::spin_occupancy(real.trace(), &sys).expect("real MSRP keeps the invariant");
+}
+
+/// A holder that never boosts is observed inside its critical section
+/// at a base priority — `boost_while_holding` must report it; the real
+/// FMLP+ on the same system stays clean.
+#[test]
+fn boost_check_fires_on_an_unboosted_holder() {
+    let sys = contended_system();
+    let mut sim = Simulator::with_config(&sys, broken::Unboosted::default(), SimConfig::until(100));
+    sim.run();
+    check::boost_while_holding(sim.trace(), &sys)
+        .expect_err("an unboosted holder must violate the boost invariant");
+
+    let mut real = Simulator::with_config(&sys, ProtocolKind::Fmlp.build(), SimConfig::until(100));
+    real.run();
+    check::boost_while_holding(real.trace(), &sys).expect("real FMLP+ keeps the invariant");
+}

@@ -3,7 +3,7 @@
 //! re-runs — so a violation found on a 64-core CI box replays exactly
 //! on a laptop with `--jobs 1`.
 
-use mpcp::sweep::{run, SweepConfig};
+use mpcp::sweep::{run, shootout, SweepConfig};
 
 fn small() -> SweepConfig {
     SweepConfig {
@@ -52,14 +52,19 @@ fn report_is_stable_across_reruns() {
 /// advance loop. `9c9ad85b2f5b319b` replaced it when the DGA arm joined
 /// the default protocol set: every scenario now also runs the offline
 /// dependency-graph schedule, adding a sixth outcome column (and its
-/// acceptance statistic) to the canonical report. Any scheduling,
-/// protocol, analysis, check or encoding change shows up here —
-/// including "harmless" reorderings unit tests cannot see. If a change
-/// legitimately alters results, re-record via the bench, update the
-/// constant, and extend this comment with the reason.
+/// acceptance statistic) to the canonical report. `d35a076d9eca07b3`
+/// replaced `9c9ad85b2f5b319b` when the MSRP and FMLP+ arms joined the
+/// default protocol set: every scenario now also runs the FIFO
+/// spin-lock and suspension-based FIFO protocols, adding two outcome
+/// columns (each with a blocking-bound differential check and an
+/// analysis-acceptance statistic) to the canonical report. Any
+/// scheduling, protocol, analysis, check or encoding change shows up
+/// here — including "harmless" reorderings unit tests cannot see. If a
+/// change legitimately alters results, re-record via the bench, update
+/// the constant, and extend this comment with the reason.
 #[test]
 fn default_workload_report_hash_is_pinned() {
-    const GOLDEN_HASH: u64 = 0x9c9a_d85b_2f5b_319b;
+    const GOLDEN_HASH: u64 = 0xd35a_076d_9eca_07b3;
     let cfg = |jobs| SweepConfig {
         scenarios: 300,
         seed: 42,
@@ -79,4 +84,28 @@ fn default_workload_report_hash_is_pinned() {
         GOLDEN_HASH,
         "hash must not depend on --jobs"
     );
+}
+
+/// The shootout inherits the same guarantee: every protocol over the
+/// same grid, byte-identical canonical report for any worker count and
+/// across re-runs.
+#[test]
+fn shootout_report_is_identical_for_any_worker_count() {
+    let reference = shootout(&small());
+    let ref_bytes = reference.canonical_json().encode();
+    for jobs in [2, 4, 13] {
+        let report = shootout(&SweepConfig { jobs, ..small() });
+        assert_eq!(
+            report.hash(),
+            reference.hash(),
+            "shootout hash differs at jobs={jobs}"
+        );
+        assert_eq!(
+            report.canonical_json().encode(),
+            ref_bytes,
+            "canonical shootout report differs at jobs={jobs}"
+        );
+    }
+    let rerun = shootout(&small());
+    assert_eq!(rerun.hash(), reference.hash(), "rerun must be stable");
 }
